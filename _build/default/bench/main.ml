@@ -1,0 +1,588 @@
+(* The experiment harness: regenerates every "table and figure" of the
+   paper's evaluation — here, the constructions and chains of Theorems 1-8
+   and their possibility-side counterparts — as printed tables (E1-E14, see
+   DESIGN.md / EXPERIMENTS.md), then times the hot paths with Bechamel.
+
+   Run with:  dune exec bench/main.exe *)
+
+let bool_default = Value.bool false
+
+let section id title =
+  Format.printf "@.=== %s: %s ===@." id title
+
+let verdict_line cert =
+  match cert.Certificate.verdict with
+  | Certificate.Contradiction { run_label; violations } ->
+    Printf.sprintf "CONTRADICTION in %s (%s)" run_label
+      (String.concat "+"
+         (List.sort_uniq compare
+            (List.map (fun v -> v.Violation.condition) violations)))
+  | Certificate.Fault_axiom_failed { run_label; _ } ->
+    Printf.sprintf "no contradiction: Fault axiom fails (%s)" run_label
+  | Certificate.Unbroken msg -> "UNBROKEN: " ^ msg
+
+let validated cert =
+  match Certificate.validate cert with Ok () -> "ok" | Error m -> "STALE: " ^ m
+
+(* --- E1: Theorem 1 on the triangle (the §3.1 figures) --------------------- *)
+
+let e1 () =
+  section "E1" "Theorem 1, 3f+1 nodes: triangle vs. real protocols (§3.1)";
+  Format.printf "%-16s | %-52s | %s@." "protocol" "verdict" "re-validated";
+  List.iter
+    (fun (name, device, horizon) ->
+      let cert =
+        Ba_nodes.certify ~device ~v0:(Value.bool false) ~v1:(Value.bool true)
+          ~horizon ~f:1 (Topology.complete 3)
+      in
+      Format.printf "%-16s | %-52s | %s@." name (verdict_line cert)
+        (validated cert))
+    [ ( "EIG",
+        (fun w -> Eig.device ~n:3 ~f:1 ~me:w ~default:bool_default),
+        Eig.decision_round ~f:1 + 1 );
+      ( "phase-king",
+        (fun w -> Phase_king.device ~n:3 ~f:1 ~me:w),
+        Phase_king.decision_round ~f:1 + 1 );
+      ( "naive-majority",
+        (fun w -> Naive.majority_vote ~n:3 ~f:1 ~me:w ~default:bool_default),
+        4 );
+      ("echo-once", (fun w -> Naive.echo_once ~n:3 ~me:w ~default:bool_default), 5);
+      ( "flood-vote",
+        (fun w ->
+          Naive.flood_vote (Topology.complete 3) ~me:w ~rounds:4
+            ~default:bool_default),
+        7 );
+    ]
+
+(* --- E2: Theorem 1 connectivity on the square (§3.2) ----------------------- *)
+
+let e2 () =
+  section "E2" "Theorem 1, 2f+1 connectivity: the 4-cycle and its 8-ring (§3.2)";
+  let g = Topology.cycle 4 in
+  let cert =
+    Ba_connectivity.certify
+      ~device:(fun w -> Naive.flood_vote g ~me:w ~rounds:4 ~default:bool_default)
+      ~v0:(Value.bool false) ~v1:(Value.bool true) ~horizon:7 ~f:1 g
+  in
+  Format.printf "square kappa = %d = 2f; covering has %d nodes@."
+    (Connectivity.vertex g)
+    (Graph.n cert.Certificate.covering.Covering.source);
+  Format.printf "%s (re-validated: %s)@." (verdict_line cert) (validated cert)
+
+(* --- E3: the n/f boundary -------------------------------------------------- *)
+
+let e3 () =
+  section "E3" "the 3f+1 boundary: EIG survives above, certificates kill below";
+  Format.printf "%a@." Sweep.pp_nf (Sweep.nf_boundary ~n_max:8 ~f_max:2)
+
+(* --- E4: weak agreement ring (§4) ------------------------------------------ *)
+
+let e4 () =
+  section "E4" "Theorem 2, weak agreement: the 4k-ring and Lemma 3 (§4)";
+  let deadline = Eig.decision_round ~f:1 in
+  let cert =
+    Weak_ring.certify
+      ~device:(fun w -> Eig.device ~n:3 ~f:1 ~me:w ~default:bool_default)
+      ~deadline ~horizon:(deadline + 2) ()
+  in
+  List.iter (fun n -> Format.printf "%s@." n) cert.Certificate.notes;
+  Format.printf "%s (re-validated: %s)@." (verdict_line cert) (validated cert)
+
+(* --- E5: firing squad ring (§5) --------------------------------------------- *)
+
+let e5 () =
+  section "E5" "Theorem 4, Byzantine firing squad on the ring (§5)";
+  let fire_round = Firing.fire_round ~f:1 in
+  let cert =
+    Firing_ring.certify
+      ~device:(fun w -> Firing.device ~n:3 ~f:1 ~me:w)
+      ~fire_round ~horizon:(fire_round + 2) ()
+  in
+  List.iter (fun n -> Format.printf "%s@." n) cert.Certificate.notes;
+  Format.printf "%s (re-validated: %s)@." (verdict_line cert) (validated cert)
+
+(* --- E6/E7: approximate agreement (§6) --------------------------------------- *)
+
+let e6 () =
+  section "E6" "Theorem 5, simple approximate agreement (§6.1)";
+  let rounds = 5 in
+  let cert =
+    Approx_chain.certify_simple
+      ~device:(fun w -> Approx.device ~n:3 ~f:1 ~me:w ~rounds)
+      ~horizon:(Approx.decision_round ~rounds + 1)
+      ()
+  in
+  List.iter
+    (fun (run, violations) ->
+      Format.printf "%-3s: correct {%s}, %s@." run.Reconstruct.label
+        (String.concat ","
+           (List.map
+              (fun u ->
+                Printf.sprintf "%d:%s" u
+                  (match Trace.decision run.Reconstruct.trace u with
+                  | Some v -> Value.to_string v
+                  | None -> "-"))
+              run.Reconstruct.correct))
+        (if violations = [] then "conditions hold"
+         else
+           String.concat "; "
+             (List.map (fun v -> v.Violation.condition) violations)))
+    cert.Certificate.runs;
+  Format.printf "%s (re-validated: %s)@." (verdict_line cert) (validated cert)
+
+let e7 () =
+  section "E7" "Theorem 6, (eps,delta,gamma)-agreement: the Lemma 7 chain (§6.2)";
+  let rounds = 4 in
+  let eps = 1.0 /. 16.0 and gamma = 0.0 and delta = 1.0 in
+  let cert =
+    Approx_chain.certify_edg
+      ~device:(fun w -> Approx.device ~n:3 ~f:1 ~me:w ~rounds)
+      ~eps ~gamma ~delta
+      ~horizon:(Approx.decision_round ~rounds + 1)
+      ()
+  in
+  List.iter (fun n -> Format.printf "%s@." n) cert.Certificate.notes;
+  Format.printf "per-scenario conditions:@.";
+  List.iter
+    (fun (run, violations) ->
+      Format.printf "  %-4s %s@." run.Reconstruct.label
+        (if violations = [] then "holds"
+         else
+           String.concat "; "
+             (List.map
+                (fun v -> v.Violation.condition ^ ": " ^ v.Violation.detail)
+                violations)))
+    cert.Certificate.runs;
+  Format.printf "%s (re-validated: %s)@." (verdict_line cert) (validated cert)
+
+(* --- E8: clock synchronization (§7) ------------------------------------------ *)
+
+let clock_params =
+  {
+    Clock_spec.p = Clock.linear ~rate:1.0 ();
+    q = Clock.linear ~rate:2.0 ();
+    lower = Fun.id;
+    upper = (fun t -> t +. 2.0);
+    alpha = 1.0;
+    t_prime = 4.0;
+  }
+
+let clock_verdict cert =
+  match cert.Clock_chain.verdict with
+  | Clock_chain.Contradiction { pair_index; violations } ->
+    Printf.sprintf "CONTRADICTION at S_%d (%s)" pair_index
+      (String.concat "+"
+         (List.sort_uniq compare
+            (List.map (fun v -> v.Violation.condition) violations)))
+  | Clock_chain.Model_failed { reason; _ } -> "model failed: " ^ reason
+  | Clock_chain.Unbroken m -> "UNBROKEN: " ^ m
+
+let e8 () =
+  section "E8" "Theorem 8, clock synchronization: the Lemma 11 chain (§7)";
+  List.iter
+    (fun (name, device) ->
+      let cert = Clock_chain.certify ~device ~params:clock_params () in
+      Format.printf "%-10s: k=%d, %s@." name cert.Clock_chain.k
+        (clock_verdict cert);
+      if name = "averaging" then begin
+        Format.printf
+          "  Lemma 11 at t'' (node / measured C_i / lower bound \
+           l(q.h^-i(t'')) + (i-1)a):@.";
+        List.iter
+          (fun (i, measured, bound) ->
+            Format.printf "    %2d   %10.2f   %10.2f@." i measured bound)
+          cert.Clock_chain.lemma11
+      end)
+    [ "trivial", (fun _ -> Clock_proto.trivial ~l:Fun.id ~arity:2);
+      "averaging", (fun _ -> Clock_proto.averaging ~l:Fun.id ~arity:2);
+    ]
+
+(* --- E9: corollaries 13-15 ---------------------------------------------------- *)
+
+let e9 () =
+  section "E9" "Corollaries 13-15: minimal achievable skew per clock family (§7.1)";
+  Format.printf "%-34s | %-22s | %s@." "clocks and envelope"
+    "trivial skew bound" "alpha-improvement certificate";
+  let cases =
+    [ ( "p=t, q=2t, l=t (Cor. 13, r=2, a=1)",
+        "a(r-1)t = t (diverges)",
+        { clock_params with Clock_spec.alpha = 1.0 } );
+      ( "p=t, q=t+2, l=t (Cor. 14, c=2, a=1)",
+        "a*c = 2 (constant)",
+        {
+          Clock_spec.p = Clock.linear ~rate:1.0 ();
+          q = Clock.linear ~rate:1.0 ~offset:2.0 ();
+          lower = Fun.id;
+          upper = (fun t -> t +. 4.0);
+          alpha = 1.0;
+          t_prime = 4.0;
+        } );
+      ( "p=t, q=2t, l=log2 t (Cor. 15, r=2)",
+        "log2 r = 1 (constant)",
+        {
+          Clock_spec.p = Clock.linear ~rate:1.0 ();
+          q = Clock.linear ~rate:2.0 ();
+          lower = (fun t -> if t <= 0.0 then -100.0 else Float.log2 t);
+          upper = (fun t -> (if t <= 0.0 then -100.0 else Float.log2 t) +. 3.0);
+          alpha = 0.5;
+          t_prime = 4.0;
+        } );
+    ]
+  in
+  List.iter
+    (fun (label, bound, params) ->
+      let cert =
+        Clock_chain.certify
+          ~device:(fun _ ->
+            Clock_proto.averaging ~l:(fun t -> params.Clock_spec.lower t) ~arity:2)
+          ~params ()
+      in
+      Format.printf "%-34s | %-22s | %s@." label bound (clock_verdict cert))
+    cases
+
+(* --- E10: the possibility side at the boundary -------------------------------- *)
+
+let e10 () =
+  section "E10"
+    "possibility at the frontier: protocol cost and survival at n=3f+1 (resp. \
+     n=4f+1)";
+  Format.printf "%-12s | %2s | %2s | %6s | %8s | %10s | %s@." "protocol" "n"
+    "f" "rounds" "messages" "msg units" "survives split-brain";
+  let report name n f horizon build =
+    let sys, correct, inputs = build () in
+    let trace = Exec.run sys ~rounds:horizon in
+    let msgs = Trace.message_count trace and units = Trace.message_volume trace in
+    let ok = Ba_spec.check ~trace ~correct ~inputs = [] in
+    Format.printf "%-12s | %2d | %2d | %6d | %8d | %10d | %b@." name n f
+      horizon msgs units ok
+  in
+  let split_brain_setup make_device n =
+    let g = Topology.complete n in
+    let inputs = Array.init n (fun u -> Value.bool (u mod 2 = 0)) in
+    let sys = System.make g (fun u -> make_device u, inputs.(u)) in
+    let bad = n - 1 in
+    let sys =
+      System.substitute sys bad
+        (Adversary.split_brain (make_device bad)
+           ~inputs:(Array.init (n - 1) (fun j -> Value.bool (j mod 2 = 0))))
+    in
+    sys, List.init (n - 1) Fun.id, fun u -> inputs.(u)
+  in
+  List.iter
+    (fun f ->
+      let n = (3 * f) + 1 in
+      report "EIG" n f
+        (Eig.decision_round ~f + 1)
+        (fun () ->
+          split_brain_setup
+            (fun u -> Eig.device ~n ~f ~me:u ~default:bool_default)
+            n))
+    [ 1; 2; 3 ];
+  List.iter
+    (fun f ->
+      let n = (4 * f) + 1 in
+      report "phase-king" n f
+        (Phase_king.decision_round ~f + 1)
+        (fun () -> split_brain_setup (fun u -> Phase_king.device ~n ~f ~me:u) n))
+    [ 1; 2 ];
+  List.iter
+    (fun f ->
+      let n = (3 * f) + 1 in
+      report "turpin-coan" n f
+        (Turpin_coan.decision_round ~f + 1)
+        (fun () ->
+          split_brain_setup
+            (fun u -> Turpin_coan.device ~n ~f ~me:u ~default:bool_default)
+            n);
+      report "interactive" n f
+        (Interactive.decision_round ~f + 1)
+        (fun () ->
+          split_brain_setup
+            (fun u -> Interactive.consensus_device ~n ~f ~me:u ~default:bool_default)
+            n))
+    [ 1; 2 ];
+  Format.printf
+    "(EIG relays blow up exponentially with f; phase-king stays constant per \
+     round but needs n > 4f — the classic trade.)@."
+
+(* --- E11: connectivity frontier ------------------------------------------------ *)
+
+let e11 () =
+  section "E11" "the 2f+1 connectivity frontier on Harary graphs (Dolev relay)";
+  Format.printf "%-10s | %-9s | %-28s | %s@." "graph" "adequate"
+    "relay vs lying relays" "certificate";
+  List.iter
+    (fun (f, n, kappas) ->
+      List.iter
+        (fun (kappa, adequate, relay_ok, cert_broke) ->
+          Format.printf "H(%d,%2d)    | %-9b | %-28s | %s@." kappa n adequate
+            (match relay_ok with
+            | Some true -> "delivers correct value"
+            | Some false -> "CORRUPTED"
+            | None -> "(refuses: < 2f+1 paths)")
+            (match cert_broke with
+            | Some true -> "CONTRADICTION"
+            | Some false -> "failed?!"
+            | None -> "-"))
+        (Sweep.connectivity_boundary ~f ~kappas ~n))
+    [ 1, 7, [ 2; 3; 4 ]; 2, 11, [ 4; 5 ] ];
+  (* And full agreement (not just broadcast) on the sparse side of the
+     frontier, via EIG over the overlay. *)
+  List.iter
+    (fun (g, f, label) ->
+      let n = Graph.n g in
+      let inputs = Array.init n (fun u -> Value.bool (u mod 2 = 0)) in
+      let sys = Overlay.eig_system g ~f ~inputs ~default:bool_default in
+      let sys =
+        System.substitute sys 1
+          (Adversary.babbler ~seed:3 ~arity:(Graph.degree g 1)
+             ~palette:[ Value.bool true; Value.int 1 ])
+      in
+      let rounds =
+        Overlay.horizon g ~f ~inner_decision_round:(Eig.decision_round ~f)
+      in
+      let trace = Exec.run sys ~rounds:(rounds + 1) in
+      let correct = List.filter (fun u -> u <> 1) (Graph.nodes g) in
+      Format.printf
+        "overlay EIG on %-8s (f=%d, %2d rounds, %5d msgs): conditions %s@."
+        label f (rounds + 1)
+        (Trace.message_count trace)
+        (if Ba_spec.check ~trace ~correct ~inputs:(fun u -> inputs.(u)) = []
+         then "hold"
+         else "VIOLATED"))
+    [ Topology.harary ~k:3 ~n:7, 1, "H(3,7)";
+      Topology.wheel 5, 1, "wheel-5";
+    ]
+
+(* --- E12: approximate agreement convergence ------------------------------------- *)
+
+let e12 () =
+  section "E12" "DLPSW approximate agreement: spread per round (n=7, f=2)";
+  let n = 7 and f = 2 in
+  let g = Topology.complete n in
+  let rounds = 8 in
+  let inputs = [| 0.0; 1.0; 0.5; 0.25; 0.75; 0.0; 0.0 |] in
+  let sys = Approx.system g ~f ~rounds ~inputs in
+  (* One attacker shouts extremes (trimmed away); the other equivocates with
+     values *inside* the honest range, the worst legal behavior: it skews
+     different nodes differently and slows convergence to the 2x floor. *)
+  let sys =
+    System.substitute sys 5
+      (Adversary.babbler ~seed:5 ~arity:(n - 1)
+         ~palette:[ Value.float 1e9; Value.float (-1e9) ])
+  in
+  let sys =
+    System.substitute sys 6
+      (Adversary.split_brain
+         (Approx.device ~n ~f ~me:6 ~rounds)
+         ~inputs:
+           (Array.init (n - 1) (fun j ->
+                Value.float (0.1 +. (0.8 *. float_of_int j /. float_of_int (n - 2))))))
+  in
+  let trace = Exec.run sys ~rounds:(rounds + 2) in
+  let estimate u r =
+    let _, est, _ = Value.get_triple (Trace.node_behavior trace u).(r) in
+    Value.get_float est
+  in
+  Format.printf "round | spread of correct estimates | contraction@.";
+  let prev = ref None in
+  for r = 1 to rounds + 1 do
+    let es = List.map (fun u -> estimate u r) [ 0; 1; 2; 3; 4 ] in
+    let spread =
+      List.fold_left max neg_infinity es -. List.fold_left min infinity es
+    in
+    let contraction =
+      match !prev with
+      | Some p when spread > 1e-12 -> Printf.sprintf "%.2fx" (p /. spread)
+      | _ -> "-"
+    in
+    prev := Some spread;
+    Format.printf "%5d | %28.9f | %s@." (r - 1) spread contraction
+  done;
+  Format.printf "(theory: at least 2x per round for n >= 3f+1)@."
+
+(* --- E13: signatures ------------------------------------------------------------- *)
+
+let e13 () =
+  section "E13" "weakening the Fault axiom: Dolev-Strong with ideal signatures";
+  let device w = Dolev_strong.device ~n:3 ~f:1 ~me:w ~default:bool_default in
+  let horizon = Dolev_strong.decision_round ~f:1 + 1 in
+  List.iter
+    (fun (label, signed) ->
+      let cert =
+        Ba_nodes.certify ~signed ~device ~v0:(Value.bool false)
+          ~v1:(Value.bool true) ~horizon ~f:1 (Topology.complete 3)
+      in
+      Format.printf "%-22s: %s@." label (verdict_line cert))
+    [ "unsigned executor", false; "signed executor", true ];
+  List.iter
+    (fun (n, f) ->
+      let g = Topology.complete n in
+      let inputs = Array.init n (fun u -> Value.bool (u mod 2 = 0)) in
+      let sys =
+        System.make g (fun u ->
+            Dolev_strong.device ~n ~f ~me:u ~default:bool_default, inputs.(u))
+      in
+      let bad = n - 1 in
+      let sys =
+        System.substitute sys bad
+          (Adversary.split_brain
+             (Dolev_strong.device ~n ~f ~me:bad ~default:bool_default)
+             ~inputs:(Array.init (n - 1) (fun j -> Value.bool (j mod 2 = 0))))
+      in
+      let trace =
+        Exec.run ~signed:true sys ~rounds:(Dolev_strong.decision_round ~f + 1)
+      in
+      let correct = List.init (n - 1) Fun.id in
+      Format.printf
+        "Dolev-Strong on K%d (f=%d, inadequate: %b) under split-brain: %s@." n
+        f
+        (Connectivity.is_inadequate ~f g)
+        (if Ba_spec.check ~trace ~correct ~inputs:(fun u -> inputs.(u)) = []
+         then "agreement + validity hold"
+         else "VIOLATED"))
+    [ 3, 1; 5, 2 ]
+
+(* --- E14: the delay/scaling ablation ---------------------------------------------- *)
+
+let e14 () =
+  section "E14"
+    "axiom ablations: bounded real-time delay breaks the Scaling axiom";
+  let g = Topology.complete 2 in
+  let sys =
+    Clock_system.make g (fun u ->
+        Clock_system.Honest
+          ( Clock_proto.averaging ~l:Fun.id ~arity:1,
+            if u = 0 then Clock.linear ~rate:1.0 ()
+            else Clock.linear ~rate:2.0 () ))
+  in
+  let h = Clock.linear ~rate:2.0 () in
+  let states_equal t1 t2 =
+    Array.length t1.Clock_exec.ticks.(0) = Array.length t2.Clock_exec.ticks.(0)
+    && Array.for_all2
+         (fun (a : Clock_exec.tick) (b : Clock_exec.tick) ->
+           Value.equal a.Clock_exec.state b.Clock_exec.state)
+         t1.Clock_exec.ticks.(0) t2.Clock_exec.ticks.(0)
+  in
+  List.iter
+    (fun delay ->
+      let t1 = Clock_exec.run ~delay sys ~until:8.0 in
+      let t2 = Clock_exec.run ~delay (Clock_system.scale h sys) ~until:4.0 in
+      let same = states_equal t1 t2 in
+      Format.printf
+        "real-time delay %.1f: scaled behavior identical = %b  (Scaling \
+         axiom %s)@."
+        delay same
+        (if same then "holds -> Theorem 8 applies"
+         else "broken -> synchronization becomes possible"))
+    [ 0.0; 0.6 ];
+  Format.printf
+    "round model: delivery takes exactly one round, so the Bounded-Delay \
+     Locality axiom holds with delta = 1 — the premise of Theorems 2 and 4 \
+     (property-tested in the suite).@."
+
+(* --- Bechamel timing benches -------------------------------------------------------- *)
+
+let timing () =
+  section "TIMING" "Bechamel micro-benchmarks of the hot paths";
+  let open Bechamel in
+  let tests =
+    [ Test.make ~name:"connectivity H(5,20)"
+        (Staged.stage (fun () ->
+             ignore (Connectivity.vertex (Topology.harary ~k:5 ~n:20))));
+      Test.make ~name:"menger-paths H(5,20)"
+        (Staged.stage (fun () ->
+             ignore
+               (Paths.vertex_disjoint (Topology.harary ~k:5 ~n:20) ~src:0
+                  ~dst:10)));
+      Test.make ~name:"EIG run K7 f=2"
+        (Staged.stage (fun () ->
+             let g = Topology.complete 7 in
+             let sys =
+               System.make g (fun u ->
+                   ( Eig.device ~n:7 ~f:2 ~me:u ~default:bool_default,
+                     Value.bool (u mod 2 = 0) ))
+             in
+             ignore (Exec.run sys ~rounds:5)));
+      Test.make ~name:"triangle certificate (EIG)"
+        (Staged.stage (fun () ->
+             ignore
+               (Ba_nodes.certify
+                  ~device:(fun w ->
+                    Eig.device ~n:3 ~f:1 ~me:w ~default:bool_default)
+                  ~v0:(Value.bool false) ~v1:(Value.bool true)
+                  ~horizon:(Eig.decision_round ~f:1 + 1)
+                  ~f:1 (Topology.complete 3))));
+      Test.make ~name:"approx run K7 f=2 (8 rounds)"
+        (Staged.stage (fun () ->
+             let g = Topology.complete 7 in
+             let inputs = Array.init 7 (fun u -> float_of_int u) in
+             ignore
+               (Exec.run (Approx.system g ~f:2 ~rounds:8 ~inputs) ~rounds:10)));
+      Test.make ~name:"overlay EIG on H(3,7)"
+        (Staged.stage (fun () ->
+             let g = Topology.harary ~k:3 ~n:7 in
+             let inputs = Array.init 7 (fun u -> Value.bool (u mod 2 = 0)) in
+             let rounds =
+               Overlay.horizon g ~f:1
+                 ~inner_decision_round:(Eig.decision_round ~f:1)
+             in
+             ignore
+               (Exec.run
+                  (Overlay.eig_system g ~f:1 ~inputs ~default:bool_default)
+                  ~rounds:(rounds + 1))));
+      Test.make ~name:"clock ring run (9 nodes)"
+        (Staged.stage (fun () ->
+             let covering = Covering.triangle_ring ~copies:3 in
+             let h = Clock.linear ~rate:2.0 () in
+             let sys =
+               Clock_system.make
+                 ~wiring:(fun u -> Covering.wiring covering u)
+                 covering.Covering.source
+                 (fun i ->
+                   Clock_system.Honest
+                     ( Clock_proto.averaging ~l:Fun.id ~arity:2,
+                       Clock.compose
+                         (Clock.linear ~rate:2.0 ())
+                         (Clock.iterate h (-i)) ))
+             in
+             ignore (Clock_exec.run sys ~until:32.0)));
+    ]
+  in
+  let benchmark test =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+    in
+    let cfg =
+      Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None ()
+    in
+    let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] test in
+    let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+    Hashtbl.iter
+      (fun name ols_result ->
+        match Analyze.OLS.estimates ols_result with
+        | Some [ ns ] -> Format.printf "  %-32s %12.1f ns/run@." name ns
+        | Some _ | None -> Format.printf "  %-32s (no estimate)@." name)
+      results
+  in
+  List.iter benchmark tests
+
+let () =
+  Format.printf
+    "flm benchmark & experiment harness — Fischer-Lynch-Merritt (PODC 1985)@.";
+  e1 ();
+  e2 ();
+  e3 ();
+  e4 ();
+  e5 ();
+  e6 ();
+  e7 ();
+  e8 ();
+  e9 ();
+  e10 ();
+  e11 ();
+  e12 ();
+  e13 ();
+  e14 ();
+  timing ();
+  Format.printf "@.done.@."

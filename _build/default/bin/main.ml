@@ -1,0 +1,257 @@
+(* The flm command-line interface: inspect graphs, run protocols under
+   attack, generate impossibility certificates, and sweep the 3f+1 / 2f+1
+   boundaries. *)
+
+let bool_default = Value.bool false
+
+(* --- graph families ----------------------------------------------------- *)
+
+let family_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "complete"; n ] -> Ok (Topology.complete (int_of_string n))
+    | [ "cycle"; n ] -> Ok (Topology.cycle (int_of_string n))
+    | [ "wheel"; n ] -> Ok (Topology.wheel (int_of_string n))
+    | [ "star"; n ] -> Ok (Topology.star (int_of_string n))
+    | [ "hypercube"; d ] -> Ok (Topology.hypercube (int_of_string d))
+    | [ "harary"; k; n ] ->
+      Ok (Topology.harary ~k:(int_of_string k) ~n:(int_of_string n))
+    | [ "random"; n; p ] ->
+      Ok (Topology.random_connected ~n:(int_of_string n) ~p:(float_of_string p) ())
+    | _ ->
+      Error
+        (`Msg
+          "expected complete:N | cycle:N | wheel:N | star:N | hypercube:D | \
+           harary:K:N | random:N:P")
+  in
+  let print ppf g = Format.fprintf ppf "graph(n=%d)" (Graph.n g) in
+  Cmdliner.Arg.conv (parse, print)
+
+let graph_arg =
+  let open Cmdliner in
+  Arg.(
+    required
+    & opt (some family_conv) None
+    & info [ "g"; "graph" ] ~docv:"FAMILY" ~doc:"Graph family, e.g. harary:3:7.")
+
+let f_arg =
+  let open Cmdliner in
+  Arg.(value & opt int 1 & info [ "f" ] ~docv:"F" ~doc:"Number of faults tolerated.")
+
+(* --- flm graph ----------------------------------------------------------- *)
+
+let graph_cmd =
+  let run g =
+    let kappa = Connectivity.vertex g in
+    Format.printf "nodes: %d@.edges: %d@.vertex connectivity: %d@."
+      (Graph.n g) (Graph.edge_count g) kappa;
+    Format.printf "edge connectivity: %d@." (Connectivity.edge g);
+    Format.printf "max tolerable Byzantine faults: %d@."
+      (Connectivity.max_tolerable_faults g);
+    List.iter
+      (fun f ->
+        Format.printf "  f=%d: %s@." f
+          (if Connectivity.is_adequate ~f g then "adequate"
+           else "INADEQUATE (n < 3f+1 or kappa < 2f+1)"))
+      [ 1; 2; 3 ];
+    (match Connectivity.min_vertex_cut g with
+    | [] -> ()
+    | cut ->
+      Format.printf "a minimum vertex cut: {%s}@."
+        (String.concat "," (List.map string_of_int cut)));
+    Format.printf "%a@." Graph.pp g
+  in
+  let open Cmdliner in
+  Cmd.v
+    (Cmd.info "graph" ~doc:"Inspect a communication graph's adequacy.")
+    Term.(const run $ graph_arg)
+
+(* --- flm demo ------------------------------------------------------------ *)
+
+let adversary_of name ~honest ~arity =
+  match name with
+  | "none" -> None
+  | "silent" -> Some (Adversary.silent ~arity)
+  | "crash" -> Some (Adversary.crash ~after:1 honest)
+  | "split" ->
+    Some
+      (Adversary.split_brain honest
+         ~inputs:(Array.init arity (fun j -> Value.bool (j mod 2 = 0))))
+  | "babbler" ->
+    Some
+      (Adversary.babbler ~seed:42 ~arity
+         ~palette:[ Value.bool true; Value.bool false; Value.int 9 ])
+  | other -> invalid_arg ("unknown adversary: " ^ other)
+
+let demo_cmd =
+  let run n f adversary pattern =
+    let g = Topology.complete n in
+    Format.printf "EIG Byzantine agreement on K%d, f=%d (adequate: %b)@." n f
+      (Connectivity.is_adequate ~f g);
+    let inputs = Array.init n (fun u -> pattern land (1 lsl u) <> 0) in
+    let sys =
+      System.make g (fun u ->
+          Eig.device ~n ~f ~me:u ~default:bool_default, Value.bool inputs.(u))
+    in
+    let faulty = List.init f (fun i -> n - 1 - i) in
+    let sys =
+      List.fold_left
+        (fun acc u ->
+          match
+            adversary_of adversary
+              ~honest:(Eig.device ~n ~f ~me:u ~default:bool_default)
+              ~arity:(n - 1)
+          with
+          | None -> acc
+          | Some d ->
+            Format.printf "node %d is faulty (%s)@." u adversary;
+            System.substitute acc u d)
+        sys faulty
+    in
+    let trace = Exec.run sys ~rounds:(Eig.decision_round ~f + 1) in
+    let correct =
+      if adversary = "none" then Graph.nodes g
+      else List.filter (fun u -> not (List.mem u faulty)) (Graph.nodes g)
+    in
+    List.iter
+      (fun u ->
+        Format.printf "node %d (input %b) decides %a@." u inputs.(u)
+          Value.pp_opt (Trace.decision trace u))
+      correct;
+    Format.printf "conditions: %a@." Violation.pp_list
+      (Ba_spec.check ~trace ~correct ~inputs:(fun u -> Value.bool inputs.(u)))
+  in
+  let open Cmdliner in
+  let n = Arg.(value & opt int 4 & info [ "n" ] ~doc:"Number of nodes.") in
+  let adversary =
+    Arg.(
+      value & opt string "split"
+      & info [ "a"; "adversary" ]
+          ~doc:"none | silent | crash | split | babbler.")
+  in
+  let pattern =
+    Arg.(value & opt int 0b0011 & info [ "inputs" ] ~doc:"Input bit pattern.")
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Run EIG agreement under an adversary.")
+    Term.(const run $ n $ f_arg $ adversary $ pattern)
+
+(* --- flm certify ---------------------------------------------------------- *)
+
+let certify_cmd =
+  let run problem n f full =
+    let horizon = Eig.decision_round ~f + 1 in
+    let print_cert cert =
+      if full then Format.printf "%a@." Certificate.pp cert
+      else Format.printf "%a@." Certificate.pp_summary cert;
+      match Certificate.validate cert with
+      | Ok () -> Format.printf "(re-validated: OK)@."
+      | Error m -> Format.printf "(VALIDATION FAILED: %s)@." m
+    in
+    match problem with
+    | "ba" ->
+      print_cert
+        (Ba_nodes.certify
+           ~device:(fun w -> Eig.device ~n ~f ~me:w ~default:bool_default)
+           ~v0:(Value.bool false) ~v1:(Value.bool true) ~horizon ~f
+           (Topology.complete n))
+    | "ba-collapse" ->
+      (* Footnote 3: collapse n <= 3f onto the triangle. *)
+      print_cert
+        (Collapse.certify_via_triangle
+           ~device:(fun w -> Eig.device ~n ~f ~me:w ~default:bool_default)
+           ~v0:(Value.bool false) ~v1:(Value.bool true) ~horizon ~f
+           (Topology.complete n))
+    | "ba-conn" ->
+      let g = Topology.cycle n in
+      print_cert
+        (Ba_connectivity.certify
+           ~device:(fun w ->
+             Naive.flood_vote g ~me:w ~rounds:n ~default:bool_default)
+           ~v0:(Value.bool false) ~v1:(Value.bool true) ~horizon:(n + 3) ~f g)
+    | "weak" ->
+      let deadline = Eig.decision_round ~f:1 in
+      print_cert
+        (Weak_ring.certify
+           ~device:(fun w -> Eig.device ~n:3 ~f:1 ~me:w ~default:bool_default)
+           ~deadline ~horizon:(deadline + 2) ())
+    | "firing" ->
+      let fire_round = Firing.fire_round ~f:1 in
+      print_cert
+        (Firing_ring.certify
+           ~device:(fun w -> Firing.device ~n:3 ~f:1 ~me:w)
+           ~fire_round ~horizon:(fire_round + 2) ())
+    | "approx" ->
+      print_cert
+        (Approx_chain.certify_simple
+           ~device:(fun w -> Approx.device ~n:3 ~f:1 ~me:w ~rounds:5)
+           ~horizon:(Approx.decision_round ~rounds:5 + 1)
+           ())
+    | "edg" ->
+      print_cert
+        (Approx_chain.certify_edg
+           ~device:(fun w -> Approx.device ~n:3 ~f:1 ~me:w ~rounds:4)
+           ~eps:(1.0 /. 16.0) ~gamma:0.0 ~delta:1.0
+           ~horizon:(Approx.decision_round ~rounds:4 + 1)
+           ())
+    | "clock" ->
+      let params =
+        {
+          Clock_spec.p = Clock.linear ~rate:1.0 ();
+          q = Clock.linear ~rate:2.0 ();
+          lower = Fun.id;
+          upper = (fun t -> t +. 2.0);
+          alpha = 1.0;
+          t_prime = 4.0;
+        }
+      in
+      let cert =
+        Clock_chain.certify
+          ~device:(fun _ -> Clock_proto.averaging ~l:Fun.id ~arity:2)
+          ~params ()
+      in
+      if full then Format.printf "%a@." Clock_chain.pp cert
+      else Format.printf "%a@." Clock_chain.pp_summary cert
+    | other -> invalid_arg ("unknown problem: " ^ other)
+  in
+  let open Cmdliner in
+  let problem =
+    Arg.(
+      value & pos 0 string "ba"
+      & info [] ~docv:"PROBLEM"
+          ~doc:"ba | ba-collapse | ba-conn | weak | firing | approx | edg | clock.")
+  in
+  let n = Arg.(value & opt int 3 & info [ "n" ] ~doc:"Nodes (ba, ba-conn).") in
+  let full = Arg.(value & flag & info [ "full" ] ~doc:"Print the whole certificate.") in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:"Generate an impossibility certificate on an inadequate graph.")
+    Term.(const run $ problem $ n $ f_arg $ full)
+
+(* --- flm sweep ------------------------------------------------------------ *)
+
+let sweep_cmd =
+  let run n_max f_max =
+    Format.printf
+      "EIG on K_n: adequate cells must survive the adversary zoo; inadequate \
+       cells must fall to the covering certificate.@.@.";
+    Format.printf "%a@." Sweep.pp_nf (Sweep.nf_boundary ~n_max ~f_max)
+  in
+  let open Cmdliner in
+  let n_max = Arg.(value & opt int 8 & info [ "n-max" ] ~doc:"Largest n.") in
+  let f_max = Arg.(value & opt int 2 & info [ "f-max" ] ~doc:"Largest f.") in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Trace the 3f+1 boundary empirically.")
+    Term.(const run $ n_max $ f_max)
+
+let () =
+  let open Cmdliner in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "flm" ~version:"1.0.0"
+             ~doc:
+               "Easy impossibility proofs for distributed consensus problems \
+                (Fischer-Lynch-Merritt 1985), executable.")
+          [ graph_cmd; demo_cmd; certify_cmd; sweep_cmd ]))

@@ -1,0 +1,1 @@
+examples/adversary_gallery.ml: Adversary Array Ba_spec Eig Exec Format List Naive Printf String System Topology Trace Value Violation

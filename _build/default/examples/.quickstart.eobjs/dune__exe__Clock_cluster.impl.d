@@ -1,0 +1,1 @@
+examples/clock_cluster.ml: Flm Format List

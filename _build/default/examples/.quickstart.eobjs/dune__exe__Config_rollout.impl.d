@@ -1,0 +1,1 @@
+examples/config_rollout.ml: Adversary Array Connectivity Eig Exec Format Graph Interactive List Overlay System Topology Trace Turpin_coan Value

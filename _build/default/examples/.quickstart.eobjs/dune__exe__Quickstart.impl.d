@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Flm Format List Value

@@ -1,0 +1,1 @@
+examples/relay_network.ml: Flm Format List Option String Value

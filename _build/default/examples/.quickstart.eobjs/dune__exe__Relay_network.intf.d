@@ -1,0 +1,1 @@
+examples/relay_network.mli:

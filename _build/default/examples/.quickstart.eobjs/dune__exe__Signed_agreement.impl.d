@@ -1,0 +1,1 @@
+examples/signed_agreement.ml: Array Flm Format List Value

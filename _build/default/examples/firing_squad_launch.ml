@@ -1,0 +1,57 @@
+(* Synchronized action under faults: a launch controller receives a command
+   (the stimulus) and every correct replica must commit the launch at the
+   same instant — the Byzantine firing squad (§5).
+
+   Run with:  dune exec examples/firing_squad_launch.exe *)
+
+let show_run ~label trace nodes =
+  Format.printf "%s@." label;
+  List.iter
+    (fun u ->
+      Format.printf "  replica %d fires at: %s@." u
+        (match Flm.Firing_spec.fire_time trace u with
+        | Some r -> "round " ^ string_of_int r
+        | None -> "never"))
+    nodes
+
+let () =
+  let n = 4 and f = 1 in
+  let g = Flm.Topology.complete n in
+  let horizon = Flm.Firing.fire_round ~f + 2 in
+
+  (* Case 1: the command reaches only replica 0. *)
+  let sys = Flm.Firing.system g ~f ~stimulated:[ 0 ] in
+  show_run ~label:"command received at replica 0:"
+    (Flm.Exec.run sys ~rounds:horizon)
+    [ 0; 1; 2; 3 ];
+
+  (* Case 2: no command. *)
+  let sys = Flm.Firing.system g ~f ~stimulated:[] in
+  Format.printf "@.";
+  show_run ~label:"no command:" (Flm.Exec.run sys ~rounds:horizon) [ 0; 1; 2; 3 ];
+
+  (* Case 3: replica 2 is Byzantine and tries to desynchronize the rest. *)
+  let sys = Flm.Firing.system g ~f ~stimulated:[ 1 ] in
+  let sys =
+    Flm.System.substitute sys 2
+      (Flm.Adversary.split_brain
+         (Flm.Firing.device ~n ~f ~me:2)
+         ~inputs:[| Value.bool true; Value.bool false; Value.bool true |])
+  in
+  let trace = Flm.Exec.run sys ~rounds:horizon in
+  Format.printf "@.";
+  show_run ~label:"command at replica 1, replica 2 Byzantine:" trace [ 0; 1; 3 ];
+  Format.printf "  simultaneity: %a@."
+    Flm.Violation.pp_list
+    (Flm.Firing_spec.check ~trace ~correct:[ 0; 1; 3 ] ~all_correct:false
+       ~stimulated:true);
+
+  (* With only three replicas this is provably unachievable: Theorem 4. *)
+  Format.printf "@.with n = 3 replicas (inadequate), Theorem 4's certificate:@.";
+  let fire_round = Flm.Firing.fire_round ~f:1 in
+  let cert =
+    Flm.Firing_ring.certify
+      ~device:(fun w -> Flm.Firing.device ~n:3 ~f:1 ~me:w)
+      ~fire_round ~horizon:(fire_round + 2) ()
+  in
+  Format.printf "%a@." Flm.Certificate.pp_summary cert

@@ -1,0 +1,51 @@
+(* Quickstart: Byzantine agreement on four nodes with one two-faced traitor.
+
+   K4 is *adequate* for one fault (4 >= 3f+1 and kappa = 3 >= 2f+1), so the
+   EIG protocol must — and does — reach agreement no matter what the traitor
+   does.  Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  let n = 4 and f = 1 in
+  let g = Flm.Topology.complete n in
+  Format.printf "Byzantine agreement on K%d with f = %d@." n f;
+  Format.printf "adequate: %b (needs n >= 3f+1 and connectivity >= 2f+1)@.@."
+    (Flm.Connectivity.is_adequate ~f g);
+
+  (* Three honest generals vote attack/retreat; general 3 is a traitor. *)
+  let inputs = [| true; true; false; false |] in
+  let honest u = Flm.Eig.device ~n ~f ~me:u ~default:(Value.bool false) in
+  let system =
+    Flm.System.make g (fun u -> honest u, Value.bool inputs.(u))
+  in
+  (* The traitor runs one copy of the protocol per lie it wants to tell and
+     routes each neighbor to a different copy. *)
+  let traitor =
+    Flm.Adversary.split_brain (honest 3)
+      ~inputs:[| Value.bool true; Value.bool false; Value.bool true |]
+  in
+  let system = Flm.System.substitute system 3 traitor in
+
+  let trace = Flm.Exec.run system ~rounds:(Flm.Eig.decision_round ~f + 1) in
+  List.iter
+    (fun u ->
+      Format.printf "general %d (input %b) decides: %a@." u inputs.(u)
+        Value.pp_opt
+        (Flm.Trace.decision trace u))
+    [ 0; 1; 2 ];
+  let violations =
+    Flm.Ba_spec.check ~trace ~correct:[ 0; 1; 2 ]
+      ~inputs:(fun u -> Value.bool inputs.(u))
+  in
+  Format.printf "@.conditions: %a@." Flm.Violation.pp_list violations;
+
+  (* The same protocol on the triangle is provably hopeless: ask the
+     impossibility engine for the certificate. *)
+  Format.printf "@.--- and on the triangle (inadequate) ---@.";
+  let cert =
+    Flm.Ba_nodes.certify
+      ~device:(fun w -> Flm.Eig.device ~n:3 ~f:1 ~me:w ~default:(Value.bool false))
+      ~v0:(Value.bool false) ~v1:(Value.bool true)
+      ~horizon:(Flm.Eig.decision_round ~f:1 + 1)
+      ~f:1 (Flm.Topology.complete 3)
+  in
+  Format.printf "%a@." Flm.Certificate.pp_summary cert

@@ -1,0 +1,66 @@
+(* Reliable broadcast over a sparse network: Dolev's relay on a Harary graph
+   with the minimum edges for 2f+1 connectivity — and what changes one
+   connectivity level below.
+
+   Run with:  dune exec examples/relay_network.exe *)
+
+let () =
+  let f = 2 in
+  let n = 11 in
+  let g = Flm.Topology.harary ~k:((2 * f) + 1) ~n in
+  Format.printf "H(%d,%d): kappa = %d, adequate for f=%d: %b@." ((2 * f) + 1) n
+    (Flm.Connectivity.vertex g)
+    f
+    (Flm.Connectivity.is_adequate ~f g);
+
+  let source = 0 in
+  let value = Value.string "launch-codes" in
+  Format.printf "@.routes from node %d (2f+1 = %d disjoint paths each):@."
+    source ((2 * f) + 1);
+  List.iter
+    (fun (dst, paths) ->
+      if dst <= 3 then
+        Format.printf "  -> %d: %s@." dst
+          (String.concat " | "
+             (List.map
+                (fun p -> String.concat "-" (List.map string_of_int p))
+                paths)))
+    (Flm.Dolev_relay.routes g ~f ~source);
+
+  (* Two relay nodes corrupt every message through them. *)
+  let liar u =
+    Flm.Adversary.mutate
+      (Flm.Dolev_relay.device g ~f ~source ~me:u ~default:(Value.string "?"))
+      ~rewrite:(fun ~port:_ ~round:_ m ->
+        Option.map (fun _ -> Value.string "garbage") m)
+  in
+  let sys =
+    Flm.Dolev_relay.system g ~f ~source ~value ~default:(Value.string "?")
+  in
+  let sys = Flm.System.substitute (Flm.System.substitute sys 3 (liar 3)) 7 (liar 7) in
+  let horizon = Flm.Dolev_relay.decision_round g ~f ~source + 1 in
+  let trace = Flm.Exec.run sys ~rounds:horizon in
+  Format.printf "@.with nodes 3 and 7 corrupting everything they relay:@.";
+  List.iter
+    (fun u ->
+      if u <> 3 && u <> 7 then
+        Format.printf "  node %d receives: %a@." u Value.pp_opt
+          (Flm.Trace.decision trace u))
+    (Flm.Graph.nodes g);
+
+  (* One connectivity level down, the path systems cannot exist. *)
+  let sparse = Flm.Topology.harary ~k:(2 * f) ~n in
+  Format.printf "@.H(%d,%d) has kappa = %d = 2f:@." (2 * f) n
+    (Flm.Connectivity.vertex sparse);
+  (match Flm.Dolev_relay.routes sparse ~f ~source with
+  | exception Invalid_argument msg -> Format.printf "  relay refuses: %s@." msg
+  | _ -> assert false);
+  Format.printf
+    "  ...and Theorem 1's connectivity certificate breaks any protocol there:@.";
+  let cert =
+    Flm.Ba_connectivity.certify
+      ~device:(fun w ->
+        Flm.Naive.flood_vote sparse ~me:w ~rounds:6 ~default:(Value.bool false))
+      ~v0:(Value.bool false) ~v1:(Value.bool true) ~horizon:9 ~f sparse
+  in
+  Format.printf "  %a@." Flm.Certificate.pp_summary cert

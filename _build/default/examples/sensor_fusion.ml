@@ -1,0 +1,68 @@
+(* Sensor fusion by approximate agreement (the workload §6 motivates):
+   seven temperature sensors, two of them compromised, must converge on
+   readings within 0.05 degrees of each other without leaving the honest
+   reading range.
+
+   Run with:  dune exec examples/sensor_fusion.exe *)
+
+let () =
+  let n = 7 and f = 2 in
+  let g = Flm.Topology.complete n in
+  Format.printf "sensor fusion: n = %d sensors, f = %d compromised@." n f;
+  Format.printf "adequate: %b@.@." (Flm.Connectivity.is_adequate ~f g);
+
+  let readings = [| 20.1; 20.4; 19.9; 20.2; 20.3; 0.0; 0.0 |] in
+  let honest_range = 19.9, 20.4 in
+  let eps = 0.05 in
+  let rounds = Flm.Approx.rounds_for ~eps ~delta:(20.4 -. 19.9) in
+  Format.printf "running %d rounds of trimmed-midpoint averaging@." rounds;
+
+  let system = Flm.Approx.system g ~f ~rounds ~inputs:readings in
+  (* Sensor 5 shouts absurd values; sensor 6 plays split-brain. *)
+  let system =
+    Flm.System.substitute system 5
+      (Flm.Adversary.babbler ~seed:7 ~arity:(n - 1)
+         ~palette:[ Value.float 1e6; Value.float (-40.0); Value.string "?" ])
+  in
+  let system =
+    Flm.System.substitute system 6
+      (Flm.Adversary.split_brain
+         (Flm.Approx.device ~n ~f ~me:6 ~rounds)
+         ~inputs:(Array.init (n - 1) (fun j -> Value.float (float_of_int j *. 100.0))))
+  in
+
+  let trace =
+    Flm.Exec.run system ~rounds:(Flm.Approx.decision_round ~rounds + 1)
+  in
+  let outputs =
+    List.filter_map
+      (fun u ->
+        match Flm.Trace.decision trace u with
+        | Some v -> Some (u, Value.get_float v)
+        | None -> None)
+      [ 0; 1; 2; 3; 4 ]
+  in
+  List.iter
+    (fun (u, x) -> Format.printf "  sensor %d fused reading: %.6f@." u x)
+    outputs;
+  let values = List.map snd outputs in
+  let spread =
+    List.fold_left max neg_infinity values
+    -. List.fold_left min infinity values
+  in
+  let lo, hi = honest_range in
+  Format.printf "@.spread: %.6f (target <= %.2f)@." spread eps;
+  Format.printf "all within honest range [%.1f, %.1f]: %b@." lo hi
+    (List.for_all (fun x -> x >= lo && x <= hi) values);
+
+  (* The same task with only five sensors and two compromised is provably
+     impossible — per Theorem 5's certificate on the triangle (f = 1). *)
+  Format.printf
+    "@.(and with n <= 3f the impossibility engine breaks any such protocol:@.";
+  let cert =
+    Flm.Approx_chain.certify_simple
+      ~device:(fun w -> Flm.Approx.device ~n:3 ~f:1 ~me:w ~rounds:5)
+      ~horizon:(Flm.Approx.decision_round ~rounds:5 + 1)
+      ()
+  in
+  Format.printf " %a)@." Flm.Certificate.pp_summary cert

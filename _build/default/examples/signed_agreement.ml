@@ -1,0 +1,51 @@
+(* Escaping the impossibility with signatures (§2's remark, executable):
+   Dolev–Strong agreement runs correctly on the *inadequate* triangle when
+   the executor enforces unforgeable signatures — and the covering
+   construction, pointed at it, correctly reports that the Fault axiom no
+   longer holds.
+
+   Run with:  dune exec examples/signed_agreement.exe *)
+
+let () =
+  let n = 3 and f = 1 in
+  let g = Flm.Topology.complete n in
+  let default = Value.bool false in
+  let device w = Flm.Dolev_strong.device ~n ~f ~me:w ~default in
+  let horizon = Flm.Dolev_strong.decision_round ~f + 1 in
+
+  Format.printf "K3 with f = 1 is inadequate (n = 3f) — yet with signatures:@.";
+  let inputs = [| true; false; true |] in
+  let sys =
+    Flm.System.make g (fun u -> device u, Value.bool inputs.(u))
+  in
+  (* Node 2 equivocates. *)
+  let sys =
+    Flm.System.substitute sys 2
+      (Flm.Adversary.split_brain (device 2)
+         ~inputs:[| Value.bool true; Value.bool false |])
+  in
+  let trace = Flm.Exec.run ~signed:true sys ~rounds:horizon in
+  List.iter
+    (fun u ->
+      Format.printf "  node %d decides %a@." u Value.pp_opt
+        (Flm.Trace.decision trace u))
+    [ 0; 1 ];
+  Format.printf "  conditions: %a@."
+    Flm.Violation.pp_list
+    (Flm.Ba_spec.check ~trace ~correct:[ 0; 1 ]
+       ~inputs:(fun u -> Value.bool inputs.(u)));
+
+  Format.printf
+    "@.the covering construction against the signed protocol:@.";
+  let cert_signed =
+    Flm.Ba_nodes.certify ~signed:true ~device ~v0:(Value.bool false)
+      ~v1:(Value.bool true) ~horizon ~f g
+  in
+  Format.printf "%a@.@." Flm.Certificate.pp_summary cert_signed;
+
+  Format.printf "the same protocol without signature enforcement:@.";
+  let cert_unsigned =
+    Flm.Ba_nodes.certify ~device ~v0:(Value.bool false)
+      ~v1:(Value.bool true) ~horizon ~f g
+  in
+  Format.printf "%a@." Flm.Certificate.pp_summary cert_unsigned

@@ -1,0 +1,1 @@
+lib/clocks/clock.ml: Fun Printf

@@ -1,0 +1,1 @@
+lib/clocks/clock_exec.ml: Array Clock Clock_device Clock_system Float Graph Int List Value

@@ -1,0 +1,1 @@
+lib/clocks/clock_exec.mli: Clock_system Graph Value

@@ -1,0 +1,1 @@
+lib/clocks/clock_proto.ml: Clock_device List Value

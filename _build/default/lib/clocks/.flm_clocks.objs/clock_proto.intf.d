@@ -1,0 +1,1 @@
+lib/clocks/clock_proto.mli: Clock_device

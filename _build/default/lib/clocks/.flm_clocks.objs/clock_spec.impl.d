@@ -1,0 +1,1 @@
+lib/clocks/clock_spec.ml: Clock Clock_exec Float List Violation

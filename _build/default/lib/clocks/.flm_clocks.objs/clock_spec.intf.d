@@ -1,0 +1,1 @@
+lib/clocks/clock_spec.mli: Clock Clock_exec Graph Violation

@@ -1,0 +1,1 @@
+lib/clocks/clock_system.ml: Array Clock Clock_device Graph Int List Printf Value

@@ -1,0 +1,1 @@
+lib/clocks/clock_system.mli: Clock Clock_device Graph Value

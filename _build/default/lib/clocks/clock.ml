@@ -1,0 +1,36 @@
+type t = {
+  label : string;
+  forward : float -> float;
+  inverse : float -> float;
+}
+
+let apply c t = c.forward t
+let apply_inverse c t = c.inverse t
+
+let identity = { label = "id"; forward = Fun.id; inverse = Fun.id }
+
+let linear ?(offset = 0.0) ~rate () =
+  if rate <= 0.0 then invalid_arg "Clock.linear: rate > 0 required";
+  {
+    label = Printf.sprintf "%gt%+g" rate offset;
+    forward = (fun t -> (rate *. t) +. offset);
+    inverse = (fun x -> (x -. offset) /. rate);
+  }
+
+let compose f g =
+  {
+    label = Printf.sprintf "%s.%s" f.label g.label;
+    forward = (fun t -> f.forward (g.forward t));
+    inverse = (fun x -> g.inverse (f.inverse x));
+  }
+
+let invert c =
+  { label = c.label ^ "^-1"; forward = c.inverse; inverse = c.forward }
+
+let iterate h i =
+  let step = if i >= 0 then h else invert h in
+  let rec go acc k = if k = 0 then acc else go (compose step acc) (k - 1) in
+  let c = go identity (abs i) in
+  { c with label = Printf.sprintf "%s^%d" h.label i }
+
+let rate_between p q = { (compose (invert p) q) with label = "h" }

@@ -1,0 +1,38 @@
+(** Hardware clocks: increasing, invertible functions of real time
+    (paper §7).
+
+    A clock is carried together with its inverse so that composition,
+    inversion and iteration — the [h = p⁻¹∘q] arithmetic at the heart of the
+    Theorem 8 construction — stay closed and cheap.
+
+    Numerical note: the impossibility construction compares event times
+    across scaled systems, so the library's own constructions stick to
+    dyadic-rational clocks (rates that are powers of two), for which every
+    [apply]/[inverse] is exact in binary floating point. *)
+
+type t = {
+  label : string;
+  forward : float -> float;
+  inverse : float -> float;
+}
+
+val apply : t -> float -> float
+val apply_inverse : t -> float -> float
+
+val identity : t
+
+val linear : ?offset:float -> rate:float -> unit -> t
+(** [t ↦ rate * t + offset], [rate > 0]. *)
+
+val compose : t -> t -> t
+(** [compose f g]: [t ↦ f (g t)]. *)
+
+val invert : t -> t
+
+val iterate : t -> int -> t
+(** [iterate h i] is [h] composed with itself [i] times; negative [i]
+    iterates the inverse.  [iterate h 0 = identity]. *)
+
+val rate_between : t -> t -> t
+(** [rate_between p q = p⁻¹ ∘ q] — the paper's [h].  When [p ≤ q]
+    pointwise, [h t >= t]. *)

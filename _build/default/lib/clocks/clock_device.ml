@@ -1,0 +1,11 @@
+type t = {
+  name : string;
+  arity : int;
+  init : Value.t;
+  tick :
+    state:Value.t ->
+    hardware:float ->
+    inbox:(int * Value.t) list ->
+    Value.t * (int * Value.t) list;
+  logical : state:Value.t -> hardware:float -> float;
+}

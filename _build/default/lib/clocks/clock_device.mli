@@ -1,0 +1,24 @@
+(** Clock-driven devices (paper §7).
+
+    A clock device acts only at the ticks of its hardware clock — the model's
+    way of saying that every time-dependent aspect of the system is a
+    function of clock states, which is exactly the premise of the Scaling
+    axiom.  At each tick the device sees its hardware reading and the
+    messages that have arrived since its previous tick; between ticks its
+    logical clock is a function of its state and the current hardware
+    reading. *)
+
+type t = {
+  name : string;
+  arity : int;
+  init : Value.t;
+  tick :
+    state:Value.t ->
+    hardware:float ->
+    inbox:(int * Value.t) list ->
+    Value.t * (int * Value.t) list;
+      (** [inbox]/sends: (port, message) pairs. *)
+  logical : state:Value.t -> hardware:float -> float;
+      (** The logical clock [C(E(t))], as a function of the state (set at
+          the latest tick) and the current hardware reading. *)
+}

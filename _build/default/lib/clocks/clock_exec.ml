@@ -1,0 +1,136 @@
+type tick = {
+  index : int;
+  real : float;
+  hardware : float;
+  state : Value.t;
+}
+
+type t = {
+  system : Clock_system.t;
+  until : float;
+  ticks : tick array array;
+  sends : (float * Graph.node * Value.t) list array;
+}
+
+(* Tick events of every honest node, merged chronologically (ties broken by
+   node id — a scale-invariant rule, since scaling preserves simultaneity). *)
+let tick_schedule sys ~until =
+  let events = ref [] in
+  Array.iteri
+    (fun u kind ->
+      match kind with
+      | Clock_system.Replay _ -> ()
+      | Clock_system.Honest (_, clock) ->
+        let k = ref 1 in
+        let continue = ref true in
+        while !continue do
+          let real = Clock.apply_inverse clock (float_of_int !k) in
+          if real > until || !k > 1_000_000 then continue := false
+          else begin
+            events := (real, u, !k) :: !events;
+            incr k
+          end
+        done)
+    sys.Clock_system.kinds;
+  List.sort
+    (fun (t1, u1, _) (t2, u2, _) ->
+      match Float.compare t1 t2 with 0 -> Int.compare u1 u2 | c -> c)
+    !events
+
+let run ?(delay = 0.0) sys ~until =
+  if until <= 0.0 then invalid_arg "Clock_exec.run: until > 0 required";
+  if delay < 0.0 then invalid_arg "Clock_exec.run: negative delay";
+  let n = Graph.n sys.Clock_system.graph in
+  let states =
+    Array.map
+      (function
+        | Clock_system.Honest (d, _) -> d.Clock_device.init
+        | Clock_system.Replay _ -> Value.unit)
+      sys.Clock_system.kinds
+  in
+  let ticks = Array.make n [] in
+  let sends = Array.make n [] in
+  (* Pending deliveries per node: (deliverable_from_time, port, message),
+     kept sorted ascending by time. *)
+  let pending = Array.make n [] in
+  let enqueue ~dst entry =
+    let rec insert = function
+      | [] -> [ entry ]
+      | ((t', _, _) as head) :: rest ->
+        let t, _, _ = entry in
+        if t < t' then entry :: head :: rest else head :: insert rest
+    in
+    pending.(dst) <- insert pending.(dst)
+  in
+  let transmit ~src ~real ~port message =
+    let dst = sys.Clock_system.wiring.(src).(port) in
+    sends.(src) <- (real, dst, message) :: sends.(src);
+    let back = Clock_system.port_to sys dst src in
+    enqueue ~dst (real +. delay, back, message)
+  in
+  (* Replay transmissions are known up front. *)
+  Array.iteri
+    (fun u kind ->
+      match kind with
+      | Clock_system.Replay schedule ->
+        List.iter
+          (fun (real, port, m) ->
+            if real <= until then transmit ~src:u ~real ~port m)
+          schedule
+      | Clock_system.Honest _ -> ())
+    sys.Clock_system.kinds;
+  (* Drive honest ticks chronologically. *)
+  List.iter
+    (fun (real, u, k) ->
+      match sys.Clock_system.kinds.(u) with
+      | Clock_system.Replay _ -> assert false
+      | Clock_system.Honest (device, _clock) ->
+        let deliverable, later =
+          List.partition (fun (t, _, _) -> t < real) pending.(u)
+        in
+        pending.(u) <- later;
+        let inbox = List.map (fun (_, port, m) -> port, m) deliverable in
+        let hardware = float_of_int k in
+        let state', out =
+          device.Clock_device.tick ~state:states.(u) ~hardware ~inbox
+        in
+        states.(u) <- state';
+        List.iter (fun (port, m) -> transmit ~src:u ~real ~port m) out;
+        ticks.(u) <- { index = k; real; hardware; state = state' } :: ticks.(u))
+    (tick_schedule sys ~until);
+  {
+    system = sys;
+    until;
+    ticks = Array.map (fun l -> Array.of_list (List.rev l)) ticks;
+    sends =
+      Array.map
+        (fun l ->
+          List.sort (fun (t1, _, _) (t2, _, _) -> Float.compare t1 t2) l)
+        sends;
+  }
+
+let edge_schedule t ~src ~dst =
+  List.filter_map
+    (fun (time, d, m) -> if d = dst then Some (time, m) else None)
+    t.sends.(src)
+
+let device_and_clock t u =
+  match t.system.Clock_system.kinds.(u) with
+  | Clock_system.Honest (d, c) -> d, c
+  | Clock_system.Replay _ ->
+    invalid_arg "Clock_exec: node is a replay schedule"
+
+let state_at t u time =
+  let device, _ = device_and_clock t u in
+  let rec latest best = function
+    | [] -> best
+    | tick :: rest -> if tick.real <= time then latest tick.state rest else best
+  in
+  latest device.Clock_device.init (Array.to_list t.ticks.(u))
+
+let logical_at t u time =
+  let device, clock = device_and_clock t u in
+  device.Clock_device.logical ~state:(state_at t u time)
+    ~hardware:(Clock.apply clock time)
+
+let tick_times t u = List.map (fun tick -> tick.real) (Array.to_list t.ticks.(u))

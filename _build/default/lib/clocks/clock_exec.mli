@@ -1,0 +1,44 @@
+(** The clock-driven discrete-event executor.
+
+    Honest node [u] with hardware clock [D] ticks when [D] reads
+    [1, 2, 3, …], i.e. at real times [D⁻¹ k ≤ until].  A message transmitted
+    at real time [T] is delivered at the recipient's first tick with real
+    time strictly greater than [T].  Every time-dependent rule is therefore
+    a function of clock states, so the Scaling axiom holds: running
+    [Clock_system.scale h sys] yields tick-for-tick identical states at real
+    times [h⁻¹] of the original's (see the test suite's mechanized check).
+
+    With [~delay] (a {e real-time} transmission latency) the delivery rule
+    becomes "first tick after [T + delay]" — deliberately {e breaking} the
+    Scaling axiom, which is the knob the paper identifies as making
+    synchronization possible.  Used by the E13-style clock ablation. *)
+
+type tick = {
+  index : int;  (** 1-based tick number = hardware reading at the tick *)
+  real : float;
+  hardware : float;
+  state : Value.t;  (** state {e after} the tick's transition *)
+}
+
+type t = private {
+  system : Clock_system.t;
+  until : float;
+  ticks : tick array array;  (** per node; empty for replay nodes *)
+  sends : (float * Graph.node * Value.t) list array;
+      (** per node: (real time, destination, message), time-ordered —
+          the edge behaviors, for lifting into replay schedules *)
+}
+
+val run : ?delay:float -> Clock_system.t -> until:float -> t
+
+val edge_schedule : t -> src:Graph.node -> dst:Graph.node -> (float * Value.t) list
+(** Timed messages from [src] to [dst] — an edge behavior. *)
+
+val state_at : t -> Graph.node -> float -> Value.t
+(** State at real time [t]: that of the latest tick at or before [t]
+    (the device's initial state before the first tick). *)
+
+val logical_at : t -> Graph.node -> float -> float
+(** The logical clock [C(E(t))] of an honest node at real time [t]. *)
+
+val tick_times : t -> Graph.node -> float list

@@ -1,0 +1,40 @@
+let trivial ~l ~arity =
+  {
+    Clock_device.name = "trivial";
+    arity;
+    init = Value.unit;
+    tick = (fun ~state ~hardware:_ ~inbox:_ -> state, []);
+    logical = (fun ~state:_ ~hardware -> l hardware);
+  }
+
+let averaging ~l ~arity =
+  let best state =
+    match Value.get_float_opt state with Some b -> Some b | None -> None
+  in
+  {
+    Clock_device.name = "averaging";
+    arity;
+    init = Value.unit;
+    tick =
+      (fun ~state ~hardware ~inbox ->
+        (* Keep only the fastest reading ever heard; broadcast our own. *)
+        let readings =
+          List.filter_map (fun (_, m) -> Value.get_float_opt m) inbox
+        in
+        let state' =
+          match
+            List.fold_left
+              (fun acc r ->
+                match acc with Some b when b >= r -> acc | _ -> Some r)
+              (best state) readings
+          with
+          | Some b -> Value.float b
+          | None -> state
+        in
+        state', List.init arity (fun port -> port, Value.float hardware));
+    logical =
+      (fun ~state ~hardware ->
+        match best state with
+        | Some b when b > hardware -> l ((hardware +. b) /. 2.0)
+        | Some _ | None -> l hardware);
+  }

@@ -1,0 +1,17 @@
+(** Clock synchronization devices.
+
+    [trivial] is the paper's baseline: run the logical clock at the lower
+    envelope of the hardware clock, [C = l(D(t))].  It needs no
+    communication, satisfies the validity envelope, and synchronizes to
+    within exactly [l(q(t)) - l(p(t))] — which Theorem 8 shows is the best
+    possible in inadequate graphs.
+
+    [averaging] is an alleged improvement: broadcast hardware readings each
+    tick and run the logical clock at [l] of the midpoint between the own
+    reading and the fastest reading heard.  In legitimate two-clock (p,q)
+    runs it roughly halves the spread — and the Theorem 8 chain then drives
+    it through the upper envelope, exactly as Lemma 11 predicts. *)
+
+val trivial : l:(float -> float) -> arity:int -> Clock_device.t
+
+val averaging : l:(float -> float) -> arity:int -> Clock_device.t

@@ -1,0 +1,62 @@
+type params = {
+  p : Clock.t;
+  q : Clock.t;
+  lower : float -> float;
+  upper : float -> float;
+  alpha : float;
+  t_prime : float;
+}
+
+let tolerance = 1e-9
+
+let samples trace nodes =
+  List.concat_map (fun u -> Clock_exec.tick_times trace u) nodes
+  |> List.sort_uniq Float.compare
+
+let check_agreement trace ~i ~j params =
+  let times =
+    List.filter (fun t -> t >= params.t_prime) (samples trace [ i; j ])
+  in
+  List.filter_map
+    (fun t ->
+      let ci = Clock_exec.logical_at trace i t in
+      let cj = Clock_exec.logical_at trace j t in
+      let bound =
+        params.lower (Clock.apply params.q t)
+        -. params.lower (Clock.apply params.p t)
+        -. params.alpha
+      in
+      if Float.abs (ci -. cj) > bound +. tolerance then
+        Some
+          (Violation.make ~problem:"clock-sync" ~condition:"agreement"
+             "at real time %g: |C_%d - C_%d| = |%g - %g| = %g exceeds \
+              l(q(t)) - l(p(t)) - alpha = %g"
+             t i j ci cj
+             (Float.abs (ci -. cj))
+             bound)
+      else None)
+    times
+
+let check_validity trace ~node params =
+  List.filter_map
+    (fun t ->
+      let c = Clock_exec.logical_at trace node t in
+      let lo = params.lower (Clock.apply params.p t) in
+      let hi = params.upper (Clock.apply params.q t) in
+      if c < lo -. tolerance then
+        Some
+          (Violation.make ~problem:"clock-sync" ~condition:"validity"
+             "at real time %g: C_%d = %g is below the lower envelope l(p(t)) \
+              = %g" t node c lo)
+      else if c > hi +. tolerance then
+        Some
+          (Violation.make ~problem:"clock-sync" ~condition:"validity"
+             "at real time %g: C_%d = %g exceeds the upper envelope u(q(t)) \
+              = %g" t node c hi)
+      else None)
+    (samples trace [ node ])
+
+let check_pair trace ~i ~j params =
+  check_agreement trace ~i ~j params
+  @ check_validity trace ~node:i params
+  @ check_validity trace ~node:j params

@@ -1,0 +1,29 @@
+(** Correctness conditions for nontrivial clock synchronization (paper §7).
+
+    With correct hardware clocks drawn from {p, q} (p ≤ q), envelopes l ≤ u,
+    and claimed improvement α > 0 from time [t'] on:
+    - {e Agreement}: |C_i(t) − C_j(t)| ≤ l(q(t)) − l(p(t)) − α for t ≥ t';
+    - {e Validity}: l(p(t)) ≤ C_i(t) ≤ u(q(t)) for all t.
+
+    Conditions are evaluated at every tick instant of the correct nodes (the
+    logical clock between ticks is a function of a fixed state and the
+    continuously-read hardware clock, so tick instants are where it jumps). *)
+
+type params = {
+  p : Clock.t;
+  q : Clock.t;
+  lower : float -> float;
+  upper : float -> float;
+  alpha : float;
+  t_prime : float;
+}
+
+val check_agreement :
+  Clock_exec.t -> i:Graph.node -> j:Graph.node -> params -> Violation.t list
+
+val check_validity :
+  Clock_exec.t -> node:Graph.node -> params -> Violation.t list
+
+val check_pair :
+  Clock_exec.t -> i:Graph.node -> j:Graph.node -> params -> Violation.t list
+(** Agreement on the pair plus validity at both nodes. *)

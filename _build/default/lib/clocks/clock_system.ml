@@ -1,0 +1,67 @@
+type kind =
+  | Honest of Clock_device.t * Clock.t
+  | Replay of (float * int * Value.t) list
+
+type t = {
+  graph : Graph.t;
+  kinds : kind array;
+  wiring : Graph.node array array;
+}
+
+let make ?wiring graph kind_of =
+  let kinds = Array.init (Graph.n graph) kind_of in
+  let wiring =
+    match wiring with
+    | Some w ->
+      Array.init (Graph.n graph) (fun u ->
+          let row = w u in
+          if
+            List.sort Int.compare (Array.to_list row)
+            <> Graph.neighbors graph u
+          then invalid_arg "Clock_system: wiring is not a neighbor permutation";
+          row)
+    | None ->
+      Array.init (Graph.n graph) (fun u ->
+          Array.of_list (Graph.neighbors graph u))
+  in
+  Array.iteri
+    (fun u k ->
+      let deg = Graph.degree graph u in
+      match k with
+      | Honest (d, _) ->
+        if d.Clock_device.arity <> deg then
+          invalid_arg
+            (Printf.sprintf "Clock_system: device %s at %d has arity %d, \
+                             degree %d" d.Clock_device.name u
+               d.Clock_device.arity deg)
+      | Replay schedule ->
+        List.iter
+          (fun (_, port, _) ->
+            if port < 0 || port >= deg then
+              invalid_arg "Clock_system: replay port out of range")
+          schedule)
+    kinds;
+  { graph; kinds; wiring }
+
+let scale h sys =
+  let kinds =
+    Array.map
+      (function
+        | Honest (d, clock) -> Honest (d, Clock.compose clock h)
+        | Replay schedule ->
+          Replay
+            (List.map
+               (fun (t, port, m) -> Clock.apply_inverse h t, port, m)
+               schedule))
+      sys.kinds
+  in
+  { sys with kinds }
+
+let port_to sys u v =
+  let w = sys.wiring.(u) in
+  let rec find j =
+    if j >= Array.length w then raise Not_found
+    else if w.(j) = v then j
+    else find (j + 1)
+  in
+  find 0

@@ -1,0 +1,31 @@
+(** Systems of clock devices.
+
+    Honest nodes carry a device and a hardware clock.  Faulty nodes are
+    timed replay schedules — the clock-model form of the Fault axiom's
+    masquerading device: a list of (real time, port, message) transmissions
+    fixed in advance, typically lifted (and time-scaled) from another run. *)
+
+type kind =
+  | Honest of Clock_device.t * Clock.t
+  | Replay of (float * int * Value.t) list
+      (** (real send time, port, message); needs no clock of its own. *)
+
+type t = private {
+  graph : Graph.t;
+  kinds : kind array;
+  wiring : Graph.node array array;
+      (** natural wiring: port [j] of node [u] = its [j]-th sorted
+          neighbor *)
+}
+
+val make : ?wiring:(Graph.node -> Graph.node array) -> Graph.t -> (Graph.node -> kind) -> t
+(** [wiring] overrides the natural port order — used to install triangle
+    devices around a covering ring (see {!Covering.wiring}). *)
+
+val scale : Clock.t -> t -> t
+(** The Scaling axiom's system transformation [S ↦ Sh]: every honest clock
+    [D] becomes [D ∘ h] and every replay time [T] becomes [h⁻¹ T].  The
+    scaled system's behavior is the original's with every event at [h⁻¹] of
+    its old time — which {!Clock_exec}'s tests verify mechanically. *)
+
+val port_to : t -> Graph.node -> Graph.node -> int

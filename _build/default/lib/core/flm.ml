@@ -1,0 +1,72 @@
+(** The public umbrella for the FLM library — everything needed to model
+    distributed systems, run the consensus protocols, and generate
+    impossibility certificates, re-exported under one roof.
+
+    Reproduction of: Fischer, Lynch, Merritt, {e Easy Impossibility Proofs
+    for Distributed Consensus Problems}, PODC 1985.
+
+    {1 Substrate} *)
+
+module Value = Value
+module Graph = Graph
+module Topology = Topology
+module Flow = Flow
+module Connectivity = Connectivity
+module Paths = Paths
+module Covering = Covering
+
+(** {1 The execution model (§2 of the paper)} *)
+
+module Device = Device
+module System = System
+module Exec = Exec
+module Trace = Trace
+module Scenario = Scenario
+module Adversary = Adversary
+module Signature = Signature
+
+(** {1 Clocks (§7)} *)
+
+module Clock = Clock
+module Clock_device = Clock_device
+module Clock_system = Clock_system
+module Clock_exec = Clock_exec
+module Clock_proto = Clock_proto
+module Clock_spec = Clock_spec
+
+(** {1 Problems and their conditions} *)
+
+module Violation = Violation
+module Ba_spec = Ba_spec
+module Approx_spec = Approx_spec
+module Firing_spec = Firing_spec
+
+(** {1 Protocols (the possibility side)} *)
+
+module Eig = Eig
+module Eig_tree = Eig_tree
+module Broadcast = Broadcast
+module Interactive = Interactive
+module Turpin_coan = Turpin_coan
+module Crusader = Crusader
+module Phase_king = Phase_king
+module Approx = Approx
+module Dolev_relay = Dolev_relay
+module Overlay = Overlay
+module Dolev_strong = Dolev_strong
+module Firing = Firing
+module Ben_or = Ben_or
+module Naive = Naive
+
+(** {1 The impossibility engine (the paper's theorems, executable)} *)
+
+module Reconstruct = Reconstruct
+module Certificate = Certificate
+module Ba_nodes = Ba_nodes
+module Ba_connectivity = Ba_connectivity
+module Weak_ring = Weak_ring
+module Firing_ring = Firing_ring
+module Approx_chain = Approx_chain
+module Clock_chain = Clock_chain
+module Collapse = Collapse
+module Sweep = Sweep

@@ -1,0 +1,1 @@
+lib/graph/covering.ml: Array Format Fun Graph Int List String Topology

@@ -1,0 +1,1 @@
+lib/graph/covering.mli: Format Graph

@@ -1,0 +1,1 @@
+lib/graph/paths.ml: Array Flow Graph Hashtbl List

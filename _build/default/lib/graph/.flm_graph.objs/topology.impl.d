@@ -1,0 +1,1 @@
+lib/graph/topology.ml: Graph Hashtbl List Random

@@ -1,0 +1,146 @@
+(* Vertex connectivity by max-flow on the split network: every node v becomes
+   v_in = 2v and v_out = 2v+1 with a unit-capacity internal arc (unbounded for
+   the two terminals), and every undirected edge {u,v} becomes unbounded arcs
+   u_out -> v_in and v_out -> u_in. *)
+
+let node_in v = 2 * v
+let node_out v = (2 * v) + 1
+
+let split_network g ~src ~dst =
+  let n = Graph.n g in
+  let net = Flow.create ~nodes:(2 * n) in
+  for v = 0 to n - 1 do
+    let cap = if v = src || v = dst then Flow.infinity else 1 in
+    Flow.add_edge net ~src:(node_in v) ~dst:(node_out v) ~cap
+  done;
+  List.iter
+    (fun (u, v) ->
+      Flow.add_edge net ~src:(node_out u) ~dst:(node_in v) ~cap:Flow.infinity;
+      Flow.add_edge net ~src:(node_out v) ~dst:(node_in u) ~cap:Flow.infinity)
+    (Graph.undirected_edges g);
+  net
+
+let local_vertex g u v =
+  if u = v then invalid_arg "Connectivity.local_vertex: u = v";
+  if Graph.mem_edge g u v then
+    invalid_arg "Connectivity.local_vertex: adjacent nodes";
+  let net = split_network g ~src:u ~dst:v in
+  Flow.max_flow net ~s:(node_out u) ~sink:(node_in v)
+
+(* Non-adjacent pairs to probe.  A minimum vertex cut of a non-complete graph
+   separates some non-adjacent pair (u,v); moreover for any fixed u outside
+   some minimum cut, that cut separates u from some non-neighbor.  Probing
+   every non-adjacent pair is correct; restricting u to the first
+   (min_degree + 1) nodes plus all pairs among one node's neighborhood is the
+   Even–Tarjan refinement.  We keep the straightforward quadratic version —
+   graphs here are small — but skip symmetric duplicates. *)
+let non_adjacent_pairs g =
+  let n = Graph.n g in
+  let acc = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if not (Graph.mem_edge g u v) then acc := (u, v) :: !acc
+    done
+  done;
+  !acc
+
+let is_complete g =
+  let n = Graph.n g in
+  List.for_all (fun u -> Graph.degree g u = n - 1) (Graph.nodes g)
+
+let vertex g =
+  let n = Graph.n g in
+  if n = 0 then 0
+  else if is_complete g then n - 1
+  else if not (Graph.is_connected g) then 0
+  else
+    List.fold_left
+      (fun acc (u, v) -> min acc (local_vertex g u v))
+      max_int (non_adjacent_pairs g)
+
+let edge g =
+  let n = Graph.n g in
+  if n <= 1 then 0
+  else if not (Graph.is_connected g) then 0
+  else begin
+    (* λ(G) = min over v <> 0 of max-flow 0 -> v with unit edge capacities. *)
+    let best = ref max_int in
+    for v = 1 to n - 1 do
+      let net = Flow.create ~nodes:n in
+      List.iter
+        (fun (a, b) ->
+          Flow.add_edge net ~src:a ~dst:b ~cap:1;
+          Flow.add_edge net ~src:b ~dst:a ~cap:1)
+        (Graph.undirected_edges g);
+      best := min !best (Flow.max_flow net ~s:0 ~sink:v)
+    done;
+    !best
+  end
+
+let cut_nodes_of_pair g u v =
+  let net = split_network g ~src:u ~dst:v in
+  let _value = Flow.max_flow net ~s:(node_out u) ~sink:(node_in v) in
+  let reach = Flow.residual_reachable net ~s:(node_out u) in
+  (* Saturated internal arcs crossing the residual cut are the cut nodes. *)
+  List.filter
+    (fun w -> w <> u && w <> v && reach.(node_in w) && not reach.(node_out w))
+    (Graph.nodes g)
+
+let min_vertex_cut g =
+  if is_complete g || not (Graph.is_connected g) || Graph.n g = 0 then []
+  else begin
+    let best = ref None in
+    List.iter
+      (fun (u, v) ->
+        let k = local_vertex g u v in
+        match !best with
+        | Some (k', _, _) when k' <= k -> ()
+        | _ -> best := Some (k, u, v))
+      (non_adjacent_pairs g);
+    match !best with
+    | None -> []
+    | Some (_, u, v) -> cut_nodes_of_pair g u v
+  end
+
+let components_after_removal g cut =
+  let removed = Array.make (Graph.n g) false in
+  List.iter (fun v -> removed.(v) <- true) cut;
+  let seen = Array.make (Graph.n g) false in
+  let component root =
+    let acc = ref [] in
+    let queue = Queue.create () in
+    seen.(root) <- true;
+    Queue.add root queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.take queue in
+      acc := u :: !acc;
+      List.iter
+        (fun v ->
+          if (not removed.(v)) && not seen.(v) then begin
+            seen.(v) <- true;
+            Queue.add v queue
+          end)
+        (Graph.neighbors g u)
+    done;
+    List.sort Int.compare !acc
+  in
+  List.filter_map
+    (fun v ->
+      if removed.(v) || seen.(v) then None else Some (component v))
+    (Graph.nodes g)
+
+let separates g cut =
+  match components_after_removal g cut with
+  | [] | [ _ ] -> false
+  | _ :: _ :: _ -> true
+
+let is_adequate ~f g =
+  if f < 0 then invalid_arg "Connectivity.is_adequate: f >= 0 required";
+  if f = 0 then Graph.is_connected g
+  else Graph.n g >= (3 * f) + 1 && vertex g >= (2 * f) + 1
+
+let is_inadequate ~f g = not (is_adequate ~f g)
+
+let max_tolerable_faults g =
+  let n = Graph.n g in
+  if n = 0 then 0 else min ((n - 1) / 3) ((vertex g - 1) / 2)

@@ -1,0 +1,37 @@
+(** Vertex and edge connectivity, minimum cuts, and graph adequacy.
+
+    The paper calls a graph {e inadequate} for [f] faults when it has fewer
+    than [3f+1] nodes or vertex connectivity less than [2f+1]; every
+    impossibility construction starts from an inadequate graph, and every
+    possibility-side protocol assumes an adequate one. *)
+
+val local_vertex : Graph.t -> Graph.node -> Graph.node -> int
+(** [local_vertex g u v] is the maximum number of internally vertex-disjoint
+    u–v paths (= minimum u–v vertex cut when [u] and [v] are non-adjacent, by
+    Menger).  [u] and [v] must be distinct and non-adjacent. *)
+
+val vertex : Graph.t -> int
+(** Vertex connectivity κ(G): [n-1] for complete graphs, 0 for disconnected
+    ones, otherwise the minimum of {!local_vertex} over non-adjacent pairs. *)
+
+val edge : Graph.t -> int
+(** Edge connectivity λ(G). *)
+
+val min_vertex_cut : Graph.t -> Graph.node list
+(** A minimum vertex cut; [[]] when the graph is complete or disconnected.
+    Removing the returned nodes disconnects the graph. *)
+
+val separates : Graph.t -> Graph.node list -> bool
+(** [separates g cut] checks that removing [cut] leaves a disconnected
+    (non-empty) remainder. *)
+
+val components_after_removal : Graph.t -> Graph.node list -> Graph.node list list
+(** Connected components of [g] minus the given nodes. *)
+
+val is_adequate : f:int -> Graph.t -> bool
+(** [n >= 3f+1] and [κ >= 2f+1] — the exact threshold of Theorems 1–8. *)
+
+val is_inadequate : f:int -> Graph.t -> bool
+
+val max_tolerable_faults : Graph.t -> int
+(** Largest [f] for which the graph is adequate: [min ((n-1)/3) ((κ-1)/2)]. *)

@@ -1,0 +1,169 @@
+type t = {
+  source : Graph.t;
+  target : Graph.t;
+  phi : int array;
+}
+
+let apply c u = c.phi.(u)
+
+let verify c =
+  let ok = ref (Ok ()) in
+  let fail fmt = Format.kasprintf (fun s -> if !ok = Ok () then ok := Error s) fmt in
+  if Array.length c.phi <> Graph.n c.source then
+    fail "phi has %d entries for %d source nodes" (Array.length c.phi)
+      (Graph.n c.source)
+  else begin
+    Array.iteri
+      (fun u w ->
+        if not (Graph.is_node c.target w) then
+          fail "phi(%d) = %d is not a target node" u w)
+      c.phi;
+    if !ok = Ok () then
+      List.iter
+        (fun u ->
+          let images =
+            List.sort Int.compare
+              (List.map (fun v -> c.phi.(v)) (Graph.neighbors c.source u))
+          in
+          let expected = Graph.neighbors c.target c.phi.(u) in
+          let rec distinct = function
+            | a :: (b :: _ as rest) -> a <> b && distinct rest
+            | [ _ ] | [] -> true
+          in
+          if not (distinct images) then
+            fail "phi is not injective on the neighborhood of source node %d" u
+          else if images <> expected then
+            fail
+              "neighborhood of source node %d maps to %s, expected %s \
+               (neighbors of %d)"
+              u
+              (String.concat "," (List.map string_of_int images))
+              (String.concat "," (List.map string_of_int expected))
+              c.phi.(u))
+        (Graph.nodes c.source)
+  end;
+  !ok
+
+let make ~source ~target ~phi =
+  let c = { source; target; phi = Array.copy phi } in
+  match verify c with Ok () -> Ok c | Error _ as e -> e
+
+let make_exn ~source ~target ~phi =
+  match make ~source ~target ~phi with
+  | Ok c -> c
+  | Error msg -> invalid_arg ("Covering.make_exn: " ^ msg)
+
+let fiber c w =
+  List.filter (fun u -> c.phi.(u) = w) (Graph.nodes c.source)
+
+let identity g =
+  { source = g; target = g; phi = Array.init (Graph.n g) Fun.id }
+
+let wiring c u =
+  let w = c.phi.(u) in
+  let ports = Graph.neighbors c.target w in
+  let nbrs = Graph.neighbors c.source u in
+  let find_over x =
+    match List.filter (fun v -> c.phi.(v) = x) nbrs with
+    | [ v ] -> v
+    | _ -> invalid_arg "Covering.wiring: not a covering"
+  in
+  Array.of_list (List.map find_over ports)
+
+let encode c ~copy v =
+  let n = Graph.n c.target in
+  (copy * n) + v
+
+let cyclic g ~copies ~shift =
+  if copies < 1 then invalid_arg "Covering.cyclic: copies >= 1 required";
+  let n = Graph.n g in
+  let modm i = ((i mod copies) + copies) mod copies in
+  let node copy v = (modm copy * n) + v in
+  List.iter
+    (fun (u, v) ->
+      (* Antisymmetric modulo [copies]: with two copies, +1 and -1 agree. *)
+      if modm (shift u v + shift v u) <> 0 then
+        invalid_arg "Covering.cyclic: shift must be antisymmetric")
+    (Graph.undirected_edges g);
+  let edges =
+    List.concat_map
+      (fun (u, v) ->
+        let s = shift u v in
+        List.init copies (fun i -> node i u, node (i + s) v))
+      (Graph.undirected_edges g)
+  in
+  let source = Graph.make ~n:(copies * n) edges in
+  let phi = Array.init (copies * n) (fun k -> k mod n) in
+  make_exn ~source ~target:g ~phi
+
+let crossed g ~crossed =
+  List.iter
+    (fun (u, v) ->
+      if crossed u v <> crossed v u then
+        invalid_arg "Covering.crossed: predicate must be symmetric")
+    (Graph.undirected_edges g);
+  cyclic g ~copies:2 ~shift:(fun u v -> if crossed u v then 1 else 0)
+
+(* With shift(2,0) = +1 the cyclic construction yields the ring
+   0,1,2,3,...,3m-1 in order: copy i holds nodes 3i..3i+2 and the 2–0 edge of
+   each copy reaches into the next. *)
+let triangle_shift u v =
+  match u, v with
+  | 2, 0 -> 1
+  | 0, 2 -> -1
+  | _, _ -> 0
+
+let triangle_ring ~copies =
+  if copies < 2 then invalid_arg "Covering.triangle_ring: copies >= 2";
+  cyclic (Topology.complete 3) ~copies ~shift:triangle_shift
+
+(* The paper labels the hexagon u,v,w,x,y,z over a,b,c,a,b,c; our
+   triangle_ring with copies=2 gives exactly that ordering. *)
+let triangle_hexagon () = triangle_ring ~copies:2
+
+let pp ppf c =
+  Format.fprintf ppf "@[<v>covering: |S|=%d over |G|=%d@ phi = [%s]@]"
+    (Graph.n c.source) (Graph.n c.target)
+    (String.concat "; "
+       (List.map string_of_int (Array.to_list c.phi)))
+
+let copies c =
+  let ns = Graph.n c.source and nt = Graph.n c.target in
+  if nt = 0 || ns mod nt <> 0 then
+    invalid_arg "Covering.copies: not a copy-major covering";
+  ns / nt
+
+let decode c s =
+  let n = Graph.n c.target in
+  s / n, s mod n
+
+let shift_of c u v =
+  let s0 = encode c ~copy:0 u in
+  let over_v =
+    List.find (fun w -> apply c w = v) (Graph.neighbors c.source s0)
+  in
+  fst (decode c over_v)
+
+let lift g ~copies ~perm =
+  if copies < 1 then invalid_arg "Covering.lift: copies >= 1 required";
+  let n = Graph.n g in
+  let node copy v = (copy * n) + v in
+  let edges =
+    List.concat_map
+      (fun (u, v) ->
+        let p = perm u v in
+        if Array.length p <> copies then
+          invalid_arg "Covering.lift: permutation has wrong size";
+        let seen = Array.make copies false in
+        Array.iter
+          (fun i ->
+            if i < 0 || i >= copies || seen.(i) then
+              invalid_arg "Covering.lift: not a permutation";
+            seen.(i) <- true)
+          p;
+        List.init copies (fun i -> node i u, node p.(i) v))
+      (Graph.undirected_edges g)
+  in
+  let source = Graph.make ~n:(copies * n) edges in
+  let phi = Array.init (copies * n) (fun k -> k mod n) in
+  make_exn ~source ~target:g ~phi

@@ -1,0 +1,95 @@
+(** Graph coverings.
+
+    A graph [S] covers [G] when some map φ from nodes of [S] to nodes of [G]
+    preserves neighborhoods bijectively: the neighbors of [u] map one-to-one
+    onto the neighbors of [φ u].  Under such a map, [S] "looks locally like"
+    [G] — the engine of every FLM impossibility construction: correct devices
+    installed in [S] according to φ cannot tell they are not in [G].
+
+    The two families used by the paper are both instances of the cyclic
+    cover built from an edge-shift function:
+    - §3.1 (3f+1 nodes): two copies of [G] with the a–c edges crossed;
+    - §3.2 (2f+1 connectivity): two copies with the a–d edges crossed;
+    - §4–§7 (rings): [m] copies of the triangle with one edge orbit shifted
+      by one copy, giving the [3m]-ring. *)
+
+type t = private {
+  source : Graph.t;  (** the covering graph S *)
+  target : Graph.t;  (** the covered graph G *)
+  phi : int array;  (** φ : nodes(S) → nodes(G) *)
+}
+
+val make : source:Graph.t -> target:Graph.t -> phi:int array -> (t, string) result
+(** Checks the covering property; [Error] explains the first violation. *)
+
+val make_exn : source:Graph.t -> target:Graph.t -> phi:int array -> t
+
+val verify : t -> (unit, string) result
+(** Re-checks the covering property (used by certificate validation). *)
+
+val apply : t -> Graph.node -> Graph.node
+
+val fiber : t -> Graph.node -> Graph.node list
+(** Source nodes mapping to a target node. *)
+
+val identity : Graph.t -> t
+(** Every graph covers itself. *)
+
+val wiring : t -> Graph.node -> Graph.node array
+(** [wiring c u] maps each {e port} of the device written for [φ u] — port
+    [j] stands for the [j]-th neighbor of [φ u] in [G] — to the unique
+    neighbor of [u] in [S] lying over it.  This is how a device for [G] is
+    installed at a node of [S]. *)
+
+(** {1 Constructions} *)
+
+val cyclic : Graph.t -> copies:int -> shift:(Graph.node -> Graph.node -> int) -> t
+(** [cyclic g ~copies:m ~shift] has nodes [(v, i)] for [v] in [g] and
+    [i < m], encoded as [i * n + v], and an edge between [(u,i)] and
+    [(v, (i + shift u v) mod m)] for every edge [(u,v)] of [g].
+    [shift] must be antisymmetric ([shift u v = - shift v u]) and is only
+    consulted on edges of [g].  [copies >= 2] unless [shift] is zero.
+    The covering map is [(v, i) ↦ v]. *)
+
+val crossed : Graph.t -> crossed:(Graph.node -> Graph.node -> bool) -> t
+(** Two copies with the selected (symmetric) edge set crossing between them —
+    the §3.1/§3.2 construction.  Equivalent to [cyclic ~copies:2]. *)
+
+val triangle_hexagon : unit -> t
+(** The paper's first figure: the 6-ring covering the triangle, with
+    φ(u)=φ(x)=a, φ(v)=φ(y)=b, φ(w)=φ(z)=c.  Source nodes are ordered
+    u,v,w,x,y,z = 0..5; target a,b,c = 0,1,2. *)
+
+val triangle_ring : copies:int -> t
+(** The §4 ring: [3 * copies] nodes covering the triangle, node [k] lying
+    over [k mod 3]. *)
+
+val encode : t -> copy:int -> Graph.node -> Graph.node
+(** Node id of [(v, copy)] in a {!cyclic} / {!crossed} source graph. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Copy arithmetic for [cyclic]-built coverings}
+
+    These helpers assume the copy-major node layout produced by {!cyclic},
+    {!crossed}, and {!triangle_ring}: source node [copy * n + v]. *)
+
+val copies : t -> int
+(** Number of copies ([|S| / |G|]); raises if not integral. *)
+
+val decode : t -> Graph.node -> int * Graph.node
+(** [(copy, target node)] of a source node. *)
+
+val shift_of : t -> Graph.node -> Graph.node -> int
+(** [shift_of c u v] for a target edge [(u,v)]: the copy displacement along
+    it, i.e. [(u, i)] is adjacent to [(v, i + shift_of c u v mod copies)].
+    Raises [Not_found] if [(u,v)] is not a target edge. *)
+
+val lift :
+  Graph.t -> copies:int -> perm:(Graph.node -> Graph.node -> int array) -> t
+(** The general permutation lift: nodes [(v, i)]; each undirected target edge
+    {u,v} (taken with [u < v]) connects [(u, i)] to [(v, perm u v .(i))],
+    where [perm u v] is a permutation of [0 .. copies-1].  [perm] is only
+    consulted with [u < v].  Cyclic covers are the special case
+    [perm = rotation by shift]; arbitrary lifts are what Angluin's theory
+    allows, and the impossibility engine works with any of them. *)

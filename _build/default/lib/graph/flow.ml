@@ -1,0 +1,137 @@
+let infinity = max_int / 4
+
+(* Arc [i] and arc [i lxor 1] form a residual pair. *)
+type t = {
+  node_count : int;
+  mutable dst : int array;
+  mutable src : int array;
+  mutable cap : int array;
+  mutable orig : int array; (* original capacity; residual twins store 0 *)
+  mutable arc_count : int;
+  adj : int list array; (* arc indices out of each node, reverse order *)
+}
+
+let create ~nodes =
+  {
+    node_count = nodes;
+    dst = Array.make 16 0;
+    src = Array.make 16 0;
+    cap = Array.make 16 0;
+    orig = Array.make 16 0;
+    arc_count = 0;
+    adj = Array.make nodes [];
+  }
+
+let ensure_room net =
+  if net.arc_count + 2 > Array.length net.dst then begin
+    let grow a = Array.append a (Array.make (Array.length a) 0) in
+    net.dst <- grow net.dst;
+    net.src <- grow net.src;
+    net.cap <- grow net.cap;
+    net.orig <- grow net.orig
+  end
+
+let add_edge net ~src ~dst ~cap =
+  if src < 0 || src >= net.node_count || dst < 0 || dst >= net.node_count then
+    invalid_arg "Flow.add_edge: node out of range";
+  if cap < 0 then invalid_arg "Flow.add_edge: negative capacity";
+  ensure_room net;
+  let i = net.arc_count in
+  net.dst.(i) <- dst;
+  net.src.(i) <- src;
+  net.cap.(i) <- cap;
+  net.orig.(i) <- cap;
+  net.dst.(i + 1) <- src;
+  net.src.(i + 1) <- dst;
+  net.cap.(i + 1) <- 0;
+  net.orig.(i + 1) <- 0;
+  net.adj.(src) <- i :: net.adj.(src);
+  net.adj.(dst) <- (i + 1) :: net.adj.(dst);
+  net.arc_count <- net.arc_count + 2
+
+let bfs_levels net ~s ~sink =
+  let level = Array.make net.node_count (-1) in
+  level.(s) <- 0;
+  let queue = Queue.create () in
+  Queue.add s queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.take queue in
+    List.iter
+      (fun i ->
+        let v = net.dst.(i) in
+        if net.cap.(i) > 0 && level.(v) < 0 then begin
+          level.(v) <- level.(u) + 1;
+          Queue.add v queue
+        end)
+      net.adj.(u)
+  done;
+  if level.(sink) < 0 then None else Some level
+
+let max_flow net ~s ~sink =
+  if s = sink then invalid_arg "Flow.max_flow: s = sink";
+  let total = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match bfs_levels net ~s ~sink with
+    | None -> continue := false
+    | Some level ->
+      (* Blocking flow by DFS; [iter] caches the remaining arc list per node
+         so each arc is scanned once per phase. *)
+      let iter = Array.map (fun l -> ref l) net.adj in
+      let rec push u limit =
+        if u = sink then limit
+        else begin
+          let sent = ref 0 in
+          let arcs = iter.(u) in
+          let stop = ref false in
+          while (not !stop) && !sent < limit do
+            match !arcs with
+            | [] -> stop := true
+            | i :: rest ->
+              let v = net.dst.(i) in
+              if net.cap.(i) > 0 && level.(v) = level.(u) + 1 then begin
+                let got = push v (min net.cap.(i) (limit - !sent)) in
+                if got > 0 then begin
+                  net.cap.(i) <- net.cap.(i) - got;
+                  net.cap.(i lxor 1) <- net.cap.(i lxor 1) + got;
+                  sent := !sent + got
+                end
+                else arcs := rest
+              end
+              else arcs := rest
+          done;
+          !sent
+        end
+      in
+      let pushed = push s infinity in
+      if pushed = 0 then continue := false else total := !total + pushed
+  done;
+  !total
+
+let flow_on net =
+  let acc = ref [] in
+  let i = ref (net.arc_count - 2) in
+  while !i >= 0 do
+    let flow = net.orig.(!i) - net.cap.(!i) in
+    if flow > 0 then acc := (net.src.(!i), net.dst.(!i), flow) :: !acc;
+    i := !i - 2
+  done;
+  !acc
+
+let residual_reachable net ~s =
+  let seen = Array.make net.node_count false in
+  seen.(s) <- true;
+  let queue = Queue.create () in
+  Queue.add s queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.take queue in
+    List.iter
+      (fun i ->
+        let v = net.dst.(i) in
+        if net.cap.(i) > 0 && not seen.(v) then begin
+          seen.(v) <- true;
+          Queue.add v queue
+        end)
+      net.adj.(u)
+  done;
+  seen

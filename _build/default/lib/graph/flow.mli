@@ -1,0 +1,27 @@
+(** Integer max-flow (Dinic's algorithm) on directed networks.
+
+    Internal substrate for vertex connectivity and Menger path extraction;
+    exposed because the tests exercise it directly against brute force. *)
+
+type t
+
+val create : nodes:int -> t
+
+val add_edge : t -> src:int -> dst:int -> cap:int -> unit
+(** Adds a directed arc with the given capacity (and its zero-capacity
+    residual twin). *)
+
+val max_flow : t -> s:int -> sink:int -> int
+(** Computes the maximum s→sink flow.  Mutates the network (residual
+    capacities); calling it twice continues from the previous flow. *)
+
+val flow_on : t -> (int * int * int) list
+(** [(src, dst, flow)] for every original arc with positive flow, after
+    {!max_flow}. *)
+
+val residual_reachable : t -> s:int -> bool array
+(** Nodes reachable from [s] in the residual network — the source side of a
+    minimum cut after {!max_flow}. *)
+
+val infinity : int
+(** Capacity treated as unbounded. *)

@@ -1,0 +1,110 @@
+let shortest g ~src ~dst =
+  let dist = Graph.distances g src in
+  if dist.(dst) = max_int then None
+  else begin
+    (* Walk back from dst along strictly decreasing distances. *)
+    let rec walk v acc =
+      if v = src then v :: acc
+      else
+        let prev =
+          List.find (fun u -> dist.(u) = dist.(v) - 1) (Graph.neighbors g v)
+        in
+        walk prev (v :: acc)
+    in
+    Some (walk dst [])
+  end
+
+let node_in v = 2 * v
+let node_out v = (2 * v) + 1
+
+(* Unit-capacity split network: one unit per internal node *and* per edge
+   direction, so flow decomposition yields simple, internally vertex-disjoint
+   paths.  (Unbounded edge arcs would still give node-disjointness, but unit
+   arcs keep the decomposition trivially simple.) *)
+let disjoint_network g ~src ~dst =
+  let n = Graph.n g in
+  let net = Flow.create ~nodes:(2 * n) in
+  for v = 0 to n - 1 do
+    let cap = if v = src || v = dst then Flow.infinity else 1 in
+    Flow.add_edge net ~src:(node_in v) ~dst:(node_out v) ~cap
+  done;
+  List.iter
+    (fun (u, v) ->
+      Flow.add_edge net ~src:(node_out u) ~dst:(node_in v) ~cap:1;
+      Flow.add_edge net ~src:(node_out v) ~dst:(node_in u) ~cap:1)
+    (Graph.undirected_edges g);
+  net
+
+let vertex_disjoint g ~src ~dst =
+  if src = dst then invalid_arg "Paths.vertex_disjoint: src = dst";
+  let net = disjoint_network g ~src ~dst in
+  let value = Flow.max_flow net ~s:(node_out src) ~sink:(node_in dst) in
+  if value = 0 then []
+  else begin
+    (* Successor multiset on original nodes, from arcs out_u -> in_v that
+       carry flow. *)
+    let succ = Hashtbl.create 32 in
+    List.iter
+      (fun (a, b, flow) ->
+        if a mod 2 = 1 && b mod 2 = 0 && flow > 0 then begin
+          let u = a / 2 and v = b / 2 in
+          for _ = 1 to flow do
+            Hashtbl.add succ u v
+          done
+        end)
+      (Flow.flow_on net);
+    let take u =
+      match Hashtbl.find_opt succ u with
+      | None -> None
+      | Some v ->
+        Hashtbl.remove succ u;
+        Some v
+    in
+    let rec walk u acc =
+      if u = dst then List.rev (u :: acc)
+      else
+        match take u with
+        | Some v -> walk v (u :: acc)
+        | None ->
+          (* Cannot happen on a valid integral flow. *)
+          invalid_arg "Paths.vertex_disjoint: broken flow decomposition"
+    in
+    List.init value (fun _ -> walk src [])
+  end
+
+let is_path g = function
+  | [] | [ _ ] -> false
+  | first :: _ as nodes ->
+    ignore first;
+    let rec ok = function
+      | a :: (b :: _ as rest) -> Graph.mem_edge g a b && ok rest
+      | [ _ ] | [] -> true
+    in
+    ok nodes
+
+let are_internally_disjoint ~src ~dst paths =
+  let ends_ok path =
+    match path, List.rev path with
+    | a :: _, z :: _ -> a = src && z = dst
+    | _, _ -> false
+  in
+  let internal path =
+    match path with
+    | _ :: rest ->
+      (match List.rev rest with _ :: mid_rev -> List.rev mid_rev | [] -> [])
+    | [] -> []
+  in
+  List.for_all ends_ok paths
+  &&
+  let seen = Hashtbl.create 16 in
+  List.for_all
+    (fun path ->
+      List.for_all
+        (fun v ->
+          if Hashtbl.mem seen v then false
+          else begin
+            Hashtbl.add seen v ();
+            v <> src && v <> dst
+          end)
+        (internal path))
+    paths

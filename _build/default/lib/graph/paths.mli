@@ -1,0 +1,22 @@
+(** Menger path systems: internally vertex-disjoint paths between two nodes.
+
+    Dolev's relay protocol routes each message over [2f+1] vertex-disjoint
+    paths so that at most [f] of them traverse a faulty node; the receiver
+    takes the majority.  This module extracts such path systems from the
+    max-flow certificate. *)
+
+val shortest : Graph.t -> src:Graph.node -> dst:Graph.node -> Graph.node list option
+(** A shortest path [src; ...; dst] (BFS), if one exists. *)
+
+val vertex_disjoint :
+  Graph.t -> src:Graph.node -> dst:Graph.node -> Graph.node list list
+(** A maximum family of internally vertex-disjoint src–dst paths, each of the
+    form [src; ...; dst].  When [src] and [dst] are adjacent the direct edge
+    is one of the paths.  Raises [Invalid_argument] if [src = dst]. *)
+
+val are_internally_disjoint :
+  src:Graph.node -> dst:Graph.node -> Graph.node list list -> bool
+(** Validity check used by tests: every path runs src→dst along edges and no
+    two paths share an internal node. *)
+
+val is_path : Graph.t -> Graph.node list -> bool

@@ -1,0 +1,129 @@
+let complete n =
+  if n < 1 then invalid_arg "Topology.complete: n >= 1 required";
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Graph.make ~n !edges
+
+let cycle n =
+  if n < 3 then invalid_arg "Topology.cycle: n >= 3 required";
+  Graph.make ~n (List.init n (fun i -> i, (i + 1) mod n))
+
+let path n =
+  if n < 1 then invalid_arg "Topology.path: n >= 1 required";
+  Graph.make ~n (List.init (n - 1) (fun i -> i, i + 1))
+
+let star n =
+  if n < 2 then invalid_arg "Topology.star: n >= 2 required";
+  Graph.make ~n (List.init (n - 1) (fun i -> 0, i + 1))
+
+let wheel n =
+  if n < 4 then invalid_arg "Topology.wheel: n >= 4 required";
+  let rim = n - 1 in
+  let spokes = List.init rim (fun i -> 0, i + 1) in
+  let ring = List.init rim (fun i -> 1 + i, 1 + ((i + 1) mod rim)) in
+  Graph.make ~n (spokes @ ring)
+
+let grid rows cols =
+  if rows < 1 || cols < 1 then invalid_arg "Topology.grid: positive dims";
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (id r c, id r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (id r c, id (r + 1) c) :: !edges
+    done
+  done;
+  Graph.make ~n:(rows * cols) !edges
+
+let hypercube d =
+  if d < 1 then invalid_arg "Topology.hypercube: d >= 1 required";
+  let n = 1 lsl d in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for b = 0 to d - 1 do
+      let v = u lxor (1 lsl b) in
+      if u < v then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.make ~n !edges
+
+(* Harary graph H(k,n).  For even k = 2m: node i joined to i±1..i±m (mod n).
+   For odd k = 2m+1 and even n: additionally i joined to i + n/2.
+   For odd k and odd n: the 2m skeleton plus edges (i, i + (n+1)/2 mod n) for
+   0 <= i <= (n-1)/2, following Harary's original construction. *)
+let harary ~k ~n =
+  if k < 2 || k >= n then invalid_arg "Topology.harary: need 2 <= k < n";
+  let m = k / 2 in
+  let seen = Hashtbl.create (k * n) in
+  let edges = ref [] in
+  let add u v =
+    let u, v = if u < v then u, v else v, u in
+    if u <> v && not (Hashtbl.mem seen (u, v)) then begin
+      Hashtbl.add seen (u, v) ();
+      edges := (u, v) :: !edges
+    end
+  in
+  for i = 0 to n - 1 do
+    for d = 1 to m do
+      add i ((i + d) mod n)
+    done
+  done;
+  if k mod 2 = 1 then
+    if n mod 2 = 0 then
+      for i = 0 to (n / 2) - 1 do
+        add i (i + (n / 2))
+      done
+    else
+      for i = 0 to (n - 1) / 2 do
+        add i ((i + ((n + 1) / 2)) mod n)
+      done;
+  Graph.make ~n !edges
+
+let complete_bipartite a b =
+  if a < 1 || b < 1 then invalid_arg "Topology.complete_bipartite";
+  let edges = ref [] in
+  for u = 0 to a - 1 do
+    for v = a to a + b - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Graph.make ~n:(a + b) !edges
+
+let random ?(seed = 0) ~n ~p () =
+  if n < 0 then invalid_arg "Topology.random";
+  let state = Random.State.make [| seed; n; int_of_float (p *. 1_000_000.) |] in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Random.State.float state 1.0 < p then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.make ~n !edges
+
+let random_connected ?(seed = 0) ~n ~p () =
+  if n < 1 then invalid_arg "Topology.random_connected";
+  let state = Random.State.make [| seed; n; 7919 |] in
+  let seen = Hashtbl.create (4 * n) in
+  let edges = ref [] in
+  let add u v =
+    let u, v = if u < v then u, v else v, u in
+    if u <> v && not (Hashtbl.mem seen (u, v)) then begin
+      Hashtbl.add seen (u, v) ();
+      edges := (u, v) :: !edges
+    end
+  in
+  (* Random spanning tree: attach each node to a uniformly random earlier
+     node — a random recursive tree, connected by construction. *)
+  for v = 1 to n - 1 do
+    add (Random.State.int state v) v
+  done;
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Random.State.float state 1.0 < p then add u v
+    done
+  done;
+  Graph.make ~n !edges

@@ -1,0 +1,40 @@
+(** Standard communication-graph families.
+
+    These are the topologies used throughout the tests, examples, and the
+    experiment sweeps: complete graphs for the classic 3f+1 setting, cycles
+    and Harary graphs for the connectivity experiments, and random graphs for
+    property tests. *)
+
+val complete : int -> Graph.t
+(** [complete n] is K_n. *)
+
+val cycle : int -> Graph.t
+(** [cycle n] is C_n ([n >= 3]). *)
+
+val path : int -> Graph.t
+
+val star : int -> Graph.t
+(** [star n]: node 0 joined to nodes [1..n-1]. *)
+
+val wheel : int -> Graph.t
+(** [wheel n]: node 0 joined to a cycle on [1..n-1] ([n >= 4]). *)
+
+val grid : int -> int -> Graph.t
+(** [grid r c]: r×c grid, node [i*c + j]. *)
+
+val hypercube : int -> Graph.t
+(** [hypercube d]: 2^d nodes, edges between ids at Hamming distance 1. *)
+
+val harary : k:int -> n:int -> Graph.t
+(** Harary graph H(k,n): the canonical k-connected graph on n nodes with
+    ⌈kn/2⌉ edges ([2 <= k < n]).  Used to probe the 2f+1-connectivity bound
+    with the fewest possible edges. *)
+
+val complete_bipartite : int -> int -> Graph.t
+
+val random : ?seed:int -> n:int -> p:float -> unit -> Graph.t
+(** Erdős–Rényi G(n,p) with a deterministic seed (default 0). *)
+
+val random_connected : ?seed:int -> n:int -> p:float -> unit -> Graph.t
+(** G(n,p) conditioned on connectivity: a random spanning tree is added
+    first, then each remaining edge independently with probability [p]. *)

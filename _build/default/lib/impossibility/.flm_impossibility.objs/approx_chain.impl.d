@@ -1,0 +1,1 @@
+lib/impossibility/approx_chain.ml: Approx_spec Certificate Covering Exec List Printf Reconstruct String System Topology Trace Value

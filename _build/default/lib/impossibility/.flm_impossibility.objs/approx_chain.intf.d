@@ -1,0 +1,1 @@
+lib/impossibility/approx_chain.mli: Certificate Device Graph

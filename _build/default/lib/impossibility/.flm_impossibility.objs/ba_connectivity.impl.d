@@ -1,0 +1,1 @@
+lib/impossibility/ba_connectivity.ml: Ba_spec Certificate Connectivity Covering Exec List Printf Reconstruct String System

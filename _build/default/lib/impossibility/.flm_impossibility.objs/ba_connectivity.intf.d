@@ -1,0 +1,1 @@
+lib/impossibility/ba_connectivity.mli: Certificate Device Graph Value

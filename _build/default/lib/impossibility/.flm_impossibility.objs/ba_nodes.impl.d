@@ -1,0 +1,1 @@
+lib/impossibility/ba_nodes.ml: Ba_spec Certificate Covering Exec Graph List Printf Reconstruct String System Value

@@ -1,0 +1,1 @@
+lib/impossibility/ba_nodes.mli: Certificate Device Graph Value

@@ -1,0 +1,1 @@
+lib/impossibility/certificate.ml: Connectivity Covering Format Graph List Reconstruct Scenario Trace Violation

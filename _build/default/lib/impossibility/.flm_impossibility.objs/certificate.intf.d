@@ -1,0 +1,1 @@
+lib/impossibility/certificate.mli: Covering Format Graph Reconstruct Trace Violation

@@ -1,0 +1,1 @@
+lib/impossibility/clock_chain.ml: Array Clock Clock_exec Clock_spec Clock_system Covering Float Format Graph List Printf Result Topology Value Violation

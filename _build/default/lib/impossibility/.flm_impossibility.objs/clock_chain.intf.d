@@ -1,0 +1,1 @@
+lib/impossibility/clock_chain.mli: Clock_device Clock_exec Clock_spec Format Graph Violation

@@ -1,0 +1,1 @@
+lib/impossibility/collapse.ml: Array Ba_nodes Certificate Device Eig_tree Graph Hashtbl Int List Option Printf String System Value

@@ -1,0 +1,1 @@
+lib/impossibility/collapse.mli: Certificate Device Graph System Value

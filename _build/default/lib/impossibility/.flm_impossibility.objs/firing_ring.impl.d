@@ -1,0 +1,1 @@
+lib/impossibility/firing_ring.ml: Array Certificate Covering Exec Firing_spec List Printf Reconstruct String System Topology Trace Value

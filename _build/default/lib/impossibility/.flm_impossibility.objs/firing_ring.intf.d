@@ -1,0 +1,1 @@
+lib/impossibility/firing_ring.mli: Certificate Device Graph

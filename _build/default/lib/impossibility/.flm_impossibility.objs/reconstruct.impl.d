@@ -1,0 +1,1 @@
+lib/impossibility/reconstruct.ml: Adversary Covering Exec Format Graph List Option Printf Scenario String System Trace Value

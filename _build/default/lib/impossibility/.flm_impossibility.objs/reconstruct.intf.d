@@ -1,0 +1,1 @@
+lib/impossibility/reconstruct.mli: Covering Device Format Graph System Trace

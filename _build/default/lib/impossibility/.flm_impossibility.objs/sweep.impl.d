@@ -1,0 +1,1 @@
+lib/impossibility/sweep.ml: Adversary Array Ba_connectivity Ba_nodes Ba_spec Certificate Connectivity Dolev_relay Eig Exec Format Graph Int List Naive Option System Topology Trace Value

@@ -1,0 +1,1 @@
+lib/impossibility/sweep.mli: Format

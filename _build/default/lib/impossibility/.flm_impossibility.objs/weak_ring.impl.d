@@ -1,0 +1,1 @@
+lib/impossibility/weak_ring.ml: Array Ba_spec Certificate Covering Exec List Printf Reconstruct String System Topology Trace Value

@@ -1,0 +1,1 @@
+lib/impossibility/weak_ring.mli: Certificate Device Graph

@@ -1,0 +1,37 @@
+(** Theorems 5 and 6: approximate agreement is impossible on the triangle.
+
+    {b Simple} (§6.1): the hexagon construction.  E1 pins the copy-0 pair to
+    output exactly 0 (validity with both inputs 0), E3 pins the copy-1 pair
+    to 1; E2 straddles the copies with inputs 0 and 1, so its outputs are 0
+    and 1 — no closer than its inputs, violating agreement.
+
+    {b (ε,δ,γ)} (§6.2): a ring of [k+2] nodes over the triangle with inputs
+    [0, δ, 2δ, …, (k+1)δ].  Every adjacent pair is a correct two-node
+    scenario with inputs exactly δ apart; validity bounds node 1's output by
+    δ+γ, agreement lets the bound grow by only ε per hop (Lemma 7), yet
+    validity at the far end demands at least kδ−γ.  For
+    [δ > 2γ/(k−1) + ε] the chain snaps; the certificate locates the broken
+    link. *)
+
+val certify_simple :
+  device:(Graph.node -> Device.t) ->
+  horizon:int ->
+  unit ->
+  Certificate.t
+(** [device w]: alleged simple-approximate-agreement device for node [w] of
+    K₃ (float inputs and outputs). *)
+
+val choose_k : eps:float -> gamma:float -> delta:float -> int
+(** Smallest [k] with [k+2] divisible by 3 and [δ > 2γ/(k−1) + ε]; raises if
+    [δ <= ε] (then the problem is trivially solvable and no contradiction
+    exists). *)
+
+val certify_edg :
+  device:(Graph.node -> Device.t) ->
+  eps:float ->
+  gamma:float ->
+  delta:float ->
+  ?k:int ->
+  horizon:int ->
+  unit ->
+  Certificate.t

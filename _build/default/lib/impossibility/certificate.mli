@@ -1,0 +1,58 @@
+(** Contradiction certificates.
+
+    A certificate packages one execution of an FLM construction: the
+    inadequate target graph, the covering system and its trace, the
+    reconstructed runs with their locality witnesses, the violations found by
+    the problem's condition checkers, and a verdict.  [validate] re-checks
+    the whole object from its parts, so a certificate can be stored, shipped,
+    and independently re-verified. *)
+
+type verdict =
+  | Contradiction of { run_label : string; violations : Violation.t list }
+      (** Some reconstructed {e correct} run of the target graph violates
+          the problem's conditions: the devices do not solve the problem. *)
+  | Fault_axiom_failed of { run_label : string; reason : string }
+      (** A locality witness failed: the model does not satisfy the Fault
+          axiom (e.g. unforgeable signatures are in force), so the
+          construction — correctly — proves nothing. *)
+  | Unbroken of string
+      (** No violation surfaced.  For deterministic devices and the
+          constructions in this library this is unreachable when every
+          locality witness holds; kept for totality. *)
+
+type t = {
+  problem : string;
+  description : string;
+  target : Graph.t;
+  f : int;
+  covering : Covering.t;
+  covering_trace : Trace.t;
+  runs : (Reconstruct.t * Violation.t list) list;
+  aux : (string * Trace.t * Violation.t list) list;
+      (** auxiliary {e fault-free} anchor runs of the target graph (the §4/§5
+          "all inputs equal" behaviors that pin the two ends of a chain);
+          they need no covering scenario, hence no locality witness *)
+  notes : string list;  (** construction-specific observations, in order *)
+  verdict : verdict;
+}
+
+val decide :
+  ?aux:(string * Trace.t * Violation.t list) list ->
+  runs:(Reconstruct.t * Violation.t list) list ->
+  fallback:string ->
+  unit ->
+  verdict
+(** Standard verdict rule: first reconstructed run whose locality failed wins
+    [Fault_axiom_failed]; otherwise the first anchor or reconstructed run
+    with violations wins [Contradiction]; otherwise [Unbroken fallback]. *)
+
+val is_contradiction : t -> bool
+
+val validate : t -> (unit, string) result
+(** Re-verify: the graph is inadequate for [f], the covering is a covering,
+    every run's locality witness and recorded violations match a fresh
+    recomputation of the scenario check, and the verdict is consistent with
+    the recorded runs. *)
+
+val pp_summary : Format.formatter -> t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,248 @@
+type pair = {
+  index : int;
+  trace : Clock_exec.t;
+  locality : (unit, string) result;
+  violations : Violation.t list;
+}
+
+type verdict =
+  | Contradiction of { pair_index : int; violations : Violation.t list }
+  | Model_failed of { pair_index : int; reason : string }
+  | Unbroken of string
+
+type t = {
+  description : string;
+  k : int;
+  params : Clock_spec.params;
+  ring : Clock_exec.t;
+  pairs : pair list;
+  lemma11 : (int * float * float) list;
+  notes : string list;
+  verdict : verdict;
+}
+
+let choose_k (params : Clock_spec.params) =
+  if params.Clock_spec.alpha <= 0.0 then
+    invalid_arg "Clock_chain.choose_k: alpha > 0 required";
+  let target =
+    params.Clock_spec.upper (Clock.apply params.Clock_spec.q params.Clock_spec.t_prime)
+  in
+  let base =
+    params.Clock_spec.lower (Clock.apply params.Clock_spec.p params.Clock_spec.t_prime)
+  in
+  let rec go k =
+    if k > 10_000 then invalid_arg "Clock_chain.choose_k: k out of range";
+    if
+      (k + 2) mod 3 = 0 && k >= 2
+      && base +. (float_of_int k *. params.Clock_spec.alpha) > target
+    then k
+    else go (k + 1)
+  in
+  go 2
+
+(* Tick-for-tick comparison of ring node [ring_node] with pair node
+   [pair_node], times related by the scaling [scale] (pair time = scale of
+   ring time). *)
+let locality_check ~ring ~pair_trace ~ring_node ~pair_node ~scale =
+  let rt = ring.Clock_exec.ticks.(ring_node) in
+  let pt = pair_trace.Clock_exec.ticks.(pair_node) in
+  let close a b = Float.abs (a -. b) <= 1e-9 *. Float.max 1.0 (Float.abs b) in
+  if Array.length rt <> Array.length pt then
+    Error
+      (Printf.sprintf
+         "ring node %d has %d ticks, scaled pair node %d has %d" ring_node
+         (Array.length rt) pair_node (Array.length pt))
+  else begin
+    let bad = ref None in
+    Array.iteri
+      (fun idx (r : Clock_exec.tick) ->
+        if !bad = None then begin
+          let s = pt.(idx) in
+          if not (Value.equal r.Clock_exec.state s.Clock_exec.state) then
+            bad :=
+              Some
+                (Printf.sprintf "tick %d: states differ at nodes %d/%d" idx
+                   ring_node pair_node)
+          else if not (close (scale r.Clock_exec.real) s.Clock_exec.real) then
+            bad :=
+              Some
+                (Printf.sprintf
+                   "tick %d: time %g does not scale to %g (expected %g)" idx
+                   r.Clock_exec.real s.Clock_exec.real
+                   (scale r.Clock_exec.real))
+          else if
+            not (close r.Clock_exec.hardware s.Clock_exec.hardware)
+          then bad := Some (Printf.sprintf "tick %d: hardware differs" idx)
+        end)
+      rt;
+    match !bad with None -> Ok () | Some msg -> Error msg
+  end
+
+let certify ~device ~params ?k () =
+  let k = match k with Some k -> k | None -> choose_k params in
+  if (k + 2) mod 3 <> 0 then invalid_arg "Clock_chain: k+2 must be divisible by 3";
+  let { Clock_spec.p; q; lower; upper; alpha; t_prime } = params in
+  let h = Clock.rate_between p q in
+  let ring_len = k + 2 in
+  let covering = Covering.triangle_ring ~copies:(ring_len / 3) in
+  let ring_graph = covering.Covering.source in
+  let t_second = Clock.apply (Clock.iterate h k) t_prime in
+  let ring_until = 2.0 *. t_second in
+  let ring_sys =
+    Clock_system.make
+      ~wiring:(fun u -> Covering.wiring covering u)
+      ring_graph
+      (fun i ->
+        Clock_system.Honest
+          ( device (Covering.apply covering i),
+            Clock.compose q (Clock.iterate h (-i)) ))
+  in
+  let ring = Clock_exec.run ring_sys ~until:ring_until in
+  let triangle = Topology.complete 3 in
+  let make_pair i =
+    let vi = i mod 3 and vj = (i + 1) mod 3 in
+    let x = 3 - vi - vj in
+    let scale t = Clock.apply (Clock.iterate h (-i)) t in
+    let pred = (i - 1 + ring_len) mod ring_len in
+    let succ2 = (i + 2) mod ring_len in
+    let schedule =
+      List.map
+        (fun (t, m) -> scale t, 0, m)
+        (Clock_exec.edge_schedule ring ~src:pred ~dst:i)
+      @ List.map
+          (fun (t, m) -> scale t, 1, m)
+          (Clock_exec.edge_schedule ring ~src:succ2 ~dst:(i + 1))
+    in
+    (* Translate the placeholder ports 0/1 to x's real ports toward vi/vj. *)
+    let pair_sys =
+      Clock_system.make triangle (fun w ->
+          if w = vi then Clock_system.Honest (device vi, q)
+          else if w = vj then Clock_system.Honest (device vj, p)
+          else begin
+            let nbrs = Graph.neighbors triangle x in
+            let port_of target =
+              let rec find idx = function
+                | [] -> invalid_arg "Clock_chain: bad port"
+                | v :: rest -> if v = target then idx else find (idx + 1) rest
+              in
+              find 0 nbrs
+            in
+            Clock_system.Replay
+              (List.map
+                 (fun (t, placeholder, m) ->
+                   t, (if placeholder = 0 then port_of vi else port_of vj), m)
+                 schedule)
+          end)
+    in
+    let pair_until = scale ring_until in
+    let trace = Clock_exec.run pair_sys ~until:pair_until in
+    let locality =
+      match
+        locality_check ~ring ~pair_trace:trace ~ring_node:i ~pair_node:vi
+          ~scale
+      with
+      | Error _ as e -> e
+      | Ok () ->
+        locality_check ~ring ~pair_trace:trace ~ring_node:(i + 1)
+          ~pair_node:vj ~scale
+    in
+    let violations = Clock_spec.check_pair trace ~i:vi ~j:vj params in
+    { index = i; trace; locality; violations }
+  in
+  let pairs = List.init (k + 1) make_pair in
+  (* Lemma 11 table: measured logical clocks along the ring at t''. *)
+  let lemma11 =
+    List.init (k + 1) (fun idx ->
+        let i = idx + 1 in
+        let measured = Clock_exec.logical_at ring i t_second in
+        let bound =
+          lower (Clock.apply (Clock.compose q (Clock.iterate h (-i))) t_second)
+          +. (float_of_int (i - 1) *. alpha)
+        in
+        i, measured, bound)
+  in
+  let verdict =
+    match
+      List.find_opt (fun pr -> Result.is_error pr.locality) pairs
+    with
+    | Some pr ->
+      Model_failed
+        {
+          pair_index = pr.index;
+          reason =
+            (match pr.locality with Error e -> e | Ok () -> assert false);
+        }
+    | None -> (
+      match List.find_opt (fun pr -> pr.violations <> []) pairs with
+      | Some pr ->
+        Contradiction { pair_index = pr.index; violations = pr.violations }
+      | None ->
+        Unbroken
+          "every scaled pair satisfied agreement and the envelopes — \
+           arithmetically impossible for the chosen k")
+  in
+  let notes =
+    [ Printf.sprintf
+        "ring of %d nodes; node i's hardware clock is q.h^-i (node 0 \
+         fastest); t' = %g, t'' = h^k(t') = %g" ring_len t_prime t_second;
+      Printf.sprintf
+        "threshold: l(p(t')) + k*alpha = %g must exceed u(q(t')) = %g"
+        (lower (Clock.apply p t_prime) +. (float_of_int k *. alpha))
+        (upper (Clock.apply q t_prime));
+    ]
+  in
+  {
+    description =
+      Printf.sprintf
+        "Theorem 8 (clock synchronization, Scaling axiom): %d-node ring \
+         over the triangle, k = %d, alpha = %g" ring_len k alpha;
+    k;
+    params;
+    ring;
+    pairs;
+    lemma11;
+    notes;
+    verdict;
+  }
+
+let is_contradiction t =
+  match t.verdict with
+  | Contradiction _ -> true
+  | Model_failed _ | Unbroken _ -> false
+
+(* A violated condition at one pair typically re-fires at every later
+   sample; show the first few. *)
+let truncate_violations vs =
+  let rec take k = function
+    | v :: rest when k > 0 -> v :: take (k - 1) rest
+    | _ -> []
+  in
+  let shown = take 3 vs in
+  shown, List.length vs - List.length shown
+
+let pp_verdict ppf = function
+  | Contradiction { pair_index; violations } ->
+    let shown, hidden = truncate_violations violations in
+    Format.fprintf ppf "@[<v>CONTRADICTION at scaled pair S_%d:@ %a" pair_index
+      Violation.pp_list shown;
+    if hidden > 0 then
+      Format.fprintf ppf "@ ... and %d more samples of the same violation"
+        hidden;
+    Format.fprintf ppf "@]"
+  | Model_failed { pair_index; reason } ->
+    Format.fprintf ppf "MODEL FAILURE at pair S_%d: %s" pair_index reason
+  | Unbroken msg -> Format.fprintf ppf "NO VIOLATION: %s" msg
+
+let pp_summary ppf t =
+  Format.fprintf ppf "@[<v>clock certificate: %s@ %d scaled pairs@ %a@]"
+    t.description (List.length t.pairs) pp_verdict t.verdict
+
+let pp ppf t =
+  pp_summary ppf t;
+  List.iter (fun n -> Format.fprintf ppf "@ note: %s" n) t.notes;
+  Format.fprintf ppf "@ Lemma 11 (at t''): node / measured C_i / lower bound";
+  List.iter
+    (fun (i, measured, bound) ->
+      Format.fprintf ppf "@ %4d   %12.4f   %12.4f%s" i measured bound
+        (if measured >= bound -. 1e-6 then "" else "  (below bound)"))
+    t.lemma11

@@ -1,0 +1,56 @@
+(** Theorem 8: nontrivial clock synchronization is impossible on the
+    triangle (hence in inadequate graphs) under the Scaling axiom.
+
+    Construction (paper §7): a ring of [k+2] nodes over the triangle; node
+    [i] runs with hardware clock [q ∘ h⁻ⁱ] where [h = p⁻¹ ∘ q], so every
+    adjacent pair, after scaling by [hⁱ], is a legitimate correct pair with
+    clocks (q, p) and a faulty third node (Lemma 9).  Agreement forces each
+    node to track its faster neighbor; the accumulated drift pushes the slow
+    end of the chain through the upper envelope (Lemmas 10–11) once
+    [l(p(t')) + k·α > u(q(t'))].
+
+    Clock behaviors live in continuous time, so this certificate has its own
+    type: per scaled pair, a locality witness (tick-for-tick equality with
+    the ring, under the time scaling) and the §7 condition checks. *)
+
+type pair = {
+  index : int;
+  trace : Clock_exec.t;  (** the scaled pair run [S_i hⁱ] *)
+  locality : (unit, string) result;
+  violations : Violation.t list;
+}
+
+type verdict =
+  | Contradiction of { pair_index : int; violations : Violation.t list }
+  | Model_failed of { pair_index : int; reason : string }
+  | Unbroken of string
+
+type t = {
+  description : string;
+  k : int;
+  params : Clock_spec.params;
+  ring : Clock_exec.t;
+  pairs : pair list;
+  lemma11 : (int * float * float) list;
+      (** per node i: measured [C_i] at [t'' = h^k t'] against the Lemma 11
+          lower bound [l(q h⁻ⁱ (t'')) + (i-1)α] *)
+  notes : string list;
+  verdict : verdict;
+}
+
+val certify :
+  device:(Graph.node -> Clock_device.t) ->
+  params:Clock_spec.params ->
+  ?k:int ->
+  unit ->
+  t
+(** [device w]: the alleged synchronization device for node [w] of K₃.
+    Default [k]: smallest with [k+2] divisible by 3 and
+    [l(p(t')) + k·α > u(q(t'))]. *)
+
+val choose_k : Clock_spec.params -> int
+
+val is_contradiction : t -> bool
+
+val pp_summary : Format.formatter -> t -> unit
+val pp : Format.formatter -> t -> unit

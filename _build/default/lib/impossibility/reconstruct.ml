@@ -1,0 +1,113 @@
+type t = {
+  label : string;
+  chi : (Graph.node * int) list;
+  faulty : Graph.node list;
+  correct : Graph.node list;
+  system : System.t;
+  trace : Trace.t;
+  locality : (unit, string) result;
+}
+
+let source_nodes t ~covering =
+  List.map (fun (v, copy) -> Covering.encode covering ~copy v) t.chi
+
+let run ?(signed = false) ~label ~covering ~covering_system ~covering_trace
+    ~device ~chi ~rounds () =
+  let g = covering.Covering.target in
+  let m = Covering.copies covering in
+  let modm i = ((i mod m) + m) mod m in
+  let assignment =
+    List.map (fun v -> v, chi v) (Graph.nodes g)
+  in
+  let correct =
+    List.filter_map (fun (v, c) -> Option.map (fun _ -> v) c) assignment
+  in
+  let faulty =
+    List.filter_map
+      (fun (v, c) -> match c with None -> Some v | Some _ -> None)
+      assignment
+  in
+  let copy_of v =
+    match chi v with
+    | Some c -> modm c
+    | None -> invalid_arg "Reconstruct: copy_of faulty node"
+  in
+  (* chi consistency: adjacent correct nodes must be adjacent in S. *)
+  List.iter
+    (fun v ->
+      List.iter
+        (fun w ->
+          if List.mem w correct && v < w then begin
+            let expected = modm (copy_of v + Covering.shift_of covering v w) in
+            if copy_of w <> expected then
+              invalid_arg
+                (Printf.sprintf
+                   "Reconstruct %s: chi inconsistent on edge (%d,%d): copy %d \
+                    vs expected %d"
+                   label v w (copy_of w) expected)
+          end)
+        (Graph.neighbors g v))
+    correct;
+  let replay_device x =
+    let schedule =
+      List.map
+        (fun w ->
+          if List.mem w correct then begin
+            (* The copy of x that w's copy listens to. *)
+            let src_copy = modm (copy_of w + Covering.shift_of covering w x) in
+            ( Covering.encode covering ~copy:src_copy x,
+              Covering.encode covering ~copy:(copy_of w) w )
+          end
+          else begin
+            (* Edges between two faulty nodes are unconstrained; replay copy
+               0's behavior to keep the system total. *)
+            let dst_copy = modm (Covering.shift_of covering x w) in
+            ( Covering.encode covering ~copy:0 x,
+              Covering.encode covering ~copy:dst_copy w )
+          end)
+        (Graph.neighbors g x)
+    in
+    Adversary.from_trace covering_trace
+      ~name:(Printf.sprintf "F@%d(%s)" x label)
+      ~schedule
+  in
+  let system =
+    System.make g (fun v ->
+        if List.mem v correct then
+          ( device v,
+            System.input covering_system
+              (Covering.encode covering ~copy:(copy_of v) v) )
+        else replay_device v, Value.unit)
+  in
+  let trace = Exec.run ~signed system ~rounds in
+  let chi_list = List.map (fun v -> v, copy_of v) correct in
+  let locality =
+    if correct = [] then Ok ()
+    else begin
+      let source_scenario =
+        Scenario.of_trace covering_trace
+          (List.map
+             (fun (v, copy) -> Covering.encode covering ~copy v)
+             chi_list)
+      in
+      let target_scenario = Scenario.of_trace trace correct in
+      Scenario.matches
+        ~map:(fun s -> snd (Covering.decode covering s))
+        source_scenario target_scenario
+    end
+  in
+  { label; chi = chi_list; faulty; correct; system; trace; locality }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>run %s: correct={%s} faulty={%s} locality=%s"
+    t.label
+    (String.concat ","
+       (List.map (fun (v, c) -> Printf.sprintf "%d@%d" v c) t.chi))
+    (String.concat "," (List.map string_of_int t.faulty))
+    (match t.locality with Ok () -> "ok" | Error e -> "FAILED: " ^ e);
+  List.iter
+    (fun u ->
+      Format.fprintf ppf "@ node %d: input=%a decision=%a" u Value.pp
+        (System.input t.system u) Value.pp_opt (Trace.decision t.trace u))
+    t.correct;
+  Format.fprintf ppf "@]"

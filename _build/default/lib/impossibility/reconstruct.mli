@@ -1,0 +1,46 @@
+(** Generic reconstruction of "correct" runs of an inadequate graph [G] from
+    a run of a covering system [S] — the shared engine of every FLM proof.
+
+    Given a cyclic covering of [G], its (fault-free) trace, and an assignment
+    [chi] placing each {e correct} node of [G] at a copy in [S] (faulty nodes
+    get [None]), we build the run of [G] in which:
+    - each correct node [v] runs its real device with the input of the
+      source node [(v, chi v)];
+    - each faulty node [x] runs the Fault-axiom replay device: its port
+      toward a correct neighbor [w] replays the source edge
+      [(x, chi w + shift w x) → (w, chi w)], exactly the inedge border that
+      [w]'s copy saw in [S].
+
+    By Locality, the scenario of the correct set in the reconstructed run
+    must equal the corresponding scenario in [S]; [run] executes the system
+    and records that check's result as the run's {e locality witness}. *)
+
+type t = {
+  label : string;
+  chi : (Graph.node * int) list;  (** correct node ↦ copy *)
+  faulty : Graph.node list;
+  correct : Graph.node list;
+  system : System.t;
+  trace : Trace.t;
+  locality : (unit, string) result;
+}
+
+val run :
+  ?signed:bool ->
+  label:string ->
+  covering:Covering.t ->
+  covering_system:System.t ->
+  covering_trace:Trace.t ->
+  device:(Graph.node -> Device.t) ->
+  chi:(Graph.node -> int option) ->
+  rounds:int ->
+  unit ->
+  t
+(** Raises [Invalid_argument] if [chi] is inconsistent: two adjacent correct
+    nodes must sit at copies joined by an edge of the covering
+    ([chi w = chi v + shift_of v w]). *)
+
+val source_nodes : t -> covering:Covering.t -> Graph.node list
+(** The source nodes [(v, chi v)] whose scenario this run reproduces. *)
+
+val pp : Format.formatter -> t -> unit

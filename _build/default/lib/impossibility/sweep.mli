@@ -1,0 +1,29 @@
+(** Boundary sweeps: the experimental tables that trace the 3f+1 and 2f+1
+    frontiers (experiments E3, E10, E11).
+
+    Each sweep pits a real protocol against both sides of a bound: on the
+    adequate side it must survive an adversary zoo; on the inadequate side
+    the certificate engine must dismantle it. *)
+
+type cell = {
+  n : int;
+  f : int;
+  adequate : bool;  (** the theoretical predicate: n ≥ 3f+1 ∧ κ ≥ 2f+1 *)
+  survived_attacks : bool option;
+      (** adequate side: did EIG satisfy all conditions under the adversary
+          zoo?  [None] on the inadequate side. *)
+  certificate_broke_it : bool option;
+      (** inadequate side: did the covering certificate find a
+          contradiction?  [None] on the adequate side. *)
+}
+
+val nf_boundary : n_max:int -> f_max:int -> cell list
+(** Complete graphs K_n for 3 ≤ n ≤ [n_max], 1 ≤ f ≤ [f_max]. *)
+
+val connectivity_boundary :
+  f:int -> kappas:int list -> n:int -> (int * bool * bool option * bool option) list
+(** Harary graphs H(κ, n) for the given connectivities at fixed [f]:
+    (κ, adequate, relay correct under attack?, certificate broke it?).
+    Uses Dolev relay + flood-vote as the protocol under test. *)
+
+val pp_nf : Format.formatter -> cell list -> unit

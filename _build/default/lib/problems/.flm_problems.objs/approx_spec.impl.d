@@ -1,0 +1,1 @@
+lib/problems/approx_spec.ml: List Trace Value Violation

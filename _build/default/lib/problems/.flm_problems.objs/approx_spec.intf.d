@@ -1,0 +1,1 @@
+lib/problems/approx_spec.mli: Graph Trace Violation

@@ -1,0 +1,1 @@
+lib/problems/ba_spec.ml: List Option Trace Value Violation

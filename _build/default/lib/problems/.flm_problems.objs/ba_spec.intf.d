@@ -1,0 +1,1 @@
+lib/problems/ba_spec.mli: Graph Trace Value Violation

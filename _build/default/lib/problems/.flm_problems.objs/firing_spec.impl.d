@@ -1,0 +1,1 @@
+lib/problems/firing_spec.ml: List Trace Value Violation

@@ -1,0 +1,1 @@
+lib/problems/firing_spec.mli: Graph Trace Value Violation

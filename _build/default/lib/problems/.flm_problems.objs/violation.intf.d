@@ -1,0 +1,1 @@
+lib/problems/violation.mli: Format

@@ -1,0 +1,91 @@
+let float_decisions ~problem trace correct =
+  List.concat_map
+    (fun u ->
+      match Trace.decision trace u with
+      | None ->
+        [ Error
+            (Violation.make ~problem ~condition:"termination"
+               "correct node %d never chose" u);
+        ]
+      | Some v -> (
+        match Value.get_float_opt v with
+        | Some x -> [ Ok (u, x) ]
+        | None ->
+          [ Error
+              (Violation.make ~problem ~condition:"termination"
+                 "correct node %d chose non-real %a" u Value.pp v);
+          ]))
+    correct
+
+let range xs =
+  List.fold_left
+    (fun (lo, hi) x -> min lo x, max hi x)
+    (infinity, neg_infinity) xs
+
+let split results =
+  ( List.filter_map (function Ok x -> Some x | Error _ -> None) results,
+    List.filter_map (function Error e -> Some e | Ok _ -> None) results )
+
+let check_simple ~trace ~correct ~inputs =
+  let problem = "approximate-agreement" in
+  let outs, errs = split (float_decisions ~problem trace correct) in
+  if errs <> [] then errs
+  else begin
+    let in_lo, in_hi = range (List.map inputs correct) in
+    let out_lo, out_hi = range (List.map snd outs) in
+    let agreement =
+      let input_spread = in_hi -. in_lo and output_spread = out_hi -. out_lo in
+      if input_spread = 0.0 then
+        if output_spread = 0.0 then []
+        else
+          [ Violation.make ~problem ~condition:"agreement"
+              "inputs coincide (%g) but outputs span %g" in_lo output_spread;
+          ]
+      else if output_spread < input_spread then []
+      else
+        [ Violation.make ~problem ~condition:"agreement"
+            "output spread %g is not smaller than input spread %g"
+            output_spread input_spread;
+        ]
+    in
+    let validity =
+      List.filter_map
+        (fun (u, x) ->
+          if x >= in_lo && x <= in_hi then None
+          else
+            Some
+              (Violation.make ~problem ~condition:"validity"
+                 "node %d chose %g outside the correct input range [%g, %g]" u
+                 x in_lo in_hi))
+        outs
+    in
+    agreement @ validity
+  end
+
+let check_edg ~trace ~correct ~inputs ~eps ~gamma =
+  let problem = "edg-agreement" in
+  let outs, errs = split (float_decisions ~problem trace correct) in
+  if errs <> [] then errs
+  else begin
+    let in_lo, in_hi = range (List.map inputs correct) in
+    let out_lo, out_hi = range (List.map snd outs) in
+    let agreement =
+      if out_hi -. out_lo <= eps then []
+      else
+        [ Violation.make ~problem ~condition:"agreement"
+            "outputs span %g > epsilon = %g" (out_hi -. out_lo) eps;
+        ]
+    in
+    let validity =
+      List.filter_map
+        (fun (u, x) ->
+          if x >= in_lo -. gamma && x <= in_hi +. gamma then None
+          else
+            Some
+              (Violation.make ~problem ~condition:"validity"
+                 "node %d chose %g outside [rmin-gamma, rmax+gamma] = [%g, %g]"
+                 u x (in_lo -. gamma) (in_hi +. gamma)))
+        outs
+    in
+    agreement @ validity
+  end

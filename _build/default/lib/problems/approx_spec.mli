@@ -1,0 +1,26 @@
+(** Conditions for the two approximate agreement problems (paper §6).
+
+    Simple approximate agreement: outputs of correct nodes must be strictly
+    closer together than their inputs (or coincide when the inputs do), and
+    each output must lie within the range of the correct inputs.
+
+    (ε,δ,γ)-agreement: outputs at most ε apart; each output within
+    [rmin−γ, rmax+γ] of the correct inputs' range.  The checker does not
+    require the inputs to be ≤ δ apart — it reports it as a premise
+    violation instead, because the §6.2 chain deliberately feeds each
+    two-node scenario inputs exactly δ apart while the whole chain spans
+    (k+1)δ. *)
+
+val check_simple :
+  trace:Trace.t ->
+  correct:Graph.node list ->
+  inputs:(Graph.node -> float) ->
+  Violation.t list
+
+val check_edg :
+  trace:Trace.t ->
+  correct:Graph.node list ->
+  inputs:(Graph.node -> float) ->
+  eps:float ->
+  gamma:float ->
+  Violation.t list

@@ -1,0 +1,63 @@
+let agreement ~problem trace correct =
+  let decided =
+    List.filter_map
+      (fun u -> Option.map (fun v -> u, v) (Trace.decision trace u))
+      correct
+  in
+  match decided with
+  | [] | [ _ ] -> []
+  | (u0, v0) :: rest ->
+    List.filter_map
+      (fun (u, v) ->
+        if Value.equal v v0 then None
+        else
+          Some
+            (Violation.make ~problem ~condition:"agreement"
+               "correct nodes %d and %d chose %a and %a" u0 u Value.pp v0
+               Value.pp v))
+      rest
+
+let termination ~problem ?deadline trace correct =
+  List.filter_map
+    (fun u ->
+      match Trace.decision_round trace u with
+      | None ->
+        Some
+          (Violation.make ~problem ~condition:"termination"
+             "correct node %d never chose a value (within %d rounds)" u
+             (Trace.rounds trace))
+      | Some r -> (
+        match deadline with
+        | Some d when r > d ->
+          Some
+            (Violation.make ~problem ~condition:"choice"
+               "correct node %d chose at round %d, after the deadline %d" u r d)
+        | _ -> None))
+    correct
+
+let validity ~problem trace correct inputs =
+  match List.sort_uniq Value.compare (List.map inputs correct) with
+  | [ v ] ->
+    List.filter_map
+      (fun u ->
+        match Trace.decision trace u with
+        | Some d when not (Value.equal d v) ->
+          Some
+            (Violation.make ~problem ~condition:"validity"
+               "all correct inputs are %a but node %d chose %a" Value.pp v u
+               Value.pp d)
+        | Some _ | None -> None)
+      correct
+  | _ -> []
+
+let check ~trace ~correct ~inputs =
+  let problem = "byzantine-agreement" in
+  agreement ~problem trace correct
+  @ validity ~problem trace correct inputs
+  @ termination ~problem trace correct
+
+let check_weak ~trace ~correct ~all_correct ~inputs ~deadline =
+  let problem = "weak-agreement" in
+  agreement ~problem trace correct
+  @ (if all_correct then validity ~problem trace correct inputs else [])
+  @ termination ~problem ~deadline trace correct

@@ -1,0 +1,55 @@
+let fire_value = Value.tag "FIRE" Value.unit
+
+let fire_time trace u =
+  let rec go r =
+    if r > Trace.rounds trace then None
+    else
+      match Trace.output trace u ~round:r with
+      | Some v when Value.equal v fire_value -> Some r
+      | Some _ | None -> go (r + 1)
+  in
+  go 0
+
+let check ~trace ~correct ~all_correct ~stimulated =
+  let problem = "firing-squad" in
+  let times = List.map (fun u -> u, fire_time trace u) correct in
+  let simultaneity =
+    match List.filter (fun (_, t) -> t <> None) times with
+    | [] -> []
+    | (u0, t0) :: _ ->
+      List.filter_map
+        (fun (u, t) ->
+          if t = t0 then None
+          else
+            Some
+              (Violation.make ~problem ~condition:"agreement"
+                 "node %d fires at %s but node %d fires at %s" u0
+                 (match t0 with Some r -> string_of_int r | None -> "never")
+                 u
+                 (match t with Some r -> string_of_int r | None -> "never")))
+        times
+  in
+  let validity =
+    if not all_correct then []
+    else if stimulated then
+      List.filter_map
+        (fun (u, t) ->
+          if t <> None then None
+          else
+            Some
+              (Violation.make ~problem ~condition:"validity"
+                 "stimulus occurred but node %d never fired (within %d rounds)"
+                 u (Trace.rounds trace)))
+        times
+    else
+      List.filter_map
+        (fun (u, t) ->
+          match t with
+          | Some r ->
+            Some
+              (Violation.make ~problem ~condition:"validity"
+                 "no stimulus, all correct, yet node %d fired at round %d" u r)
+          | None -> None)
+        times
+  in
+  simultaneity @ validity

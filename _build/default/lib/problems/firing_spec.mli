@@ -1,0 +1,23 @@
+(** Conditions for the Byzantine firing squad (paper §5).
+
+    - {e Agreement (simultaneity)}: if a correct node enters FIRE at time t,
+      every correct node enters FIRE at time t.
+    - {e Validity}: in an all-correct behavior, the stimulus (at time 0)
+      leads every node to fire after some finite delay, and no stimulus means
+      no firing — ever, so validity of the quiet case can only be checked up
+      to the trace horizon, which is fine for devices with a fixed firing
+      round. *)
+
+val fire_time : Trace.t -> Graph.node -> int option
+(** First round at which the node's output equals {e FIRE}. *)
+
+val fire_value : Value.t
+
+val check :
+  trace:Trace.t ->
+  correct:Graph.node list ->
+  all_correct:bool ->
+  stimulated:bool ->
+  Violation.t list
+(** [stimulated]: whether the stimulus occurred at time 0 at any node (only
+    meaningful with [all_correct]). *)

@@ -1,0 +1,18 @@
+type t = {
+  problem : string;
+  condition : string;
+  detail : string;
+}
+
+let make ~problem ~condition fmt =
+  Format.kasprintf (fun detail -> { problem; condition; detail }) fmt
+
+let pp ppf v =
+  Format.fprintf ppf "[%s/%s] %s" v.problem v.condition v.detail
+
+let pp_list ppf = function
+  | [] -> Format.pp_print_string ppf "(no violations)"
+  | vs ->
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_cut ppf ())
+      pp ppf vs

@@ -1,0 +1,17 @@
+(** Structured reports of violated correctness conditions.
+
+    Every problem module checks a trace against its conditions and returns a
+    (possibly empty) list of violations; the impossibility engine's verdicts
+    are built from these. *)
+
+type t = {
+  problem : string;  (** e.g. "byzantine-agreement" *)
+  condition : string;  (** e.g. "agreement", "validity", "termination" *)
+  detail : string;  (** human-readable specifics, with node ids and values *)
+}
+
+val make : problem:string -> condition:string -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+val pp : Format.formatter -> t -> unit
+
+val pp_list : Format.formatter -> t list -> unit

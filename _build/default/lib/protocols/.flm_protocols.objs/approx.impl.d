@@ -1,0 +1,1 @@
+lib/protocols/approx.ml: Array Device Float Graph List Option Printf System Value

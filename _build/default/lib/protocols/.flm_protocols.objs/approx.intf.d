@@ -1,0 +1,1 @@
+lib/protocols/approx.mli: Device Graph System

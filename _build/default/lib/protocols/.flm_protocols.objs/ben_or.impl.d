@@ -1,0 +1,1 @@
+lib/protocols/ben_or.ml: Array Device Graph Hashtbl List Option Printf System Value

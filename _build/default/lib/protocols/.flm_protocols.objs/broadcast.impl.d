@@ -1,0 +1,1 @@
+lib/protocols/broadcast.ml: Array Device Eig_tree Fun Graph List Printf Stdlib System Value

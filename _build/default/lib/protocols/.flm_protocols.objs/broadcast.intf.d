@@ -1,0 +1,1 @@
+lib/protocols/broadcast.mli: Device Graph System Value

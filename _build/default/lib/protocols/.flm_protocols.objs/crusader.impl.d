@@ -1,0 +1,1 @@
+lib/protocols/crusader.ml: Array Device Graph List Printf System Value

@@ -1,0 +1,1 @@
+lib/protocols/crusader.mli: Device Graph System Value

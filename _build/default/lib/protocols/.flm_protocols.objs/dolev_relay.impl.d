@@ -1,0 +1,1 @@
+lib/protocols/dolev_relay.ml: Array Device Graph Hashtbl Int List Paths Printf Stdlib System Value

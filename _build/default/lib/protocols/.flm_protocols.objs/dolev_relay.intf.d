@@ -1,0 +1,1 @@
+lib/protocols/dolev_relay.mli: Device Graph System Value

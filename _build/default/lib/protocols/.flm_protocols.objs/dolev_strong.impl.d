@@ -1,0 +1,1 @@
+lib/protocols/dolev_strong.ml: Array Device Graph Int List Option Printf Signature System Value

@@ -1,0 +1,1 @@
+lib/protocols/eig.mli: Device Graph System Value

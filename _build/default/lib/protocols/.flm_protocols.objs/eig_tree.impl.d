@@ -1,0 +1,1 @@
+lib/protocols/eig_tree.ml: Fun Graph Int List Stdlib Value

@@ -1,0 +1,1 @@
+lib/protocols/eig_tree.mli: Graph Value

@@ -1,0 +1,1 @@
+lib/protocols/firing.ml: Array Device Eig Graph List Option Printf System Value

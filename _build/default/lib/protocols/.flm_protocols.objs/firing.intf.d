@@ -1,0 +1,1 @@
+lib/protocols/firing.mli: Device Graph System Value

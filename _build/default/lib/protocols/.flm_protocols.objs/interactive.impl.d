@@ -1,0 +1,1 @@
+lib/protocols/interactive.ml: Array Broadcast Device Eig_tree Graph List System Value

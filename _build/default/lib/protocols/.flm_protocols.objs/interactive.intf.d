@@ -1,0 +1,1 @@
+lib/protocols/interactive.mli: Device Graph System Value

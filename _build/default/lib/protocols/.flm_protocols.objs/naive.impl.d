@@ -1,0 +1,1 @@
+lib/protocols/naive.ml: Array Device Fun Graph List Printf Value

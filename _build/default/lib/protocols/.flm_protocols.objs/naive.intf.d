@@ -1,0 +1,1 @@
+lib/protocols/naive.mli: Device Graph Value

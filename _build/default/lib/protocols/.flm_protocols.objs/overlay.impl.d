@@ -1,0 +1,1 @@
+lib/protocols/overlay.ml: Array Device Dolev_relay Eig Fun Graph Hashtbl List Printf System Value

@@ -1,0 +1,1 @@
+lib/protocols/overlay.mli: Device Graph System Value

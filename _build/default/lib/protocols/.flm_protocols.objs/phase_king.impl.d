@@ -1,0 +1,1 @@
+lib/protocols/phase_king.ml: Array Device Fun Graph List Option Printf System Value

@@ -1,0 +1,1 @@
+lib/protocols/phase_king.mli: Device Graph System

@@ -1,0 +1,1 @@
+lib/protocols/turpin_coan.ml: Array Device Eig Graph List Option Printf System Value

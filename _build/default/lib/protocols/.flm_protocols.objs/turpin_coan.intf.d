@@ -1,0 +1,1 @@
+lib/protocols/turpin_coan.mli: Device Graph System Value

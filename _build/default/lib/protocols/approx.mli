@@ -1,0 +1,38 @@
+(** Synchronous approximate agreement (Dolev–Lynch–Pinter–Stark–Weihl) via
+    the fault-tolerant trimmed midpoint (cf. Mahaney–Schneider inexact
+    agreement).
+
+    Each round every node broadcasts its current estimate, discards the [f]
+    lowest and [f] highest of the [n] values it holds, and moves to the
+    midpoint of what remains.  With [n >= 3f+1] the trimmed ranges of any two
+    correct nodes overlap, so the diameter of correct estimates at least
+    halves every round, while trimming keeps every estimate inside the range
+    of correct inputs — the two sides of the paper's §6 Agreement and
+    Validity conditions.
+
+    Running [rounds = ⌈log₂ (δ/ε)⌉] rounds turns an input spread of δ into an
+    output spread of at most ε: exactly (ε,δ,γ)-agreement with γ = 0. *)
+
+val device :
+  n:int -> f:int -> me:Graph.node -> rounds:int -> Device.t
+(** Inputs and decisions are [Value.float].  Decides at step [rounds + 1]. *)
+
+val decision_round : rounds:int -> int
+
+val rounds_for : eps:float -> delta:float -> int
+(** Rounds needed to shrink a spread of [delta] below [eps] (at least 1). *)
+
+val system : Graph.t -> f:int -> rounds:int -> inputs:float array -> System.t
+
+val trimmed_midpoint : f:int -> float list -> float
+(** The resolution rule, exposed for unit tests: sort, drop [f] from each
+    end, return the midpoint of the remainder.  Requires [2f < length]. *)
+
+val edg_device :
+  n:int -> f:int -> me:Graph.node -> eps:float -> delta:float -> Device.t
+(** The (ε,δ,γ)-agreement device (paper §6.2) with γ = 0: runs
+    {!rounds_for}[ ~eps ~delta] rounds of trimmed midpoints, so inputs at
+    most [delta] apart end at most [eps] apart, inside the correct input
+    range.  Theorem 6 shows this is only possible because [n >= 3f+1] —
+    point {!Approx_chain.certify_edg} at it on the triangle to watch it
+    fall. *)

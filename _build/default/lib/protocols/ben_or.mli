@@ -1,0 +1,20 @@
+(** Ben-Or's randomized consensus (crash-fault version, [n > 2f]).
+
+    Phases of two exchanges: a report round that extracts a majority
+    preference and a proposal round that decides on [f+1] matching
+    proposals, adopts a single proposal, or flips a coin.
+
+    Two roles here.  First, a possibility-side protocol for the {e crash}
+    model ([Adversary.crash]/[Adversary.silent] faults), where it decides in
+    a phase or two on clean inputs.  Second — the paper's §3 discussion of
+    (non)determinism, executable: the "coins" are a PRF of [(seed, me,
+    phase)], so each seed yields a {e deterministic} device family, and the
+    covering certificate dismantles every one of them on inadequate graphs.
+    Randomization changes expectations, not the reach of the Fault axiom. *)
+
+val device : n:int -> f:int -> me:Graph.node -> seed:int -> Device.t
+(** Boolean inputs.  No fixed decision round — use
+    {!Exec.run_until_decided}; honest runs with unanimous inputs decide at
+    step 3. *)
+
+val system : Graph.t -> f:int -> seed:int -> inputs:bool array -> System.t

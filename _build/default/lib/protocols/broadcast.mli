@@ -1,0 +1,20 @@
+(** Byzantine broadcast (the original Byzantine Generals problem [LSP]): a
+    designated {e general} announces a value; with [n > 3f] every correct
+    node must output the same value, equal to the general's when the general
+    is correct.
+
+    Rooted EIG: the general seeds the relay tree and the usual [f+1] rounds
+    of relaying plus bottom-up majority resolve the announcement.  This is
+    also the building block of interactive consistency ({!Interactive}). *)
+
+val device :
+  n:int -> f:int -> me:Graph.node -> general:Graph.node -> default:Value.t ->
+  Device.t
+(** The general's input is its announcement; other nodes' inputs are
+    ignored.  Decides at step [f + 2]. *)
+
+val decision_round : f:int -> int
+
+val system :
+  Graph.t -> f:int -> general:Graph.node -> value:Value.t -> default:Value.t ->
+  System.t

@@ -1,0 +1,21 @@
+(** Crusader agreement (Dolev, "The Byzantine Generals Strike Again" [D]).
+
+    A weaker — and cheaper — primitive than Byzantine broadcast: after two
+    rounds, every correct node outputs either a value or the distinguished
+    {!confused} marker, such that
+    - if the general is correct, every correct node outputs its value;
+    - any two correct nodes that output {e values} output the same one.
+    Correct nodes may split between a value and {!confused} only when the
+    general is faulty.  Needs [n > 3f]; used historically as the first phase
+    of agreement protocols, and here also as another instructive point on
+    the cost/guarantee spectrum between naive echoing and full broadcast. *)
+
+val confused : Value.t
+
+val device :
+  n:int -> f:int -> me:Graph.node -> general:Graph.node -> Device.t
+(** Decides at step 3 (two exchanges). *)
+
+val decision_round : int
+
+val system : Graph.t -> f:int -> general:Graph.node -> value:Value.t -> System.t

@@ -1,0 +1,34 @@
+(** Dolev's relay: reliable point-to-point transmission over a
+    [2f+1]-connected graph without signatures ([D], "The Byzantine Generals
+    Strike Again").
+
+    The source's value travels to every other node along [2f+1] internally
+    vertex-disjoint paths (Menger systems extracted from the max-flow
+    certificate).  A relay node forwards a claim only when it arrives from
+    the path's true predecessor at the path's true round, so a faulty node
+    can corrupt only the (at most [f]) paths it lies on; the destination
+    takes the value claimed by at least [f+1] of its path slots.
+
+    This is the possibility side of the 2f+1-connectivity bound: it works on
+    any graph with κ ≥ 2f+1 and is attackable on κ = 2f (experiment E11). *)
+
+val routes :
+  Graph.t -> f:int -> source:Graph.node -> (Graph.node * Graph.node list list) list
+(** The deterministic path systems used by the devices: for every
+    destination, [2f+1] internally vertex-disjoint source→destination paths,
+    shortest first.  Raises [Invalid_argument] when κ < 2f+1. *)
+
+val device :
+  Graph.t -> f:int -> source:Graph.node -> me:Graph.node -> default:Value.t ->
+  Device.t
+(** The relay/receive device.  The source decides its own input immediately;
+    every other node decides the majority-of-paths value at
+    {!decision_round}. *)
+
+val decision_round : Graph.t -> f:int -> source:Graph.node -> int
+(** One past the longest path arrival: [max_p (|p| - 1) + 1]. *)
+
+val system :
+  Graph.t -> f:int -> source:Graph.node -> value:Value.t -> default:Value.t ->
+  System.t
+(** The fault-free broadcast system: [value] as the source's input. *)

@@ -1,0 +1,26 @@
+(** Dolev–Strong signed Byzantine agreement.
+
+    The paper observes (§2) that consensus becomes possible in inadequate
+    graphs when the Fault axiom is weakened by unforgeable signatures
+    [LSP, PSL].  This protocol demonstrates it: run under the signed executor
+    ({!Exec.run} with [~signed:true]), it solves Byzantine agreement on
+    complete graphs with any [n >= 2f+1] — in particular on K₃ with f = 1
+    and K₅ with f = 2, both inadequate.
+
+    Structure: [n] parallel Dolev–Strong broadcasts (one per sender), [f+1]
+    relay rounds each; a value is accepted at round [r] only under a chain of
+    [r] distinct signatures rooted at the sender.  A node relays at most two
+    distinct values per instance (enough to expose an equivocating sender).
+    Decision: per instance, the unique accepted value or a default; overall,
+    the majority across instances.
+
+    Run under the {e unsigned} executor the protocol is attackable — and the
+    impossibility certificate for the triangle goes through against it —
+    which is experiment E13's ablation. *)
+
+val device : n:int -> f:int -> me:Graph.node -> default:Value.t -> Device.t
+(** Decides at step [f + 2]. *)
+
+val decision_round : f:int -> int
+
+val system : Graph.t -> f:int -> inputs:Value.t array -> default:Value.t -> System.t

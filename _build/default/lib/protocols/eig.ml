@@ -1,0 +1,111 @@
+(* The EIG tree lives in the device state as a Value assoc (see Eig_tree).
+   Nodes are small (n <= 10 in practice), so list operations dominate
+   nothing. *)
+
+let decision_round ~f = f + 2
+
+let device ~n ~f ~me ~default =
+  if n < 2 || f < 0 || me < 0 || me >= n then invalid_arg "Eig.device";
+  let others = List.filter (fun j -> j <> me) (List.init n Fun.id) in
+  let id_of_port = Array.of_list others in
+  let arity = n - 1 in
+  (* State: (step, decided option, tree). *)
+  let pack step decided tree =
+    Value.triple (Value.int step)
+      (match decided with None -> Value.unit | Some v -> Value.tag "d" v)
+      (Eig_tree.to_value tree)
+  in
+  let unpack state =
+    let step, decided, tree = Value.get_triple state in
+    ( Value.get_int step,
+      (if Value.is_tag "d" decided then Some (Value.untag "d" decided) else None),
+      Eig_tree.of_value tree )
+  in
+  {
+    Device.name = Printf.sprintf "EIG[%d/%d]@%d" n f me;
+    arity;
+    init = (fun ~input -> pack 0 None [ [], input ]);
+    step =
+      (fun ~state ~round:_ ~inbox ->
+        let step, decided, tree = unpack state in
+        (* 1. Absorb deliveries: messages sent at step-1 carry labels of
+           level step-1; a pair (sigma, v) from node j yields
+           val(sigma . j) = v. *)
+        let tree =
+          if step = 0 || step > f + 1 then tree
+          else begin
+            let level = step - 1 in
+            Array.to_list inbox
+            |> List.mapi (fun port m -> id_of_port.(port), m)
+            |> List.fold_left
+                 (fun tree (j, m) ->
+                   match m with
+                   | None -> tree
+                   | Some m -> (
+                     match Value.get_list m with
+                     | exception Value.Type_error _ -> tree
+                     | pairs ->
+                       List.fold_left
+                         (fun tree p ->
+                           match Value.get_pair p with
+                           | exception Value.Type_error _ -> tree
+                           | key, v -> (
+                             match Value.get_int_list key with
+                             | exception Value.Type_error _ -> tree
+                             | label ->
+                               if
+                                 Eig_tree.valid_label ~n ~level label
+                                 && not (List.mem j label)
+                               then Eig_tree.add tree (label @ [ j ]) v
+                               else tree))
+                         tree pairs))
+                 tree
+          end
+        in
+        (* 2. Self-relay: my own broadcast of level step-1 labels reaches my
+           tree directly. *)
+        let tree =
+          if step = 0 || step > f + 1 then tree
+          else
+            List.fold_left
+              (fun tree (label, v) ->
+                if
+                  List.length label = step - 1
+                  && not (List.mem me label)
+                then Eig_tree.add tree (label @ [ me ]) v
+                else tree)
+              tree tree
+        in
+        (* 3. Decide at step f+1 (after absorbing the last deliveries). *)
+        let decided =
+          if step = f + 1 && decided = None then
+            Some (Eig_tree.resolve ~n ~f ~default tree [])
+          else decided
+        in
+        (* 4. Broadcast all level-step labels not containing me. *)
+        let sends =
+          if step > f then Array.make arity None
+          else begin
+            let payload =
+              Eig_tree.level tree step
+              |> List.filter (fun (label, _) -> not (List.mem me label))
+              |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
+              |> List.map (fun (label, v) ->
+                     Value.pair (Eig_tree.label_key label) v)
+            in
+            Array.make arity (Some (Value.list payload))
+          end
+        in
+        pack (step + 1) decided tree, sends);
+    output =
+      (fun state ->
+        let _, decided, _ = unpack state in
+        decided);
+  }
+
+let system g ~f ~inputs ~default =
+  let n = Graph.n g in
+  if List.exists (fun u -> Graph.degree g u <> n - 1) (Graph.nodes g) then
+    invalid_arg "Eig.system: complete graph required";
+  if Array.length inputs <> n then invalid_arg "Eig.system: one input per node";
+  System.make g (fun u -> device ~n ~f ~me:u ~default, inputs.(u))

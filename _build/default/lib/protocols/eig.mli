@@ -1,0 +1,23 @@
+(** Exponential Information Gathering — Byzantine agreement for [n >= 3f+1]
+    on the complete graph ([PSL], [LSP]; presentation follows Lynch).
+
+    Each node relays, for [f+1] rounds, everything it has heard about
+    everyone's input along every chain of distinct witnesses, then resolves
+    the resulting tree bottom-up by majority.  With [n >= 3f+1] the protocol
+    achieves Agreement and Validity against any [f] Byzantine nodes — the
+    exact possibility frontier whose other side Theorem 1 closes.
+
+    Devices decide at step [f+2]; run for at least that many rounds. *)
+
+val device : n:int -> f:int -> me:Graph.node -> default:Value.t -> Device.t
+(** The agreement device [A_me] for node [me] of [K_n].  [default] is the
+    fallback value used for missing/garbled relays (the paper's proofs put no
+    constraint on it; Booleans use [Value.bool false]). *)
+
+val decision_round : f:int -> int
+(** The step at which every correct device decides: [f + 2]. *)
+
+val system :
+  Graph.t -> f:int -> inputs:Value.t array -> default:Value.t -> System.t
+(** Convenience: the fault-free system running EIG on a complete graph with
+    the given inputs.  Raises if the graph is not complete. *)

@@ -1,0 +1,44 @@
+type t = (Graph.node list * Value.t) list
+
+let label_key label = Value.int_list label
+
+let of_value v =
+  List.map (fun (k, value) -> Value.get_int_list k, value) (Value.assoc v)
+
+let to_value tree =
+  let sorted = List.sort (fun (a, _) (b, _) -> Stdlib.compare a b) tree in
+  Value.of_assoc (List.map (fun (k, value) -> label_key k, value) sorted)
+
+let find tree label = List.assoc_opt label tree
+
+let add tree label v =
+  if List.mem_assoc label tree then tree else (label, v) :: tree
+
+let valid_label ~n ~level label =
+  List.length label = level
+  && List.length (List.sort_uniq Int.compare label) = level
+  && List.for_all (fun j -> j >= 0 && j < n) label
+
+let level tree len =
+  List.filter (fun (label, _) -> List.length label = len) tree
+
+let majority ~default votes =
+  let distinct = List.sort_uniq Value.compare votes in
+  let count v = List.length (List.filter (Value.equal v) votes) in
+  let threshold = List.length votes / 2 in
+  match List.find_opt (fun v -> count v > threshold) distinct with
+  | Some v -> v
+  | None -> default
+
+let rec resolve ~n ~f ~default tree label =
+  if List.length label > f then
+    match find tree label with Some v -> v | None -> default
+  else begin
+    let children =
+      List.filter (fun j -> not (List.mem j label)) (List.init n Fun.id)
+    in
+    let votes =
+      List.map (fun j -> resolve ~n ~f ~default tree (label @ [ j ])) children
+    in
+    majority ~default votes
+  end

@@ -1,0 +1,31 @@
+(** The exponential-information-gathering tree, shared by EIG consensus
+    ({!Eig}) and rooted EIG broadcast ({!Broadcast}).
+
+    Labels are sequences of distinct node ids; the value at label
+    [j1; …; jr] is "jr told me that j(r-1) told jr that … j1's value is v".
+    Trees are stored in device state as sorted [Value] assocs. *)
+
+type t = (Graph.node list * Value.t) list
+
+val label_key : Graph.node list -> Value.t
+val of_value : Value.t -> t
+val to_value : t -> Value.t
+val find : t -> Graph.node list -> Value.t option
+
+val add : t -> Graph.node list -> Value.t -> t
+(** First write wins; later claims for the same label are ignored. *)
+
+val valid_label : n:int -> level:int -> Graph.node list -> bool
+(** Exactly [level] long, distinct ids, all in range. *)
+
+val level : t -> int -> t
+(** Entries whose label has the given length. *)
+
+val resolve : n:int -> f:int -> default:Value.t -> t -> Graph.node list -> Value.t
+(** Bottom-up majority resolution ("newval"): labels longer than [f] are
+    leaves read off the tree ([default] when absent); an inner label takes
+    the strict majority of its children [label @ [j]], [j] not in [label],
+    falling back to [default]. *)
+
+val majority : default:Value.t -> Value.t list -> Value.t
+(** Strict majority of a vote multiset, or [default]. *)

@@ -1,0 +1,23 @@
+(** Byzantine firing squad for adequate complete graphs ([BL], [CDDS]).
+
+    The stimulus (input [true]) arrives at time 0 at one or more nodes.  One
+    exchange round ORs the stimulus across correct nodes; Byzantine agreement
+    (EIG) then fixes a common verdict; everyone whose agreement output is
+    [true] enters FIRE at the same fixed round.
+
+    Conditions (paper §5): simultaneity — correct nodes fire at the same
+    time or not at all; validity — all-correct runs fire (after finite
+    delay) iff the stimulus occurred.  A faulty node {e may} trigger a
+    spurious synchronized firing; the §5 conditions permit this. *)
+
+val device : n:int -> f:int -> me:Graph.node -> Device.t
+(** Input [Value.bool]: whether the stimulus hit this node at time 0. *)
+
+val fire_round : f:int -> int
+(** The fixed round at which correct nodes enter FIRE (if they do):
+    [f + 3]. *)
+
+val fire : Value.t
+(** The FIRE output value. *)
+
+val system : Graph.t -> f:int -> stimulated:Graph.node list -> System.t

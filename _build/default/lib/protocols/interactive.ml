@@ -1,0 +1,33 @@
+let decision_round ~f = f + 2
+
+let instance_name i = string_of_int i
+
+let device ~n ~f ~me ~default =
+  let instances =
+    List.init n (fun general ->
+        ( instance_name general,
+          Broadcast.device ~n ~f ~me ~general ~default
+          |> Device.contramap_input (fun input ->
+                 if general = me then input else Value.unit) ))
+  in
+  Device.parallel instances
+  |> Device.map_output (fun assoc ->
+         Value.list
+           (List.init n (fun general ->
+                match Value.find ~key:(Value.string (instance_name general)) assoc with
+                | Some v -> v
+                | None -> default)))
+
+let vector_of_decision v = Value.get_list v
+
+let consensus_device ~n ~f ~me ~default =
+  device ~n ~f ~me ~default
+  |> Device.map_output (fun vector ->
+         Eig_tree.majority ~default (Value.get_list vector))
+
+let system g ~f ~inputs ~default =
+  let n = Graph.n g in
+  if List.exists (fun u -> Graph.degree g u <> n - 1) (Graph.nodes g) then
+    invalid_arg "Interactive.system: complete graph required";
+  if Array.length inputs <> n then invalid_arg "Interactive.system: inputs";
+  System.make g (fun u -> device ~n ~f ~me:u ~default, inputs.(u))

@@ -1,0 +1,23 @@
+(** Interactive consistency [PSL]: every correct node outputs the same
+    length-[n] vector of values, whose [i]-th entry is node [i]'s input
+    whenever node [i] is correct.
+
+    Built as [n] parallel {!Broadcast} instances (one general per node)
+    through {!Device.parallel}.  Interactive consistency subsumes Byzantine
+    agreement — {!consensus_device} folds the vector with a majority — and
+    inherits its [n > 3f] requirement. *)
+
+val device : n:int -> f:int -> me:Graph.node -> default:Value.t -> Device.t
+(** Decides the vector ([Value.list] of [n] entries) at step [f + 2]. *)
+
+val decision_round : f:int -> int
+
+val vector_of_decision : Value.t -> Value.t list
+(** Decode the decision into the per-node vector, in node order. *)
+
+val consensus_device :
+  n:int -> f:int -> me:Graph.node -> default:Value.t -> Device.t
+(** Byzantine agreement via interactive consistency: decide the majority
+    entry of the agreed vector. *)
+
+val system : Graph.t -> f:int -> inputs:Value.t array -> default:Value.t -> System.t

@@ -1,0 +1,27 @@
+(** Strawman protocols.
+
+    These are deliberately simple devices used (a) as attack targets in the
+    adversarial tests — showing {e why} the real protocols need their
+    machinery — and (b) as "alleged solutions" fed to the impossibility
+    engine, which dismantles them on inadequate graphs just as it dismantles
+    the real ones. *)
+
+val majority_vote : n:int -> f:int -> me:Graph.node -> default:Value.t -> Device.t
+(** One exchange, then majority (default on ties).  Satisfies Validity but
+    is broken by a single split-brain node.  Decides at step 2. *)
+
+val echo_once : n:int -> me:Graph.node -> default:Value.t -> Device.t
+(** Two exchanges (values, then the received vectors) with majority over all
+    first-hand and second-hand reports.  Still breakable — echoing does not
+    substitute for [f+1] rounds.  Decides at step 3. *)
+
+val repeat_own : n:int -> me:Graph.node -> Device.t
+(** Decides its own input immediately — satisfies Agreement never, Validity
+    always; a sanity target for the condition checkers. *)
+
+val flood_vote :
+  Graph.t -> me:Graph.node -> rounds:int -> default:Value.t -> Device.t
+(** Works on any connected graph: flood (id, input) claims for [rounds]
+    rounds, decide the majority of everything collected (default on ties).
+    The general-graph strawman handed to the connectivity certificates.
+    Decides at step [rounds + 1]. *)

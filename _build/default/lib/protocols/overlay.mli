@@ -1,0 +1,35 @@
+(** The overlay transport: run any complete-graph protocol on an arbitrary
+    [2f+1]-connected graph.
+
+    Together with EIG this closes the possibility side of both bounds at
+    once: Byzantine agreement is solvable on a graph [G] {e exactly} when
+    [n >= 3f+1] and [κ(G) >= 2f+1] — the overlay provides the "if", the
+    certificates of {!Ba_nodes} and {!Ba_connectivity} the "only if".
+
+    Each round of the inner protocol becomes a {e phase} of
+    [phase_length g ~f] rounds of [G]: an inner message from [s] to [t]
+    travels along the [2f+1] internally vertex-disjoint s→t paths with the
+    same predecessor/timing discipline as {!Dolev_relay}, and [t] credits the
+    value claimed by at least [f+1] of its path slots.  For correct [s] and
+    [t] this is a reliable channel; a faulty [s] can still say different
+    things to different nodes — which is exactly the Byzantine behavior the
+    inner protocol already tolerates. *)
+
+val phase_length : Graph.t -> f:int -> int
+(** Rounds of [G] per inner round: the longest relay path's arrival time.
+    Raises when κ(G) < 2f+1. *)
+
+val device :
+  Graph.t -> f:int -> inner:Device.t -> me:Graph.node -> Device.t
+(** [inner] must be the device for node [me] of the complete graph on
+    [Graph.n g] nodes (arity [n-1]).  The overlay device has arity
+    [degree me] and exposes the inner device's decisions. *)
+
+val horizon : Graph.t -> f:int -> inner_decision_round:int -> int
+(** Rounds of [G] needed for the inner decision to appear:
+    [(inner_decision_round - 1) * phase_length + 1].  This is also the
+    overlay's decision round. *)
+
+val eig_system :
+  Graph.t -> f:int -> inputs:Value.t array -> default:Value.t -> System.t
+(** EIG over the overlay: Byzantine agreement on any adequate graph. *)

@@ -1,0 +1,18 @@
+(** Phase King — Byzantine agreement with constant-size messages
+    (Berman–Garay; presentation follows Attiya–Welch, requiring [n > 4f]).
+
+    [f+1] phases of two rounds each: a preference exchange, then a "king"
+    broadcast that breaks ties.  Some phase has a correct king, after which
+    all correct preferences coincide and persist.  Message size is O(1),
+    versus EIG's exponential relays — the classic trade of resilience
+    ([n > 4f] here vs [n > 3f]) for communication.
+
+    Boolean inputs ([Value.bool]).  Devices decide at step [2f+3]. *)
+
+val device : n:int -> f:int -> me:Graph.node -> Device.t
+
+val decision_round : f:int -> int
+(** [2 * (f + 1) + 1]. *)
+
+val system : Graph.t -> f:int -> inputs:bool array -> System.t
+(** Fault-free Phase King on a complete graph. *)

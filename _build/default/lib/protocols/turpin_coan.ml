@@ -1,0 +1,114 @@
+let decision_round ~f = f + 4
+
+let bot = Value.tag "bot" Value.unit
+
+(* Most frequent non-bot value; ties break toward the smallest value, so
+   every correct node computes the same candidate from the same multiset. *)
+let candidate ~default votes =
+  let non_bot = List.filter (fun v -> not (Value.equal v bot)) votes in
+  match List.sort_uniq Value.compare non_bot with
+  | [] -> default
+  | distinct ->
+    let count v = List.length (List.filter (Value.equal v) non_bot) in
+    List.fold_left
+      (fun best v -> if count v > count best then v else best)
+      (List.hd distinct) (List.tl distinct)
+
+let device ~n ~f ~me ~default =
+  if n < 2 || f < 0 || me < 0 || me >= n then invalid_arg "Turpin_coan.device";
+  let arity = n - 1 in
+  let inner = Eig.device ~n ~f ~me ~default:(Value.bool false) in
+  (* State: (step, payload) where payload is the phase-specific data. *)
+  let pack step payload = Value.pair (Value.int step) payload in
+  let collect ~tag inbox own =
+    own
+    :: (Array.to_list inbox
+       |> List.filter_map (fun m ->
+              match m with
+              | Some v when Value.is_tag tag v -> Some (Value.untag tag v)
+              | Some _ | None -> None))
+  in
+  let wrap_inner sends =
+    Array.map (Option.map (fun m -> Value.tag "eig" m)) sends
+  in
+  {
+    Device.name = Printf.sprintf "TC[%d/%d]@%d" n f me;
+    arity;
+    init = (fun ~input -> pack 0 input);
+    step =
+      (fun ~state ~round:_ ~inbox ->
+        let step_v, payload = Value.get_pair state in
+        let step = Value.get_int step_v in
+        if step = 0 then
+          (* Broadcast the raw input. *)
+          ( pack 1 payload,
+            Array.make arity (Some (Value.tag "tc1" payload)) )
+        else if step = 1 then begin
+          (* Keep the input iff it has n-f support; else bottom. *)
+          let votes = collect ~tag:"tc1" inbox payload in
+          let supported w =
+            List.length (List.filter (Value.equal w) votes) >= n - f
+          in
+          let x =
+            match
+              List.find_opt supported (List.sort_uniq Value.compare votes)
+            with
+            | Some w -> w
+            | None -> bot
+          in
+          pack 2 x, Array.make arity (Some (Value.tag "tc2" x))
+        end
+        else if step = 2 then begin
+          (* Fix the common candidate; agree in binary on whether to use it. *)
+          let x = payload in
+          let votes = collect ~tag:"tc2" inbox x in
+          let y = candidate ~default votes in
+          (* Adopt the candidate only with n-f support: then at least n-2f >=
+             f+1 correct nodes back it, which forces every correct node's
+             candidate to be the same y (two n-f support sets share a correct
+             node, so correct non-bot values are all equal). *)
+          let support =
+            List.length (List.filter (Value.equal y) votes)
+          in
+          let b = support >= n - f in
+          let inner_state = inner.Device.init ~input:(Value.bool b) in
+          let inner_state, sends =
+            inner.Device.step ~state:inner_state ~round:0
+              ~inbox:(Array.make arity None)
+          in
+          pack 3 (Value.pair y inner_state), wrap_inner sends
+        end
+        else begin
+          let y, inner_state = Value.get_pair payload in
+          let inner_inbox =
+            Array.map
+              (function
+                | Some m when Value.is_tag "eig" m -> Some (Value.untag "eig" m)
+                | Some _ | None -> None)
+              inbox
+          in
+          let inner_state, sends =
+            inner.Device.step ~state:inner_state ~round:(step - 2)
+              ~inbox:inner_inbox
+          in
+          pack (step + 1) (Value.pair y inner_state), wrap_inner sends
+        end);
+    output =
+      (fun state ->
+        let step_v, payload = Value.get_pair state in
+        if Value.get_int step_v <= 3 then None
+        else begin
+          let y, inner_state = Value.get_pair payload in
+          match inner.Device.output inner_state with
+          | Some b when Value.equal b (Value.bool true) -> Some y
+          | Some _ -> Some default
+          | None -> None
+        end);
+  }
+
+let system g ~f ~inputs ~default =
+  let n = Graph.n g in
+  if List.exists (fun u -> Graph.degree g u <> n - 1) (Graph.nodes g) then
+    invalid_arg "Turpin_coan.system: complete graph required";
+  if Array.length inputs <> n then invalid_arg "Turpin_coan.system: inputs";
+  System.make g (fun u -> device ~n ~f ~me:u ~default, inputs.(u))

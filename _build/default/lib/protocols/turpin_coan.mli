@@ -1,0 +1,16 @@
+(** Turpin–Coan: multivalued Byzantine agreement from binary agreement, for
+    [n >= 3f+1], at the cost of two extra rounds.
+
+    Two pre-rounds establish, for every correct node, a candidate value [y]
+    such that all correct candidates coincide whenever any correct node saw
+    [n-f] support for its value; binary EIG then agrees on whether to adopt
+    the candidate or fall back to the default.  Arbitrary [Value.t] inputs —
+    this is what turns the Boolean protocols into agreement over commands,
+    configurations, or any other payload. *)
+
+val device : n:int -> f:int -> me:Graph.node -> default:Value.t -> Device.t
+(** Decides at step [f + 4]. *)
+
+val decision_round : f:int -> int
+
+val system : Graph.t -> f:int -> inputs:Value.t array -> default:Value.t -> System.t

@@ -1,0 +1,1 @@
+lib/system/adversary.ml: Array Device Hashtbl List Printf Trace Value

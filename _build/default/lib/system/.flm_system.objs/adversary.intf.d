@@ -1,0 +1,1 @@
+lib/system/adversary.mli: Device Graph Trace Value

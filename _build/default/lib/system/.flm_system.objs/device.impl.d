@@ -1,0 +1,1 @@
+lib/system/device.ml: Array List Option Printf String Value

@@ -1,0 +1,1 @@
+lib/system/device.mli: Value

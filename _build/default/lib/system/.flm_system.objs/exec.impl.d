@@ -1,0 +1,1 @@
+lib/system/exec.ml: Array Device Graph List Option Signature System Trace Value

@@ -1,0 +1,1 @@
+lib/system/exec.mli: System Trace

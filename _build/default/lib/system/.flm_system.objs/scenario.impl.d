@@ -1,0 +1,1 @@
+lib/system/scenario.ml: Array Format Graph Hashtbl Int List String System Trace Value

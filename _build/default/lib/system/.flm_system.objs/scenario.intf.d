@@ -1,0 +1,1 @@
+lib/system/scenario.mli: Format Graph Trace Value

@@ -1,0 +1,1 @@
+lib/system/signature.ml: Hashtbl List Option Value

@@ -1,0 +1,1 @@
+lib/system/signature.mli: Graph Value

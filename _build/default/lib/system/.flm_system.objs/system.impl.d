@@ -1,0 +1,1 @@
+lib/system/system.ml: Array Covering Device Graph Int List Printf Value

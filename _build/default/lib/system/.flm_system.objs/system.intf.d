@@ -1,0 +1,1 @@
+lib/system/system.mli: Covering Device Graph Value

@@ -1,0 +1,1 @@
+lib/system/trace.ml: Array Device Format Graph List Printf String System Value

@@ -1,0 +1,1 @@
+lib/system/trace.mli: Format Graph System Value

@@ -1,0 +1,42 @@
+(** Byzantine devices.
+
+    [from_trace] is the executable Fault axiom: a faulty node replays, on each
+    outedge independently, an edge behavior recorded in (possibly different)
+    runs — the paper's masquerading device [F_A(E_1,…,E_d)].  The remaining
+    constructors are concrete attack strategies used to test protocols on the
+    possibility side. *)
+
+val from_trace :
+  Trace.t -> name:string -> schedule:(Graph.node * Graph.node) list -> Device.t
+(** [from_trace trace ~schedule] builds a replay device whose port [j]
+    transmits the recorded behavior of the directed edge [List.nth schedule j]
+    of [trace].  Ports are positional: the caller lists one source edge per
+    port of the node where the device will be installed. *)
+
+val from_traces :
+  name:string -> (Trace.t * Graph.node * Graph.node) list -> Device.t
+(** Like {!from_trace} but each port may draw from a different trace —
+    the full strength of the Fault axiom. *)
+
+val silent : arity:int -> Device.t
+(** Sends nothing, forever ("crashed from the start"). *)
+
+val crash : after:int -> Device.t -> Device.t
+(** Behaves like the given honest device through round [after - 1], then
+    sends nothing and never decides. *)
+
+val split_brain : Device.t -> inputs:Value.t array -> Device.t
+(** The classic equivocation attack: runs one internal copy of the honest
+    device per distinct value in [inputs] (all copies fed the true inbox);
+    port [j]'s transmissions come from the copy initialized with
+    [inputs.(j)].  With two values this is the "two-faced" node of the
+    triangle scenario. *)
+
+val babbler : seed:int -> palette:Value.t list -> arity:int -> Device.t
+(** Sends pseudo-random messages from [palette] (deterministically seeded —
+    systems stay deterministic). *)
+
+val mutate :
+  Device.t -> rewrite:(port:int -> round:int -> Value.t option -> Value.t option) -> Device.t
+(** Runs the honest device but rewrites each outgoing message — lies built
+    from real protocol traffic, the hardest kind to detect. *)

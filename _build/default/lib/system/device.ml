@@ -1,0 +1,150 @@
+type t = {
+  name : string;
+  arity : int;
+  init : input:Value.t -> Value.t;
+  step :
+    state:Value.t ->
+    round:int ->
+    inbox:Value.t option array ->
+    Value.t * Value.t option array;
+  output : Value.t -> Value.t option;
+}
+
+let no_sends arity = Array.make arity None
+
+let silent ~name ~arity =
+  {
+    name;
+    arity;
+    init = (fun ~input:_ -> Value.unit);
+    step = (fun ~state ~round:_ ~inbox:_ -> state, no_sends arity);
+    output = (fun _ -> None);
+  }
+
+let constant ~name ~arity v =
+  {
+    name;
+    arity;
+    init = (fun ~input:_ -> Value.unit);
+    step = (fun ~state ~round:_ ~inbox:_ -> state, no_sends arity);
+    output = (fun _ -> Some v);
+  }
+
+let replay ~name ~sends =
+  let arity = Array.length sends in
+  {
+    name;
+    arity;
+    init = (fun ~input:_ -> Value.unit);
+    step =
+      (fun ~state ~round ~inbox:_ ->
+        let out =
+          Array.map
+            (fun schedule ->
+              if round < Array.length schedule then schedule.(round) else None)
+            sends
+        in
+        state, out);
+    output = (fun _ -> None);
+  }
+
+let with_name name d = { d with name }
+
+let check d =
+  if d.arity < 0 then invalid_arg "Device.check: negative arity"
+
+let step_checked d ~state ~round ~inbox =
+  if Array.length inbox <> d.arity then
+    invalid_arg
+      (Printf.sprintf "Device %s: inbox size %d, arity %d" d.name
+         (Array.length inbox) d.arity);
+  let state', sends = d.step ~state ~round ~inbox in
+  if Array.length sends <> d.arity then
+    invalid_arg
+      (Printf.sprintf "Device %s: sends size %d, arity %d" d.name
+         (Array.length sends) d.arity);
+  state', sends
+
+let contramap_input f d = { d with init = (fun ~input -> d.init ~input:(f input)) }
+
+let map_output f d =
+  { d with output = (fun state -> Option.map f (d.output state)) }
+
+let parallel named =
+  match named with
+  | [] -> invalid_arg "Device.parallel: no sub-devices"
+  | (_, first) :: rest ->
+    let arity = first.arity in
+    List.iter
+      (fun (name, d) ->
+        if d.arity <> arity then
+          invalid_arg
+            (Printf.sprintf "Device.parallel: %s has arity %d, expected %d"
+               name d.arity arity))
+      rest;
+    let names = List.map fst named in
+    let key name = Value.string name in
+    {
+      name = "par(" ^ String.concat "," names ^ ")";
+      arity;
+      init =
+        (fun ~input ->
+          Value.of_assoc
+            (List.map (fun (name, d) -> key name, d.init ~input) named));
+      step =
+        (fun ~state ~round ~inbox ->
+          let states = Value.assoc state in
+          let component name m =
+            match m with
+            | None -> None
+            | Some bundle -> (
+              match Value.find ~key:(key name) bundle with
+              | exception Value.Type_error _ -> None
+              | found -> found)
+          in
+          let stepped =
+            List.map
+              (fun (name, d) ->
+                let sub_state =
+                  match List.assoc_opt (key name) states with
+                  | Some s -> s
+                  | None -> invalid_arg "Device.parallel: missing sub-state"
+                in
+                let sub_inbox = Array.map (component name) inbox in
+                name, d.step ~state:sub_state ~round ~inbox:sub_inbox)
+              named
+          in
+          let state' =
+            Value.of_assoc
+              (List.map (fun (name, (s, _)) -> key name, s) stepped)
+          in
+          let sends =
+            Array.init arity (fun port ->
+                let parts =
+                  List.filter_map
+                    (fun (name, (_, out)) ->
+                      Option.map (fun m -> key name, m) out.(port))
+                    stepped
+                in
+                if parts = [] then None else Some (Value.of_assoc parts))
+          in
+          state', sends);
+      output =
+        (fun state ->
+          let states = Value.assoc state in
+          let decisions =
+            List.map
+              (fun (name, d) ->
+                match List.assoc_opt (key name) states with
+                | Some s -> name, d.output s
+                | None -> name, None)
+              named
+          in
+          if List.for_all (fun (_, o) -> o <> None) decisions then
+            Some
+              (Value.of_assoc
+                 (List.map
+                    (fun (name, o) -> key name, Option.get o)
+                    decisions))
+          else None);
+    }

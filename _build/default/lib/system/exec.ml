@@ -1,0 +1,74 @@
+let run ?(signed = false) ?(delay = 1) sys ~rounds =
+  if rounds < 0 then invalid_arg "Exec.run: negative horizon";
+  if delay < 1 then invalid_arg "Exec.run: delay >= 1 required";
+  let graph = System.graph sys in
+  let n = Graph.n graph in
+  let ledger = if signed then Some (Signature.ledger_create ~nodes:n) else None in
+  let states =
+    Array.init n (fun u ->
+        let s = Array.make (rounds + 1) Value.unit in
+        s.(0) <- (System.device sys u).Device.init ~input:(System.input sys u);
+        s)
+  in
+  let sent =
+    Array.init n (fun u ->
+        Array.make_matrix rounds (Array.length (System.wiring sys u)) None)
+  in
+  (* back_port.(u).(j): the port on which wiring(u).(j) reaches back to u. *)
+  let back_port =
+    Array.init n (fun u ->
+        Array.map (fun v -> System.port_to sys v u) (System.wiring sys u))
+  in
+  for r = 0 to rounds - 1 do
+    (* Absorb this round's deliveries into the signature ledgers first, so a
+       signature received now may be relayed now. *)
+    let inboxes =
+      Array.init n (fun u ->
+          let wiring = System.wiring sys u in
+          Array.init (Array.length wiring) (fun j ->
+              if r < delay then None
+              else sent.(wiring.(j)).(r - delay).(back_port.(u).(j))))
+    in
+    (match ledger with
+    | None -> ()
+    | Some ledger ->
+      Array.iteri
+        (fun u inbox ->
+          Array.iter
+            (function
+              | Some m -> Signature.absorb ledger ~node:u m
+              | None -> ())
+            inbox)
+        inboxes);
+    for u = 0 to n - 1 do
+      let state', sends =
+        Device.step_checked (System.device sys u) ~state:states.(u).(r)
+          ~round:r ~inbox:inboxes.(u)
+      in
+      let sends =
+        match ledger with
+        | None -> sends
+        | Some ledger ->
+          Array.map (Option.map (Signature.sanitize ledger ~node:u)) sends
+      in
+      states.(u).(r + 1) <- state';
+      sent.(u).(r) <- sends
+    done
+  done;
+  Trace.make ~system:sys ~rounds ~states ~sent
+
+let run_until_decided ?signed ?delay sys ~max_rounds =
+  if max_rounds < 1 then invalid_arg "Exec.run_until_decided: horizon >= 1";
+  (* Doubling search keeps total work linear in the final horizon while
+     reusing the pure executor. *)
+  let all_decided trace =
+    List.for_all
+      (fun u -> Trace.decision trace u <> None)
+      (Graph.nodes (System.graph sys))
+  in
+  let rec attempt horizon =
+    let t = run ?signed ?delay sys ~rounds:horizon in
+    if all_decided t || horizon >= max_rounds then t
+    else attempt (min max_rounds (2 * horizon))
+  in
+  attempt (min max_rounds 4)

@@ -1,0 +1,114 @@
+type t = {
+  nodes : Graph.node list;
+  states : (Graph.node * Value.t array) list;
+  edges : ((Graph.node * Graph.node) * Value.t option array) list;
+}
+
+let of_trace trace nodes =
+  let nodes = List.sort_uniq Int.compare nodes in
+  let graph = System.graph (Trace.system trace) in
+  let inside = Hashtbl.create (List.length nodes) in
+  List.iter (fun u -> Hashtbl.add inside u ()) nodes;
+  let states = List.map (fun u -> u, Trace.node_behavior trace u) nodes in
+  let edges =
+    List.concat_map
+      (fun u ->
+        List.filter_map
+          (fun v ->
+            if Hashtbl.mem inside v then
+              Some ((u, v), Trace.edge_behavior trace ~src:u ~dst:v)
+            else None)
+          (Graph.neighbors graph u))
+      nodes
+  in
+  { nodes; states; edges }
+
+let array_prefix_equal eq ~len a b =
+  let len = min len (max (Array.length a) (Array.length b)) in
+  let get arr i = if i < Array.length arr then Some arr.(i) else None in
+  let rec go i =
+    if i >= len then true
+    else
+      match get a i, get b i with
+      | Some x, Some y -> eq x y && go (i + 1)
+      | _, _ -> false
+  in
+  go 0
+
+let check_match ?through ~map s1 s2 =
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let image = List.map map s1.nodes in
+  let sorted_image = List.sort_uniq Int.compare image in
+  let* () =
+    if List.length sorted_image <> List.length s1.nodes then
+      err "map is not injective on scenario nodes"
+    else Ok ()
+  in
+  let* () =
+    if sorted_image <> s2.nodes then
+      err "mapped node set {%s} differs from {%s}"
+        (String.concat "," (List.map string_of_int sorted_image))
+        (String.concat "," (List.map string_of_int s2.nodes))
+    else Ok ()
+  in
+  let state_len a = Array.length a in
+  let limit_states a =
+    match through with None -> state_len a | Some t -> t + 1
+  in
+  let* () =
+    List.fold_left
+      (fun acc (u, behavior1) ->
+        let* () = acc in
+        match List.assoc_opt (map u) s2.states with
+        | None -> err "no behavior for mapped node %d" (map u)
+        | Some behavior2 ->
+          let len = limit_states behavior1 in
+          let full =
+            through = None
+            && state_len behavior1 <> state_len behavior2
+          in
+          if full then
+            err "node %d: behavior lengths differ (%d vs %d)" u
+              (state_len behavior1) (state_len behavior2)
+          else if array_prefix_equal Value.equal ~len behavior1 behavior2 then
+            Ok ()
+          else err "node %d: behavior differs from node %d's" u (map u))
+      (Ok ()) s1.states
+  in
+  List.fold_left
+    (fun acc ((u, v), msgs1) ->
+      let* () = acc in
+      match List.assoc_opt (map u, map v) s2.edges with
+      | None -> err "no mapped edge (%d,%d)" (map u) (map v)
+      | Some msgs2 ->
+        let len =
+          match through with
+          | None -> max (Array.length msgs1) (Array.length msgs2)
+          | Some t -> t
+        in
+        let full = through = None && Array.length msgs1 <> Array.length msgs2 in
+        if full then
+          err "edge (%d,%d): message lengths differ" u v
+        else if array_prefix_equal Value.equal_opt ~len msgs1 msgs2 then Ok ()
+        else err "edge (%d,%d): messages differ from (%d,%d)" u v (map u) (map v))
+    (Ok ()) s1.edges
+
+let matches ~map s1 s2 = check_match ~map s1 s2
+
+let matches_prefix ~through ~map s1 s2 = check_match ~through ~map s1 s2
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>scenario on {%s}"
+    (String.concat "," (List.map string_of_int s.nodes));
+  List.iter
+    (fun (u, behavior) ->
+      Format.fprintf ppf "@ node %d: %d states" u (Array.length behavior))
+    s.states;
+  List.iter
+    (fun ((u, v), msgs) ->
+      Format.fprintf ppf "@ edge %d->%d: [%s]" u v
+        (String.concat "; "
+           (List.map (Format.asprintf "%a" Value.pp_opt) (Array.to_list msgs))))
+    s.edges;
+  Format.fprintf ppf "@]"

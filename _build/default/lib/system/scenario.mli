@@ -1,0 +1,30 @@
+(** Scenarios: the restriction of a behavior to a subgraph.
+
+    The impossibility engine extracts scenarios from the covering system's
+    trace and matches them — node behaviors and internal edge behaviors,
+    under the covering map — against scenarios of reconstructed runs of the
+    original graph.  A successful match is the executable content of the
+    Locality axiom. *)
+
+type t = {
+  nodes : Graph.node list;
+  states : (Graph.node * Value.t array) list;
+      (** node behaviors, keyed by node *)
+  edges : ((Graph.node * Graph.node) * Value.t option array) list;
+      (** behaviors of the directed edges internal to the node set *)
+}
+
+val of_trace : Trace.t -> Graph.node list -> t
+
+val matches : map:(Graph.node -> Graph.node) -> t -> t -> (unit, string) result
+(** [matches ~map s1 s2]: does renaming [s1]'s nodes through [map] yield
+    exactly [s2]?  [map] must be injective on [s1.nodes] and hit all of
+    [s2.nodes].  [Error] pinpoints the first discrepancy. *)
+
+val matches_prefix :
+  through:int -> map:(Graph.node -> Graph.node) -> t -> t -> (unit, string) result
+(** Same, but compares states only up to step [through] and messages up to
+    round [through - 1] — the form needed by the Bounded-Delay arguments
+    ("identical through time t"). *)
+
+val pp : Format.formatter -> t -> unit

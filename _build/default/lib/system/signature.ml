@@ -1,0 +1,76 @@
+let tag_name = "signed"
+
+let signed ~signer payload =
+  Value.tag tag_name (Value.pair (Value.int signer) payload)
+
+let forged = Value.tag "forged" Value.unit
+
+let destruct v =
+  match v with
+  | Value.Tag (t, Value.Pair (Value.Int s, payload)) when t = tag_name ->
+    Some (s, payload)
+  | _ -> None
+
+let verify ~signer v =
+  match destruct v with
+  | Some (s, payload) when s = signer -> Some payload
+  | _ -> None
+
+let is_signed v = destruct v <> None
+
+let signer v = Option.map fst (destruct v)
+
+type ledger = (int, (int * Value.t, unit) Hashtbl.t) Hashtbl.t
+
+let ledger_create ~nodes =
+  let l = Hashtbl.create nodes in
+  for u = 0 to nodes - 1 do
+    Hashtbl.add l u (Hashtbl.create 64)
+  done;
+  l
+
+let node_table ledger node =
+  match Hashtbl.find_opt ledger node with
+  | Some t -> t
+  | None -> invalid_arg "Signature: unknown node"
+
+let rec iter_signed f v =
+  (match destruct v with Some (s, p) -> f (s, p) | None -> ());
+  match v with
+  | Value.Pair (a, b) ->
+    iter_signed f a;
+    iter_signed f b
+  | Value.List vs -> List.iter (iter_signed f) vs
+  | Value.Tag (_, p) -> iter_signed f p
+  | Value.Unit | Value.Bool _ | Value.Int _ | Value.Float _ | Value.String _ ->
+    ()
+
+let absorb ledger ~node v =
+  let table = node_table ledger node in
+  iter_signed (fun key -> Hashtbl.replace table key ()) v
+
+let sanitize ledger ~node v =
+  let table = node_table ledger node in
+  let legitimate (s, payload) = s = node || Hashtbl.mem table (s, payload) in
+  let rec rewrite v =
+    match destruct v with
+    | Some key ->
+      if legitimate key then begin
+        (* Anything a node legitimately sends, it also holds from now on
+           (covers self-signing). *)
+        Hashtbl.replace table key ();
+        (* The payload itself may contain nested signatures to police. *)
+        let s, payload = key in
+        signed ~signer:s (rewrite payload)
+      end
+      else forged
+    | None -> (
+      match v with
+      | Value.Pair (a, b) -> Value.Pair (rewrite a, rewrite b)
+      | Value.List vs -> Value.List (List.map rewrite vs)
+      | Value.Tag (t, p) -> Value.Tag (t, rewrite p)
+      | Value.Unit | Value.Bool _ | Value.Int _ | Value.Float _
+      | Value.String _ ->
+        v)
+  in
+  rewrite v

@@ -1,0 +1,44 @@
+(** Ideal unforgeable signatures.
+
+    The paper notes (§2) that significantly weakening the Fault axiom — e.g.
+    by an unforgeable-signature assumption — makes consensus possible in
+    inadequate graphs.  We model signatures as an ideal functionality enforced
+    by the executor: a value [signed signer payload] is {e legitimate} at a
+    node when the node is the physical signer or has previously received it;
+    the executor rewrites every illegitimate signed sub-value in an outgoing
+    message to a {!forged} marker, which verification rejects.
+
+    Under this functionality the replay device [F_A] loses its power: edge
+    behaviors lifted from other runs contain signatures the faulty node never
+    legitimately obtained, so they arrive visibly mangled — the executable
+    form of "the Fault axiom fails". *)
+
+val signed : signer:Graph.node -> Value.t -> Value.t
+(** Constructor used by honest devices to sign as themselves. *)
+
+val verify : signer:Graph.node -> Value.t -> Value.t option
+(** [verify ~signer v] returns the payload when [v] is an intact signature by
+    [signer]; [None] for anything else, including forgeries. *)
+
+val forged : Value.t
+(** What an illegitimate signature turns into in transit. *)
+
+val is_signed : Value.t -> bool
+val signer : Value.t -> Graph.node option
+
+(** {1 Executor support} *)
+
+type ledger
+(** Per-node record of legitimately held signatures. *)
+
+val ledger_create : nodes:int -> ledger
+
+val absorb : ledger -> node:Graph.node -> Value.t -> unit
+(** Record every signed sub-value of an incoming message as held by [node]. *)
+
+val sanitize : ledger -> node:Graph.node -> Value.t -> Value.t
+(** Rewrite every signed sub-value of an outgoing message that [node] does
+    not legitimately hold (and did not sign itself) to {!forged}. *)
+
+val destruct : Value.t -> (Graph.node * Value.t) option
+(** [(signer, payload)] of an intact signature, regardless of signer. *)

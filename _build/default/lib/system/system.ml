@@ -1,0 +1,81 @@
+type assignment = {
+  device : Device.t;
+  input : Value.t;
+  wiring : Graph.node array;
+}
+
+type t = {
+  graph : Graph.t;
+  assign : assignment array;
+}
+
+let validate graph assign =
+  Array.iteri
+    (fun u { device; wiring; _ } ->
+      let nbrs = Graph.neighbors graph u in
+      let deg = List.length nbrs in
+      if device.Device.arity <> deg then
+        invalid_arg
+          (Printf.sprintf
+             "System: device %s at node %d has arity %d, degree is %d"
+             device.Device.name u device.Device.arity deg);
+      if Array.length wiring <> deg then
+        invalid_arg
+          (Printf.sprintf "System: node %d wiring size %d, degree %d" u
+             (Array.length wiring) deg);
+      let sorted = List.sort Int.compare (Array.to_list wiring) in
+      if sorted <> nbrs then
+        invalid_arg
+          (Printf.sprintf "System: node %d wiring is not a permutation of its \
+                           neighbors" u))
+    assign
+
+let make graph assign_fn =
+  let assign =
+    Array.init (Graph.n graph) (fun u ->
+        let device, input = assign_fn u in
+        let wiring = Array.of_list (Graph.neighbors graph u) in
+        { device; input; wiring })
+  in
+  validate graph assign;
+  { graph; assign }
+
+let of_covering c ~device ~input =
+  let graph = c.Covering.source in
+  let assign =
+    Array.init (Graph.n graph) (fun u ->
+        {
+          device = device (Covering.apply c u);
+          input = input u;
+          wiring = Covering.wiring c u;
+        })
+  in
+  validate graph assign;
+  { graph; assign }
+
+let substitute sys u device =
+  let old = sys.assign.(u) in
+  if device.Device.arity <> old.device.Device.arity then
+    invalid_arg "System.substitute: arity mismatch";
+  let assign = Array.copy sys.assign in
+  assign.(u) <- { old with device };
+  { sys with assign }
+
+let substitute_input sys u input =
+  let assign = Array.copy sys.assign in
+  assign.(u) <- { assign.(u) with input };
+  { sys with assign }
+
+let graph sys = sys.graph
+let device sys u = sys.assign.(u).device
+let input sys u = sys.assign.(u).input
+let wiring sys u = sys.assign.(u).wiring
+
+let port_to sys u v =
+  let w = sys.assign.(u).wiring in
+  let rec find j =
+    if j >= Array.length w then raise Not_found
+    else if w.(j) = v then j
+    else find (j + 1)
+  in
+  find 0

@@ -1,0 +1,50 @@
+(** Systems: a communication graph with a device, an input, and a port wiring
+    at every node.
+
+    The wiring realizes the covering-map installation: port [j] of the device
+    at node [u] is connected to the neighbor [wiring.(j)] of [u].  For a
+    system built directly on a graph, port [j] is simply the [j]-th (sorted)
+    neighbor; for a system built from a covering, port [j] is the unique
+    neighbor lying over the [j]-th neighbor of [φ u]. *)
+
+type assignment = {
+  device : Device.t;
+  input : Value.t;
+  wiring : Graph.node array;
+      (** [wiring.(port)] = neighbor this port connects to; a permutation of
+          the node's neighbor list. *)
+}
+
+type t = private {
+  graph : Graph.t;
+  assign : assignment array;
+}
+
+val make : Graph.t -> (Graph.node -> Device.t * Value.t) -> t
+(** Natural wiring: port [j] ↦ [j]-th sorted neighbor.  Checks that each
+    device's arity equals its node's degree. *)
+
+val of_covering :
+  Covering.t ->
+  device:(Graph.node -> Device.t) ->
+  input:(Graph.node -> Value.t) ->
+  t
+(** [of_covering c ~device ~input] installs [device (φ u)] at every node [u]
+    of the covering's source graph, wired through the covering map, with
+    input [input u] ([input] is per {e source} node — the constructions give
+    different copies different inputs). *)
+
+val substitute : t -> Graph.node -> Device.t -> t
+(** Replace one node's device (e.g. by a faulty one), keeping wiring and
+    input.  The new device must have the same arity. *)
+
+val substitute_input : t -> Graph.node -> Value.t -> t
+
+val graph : t -> Graph.t
+val device : t -> Graph.node -> Device.t
+val input : t -> Graph.node -> Value.t
+val wiring : t -> Graph.node -> Graph.node array
+
+val port_to : t -> Graph.node -> Graph.node -> int
+(** [port_to sys u v] is the port of [u] wired to neighbor [v];
+    raises [Not_found] if [v] is not a neighbor of [u]. *)

@@ -1,0 +1,107 @@
+type t = {
+  system : System.t;
+  rounds : int;
+  states : Value.t array array;
+  sent : Value.t option array array array;
+}
+
+let make ~system ~rounds ~states ~sent =
+  let n = Graph.n (System.graph system) in
+  if Array.length states <> n || Array.length sent <> n then
+    invalid_arg "Trace.make: wrong node count";
+  Array.iteri
+    (fun u s ->
+      if Array.length s <> rounds + 1 then
+        invalid_arg (Printf.sprintf "Trace.make: node %d has %d states" u (Array.length s)))
+    states;
+  Array.iteri
+    (fun u s ->
+      if Array.length s <> rounds then
+        invalid_arg (Printf.sprintf "Trace.make: node %d has %d send rows" u (Array.length s)))
+    sent;
+  { system; rounds; states; sent }
+
+let rounds t = t.rounds
+let system t = t.system
+
+let node_behavior t u = Array.copy t.states.(u)
+
+let edge_behavior t ~src ~dst =
+  let port = System.port_to t.system src dst in
+  Array.init t.rounds (fun r -> t.sent.(src).(r).(port))
+
+let delivered t ~dst ~round =
+  let wiring = System.wiring t.system dst in
+  Array.init (Array.length wiring) (fun j ->
+      if round = 0 then None
+      else begin
+        let v = wiring.(j) in
+        let back = System.port_to t.system v dst in
+        t.sent.(v).(round - 1).(back)
+      end)
+
+let output t u ~round = (System.device t.system u).Device.output t.states.(u).(round)
+
+let decision_round t u =
+  let rec scan r =
+    if r > t.rounds then None
+    else
+      match output t u ~round:r with Some _ -> Some r | None -> scan (r + 1)
+  in
+  scan 0
+
+let decision t u =
+  match decision_round t u with
+  | None -> None
+  | Some r -> output t u ~round:r
+
+let border_behaviors t nodes =
+  List.map
+    (fun (src, dst) -> (src, dst), edge_behavior t ~src ~dst)
+    (Graph.inedge_border (System.graph t.system) nodes)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>trace (%d rounds)" t.rounds;
+  List.iter
+    (fun u ->
+      Format.fprintf ppf "@ node %d [%s] input=%a decision=%a" u
+        (System.device t.system u).Device.name Value.pp
+        (System.input t.system u) Value.pp_opt (decision t u))
+    (Graph.nodes (System.graph t.system));
+  Format.fprintf ppf "@]"
+
+let value_size v =
+  let rec go acc = function
+    | Value.Unit | Value.Bool _ | Value.Int _ | Value.Float _ -> acc + 1
+    | Value.String s -> acc + 1 + (String.length s / 8)
+    | Value.Pair (a, b) -> go (go (acc + 1) a) b
+    | Value.List vs -> List.fold_left go (acc + 1) vs
+    | Value.Tag (_, p) -> go (acc + 1) p
+  in
+  go 0 v
+
+let fold_messages f acc t =
+  let acc = ref acc in
+  Array.iteri
+    (fun u rounds ->
+      Array.iter
+        (fun ports ->
+          Array.iter
+            (function Some v -> acc := f !acc u v | None -> ())
+            ports)
+        rounds)
+    t.sent;
+  !acc
+
+let message_count t = fold_messages (fun acc _ _ -> acc + 1) 0 t
+
+let message_volume t = fold_messages (fun acc _ v -> acc + value_size v) 0 t
+
+let messages_by_node t =
+  let counts = Array.make (Graph.n (System.graph t.system)) 0 in
+  ignore
+    (fold_messages
+       (fun () u _ ->
+         counts.(u) <- counts.(u) + 1)
+       () t);
+  counts

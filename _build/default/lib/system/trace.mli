@@ -1,0 +1,63 @@
+(** Traces: the behavior of a system.
+
+    A system has exactly one behavior (devices are deterministic).  A trace
+    records, for every node, its state sequence (the paper's {e node
+    behavior}) and, for every directed edge, the message sequence crossing it
+    (the {e edge behavior}). *)
+
+type t = private {
+  system : System.t;
+  rounds : int;
+  states : Value.t array array;
+      (** [states.(u).(r)] for [r] in [0..rounds]: state after [r] steps. *)
+  sent : Value.t option array array array;
+      (** [sent.(u).(r).(port)] for [r] in [0..rounds-1]. *)
+}
+
+val make :
+  system:System.t ->
+  rounds:int ->
+  states:Value.t array array ->
+  sent:Value.t option array array array ->
+  t
+(** Used by the executor; validates dimensions. *)
+
+val rounds : t -> int
+val system : t -> System.t
+
+val node_behavior : t -> Graph.node -> Value.t array
+
+val edge_behavior : t -> src:Graph.node -> dst:Graph.node -> Value.t option array
+(** Messages sent by [src] to [dst], one slot per round.  Raises [Not_found]
+    if there is no such edge. *)
+
+val delivered : t -> dst:Graph.node -> round:int -> Value.t option array
+(** The inbox (per port of [dst]) delivered at [round] — messages sent in
+    [round - 1]; all-[None] at round 0. *)
+
+val output : t -> Graph.node -> round:int -> Value.t option
+(** The node's CHOOSE output in its state after [round] steps. *)
+
+val decision : t -> Graph.node -> Value.t option
+(** First output that becomes [Some]. *)
+
+val decision_round : t -> Graph.node -> int option
+(** Number of steps after which the decision first appears. *)
+
+val border_behaviors :
+  t -> Graph.node list -> ((Graph.node * Graph.node) * Value.t option array) list
+(** Edge behaviors of the inedge border of a node set. *)
+
+val pp : Format.formatter -> t -> unit
+(** Compact rendering: per node, name/input/decision; used by examples. *)
+
+(** {1 Statistics} *)
+
+val message_count : t -> int
+(** Total messages sent (non-silent port-round slots). *)
+
+val message_volume : t -> int
+(** Total size of all messages, in abstract value units: one unit per
+    constructor, plus one per 8 bytes of string payload. *)
+
+val messages_by_node : t -> int array

@@ -1,0 +1,153 @@
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | Pair of t * t
+  | List of t list
+  | Tag of string * t
+
+exception Type_error of string
+
+let type_error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+let rec equal a b =
+  match a, b with
+  | Unit, Unit -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> Float.equal x y
+  | String x, String y -> String.equal x y
+  | Pair (x1, x2), Pair (y1, y2) -> equal x1 y1 && equal x2 y2
+  | List xs, List ys -> List.length xs = List.length ys && List.for_all2 equal xs ys
+  | Tag (cx, x), Tag (cy, y) -> String.equal cx cy && equal x y
+  | (Unit | Bool _ | Int _ | Float _ | String _ | Pair _ | List _ | Tag _), _ -> false
+
+(* Constructor rank used to order values of distinct shapes. *)
+let rank = function
+  | Unit -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Float _ -> 3
+  | String _ -> 4
+  | Pair _ -> 5
+  | List _ -> 6
+  | Tag _ -> 7
+
+let rec compare a b =
+  match a, b with
+  | Unit, Unit -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | String x, String y -> String.compare x y
+  | Pair (x1, x2), Pair (y1, y2) ->
+    let c = compare x1 y1 in
+    if c <> 0 then c else compare x2 y2
+  | List xs, List ys -> compare_lists xs ys
+  | Tag (cx, x), Tag (cy, y) ->
+    let c = String.compare cx cy in
+    if c <> 0 then c else compare x y
+  | (Unit | Bool _ | Int _ | Float _ | String _ | Pair _ | List _ | Tag _), _ ->
+    Int.compare (rank a) (rank b)
+
+and compare_lists xs ys =
+  match xs, ys with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs', y :: ys' ->
+    let c = compare x y in
+    if c <> 0 then c else compare_lists xs' ys'
+
+let rec pp ppf = function
+  | Unit -> Format.pp_print_string ppf "()"
+  | Bool b -> Format.pp_print_bool ppf b
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> Format.fprintf ppf "%g" f
+  | String s -> Format.fprintf ppf "%S" s
+  | Pair (a, b) -> Format.fprintf ppf "@[<hov 1>(%a,@ %a)@]" pp a pp b
+  | List vs ->
+    Format.fprintf ppf "@[<hov 1>[%a]@]"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") pp)
+      vs
+  | Tag (c, Unit) -> Format.pp_print_string ppf c
+  | Tag (c, v) -> Format.fprintf ppf "@[<hov 1>%s(%a)@]" c pp v
+
+let to_string v = Format.asprintf "%a" pp v
+
+let unit = Unit
+let bool b = Bool b
+let int i = Int i
+let float f = Float f
+let string s = String s
+let pair a b = Pair (a, b)
+let list vs = List vs
+let tag c v = Tag (c, v)
+let triple a b c = Pair (a, Pair (b, c))
+
+let get_bool = function
+  | Bool b -> b
+  | v -> type_error "expected Bool, got %a" pp v
+
+let get_int = function
+  | Int i -> i
+  | v -> type_error "expected Int, got %a" pp v
+
+let get_float = function
+  | Float f -> f
+  | v -> type_error "expected Float, got %a" pp v
+
+let get_string = function
+  | String s -> s
+  | v -> type_error "expected String, got %a" pp v
+
+let get_pair = function
+  | Pair (a, b) -> a, b
+  | v -> type_error "expected Pair, got %a" pp v
+
+let get_list = function
+  | List vs -> vs
+  | v -> type_error "expected List, got %a" pp v
+
+let get_tag = function
+  | Tag (c, v) -> c, v
+  | v -> type_error "expected Tag, got %a" pp v
+
+let get_triple = function
+  | Pair (a, Pair (b, c)) -> a, b, c
+  | v -> type_error "expected triple, got %a" pp v
+
+let get_bool_opt = function Bool b -> Some b | _ -> None
+let get_int_opt = function Int i -> Some i | _ -> None
+let get_float_opt = function Float f -> Some f | _ -> None
+
+let untag c = function
+  | Tag (c', v) when String.equal c c' -> v
+  | v -> type_error "expected tag %s, got %a" c pp v
+
+let is_tag c = function Tag (c', _) -> String.equal c c' | _ -> false
+
+let assoc v = List.map get_pair (get_list v)
+let of_assoc kvs = List (List.map (fun (k, v) -> Pair (k, v)) kvs)
+
+let find ~key v =
+  let rec search = function
+    | [] -> None
+    | Pair (k, v) :: rest -> if equal k key then Some v else search rest
+    | w :: _ -> type_error "expected Pair in assoc, got %a" pp w
+  in
+  search (get_list v)
+
+let int_list is = List (List.map int is)
+let float_list fs = List (List.map float fs)
+let get_int_list v = List.map get_int (get_list v)
+let get_float_list v = List.map get_float (get_list v)
+
+let equal_opt = Option.equal equal
+let compare_opt = Option.compare compare
+
+let pp_opt ppf = function
+  | None -> Format.pp_print_string ppf "-"
+  | Some v -> pp ppf v

@@ -1,0 +1,91 @@
+(** Structured values exchanged between devices and stored as device state.
+
+    The FLM model leaves node and edge behaviors abstract; this module is the
+    concrete universe we instantiate them over.  Everything a device sends,
+    stores, or outputs is a [Value.t], which keeps traces comparable and
+    printable — the property the impossibility engine relies on when it checks
+    scenario equality between runs. *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | Pair of t * t
+  | List of t list
+  | Tag of string * t
+      (** [Tag (constructor, payload)] encodes protocol-specific variants. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Total order; [Float] compares with [Float.compare] so [nan] is ordered. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** {1 Constructors} *)
+
+val unit : t
+val bool : bool -> t
+val int : int -> t
+val float : float -> t
+val string : string -> t
+val pair : t -> t -> t
+val list : t list -> t
+val tag : string -> t -> t
+val triple : t -> t -> t -> t
+
+(** {1 Accessors}
+
+    Each [get_*] raises [Type_error] with a description of the mismatch; the
+    [*_opt] forms return [None] instead.  Protocol code uses the raising forms
+    because a type mismatch there is a programming error, not a runtime
+    condition. *)
+
+exception Type_error of string
+
+val get_bool : t -> bool
+val get_int : t -> int
+val get_float : t -> float
+val get_string : t -> string
+val get_pair : t -> t * t
+val get_list : t -> t list
+val get_tag : t -> string * t
+val get_triple : t -> t * t * t
+
+val get_bool_opt : t -> bool option
+val get_int_opt : t -> int option
+val get_float_opt : t -> float option
+
+val untag : string -> t -> t
+(** [untag c v] returns the payload of [v] when [v = Tag (c, payload)];
+    raises [Type_error] otherwise. *)
+
+val is_tag : string -> t -> bool
+
+(** {1 Collections} *)
+
+val assoc : t -> (t * t) list
+(** View a [List] of [Pair]s as an association list. *)
+
+val of_assoc : (t * t) list -> t
+
+val find : key:t -> t -> t option
+(** Lookup in a value built by {!of_assoc}. *)
+
+val int_list : int list -> t
+val float_list : float list -> t
+val get_int_list : t -> int list
+val get_float_list : t -> float list
+
+(** {1 Option-valued messages}
+
+    Edges carry [t option] per round ([None] = silence).  These helpers make
+    option sequences printable and comparable. *)
+
+val equal_opt : t option -> t option -> bool
+val compare_opt : t option -> t option -> int
+val pp_opt : Format.formatter -> t option -> unit

@@ -1,0 +1,1 @@
+test/test_clocks.ml: Alcotest Array Clock Clock_chain Clock_exec Clock_proto Clock_spec Clock_system Float Fun Graph List Printf QCheck QCheck_alcotest Topology Value Violation

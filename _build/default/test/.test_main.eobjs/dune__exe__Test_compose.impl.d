@@ -1,0 +1,1 @@
+test/test_compose.ml: Adversary Alcotest Array Broadcast Connectivity Device Eig Exec Fun Graph Interactive List Option Overlay Printf System Topology Trace Turpin_coan Util Value

@@ -1,0 +1,1 @@
+test/test_connectivity.ml: Alcotest Connectivity Format Graph List Paths Printf QCheck QCheck_alcotest Topology

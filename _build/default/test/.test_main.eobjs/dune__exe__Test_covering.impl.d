@@ -1,0 +1,1 @@
+test/test_covering.ml: Alcotest Array Covering Graph Hashtbl List QCheck QCheck_alcotest Random Topology

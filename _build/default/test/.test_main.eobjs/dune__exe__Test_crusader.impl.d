@@ -1,0 +1,1 @@
+test/test_crusader.ml: Adversary Alcotest Approx Approx_chain Approx_spec Array Certificate Crusader Exec Fun Graph List Option Overlay System Topology Trace Value

@@ -1,0 +1,1 @@
+test/test_eig.ml: Adversary Alcotest Array Covering Eig Exec Fun Graph List Printf QCheck QCheck_alcotest Scenario System Topology Trace Value

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Adversary Alcotest Array Ba_nodes Ben_or Certificate Covering Exec Fun Graph Hashtbl List Printf QCheck QCheck_alcotest Random System Topology Trace Util Value

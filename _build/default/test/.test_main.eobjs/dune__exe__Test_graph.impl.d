@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Format Graph List QCheck QCheck_alcotest Topology

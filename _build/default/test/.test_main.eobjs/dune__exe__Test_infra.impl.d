@@ -1,0 +1,1 @@
+test/test_infra.ml: Adversary Alcotest Array Device Exec Fun Graph List Printf Scenario Signature System Topology Trace Util Value

@@ -1,0 +1,1 @@
+test/test_protocols.ml: Adversary Alcotest Approx Array Bool Device Dolev_relay Dolev_strong Exec Firing Fun Graph List Naive Option Paths Phase_king Printf Signature System Topology Trace Value

@@ -1,0 +1,1 @@
+test/test_sweep.ml: Alcotest Format List String Sweep

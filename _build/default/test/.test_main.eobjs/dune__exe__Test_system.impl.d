@@ -1,0 +1,1 @@
+test/test_system.ml: Adversary Alcotest Array Covering Device Exec Fun Graph List Option Printf QCheck QCheck_alcotest Scenario System Topology Trace Util Value

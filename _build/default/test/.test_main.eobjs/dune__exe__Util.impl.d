@@ -1,0 +1,1 @@
+test/util.ml: Array Device Fun Graph List Printf System Trace Value

@@ -1,0 +1,277 @@
+(* The clock model: clock arithmetic, the tick-driven executor, the Scaling
+   axiom (executable), its breakage under real-time delay, and the Theorem 8
+   certificates. *)
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+let tfloat = Alcotest.float 1e-9
+
+let p = Clock.linear ~rate:1.0 ()
+let q = Clock.linear ~rate:2.0 ()
+let lower t = t
+let upper t = t +. 2.0
+
+let clock_arithmetic () =
+  check tfloat "apply" 6.0 (Clock.apply q 3.0);
+  check tfloat "inverse" 3.0 (Clock.apply_inverse q 6.0);
+  let h = Clock.rate_between p q in
+  check tfloat "h = p^-1 q" 8.0 (Clock.apply h 4.0);
+  check tfloat "h^3" 32.0 (Clock.apply (Clock.iterate h 3) 4.0);
+  check tfloat "h^-2" 1.0 (Clock.apply (Clock.iterate h (-2)) 4.0);
+  check tfloat "h^0" 4.0 (Clock.apply (Clock.iterate h 0) 4.0);
+  let c = Clock.compose q (Clock.linear ~rate:1.0 ~offset:5.0 ()) in
+  check tfloat "compose" 12.0 (Clock.apply c 1.0);
+  check tfloat "compose inverse" 1.0 (Clock.apply_inverse c 12.0);
+  match Clock.linear ~rate:(-1.0) () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative rate must be rejected"
+
+let tick_times_follow_clock () =
+  let g = Topology.complete 2 in
+  let sys =
+    Clock_system.make g (fun u ->
+        Clock_system.Honest
+          ( Clock_proto.trivial ~l:lower ~arity:1,
+            if u = 0 then p else q ))
+  in
+  let t = Clock_exec.run sys ~until:4.0 in
+  (* Node 0 (rate 1): ticks at 1,2,3,4.  Node 1 (rate 2): at 0.5,...,4. *)
+  check tint "node 0 ticks" 4 (List.length (Clock_exec.tick_times t 0));
+  check tint "node 1 ticks" 8 (List.length (Clock_exec.tick_times t 1));
+  check tfloat "node 1 first tick" 0.5 (List.hd (Clock_exec.tick_times t 1))
+
+let delivery_at_next_tick () =
+  (* An averaging node hears its neighbor's reading only at its first tick
+     after the send. *)
+  let g = Topology.complete 2 in
+  let sys =
+    Clock_system.make g (fun u ->
+        Clock_system.Honest
+          ( Clock_proto.averaging ~l:lower ~arity:1,
+            if u = 0 then p else q ))
+  in
+  let t = Clock_exec.run sys ~until:4.0 in
+  (* Node 1 (fast, reads 2t) keeps sending readings ahead of node 0's own
+     clock; by node 0's tick at real 2.0 it holds reading 3.0 (sent at real
+     1.5 < 2.0) and its logical clock is pulled above l(p(t)) = t. *)
+  check tbool "slow node pulled up" true (Clock_exec.logical_at t 0 2.0 > 2.0);
+  check tfloat "midpoint value" 2.5 (Clock_exec.logical_at t 0 2.0);
+  (* And the fast node ignores slower readings (max rule). *)
+  check tfloat "fast node stays" 8.0 (Clock_exec.logical_at t 1 4.0)
+
+let replay_schedules_inject () =
+  let g = Topology.complete 2 in
+  let sys =
+    Clock_system.make g (fun u ->
+        if u = 0 then
+          Clock_system.Honest (Clock_proto.averaging ~l:lower ~arity:1, p)
+        else Clock_system.Replay [ 0.25, 0, Value.float 100.0 ])
+  in
+  let t = Clock_exec.run sys ~until:3.0 in
+  (* The fake reading 100 arrives before node 0's first tick at 1.0. *)
+  check tfloat "fooled" ((1.0 +. 100.0) /. 2.0) (Clock_exec.logical_at t 0 1.0)
+
+(* The Scaling axiom, mechanized: scaled system = same tick states at h^-1
+   times. *)
+let scaling_axiom_holds () =
+  let g = Topology.complete 3 in
+  let clocks = [| p; q; Clock.linear ~rate:4.0 () |] in
+  let sys =
+    Clock_system.make g (fun u ->
+        Clock_system.Honest (Clock_proto.averaging ~l:lower ~arity:2, clocks.(u)))
+  in
+  let h = Clock.linear ~rate:2.0 () in
+  let t1 = Clock_exec.run sys ~until:8.0 in
+  let t2 = Clock_exec.run (Clock_system.scale h sys) ~until:4.0 in
+  List.iter
+    (fun u ->
+      let ticks1 = t1.Clock_exec.ticks.(u) and ticks2 = t2.Clock_exec.ticks.(u) in
+      check tint "same tick count" (Array.length ticks1) (Array.length ticks2);
+      Array.iteri
+        (fun i (tk1 : Clock_exec.tick) ->
+          let tk2 = ticks2.(i) in
+          check tbool "same state" true
+            (Value.equal tk1.Clock_exec.state tk2.Clock_exec.state);
+          check tfloat "hardware equal" tk1.Clock_exec.hardware
+            tk2.Clock_exec.hardware;
+          check tfloat "time scaled" (tk1.Clock_exec.real /. 2.0)
+            tk2.Clock_exec.real)
+        ticks1)
+    (Graph.nodes g)
+
+let delay_breaks_scaling () =
+  (* With a real-time transmission delay, scaling changes behaviors: the
+     paper's observation that bounding delay invalidates the Scaling axiom
+     (and with it the impossibility). *)
+  let g = Topology.complete 2 in
+  let sys =
+    Clock_system.make g (fun u ->
+        Clock_system.Honest
+          ( Clock_proto.averaging ~l:lower ~arity:1,
+            if u = 0 then p else q ))
+  in
+  let h = Clock.linear ~rate:2.0 () in
+  let delay = 0.6 in
+  let t1 = Clock_exec.run ~delay sys ~until:8.0 in
+  let t2 = Clock_exec.run ~delay (Clock_system.scale h sys) ~until:4.0 in
+  let same =
+    Array.length t1.Clock_exec.ticks.(0) = Array.length t2.Clock_exec.ticks.(0)
+    && Array.for_all2
+         (fun (a : Clock_exec.tick) (b : Clock_exec.tick) ->
+           Value.equal a.Clock_exec.state b.Clock_exec.state)
+         t1.Clock_exec.ticks.(0) t2.Clock_exec.ticks.(0)
+  in
+  check tbool "delayed behaviors are NOT scale-invariant" false same
+
+let params =
+  {
+    Clock_spec.p;
+    q;
+    lower;
+    upper;
+    alpha = 1.0;
+    t_prime = 4.0;
+  }
+
+let trivial_passes_validity_fails_agreement () =
+  (* Fault-free (p,q) pair: the trivial protocol respects the envelopes but
+     synchronizes no better than the trivial bound. *)
+  let g = Topology.complete 2 in
+  let sys =
+    Clock_system.make g (fun u ->
+        Clock_system.Honest
+          ( Clock_proto.trivial ~l:lower ~arity:1,
+            if u = 0 then q else p ))
+  in
+  let t = Clock_exec.run sys ~until:8.0 in
+  check tbool "validity holds" true
+    (Clock_spec.check_validity t ~node:0 params = []
+    && Clock_spec.check_validity t ~node:1 params = []);
+  check tbool "alpha-agreement fails" true
+    (Clock_spec.check_agreement t ~i:0 ~j:1 params <> [])
+
+let averaging_beats_trivial_in_pairs () =
+  (* The averaging device satisfies alpha-agreement in a legitimate pair —
+     which is exactly why the chain construction is needed to kill it. *)
+  let g = Topology.complete 2 in
+  let sys =
+    Clock_system.make g (fun u ->
+        Clock_system.Honest
+          ( Clock_proto.averaging ~l:lower ~arity:1,
+            if u = 0 then q else p ))
+  in
+  let t = Clock_exec.run sys ~until:16.0 in
+  check tbool "alpha-agreement holds in fault-free pair" true
+    (Clock_spec.check_agreement t ~i:0 ~j:1 params = []);
+  check tbool "validity holds in fault-free pair" true
+    (Clock_spec.check_validity t ~node:0 params = []
+    && Clock_spec.check_validity t ~node:1 params = [])
+
+let choose_k_threshold () =
+  let k = Clock_chain.choose_k params in
+  check tint "k+2 divisible by 3" 0 ((k + 2) mod 3);
+  check tbool "threshold satisfied" true
+    (params.Clock_spec.t_prime +. float_of_int k *. params.Clock_spec.alpha
+    > (2.0 *. params.Clock_spec.t_prime) +. 2.0)
+
+let theorem8_trivial () =
+  let cert =
+    Clock_chain.certify
+      ~device:(fun _ -> Clock_proto.trivial ~l:lower ~arity:2)
+      ~params ()
+  in
+  check tbool "contradiction for trivial device" true
+    (Clock_chain.is_contradiction cert);
+  (* The trivial device's failure is agreement, at the very first pair. *)
+  match cert.Clock_chain.verdict with
+  | Clock_chain.Contradiction { pair_index; violations } ->
+    check tint "fails at S_0" 0 pair_index;
+    check tbool "agreement violation" true
+      (List.exists
+         (fun v -> v.Violation.condition = "agreement")
+         violations)
+  | _ -> Alcotest.fail "expected contradiction"
+
+let theorem8_averaging () =
+  let cert =
+    Clock_chain.certify
+      ~device:(fun _ -> Clock_proto.averaging ~l:lower ~arity:2)
+      ~params ()
+  in
+  check tbool "contradiction for averaging device" true
+    (Clock_chain.is_contradiction cert);
+  (* Averaging survives pair 0 but the chain catches it later — and the
+     violation involves the envelope, as Lemma 11 predicts. *)
+  match cert.Clock_chain.verdict with
+  | Clock_chain.Contradiction { pair_index; violations } ->
+    check tbool "fails later than S_0 or on validity" true
+      (pair_index > 0
+      || List.exists (fun v -> v.Violation.condition = "validity") violations)
+  | _ -> Alcotest.fail "expected contradiction"
+
+let theorem8_locality_witnesses () =
+  let cert =
+    Clock_chain.certify
+      ~device:(fun _ -> Clock_proto.averaging ~l:lower ~arity:2)
+      ~params ()
+  in
+  List.iter
+    (fun (pr : Clock_chain.pair) ->
+      match pr.Clock_chain.locality with
+      | Ok () -> ()
+      | Error msg ->
+        Alcotest.fail
+          (Printf.sprintf "pair %d locality failed: %s" pr.Clock_chain.index
+             msg))
+    cert.Clock_chain.pairs
+
+(* Property: the Scaling axiom over random dyadic clock assignments and a
+   random dyadic scaling factor. *)
+let prop_scaling =
+  let gen = QCheck.Gen.(tup3 (int_bound 2) (int_bound 2) (int_bound 1)) in
+  QCheck.Test.make ~name:"scaling axiom (random dyadic clocks)" ~count:30
+    (QCheck.make gen)
+    (fun (r0, r1, hpow) ->
+      let rate i = Float.of_int (1 lsl i) in
+      let g = Topology.complete 2 in
+      let sys =
+        Clock_system.make g (fun u ->
+            Clock_system.Honest
+              ( Clock_proto.averaging ~l:Fun.id ~arity:1,
+                Clock.linear ~rate:(rate (if u = 0 then r0 else r1)) () ))
+      in
+      let hr = rate (hpow + 1) in
+      let h = Clock.linear ~rate:hr () in
+      let t1 = Clock_exec.run sys ~until:8.0 in
+      let t2 = Clock_exec.run (Clock_system.scale h sys) ~until:(8.0 /. hr) in
+      List.for_all
+        (fun u ->
+          let a = t1.Clock_exec.ticks.(u) and b = t2.Clock_exec.ticks.(u) in
+          Array.length a = Array.length b
+          && Array.for_all2
+               (fun (x : Clock_exec.tick) (y : Clock_exec.tick) ->
+                 Value.equal x.Clock_exec.state y.Clock_exec.state
+                 && Float.equal (x.Clock_exec.real /. hr) y.Clock_exec.real)
+               a b)
+        (Graph.nodes g))
+
+let suite =
+  ( "clocks",
+    [ Alcotest.test_case "clock arithmetic" `Quick clock_arithmetic;
+      Alcotest.test_case "tick times follow clock" `Quick tick_times_follow_clock;
+      Alcotest.test_case "delivery at next tick" `Quick delivery_at_next_tick;
+      Alcotest.test_case "replay schedules inject" `Quick replay_schedules_inject;
+      Alcotest.test_case "scaling axiom holds" `Quick scaling_axiom_holds;
+      Alcotest.test_case "delay breaks scaling" `Quick delay_breaks_scaling;
+      Alcotest.test_case "trivial: validity yes, alpha no" `Quick
+        trivial_passes_validity_fails_agreement;
+      Alcotest.test_case "averaging beats trivial in pairs" `Quick
+        averaging_beats_trivial_in_pairs;
+      Alcotest.test_case "choose_k" `Quick choose_k_threshold;
+      Alcotest.test_case "theorem 8 vs trivial" `Quick theorem8_trivial;
+      Alcotest.test_case "theorem 8 vs averaging" `Quick theorem8_averaging;
+      Alcotest.test_case "theorem 8 locality witnesses" `Quick
+        theorem8_locality_witnesses;
+      QCheck_alcotest.to_alcotest prop_scaling;
+    ] )

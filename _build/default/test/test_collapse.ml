@@ -1,0 +1,233 @@
+(* Footnote 3: the quotient (product-device) construction.  The collapsed
+   system must simulate the original exactly, and the collapse must carry
+   Theorem 1's general case down to the triangle. *)
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let bool_default = Value.bool false
+
+let quotient_graph_shape () =
+  let g = Topology.complete 6 in
+  let q = Collapse.quotient_graph g ~parts:[ [ 0; 1 ]; [ 2; 3 ]; [ 4; 5 ] ] in
+  check tint "triangle" 3 (Graph.n q);
+  check tint "3 edges" 3 (Graph.edge_count q);
+  (* A path collapses to a path. *)
+  let p = Topology.path 6 in
+  let q = Collapse.quotient_graph p ~parts:[ [ 0; 1 ]; [ 2; 3 ]; [ 4; 5 ] ] in
+  check tint "path quotient edges" 2 (Graph.edge_count q)
+
+let rejects_bad_partition () =
+  let g = Topology.complete 4 in
+  (match Collapse.quotient_graph g ~parts:[ [ 0; 1 ]; [ 2 ] ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "missing node must be rejected");
+  match Collapse.quotient_graph g ~parts:[ [ 0; 1; 2; 3 ]; [] ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty part must be rejected"
+
+(* The simulation theorem: every member's state sequence in the quotient run
+   equals its state sequence in the original run. *)
+let quotient_simulates_original ~g ~parts ~rounds =
+  let sys = Util.make_gossip_system ~horizon:rounds g in
+  let original = Exec.run sys ~rounds in
+  let quotient_sys = Collapse.system sys ~parts in
+  let quotient = Exec.run quotient_sys ~rounds in
+  List.iteri
+    (fun pi members ->
+      let behavior = Trace.node_behavior quotient pi in
+      List.iteri
+        (fun slot u ->
+          let original_behavior = Trace.node_behavior original u in
+          Array.iteri
+            (fun r state ->
+              let member = List.nth (Collapse.member_states state) slot in
+              check tbool
+                (Printf.sprintf "node %d state %d preserved" u r)
+                true
+                (Value.equal member original_behavior.(r)))
+            behavior)
+        members)
+    parts
+
+let simulation_complete_graph () =
+  quotient_simulates_original ~g:(Topology.complete 6)
+    ~parts:[ [ 0; 1 ]; [ 2; 3 ]; [ 4; 5 ] ]
+    ~rounds:5
+
+let simulation_uneven_parts () =
+  quotient_simulates_original ~g:(Topology.complete 5)
+    ~parts:[ [ 0 ]; [ 1; 2 ]; [ 3; 4 ] ]
+    ~rounds:5
+
+let simulation_sparse_graph () =
+  quotient_simulates_original ~g:(Topology.wheel 7)
+    ~parts:[ [ 0; 1 ]; [ 2; 3; 4 ]; [ 5; 6 ] ]
+    ~rounds:6
+
+let prop_simulation =
+  let gen =
+    QCheck.Gen.(map2 (fun seed cut -> seed, cut) (int_bound 9999) (int_bound 2))
+  in
+  QCheck.Test.make ~name:"quotient simulates original (random)" ~count:25
+    (QCheck.make gen)
+    (fun (seed, cut) ->
+      let g = Topology.random_connected ~seed ~n:7 ~p:0.4 () in
+      let parts =
+        match cut with
+        | 0 -> [ [ 0; 1 ]; [ 2; 3 ]; [ 4; 5; 6 ] ]
+        | 1 -> [ [ 0 ]; [ 1; 2; 3 ]; [ 4; 5; 6 ] ]
+        | _ -> [ [ 0; 1; 2 ]; [ 3 ]; [ 4; 5; 6 ] ]
+      in
+      (* Quotient must be connected on 3 parts for the product system to be
+         well-formed; skip degenerate draws. *)
+      let q = Collapse.quotient_graph g ~parts in
+      Graph.edge_count q < 2
+      ||
+      let rounds = 4 in
+      let sys = Util.make_gossip_system ~horizon:rounds g in
+      let original = Exec.run sys ~rounds in
+      let quotient = Exec.run (Collapse.system sys ~parts) ~rounds in
+      List.for_all
+        (fun (pi, members) ->
+          List.for_all
+            (fun (slot, u) ->
+              let behavior = Trace.node_behavior quotient pi in
+              Array.for_all2
+                (fun state original_state ->
+                  Value.equal
+                    (List.nth (Collapse.member_states state) slot)
+                    original_state)
+                behavior
+                (Trace.node_behavior original u))
+            (List.mapi (fun slot u -> slot, u) members))
+        (List.mapi (fun pi members -> pi, members) parts))
+
+let footnote3_certificates () =
+  (* The general n <= 3f bound by reduction: K5 and K6 with f = 2 collapse
+     onto the triangle, where the hexagon construction breaks the product
+     devices. *)
+  List.iter
+    (fun n ->
+      let f = 2 in
+      let cert =
+        Collapse.certify_via_triangle
+          ~device:(fun w -> Eig.device ~n ~f ~me:w ~default:bool_default)
+          ~v0:(Value.bool false) ~v1:(Value.bool true)
+          ~horizon:(Eig.decision_round ~f + 1)
+          ~f (Topology.complete n)
+      in
+      check tbool
+        (Printf.sprintf "K%d collapses to a contradiction" n)
+        true
+        (Certificate.is_contradiction cert);
+      match Certificate.validate cert with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m)
+    [ 5; 6 ]
+
+(* The general cases of Theorems 2 and 4 "follow immediately" (paper §4):
+   collapse the n <= 3f devices onto the triangle and run the ring
+   constructions against the product devices. *)
+let general_weak_agreement_via_collapse () =
+  let n = 6 and f = 2 in
+  let g = Topology.complete n in
+  let base = System.make g (fun u ->
+      Eig.device ~n ~f ~me:u ~default:bool_default, Value.bool false)
+  in
+  let parts = [ [ 0; 1 ]; [ 2; 3 ]; [ 4; 5 ] ] in
+  let product pi =
+    Collapse.device base ~parts ~part_index:pi
+    |> Device.map_output (fun ds ->
+           Eig_tree.majority ~default:bool_default (Value.get_list ds))
+  in
+  let deadline = Eig.decision_round ~f in
+  let cert =
+    Weak_ring.certify ~device:product ~deadline ~horizon:(deadline + 2) ()
+  in
+  check tbool "general weak agreement falls" true
+    (Certificate.is_contradiction cert);
+  match Certificate.validate cert with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let general_firing_squad_via_collapse () =
+  let n = 6 and f = 2 in
+  let g = Topology.complete n in
+  let base = System.make g (fun u ->
+      Firing.device ~n ~f ~me:u, Value.bool false)
+  in
+  let parts = [ [ 0; 1 ]; [ 2; 3 ]; [ 4; 5 ] ] in
+  (* Members fire in unison; the part fires when they all do. *)
+  let product pi =
+    Collapse.device base ~parts ~part_index:pi
+    |> Device.map_output (fun ds ->
+           if List.for_all (Value.equal Firing.fire) (Value.get_list ds) then
+             Firing.fire
+           else Value.tag "partial" Value.unit)
+  in
+  let fire_round = Firing.fire_round ~f in
+  let cert =
+    Firing_ring.certify ~device:product ~fire_round
+      ~horizon:(fire_round + 2) ()
+  in
+  check tbool "general firing squad falls" true
+    (Certificate.is_contradiction cert);
+  match Certificate.validate cert with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+(* Theorem 5's general case, same route: collapsed approximate-agreement
+   devices (decision = mean of member decisions) fall to the hexagon. *)
+let general_approx_via_collapse () =
+  let n = 6 and f = 2 and rounds = 5 in
+  let g = Topology.complete n in
+  let base = System.make g (fun u ->
+      Approx.device ~n ~f ~me:u ~rounds, Value.float 0.0)
+  in
+  let parts = [ [ 0; 1 ]; [ 2; 3 ]; [ 4; 5 ] ] in
+  let product pi =
+    Collapse.device base ~parts ~part_index:pi
+    |> Device.map_output (fun ds ->
+           let xs = List.map Value.get_float (Value.get_list ds) in
+           Value.float
+             (List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)))
+  in
+  let cert =
+    Approx_chain.certify_simple ~device:product
+      ~horizon:(Approx.decision_round ~rounds + 1) ()
+  in
+  check tbool "general approximate agreement falls" true
+    (Certificate.is_contradiction cert);
+  match Certificate.validate cert with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let footnote3_rejects_adequate () =
+  match
+    Collapse.certify_via_triangle
+      ~device:(fun w -> Eig.device ~n:7 ~f:2 ~me:w ~default:bool_default)
+      ~v0:(Value.bool false) ~v1:(Value.bool true) ~horizon:5 ~f:2
+      (Topology.complete 7)
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "K7 with f=2 is adequate; must refuse"
+
+let suite =
+  ( "collapse",
+    [ Alcotest.test_case "quotient graph shape" `Quick quotient_graph_shape;
+      Alcotest.test_case "rejects bad partitions" `Quick rejects_bad_partition;
+      Alcotest.test_case "simulation: complete graph" `Quick simulation_complete_graph;
+      Alcotest.test_case "simulation: uneven parts" `Quick simulation_uneven_parts;
+      Alcotest.test_case "simulation: sparse graph" `Quick simulation_sparse_graph;
+      QCheck_alcotest.to_alcotest prop_simulation;
+      Alcotest.test_case "footnote 3 certificates" `Quick footnote3_certificates;
+      Alcotest.test_case "general weak agreement via collapse" `Quick
+        general_weak_agreement_via_collapse;
+      Alcotest.test_case "general firing squad via collapse" `Quick
+        general_firing_squad_via_collapse;
+      Alcotest.test_case "general approx via collapse" `Quick
+        general_approx_via_collapse;
+      Alcotest.test_case "footnote 3 rejects adequate" `Quick footnote3_rejects_adequate;
+    ] )

@@ -1,0 +1,370 @@
+(* The composed protocols: rooted broadcast, interactive consistency,
+   Turpin-Coan multivalued agreement, and EIG over the Dolev-relay overlay
+   (Byzantine agreement on general adequate graphs). *)
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let bool_default = Value.bool false
+
+let correct_nodes g faulty =
+  List.filter (fun u -> not (List.mem u faulty)) (Graph.nodes g)
+
+let agreement_holds trace nodes =
+  match List.filter_map (fun u -> Trace.decision trace u) nodes with
+  | [] -> false
+  | first :: rest -> List.for_all (Value.equal first) rest
+
+let all_decided trace nodes =
+  List.for_all (fun u -> Trace.decision trace u <> None) nodes
+
+(* --- Device.parallel ---------------------------------------------------- *)
+
+let parallel_routes_messages () =
+  (* Two gossip instances side by side stay independent. *)
+  let g = Topology.complete 3 in
+  let sub u name =
+    Util.gossip_deciding ~name:(name ^ string_of_int u) ~arity:2 ~horizon:3
+  in
+  let sys =
+    System.make g (fun u ->
+        ( Device.parallel
+            [ "a", Device.contramap_input (fun v -> Value.pair v (Value.int 0)) (sub u "a");
+              "b", Device.contramap_input (fun v -> Value.pair v (Value.int 1)) (sub u "b");
+            ],
+          Value.int (10 + u) ))
+  in
+  let t = Exec.run sys ~rounds:5 in
+  List.iter
+    (fun u ->
+      match Trace.decision t u with
+      | None -> Alcotest.fail "parallel device did not decide"
+      | Some assoc ->
+        let a = Option.get (Value.find ~key:(Value.string "a") assoc) in
+        let b = Option.get (Value.find ~key:(Value.string "b") assoc) in
+        check tint "a instance saw 3 values" 3 (List.length (Value.get_list a));
+        check tbool "instances differ" false (Value.equal a b))
+    (Graph.nodes g)
+
+let parallel_rejects_mixed_arity () =
+  match
+    Device.parallel
+      [ "x", Device.silent ~name:"x" ~arity:2;
+        "y", Device.silent ~name:"y" ~arity:3;
+      ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+(* --- Broadcast ----------------------------------------------------------- *)
+
+let broadcast_honest_general () =
+  List.iter
+    (fun (n, f, general) ->
+      let g = Topology.complete n in
+      let value = Value.string "attack-at-dawn" in
+      let sys = Broadcast.system g ~f ~general ~value ~default:bool_default in
+      let t = Exec.run sys ~rounds:(Broadcast.decision_round ~f + 1) in
+      List.iter
+        (fun u ->
+          check tbool
+            (Printf.sprintf "node %d hears the general" u)
+            true
+            (Trace.decision t u = Some value))
+        (Graph.nodes g))
+    [ 4, 1, 0; 4, 1, 3; 7, 2, 2 ]
+
+let broadcast_faulty_general_consistent () =
+  (* A split-brain general: followers may adopt either value, but all
+     correct followers adopt the same one. *)
+  let n = 4 and f = 1 and general = 0 in
+  let g = Topology.complete n in
+  let sys =
+    Broadcast.system g ~f ~general ~value:(Value.bool true)
+      ~default:bool_default
+  in
+  let sys =
+    System.substitute sys general
+      (Adversary.split_brain
+         (Broadcast.device ~n ~f ~me:general ~general ~default:bool_default)
+         ~inputs:[| Value.bool true; Value.bool false; Value.bool true |])
+  in
+  let t = Exec.run sys ~rounds:(Broadcast.decision_round ~f + 1) in
+  check tbool "followers agree" true (agreement_holds t [ 1; 2; 3 ]);
+  check tbool "followers decided" true (all_decided t [ 1; 2; 3 ])
+
+let broadcast_faulty_relay () =
+  let n = 4 and f = 1 and general = 0 in
+  let g = Topology.complete n in
+  let value = Value.int 7 in
+  let sys = Broadcast.system g ~f ~general ~value ~default:bool_default in
+  let sys =
+    System.substitute sys 2
+      (Adversary.mutate
+         (Broadcast.device ~n ~f ~me:2 ~general ~default:bool_default)
+         ~rewrite:(fun ~port:_ ~round:_ m ->
+           Option.map (fun _ -> Value.list [ Value.pair (Value.int_list [ 0 ]) (Value.int 666) ]) m))
+  in
+  let t = Exec.run sys ~rounds:(Broadcast.decision_round ~f + 1) in
+  List.iter
+    (fun u ->
+      check tbool "lying relay cannot override general" true
+        (Trace.decision t u = Some value))
+    [ 1; 3 ]
+
+(* --- Interactive consistency ---------------------------------------------- *)
+
+let interactive_vectors () =
+  let n = 4 and f = 1 in
+  let g = Topology.complete n in
+  let inputs = Array.init n (fun u -> Value.int (100 + u)) in
+  let sys = Interactive.system g ~f ~inputs ~default:bool_default in
+  let t = Exec.run sys ~rounds:(Interactive.decision_round ~f + 1) in
+  List.iter
+    (fun u ->
+      match Trace.decision t u with
+      | None -> Alcotest.fail "no vector"
+      | Some v ->
+        let vec = Interactive.vector_of_decision v in
+        check tint "vector length" n (List.length vec);
+        List.iteri
+          (fun i entry ->
+            check tbool
+              (Printf.sprintf "entry %d is node %d's input" i i)
+              true
+              (Value.equal entry inputs.(i)))
+          vec)
+    (Graph.nodes g)
+
+let interactive_with_byzantine () =
+  let n = 4 and f = 1 in
+  let g = Topology.complete n in
+  let inputs = Array.init n (fun u -> Value.int u) in
+  let sys = Interactive.system g ~f ~inputs ~default:bool_default in
+  let sys =
+    System.substitute sys 3
+      (Adversary.split_brain
+         (Interactive.device ~n ~f ~me:3 ~default:bool_default)
+         ~inputs:[| Value.int 30; Value.int 31; Value.int 32 |])
+  in
+  let t = Exec.run sys ~rounds:(Interactive.decision_round ~f + 1) in
+  let correct = [ 0; 1; 2 ] in
+  (* All correct nodes output the SAME vector, correct on correct entries. *)
+  check tbool "vector agreement" true (agreement_holds t correct);
+  match Trace.decision t 0 with
+  | None -> Alcotest.fail "no vector"
+  | Some v ->
+    List.iteri
+      (fun i entry ->
+        if List.mem i correct then
+          check tbool "correct entries faithful" true
+            (Value.equal entry inputs.(i)))
+      (Interactive.vector_of_decision v)
+
+let interactive_consensus () =
+  let n = 4 and f = 1 in
+  let g = Topology.complete n in
+  let inputs = [| Value.int 5; Value.int 5; Value.int 5; Value.int 9 |] in
+  let sys =
+    System.make g (fun u ->
+        Interactive.consensus_device ~n ~f ~me:u ~default:bool_default, inputs.(u))
+  in
+  let t = Exec.run sys ~rounds:(Interactive.decision_round ~f + 1) in
+  List.iter
+    (fun u ->
+      check tbool "majority of vector" true
+        (Trace.decision t u = Some (Value.int 5)))
+    (Graph.nodes g)
+
+(* --- Turpin-Coan ----------------------------------------------------------- *)
+
+let tc_run ~n ~f ~inputs ~faulty =
+  let g = Topology.complete n in
+  let sys = Turpin_coan.system g ~f ~inputs ~default:(Value.string "none") in
+  let sys =
+    List.fold_left (fun acc (u, d) -> System.substitute acc u d) sys faulty
+  in
+  Exec.run sys ~rounds:(Turpin_coan.decision_round ~f + 1)
+
+let turpin_coan_validity () =
+  List.iter
+    (fun (n, f) ->
+      let v = Value.string "deploy-blue" in
+      let inputs = Array.make n v in
+      let t = tc_run ~n ~f ~inputs ~faulty:[] in
+      List.iter
+        (fun u ->
+          check tbool "unanimous multivalued input wins" true
+            (Trace.decision t u = Some v))
+        (List.init n Fun.id))
+    [ 4, 1; 7, 2 ]
+
+let turpin_coan_agreement_under_attack () =
+  let n = 4 and f = 1 in
+  let inputs =
+    [| Value.string "red"; Value.string "blue"; Value.string "red"; Value.string "green" |]
+  in
+  let faulty =
+    [ ( 3,
+        Adversary.split_brain
+          (Turpin_coan.device ~n ~f ~me:3 ~default:(Value.string "none"))
+          ~inputs:[| Value.string "red"; Value.string "blue"; Value.string "green" |] );
+    ]
+  in
+  let t = tc_run ~n ~f ~inputs ~faulty in
+  let correct = [ 0; 1; 2 ] in
+  check tbool "agreement" true (agreement_holds t correct);
+  check tbool "decided" true (all_decided t correct)
+
+let turpin_coan_supported_value_wins () =
+  (* Three of four correct nodes share "red": n-f support exists, so the
+     decision must be "red", not the default. *)
+  let n = 4 and f = 1 in
+  let inputs =
+    [| Value.string "red"; Value.string "red"; Value.string "red"; Value.string "blue" |]
+  in
+  let t = tc_run ~n ~f ~inputs ~faulty:[] in
+  List.iter
+    (fun u ->
+      check tbool "supported value adopted" true
+        (Trace.decision t u = Some (Value.string "red")))
+    [ 0; 1; 2; 3 ]
+
+(* --- The overlay: agreement on general adequate graphs ----------------------- *)
+
+let overlay_graphs =
+  [ "wheel 5 (f=1)", Topology.wheel 5, 1;
+    "H(3,7) (f=1)", Topology.harary ~k:3 ~n:7, 1;
+    "H(5,9) (f=2)", Topology.harary ~k:5 ~n:9, 2;
+  ]
+
+let overlay_fault_free () =
+  List.iter
+    (fun (label, g, f) ->
+      check tbool (label ^ " adequate") true (Connectivity.is_adequate ~f g);
+      let n = Graph.n g in
+      List.iter
+        (fun pattern ->
+          let inputs =
+            Array.init n (fun u -> Value.bool (pattern land (1 lsl u) <> 0))
+          in
+          let sys = Overlay.eig_system g ~f ~inputs ~default:bool_default in
+          let rounds =
+            Overlay.horizon g ~f
+              ~inner_decision_round:(Eig.decision_round ~f)
+          in
+          let t = Exec.run sys ~rounds:(rounds + 1) in
+          let nodes = Graph.nodes g in
+          check tbool (label ^ " decided") true (all_decided t nodes);
+          check tbool (label ^ " agreement") true (agreement_holds t nodes);
+          match
+            List.sort_uniq Value.compare
+              (List.map (fun u -> inputs.(u)) nodes)
+          with
+          | [ v ] ->
+            List.iter
+              (fun u ->
+                check tbool (label ^ " validity") true
+                  (Trace.decision t u = Some v))
+              nodes
+          | _ -> ())
+        [ 0; 5; (1 lsl n) - 1 ])
+    overlay_graphs
+
+let overlay_under_attack () =
+  List.iter
+    (fun (label, g, f) ->
+      let n = Graph.n g in
+      let inputs = Array.init n (fun u -> Value.bool (u mod 2 = 0)) in
+      let faulty = List.init f (fun i -> 1 + (3 * i)) in
+      let sys = Overlay.eig_system g ~f ~inputs ~default:bool_default in
+      let sys =
+        List.fold_left
+          (fun acc u ->
+            System.substitute acc u
+              (Adversary.babbler ~seed:(13 * u) ~arity:(Graph.degree g u)
+                 ~palette:
+                   [ Value.bool true;
+                     Value.list [ Value.int 1 ];
+                     Value.tag "ov"
+                       (Value.pair
+                          (Value.pair (Value.int 0) (Value.int 2))
+                          (Value.pair (Value.int 0) (Value.bool true)));
+                   ]))
+          sys faulty
+      in
+      let rounds =
+        Overlay.horizon g ~f ~inner_decision_round:(Eig.decision_round ~f)
+      in
+      let t = Exec.run sys ~rounds:(rounds + 1) in
+      let correct = correct_nodes g faulty in
+      check tbool (label ^ " decided") true (all_decided t correct);
+      check tbool (label ^ " agreement") true (agreement_holds t correct);
+      match
+        List.sort_uniq Value.compare (List.map (fun u -> inputs.(u)) correct)
+      with
+      | [ v ] ->
+        List.iter
+          (fun u ->
+            check tbool (label ^ " validity") true (Trace.decision t u = Some v))
+          correct
+      | _ -> ())
+    overlay_graphs
+
+let overlay_split_brain () =
+  (* The strongest attack: a Byzantine node running the real protocol
+     two-faced, on a sparse graph. *)
+  let g = Topology.harary ~k:3 ~n:7 and f = 1 in
+  let n = Graph.n g in
+  let inputs = Array.init n (fun u -> Value.bool (u < 4)) in
+  let bad = 2 in
+  let honest u =
+    Overlay.device g ~f ~me:u
+      ~inner:(Eig.device ~n ~f ~me:u ~default:bool_default)
+  in
+  let sys = Overlay.eig_system g ~f ~inputs ~default:bool_default in
+  let sys =
+    System.substitute sys bad
+      (Adversary.split_brain (honest bad)
+         ~inputs:(Array.init (Graph.degree g bad) (fun j -> Value.bool (j mod 2 = 0))))
+  in
+  let rounds =
+    Overlay.horizon g ~f ~inner_decision_round:(Eig.decision_round ~f)
+  in
+  let t = Exec.run sys ~rounds:(rounds + 1) in
+  let correct = correct_nodes g [ bad ] in
+  check tbool "split-brain: decided" true (all_decided t correct);
+  check tbool "split-brain: agreement" true (agreement_holds t correct)
+
+let overlay_refuses_inadequate () =
+  match
+    Overlay.phase_length (Topology.cycle 5) ~f:1
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "overlay must refuse kappa < 2f+1"
+
+let overlay_phase_length () =
+  check tint "K4 phase" 2 (Overlay.phase_length (Topology.complete 4) ~f:1);
+  check tbool "H(3,7) phase >= 2" true
+    (Overlay.phase_length (Topology.harary ~k:3 ~n:7) ~f:1 >= 2)
+
+let suite =
+  ( "compose",
+    [ Alcotest.test_case "parallel routes messages" `Quick parallel_routes_messages;
+      Alcotest.test_case "parallel rejects mixed arity" `Quick parallel_rejects_mixed_arity;
+      Alcotest.test_case "broadcast honest general" `Quick broadcast_honest_general;
+      Alcotest.test_case "broadcast faulty general" `Quick broadcast_faulty_general_consistent;
+      Alcotest.test_case "broadcast faulty relay" `Quick broadcast_faulty_relay;
+      Alcotest.test_case "interactive vectors" `Quick interactive_vectors;
+      Alcotest.test_case "interactive with byzantine" `Quick interactive_with_byzantine;
+      Alcotest.test_case "interactive consensus" `Quick interactive_consensus;
+      Alcotest.test_case "turpin-coan validity" `Quick turpin_coan_validity;
+      Alcotest.test_case "turpin-coan agreement" `Quick turpin_coan_agreement_under_attack;
+      Alcotest.test_case "turpin-coan supported value" `Quick turpin_coan_supported_value_wins;
+      Alcotest.test_case "overlay fault-free" `Quick overlay_fault_free;
+      Alcotest.test_case "overlay under attack" `Quick overlay_under_attack;
+      Alcotest.test_case "overlay split-brain" `Quick overlay_split_brain;
+      Alcotest.test_case "overlay refuses inadequate" `Quick overlay_refuses_inadequate;
+      Alcotest.test_case "overlay phase length" `Quick overlay_phase_length;
+    ] )

@@ -1,0 +1,160 @@
+(* Connectivity, cuts, Menger paths, and adequacy — validated against brute
+   force on small graphs. *)
+
+let check = Alcotest.check
+let tint = Alcotest.int
+let tbool = Alcotest.bool
+
+(* Brute-force vertex connectivity: smallest vertex set whose removal
+   disconnects the remainder (or n-1 for complete graphs). *)
+let brute_vertex_connectivity g =
+  let n = Graph.n g in
+  if n <= 1 then 0
+  else if not (Graph.is_connected g) then 0
+  else begin
+    let rec subsets k nodes =
+      if k = 0 then [ [] ]
+      else
+        match nodes with
+        | [] -> []
+        | x :: rest ->
+          List.map (fun s -> x :: s) (subsets (k - 1) rest) @ subsets k rest
+    in
+    let rec search k =
+      if k >= n - 1 then n - 1
+      else if
+        List.exists
+          (fun cut -> Connectivity.separates g cut)
+          (subsets k (Graph.nodes g))
+      then k
+      else search (k + 1)
+    in
+    search 1
+  end
+
+let known_values () =
+  check tint "K5" 4 (Connectivity.vertex (Topology.complete 5));
+  check tint "C6" 2 (Connectivity.vertex (Topology.cycle 6));
+  check tint "path" 1 (Connectivity.vertex (Topology.path 5));
+  check tint "star" 1 (Connectivity.vertex (Topology.star 6));
+  check tint "wheel" 3 (Connectivity.vertex (Topology.wheel 7));
+  check tint "Q3" 3 (Connectivity.vertex (Topology.hypercube 3));
+  check tint "K33" 3 (Connectivity.vertex (Topology.complete_bipartite 3 3));
+  check tint "disconnected" 0
+    (Connectivity.vertex (Graph.make ~n:4 [ 0, 1; 2, 3 ]))
+
+let harary_is_k_connected () =
+  List.iter
+    (fun (k, n) ->
+      check tint
+        (Printf.sprintf "H(%d,%d)" k n)
+        k
+        (Connectivity.vertex (Topology.harary ~k ~n)))
+    [ 2, 5; 3, 6; 3, 7; 4, 7; 4, 8; 5, 8; 5, 9; 6, 10 ]
+
+let edge_connectivity () =
+  check tint "K4 edge" 3 (Connectivity.edge (Topology.complete 4));
+  check tint "C5 edge" 2 (Connectivity.edge (Topology.cycle 5));
+  check tint "path edge" 1 (Connectivity.edge (Topology.path 4))
+
+let min_cut_separates () =
+  List.iter
+    (fun g ->
+      let cut = Connectivity.min_vertex_cut g in
+      check tint "cut size = kappa" (Connectivity.vertex g) (List.length cut);
+      check tbool "cut separates" true (Connectivity.separates g cut))
+    [ Topology.cycle 6;
+      Topology.wheel 7;
+      Topology.harary ~k:3 ~n:8;
+      Topology.complete_bipartite 2 5;
+      Topology.grid 3 3;
+    ]
+
+let adequacy () =
+  (* The classic thresholds: K4 tolerates 1 fault, K3 does not; C4 has
+     connectivity 2 < 3 so it is inadequate for f=1 despite n=4. *)
+  check tbool "K4 adequate f=1" true (Connectivity.is_adequate ~f:1 (Topology.complete 4));
+  check tbool "K3 inadequate f=1" true (Connectivity.is_inadequate ~f:1 (Topology.complete 3));
+  check tbool "C4 inadequate f=1" true (Connectivity.is_inadequate ~f:1 (Topology.cycle 4));
+  check tbool "K7 adequate f=2" true (Connectivity.is_adequate ~f:2 (Topology.complete 7));
+  check tbool "K6 inadequate f=2" true (Connectivity.is_inadequate ~f:2 (Topology.complete 6));
+  check tint "max faults K10" 3 (Connectivity.max_tolerable_faults (Topology.complete 10));
+  check tint "max faults C9" 0 (Connectivity.max_tolerable_faults (Topology.cycle 9));
+  (* n large enough but connectivity is the binding constraint. *)
+  let h = Topology.harary ~k:3 ~n:10 in
+  check tint "max faults H(3,10)" 1 (Connectivity.max_tolerable_faults h);
+  check tbool "f=0 needs connectivity" true
+    (Connectivity.is_inadequate ~f:0 (Graph.make ~n:4 [ 0, 1; 2, 3 ]))
+
+let menger_paths () =
+  let g = Topology.harary ~k:4 ~n:9 in
+  let paths = Paths.vertex_disjoint g ~src:0 ~dst:4 in
+  check tint "H(4,9) disjoint paths" 4 (List.length paths);
+  check tbool "paths valid" true
+    (List.for_all (Paths.is_path g) paths);
+  check tbool "paths disjoint" true
+    (Paths.are_internally_disjoint ~src:0 ~dst:4 paths)
+
+let menger_adjacent () =
+  let g = Topology.complete 4 in
+  let paths = Paths.vertex_disjoint g ~src:0 ~dst:1 in
+  check tint "K4 adjacent pair paths" 3 (List.length paths);
+  check tbool "disjoint" true (Paths.are_internally_disjoint ~src:0 ~dst:1 paths)
+
+let shortest_path () =
+  let g = Topology.cycle 6 in
+  (match Paths.shortest g ~src:0 ~dst:3 with
+  | Some p -> check tint "C6 shortest length" 4 (List.length p)
+  | None -> Alcotest.fail "expected path");
+  let g2 = Graph.make ~n:4 [ 0, 1; 2, 3 ] in
+  check tbool "no path" true (Paths.shortest g2 ~src:0 ~dst:3 = None)
+
+let graph_gen =
+  QCheck.Gen.(
+    map2
+      (fun n seed -> Topology.random_connected ~seed ~n:(4 + n) ~p:0.35 ())
+      (int_bound 5) (int_bound 10_000))
+
+let arbitrary_graph = QCheck.make ~print:(Format.asprintf "%a" Graph.pp) graph_gen
+
+let prop_matches_brute_force =
+  QCheck.Test.make ~name:"vertex connectivity = brute force" ~count:60
+    arbitrary_graph
+    (fun g -> Connectivity.vertex g = brute_vertex_connectivity g)
+
+let prop_kappa_le_min_degree =
+  QCheck.Test.make ~name:"kappa <= min degree" ~count:100 arbitrary_graph
+    (fun g -> Connectivity.vertex g <= Graph.min_degree g)
+
+let prop_menger =
+  QCheck.Test.make ~name:"Menger: #paths >= kappa, disjoint, valid" ~count:60
+    arbitrary_graph
+    (fun g ->
+      let kappa = Connectivity.vertex g in
+      let src = 0 and dst = Graph.n g - 1 in
+      if src = dst then true
+      else
+        let paths = Paths.vertex_disjoint g ~src ~dst in
+        List.length paths >= kappa
+        && List.for_all (Paths.is_path g) paths
+        && Paths.are_internally_disjoint ~src ~dst paths)
+
+let prop_edge_ge_vertex =
+  QCheck.Test.make ~name:"kappa <= lambda (Whitney)" ~count:60 arbitrary_graph
+    (fun g -> Connectivity.vertex g <= Connectivity.edge g)
+
+let suite =
+  ( "connectivity",
+    [ Alcotest.test_case "known values" `Quick known_values;
+      Alcotest.test_case "harary k-connected" `Quick harary_is_k_connected;
+      Alcotest.test_case "edge connectivity" `Quick edge_connectivity;
+      Alcotest.test_case "min cut separates" `Quick min_cut_separates;
+      Alcotest.test_case "adequacy thresholds" `Quick adequacy;
+      Alcotest.test_case "menger paths" `Quick menger_paths;
+      Alcotest.test_case "menger adjacent" `Quick menger_adjacent;
+      Alcotest.test_case "shortest path" `Quick shortest_path;
+      QCheck_alcotest.to_alcotest prop_matches_brute_force;
+      QCheck_alcotest.to_alcotest prop_kappa_le_min_degree;
+      QCheck_alcotest.to_alcotest prop_menger;
+      QCheck_alcotest.to_alcotest prop_edge_ge_vertex;
+    ] )

@@ -1,0 +1,182 @@
+(* Covering graphs: the paper's constructions really are coverings, and the
+   verifier rejects non-coverings. *)
+
+let check = Alcotest.check
+let tint = Alcotest.int
+let tbool = Alcotest.bool
+
+let expect_ok = function
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("expected covering, got: " ^ msg)
+
+let hexagon () =
+  let c = Covering.triangle_hexagon () in
+  expect_ok (Covering.verify c);
+  check tint "|S|" 6 (Graph.n c.Covering.source);
+  check tint "|G|" 3 (Graph.n c.Covering.target);
+  (* The hexagon is the 6-ring. *)
+  check tint "6-ring edges" 6 (Graph.edge_count c.Covering.source);
+  List.iter
+    (fun u -> check tint "ring degree" 2 (Graph.degree c.Covering.source u))
+    (Graph.nodes c.Covering.source);
+  check tbool "ring connected" true (Graph.is_connected c.Covering.source);
+  (* Fibers have size 2: u,x over a; v,y over b; w,z over c. *)
+  List.iter
+    (fun w -> check tint "fiber size" 2 (List.length (Covering.fiber c w)))
+    (Graph.nodes c.Covering.target)
+
+let triangle_rings () =
+  List.iter
+    (fun m ->
+      let c = Covering.triangle_ring ~copies:m in
+      expect_ok (Covering.verify c);
+      check tint "ring size" (3 * m) (Graph.n c.Covering.source);
+      check tbool "is a ring" true
+        (Graph.is_connected c.Covering.source
+        && List.for_all
+             (fun u -> Graph.degree c.Covering.source u = 2)
+             (Graph.nodes c.Covering.source));
+      (* phi(k) = k mod 3 along the ring ordering. *)
+      List.iter
+        (fun k -> check tint "phi" (k mod 3) (Covering.apply c k))
+        (Graph.nodes c.Covering.source))
+    [ 2; 3; 4; 8 ]
+
+let identity_covering () =
+  let g = Topology.wheel 6 in
+  expect_ok (Covering.verify (Covering.identity g))
+
+let crossed_square () =
+  (* §3.2: the 4-cycle a-b-c-d with the a–d edges crossed gives the 8-ring. *)
+  let square = Topology.cycle 4 in
+  let c =
+    Covering.crossed square ~crossed:(fun u v ->
+        (u = 0 && v = 3) || (u = 3 && v = 0))
+  in
+  expect_ok (Covering.verify c);
+  let s = c.Covering.source in
+  check tint "8 nodes" 8 (Graph.n s);
+  check tbool "8-ring" true
+    (Graph.is_connected s
+    && List.for_all (fun u -> Graph.degree s u = 2) (Graph.nodes s))
+
+let crossed_complete_partition () =
+  (* General §3.1 case: K_n partitioned into a, b, c; crossing the a–c edges
+     yields a connected double cover. *)
+  List.iter
+    (fun (n, fa, fb) ->
+      let g = Topology.complete n in
+      let part u = if u < fa then `A else if u < fa + fb then `B else `C in
+      let c =
+        Covering.crossed g ~crossed:(fun u v ->
+            match part u, part v with
+            | `A, `C | `C, `A -> true
+            | _, _ -> false)
+      in
+      expect_ok (Covering.verify c);
+      check tint "double cover size" (2 * n) (Graph.n c.Covering.source);
+      check tbool "connected double cover" true
+        (Graph.is_connected c.Covering.source))
+    [ 3, 1, 1; 6, 2, 2; 9, 3, 3; 5, 2, 2 ]
+
+let wiring_is_consistent () =
+  let c = Covering.triangle_ring ~copies:4 in
+  List.iter
+    (fun u ->
+      let w = Covering.wiring c u in
+      let ports = Graph.neighbors c.Covering.target (Covering.apply c u) in
+      check tint "wiring arity" (List.length ports) (Array.length w);
+      List.iteri
+        (fun j x ->
+          let v = w.(j) in
+          check tbool "wired to neighbor" true
+            (Graph.mem_edge c.Covering.source u v);
+          check tint "wired over port" x (Covering.apply c v))
+        ports)
+    (Graph.nodes c.Covering.source)
+
+let rejects_non_covering () =
+  let bad =
+    Covering.make
+      ~source:(Topology.path 4)
+      ~target:(Topology.complete 3)
+      ~phi:[| 0; 1; 2; 0 |]
+  in
+  (match bad with
+  | Ok _ -> Alcotest.fail "path cannot cover K3"
+  | Error _ -> ());
+  (* A map that is not locally injective. *)
+  let bad2 =
+    Covering.make
+      ~source:(Topology.star 3)
+      ~target:(Topology.path 2)
+      ~phi:[| 0; 1; 1 |]
+    (* center sees two nodes over 1: not injective *)
+  in
+  match bad2 with
+  | Ok _ -> Alcotest.fail "expected rejection"
+  | Error _ -> ()
+
+let encode_decode () =
+  let c = Covering.triangle_ring ~copies:5 in
+  check tint "encode copy 2 node 1" 7 (Covering.encode c ~copy:2 1);
+  check tint "phi of encoded" 1 (Covering.apply c (Covering.encode c ~copy:2 1))
+
+let cyclic_shift_antisymmetric () =
+  match
+    Covering.make ~source:(Topology.cycle 3) ~target:(Topology.cycle 3)
+      ~phi:[| 0; 1; 2 |]
+  with
+  | Ok _ -> (
+    (* a non-antisymmetric shift must be rejected by [cyclic] *)
+    match
+      Covering.cyclic (Topology.complete 3) ~copies:3 ~shift:(fun _ _ -> 1)
+    with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument")
+  | Error e -> Alcotest.fail e
+
+(* Property: cyclic covers of random graphs with a random antisymmetric shift
+   are coverings. *)
+let prop_cyclic_cover =
+  let gen =
+    QCheck.Gen.(
+      map3
+        (fun n seed copies -> n + 3, seed, copies + 2)
+        (int_bound 6) (int_bound 1000) (int_bound 4))
+  in
+  QCheck.Test.make ~name:"random cyclic covers verify" ~count:80
+    (QCheck.make gen)
+    (fun (n, seed, copies) ->
+      let g = Topology.random_connected ~seed ~n ~p:0.4 () in
+      let state = Random.State.make [| seed; 17 |] in
+      (* Random antisymmetric shift on undirected edges. *)
+      let table = Hashtbl.create 16 in
+      List.iter
+        (fun (u, v) ->
+          Hashtbl.add table (u, v) (Random.State.int state 3 - 1))
+        (Graph.undirected_edges g);
+      let shift u v =
+        match Hashtbl.find_opt table (u, v) with
+        | Some s -> s
+        | None -> (
+          match Hashtbl.find_opt table (v, u) with
+          | Some s -> -s
+          | None -> 0)
+      in
+      let c = Covering.cyclic g ~copies ~shift in
+      Covering.verify c = Ok ())
+
+let suite =
+  ( "covering",
+    [ Alcotest.test_case "hexagon over triangle" `Quick hexagon;
+      Alcotest.test_case "triangle rings" `Quick triangle_rings;
+      Alcotest.test_case "identity" `Quick identity_covering;
+      Alcotest.test_case "crossed square (connectivity)" `Quick crossed_square;
+      Alcotest.test_case "crossed K_n partitions" `Quick crossed_complete_partition;
+      Alcotest.test_case "port wiring" `Quick wiring_is_consistent;
+      Alcotest.test_case "rejects non-coverings" `Quick rejects_non_covering;
+      Alcotest.test_case "encode" `Quick encode_decode;
+      Alcotest.test_case "shift antisymmetry enforced" `Quick cyclic_shift_antisymmetric;
+      QCheck_alcotest.to_alcotest prop_cyclic_cover;
+    ] )

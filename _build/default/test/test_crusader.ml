@@ -1,0 +1,145 @@
+(* Crusader agreement, the (eps,delta,gamma) device wrapper, and
+   approximate agreement composed over the relay overlay. *)
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+
+let crusader_honest_general () =
+  List.iter
+    (fun (n, f, general) ->
+      let value = Value.string "charge" in
+      let sys = Crusader.system (Topology.complete n) ~f ~general ~value in
+      let t = Exec.run sys ~rounds:(Crusader.decision_round + 1) in
+      List.iter
+        (fun u ->
+          check tbool "everyone adopts the general's value" true
+            (Trace.decision t u = Some value))
+        (List.init n Fun.id))
+    [ 4, 1, 0; 4, 1, 2; 7, 2, 5 ]
+
+let crusader_faulty_general () =
+  (* A split-brain general: correct nodes may output a value or `confused`,
+     but never two different values. *)
+  let n = 4 and f = 1 and general = 0 in
+  let g = Topology.complete n in
+  List.iter
+    (fun faces ->
+      let sys = Crusader.system g ~f ~general ~value:(Value.int 0) in
+      let sys =
+        System.substitute sys general
+          (Adversary.split_brain
+             (Crusader.device ~n ~f ~me:general ~general)
+             ~inputs:faces)
+      in
+      let t = Exec.run sys ~rounds:(Crusader.decision_round + 1) in
+      let values =
+        List.filter_map
+          (fun u ->
+            match Trace.decision t u with
+            | Some v when not (Value.equal v Crusader.confused) -> Some v
+            | _ -> None)
+          [ 1; 2; 3 ]
+      in
+      match List.sort_uniq Value.compare values with
+      | [] | [ _ ] -> ()
+      | _ :: _ :: _ -> Alcotest.fail "two correct nodes output different values")
+    [ [| Value.int 1; Value.int 2; Value.int 3 |];
+      [| Value.int 1; Value.int 1; Value.int 2 |];
+      [| Value.int 5; Value.int 5; Value.int 5 |];
+    ]
+
+let crusader_faulty_echoer () =
+  (* One lying echoer cannot shake an honest general's value (n > 3f). *)
+  let n = 4 and f = 1 and general = 0 in
+  let g = Topology.complete n in
+  let value = Value.int 9 in
+  let sys = Crusader.system g ~f ~general ~value in
+  let sys =
+    System.substitute sys 2
+      (Adversary.mutate
+         (Crusader.device ~n ~f ~me:2 ~general)
+         ~rewrite:(fun ~port:_ ~round:_ m ->
+           Option.map (fun _ -> Value.tag "cr2" (Value.int 666)) m))
+  in
+  let t = Exec.run sys ~rounds:(Crusader.decision_round + 1) in
+  List.iter
+    (fun u ->
+      check tbool "value survives a lying echoer" true
+        (Trace.decision t u = Some value))
+    [ 1; 3 ]
+
+let edg_device_meets_spec () =
+  (* n = 4, f = 1: inputs delta apart end eps apart with gamma = 0. *)
+  let n = 4 and f = 1 in
+  let eps = 0.01 and delta = 2.0 in
+  let g = Topology.complete n in
+  let inputs = [| 1.0; 3.0; 2.0; 1.5 |] in
+  let sys =
+    System.make g (fun u ->
+        Approx.edg_device ~n ~f ~me:u ~eps ~delta, Value.float inputs.(u))
+  in
+  let sys =
+    System.substitute sys 3
+      (Adversary.babbler ~seed:1 ~arity:3
+         ~palette:[ Value.float 100.0; Value.float (-100.0) ])
+  in
+  let t = Exec.run_until_decided sys ~max_rounds:40 in
+  let violations =
+    Approx_spec.check_edg ~trace:t ~correct:[ 0; 1; 2 ]
+      ~inputs:(fun u -> inputs.(u))
+      ~eps ~gamma:0.0
+  in
+  check tbool "meets (eps,delta,0)-agreement" true (violations = [])
+
+let approx_over_overlay () =
+  (* The overlay is protocol-agnostic: approximate agreement on a sparse
+     2f+1-connected graph. *)
+  let g = Topology.harary ~k:3 ~n:7 and f = 1 in
+  let n = Graph.n g in
+  let rounds = 8 in
+  let inputs = [| 0.0; 1.0; 0.25; 0.5; 0.75; 0.1; 0.9 |] in
+  let sys =
+    System.make g (fun u ->
+        ( Overlay.device g ~f ~me:u
+            ~inner:(Approx.device ~n ~f ~me:u ~rounds),
+          Value.float inputs.(u) ))
+  in
+  let bad = 3 in
+  let sys =
+    System.substitute sys bad
+      (Adversary.babbler ~seed:8 ~arity:(Graph.degree g bad)
+         ~palette:[ Value.float 1e6; Value.bool true ])
+  in
+  let horizon =
+    Overlay.horizon g ~f ~inner_decision_round:(Approx.decision_round ~rounds)
+  in
+  let t = Exec.run sys ~rounds:(horizon + 1) in
+  let correct = List.filter (fun u -> u <> bad) (Graph.nodes g) in
+  let violations =
+    Approx_spec.check_simple ~trace:t ~correct ~inputs:(fun u -> inputs.(u))
+  in
+  check tbool "approx over overlay satisfies the conditions" true
+    (violations = [])
+
+let edg_falls_on_triangle () =
+  (* The same edg device family on K3: Theorem 6's certificate. *)
+  let eps = 0.125 and delta = 1.0 in
+  let cert =
+    Approx_chain.certify_edg
+      ~device:(fun w -> Approx.edg_device ~n:3 ~f:1 ~me:w ~eps ~delta)
+      ~eps ~gamma:0.0 ~delta
+      ~horizon:(Approx.decision_round ~rounds:(Approx.rounds_for ~eps ~delta) + 1)
+      ()
+  in
+  check tbool "edg device falls on the triangle" true
+    (Certificate.is_contradiction cert)
+
+let suite =
+  ( "crusader",
+    [ Alcotest.test_case "honest general" `Quick crusader_honest_general;
+      Alcotest.test_case "faulty general" `Quick crusader_faulty_general;
+      Alcotest.test_case "faulty echoer" `Quick crusader_faulty_echoer;
+      Alcotest.test_case "edg device meets spec" `Quick edg_device_meets_spec;
+      Alcotest.test_case "approx over overlay" `Quick approx_over_overlay;
+      Alcotest.test_case "edg falls on triangle" `Quick edg_falls_on_triangle;
+    ] )

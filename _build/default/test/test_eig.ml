@@ -1,0 +1,203 @@
+(* EIG Byzantine agreement: fault-free correctness, correctness at the
+   resilience boundary n = 3f+1 under a zoo of adversaries, and failure
+   below it. *)
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+
+let vbool b = Value.bool b
+let default = Value.bool false
+
+let correct_nodes g faulty =
+  List.filter (fun u -> not (List.mem u faulty)) (Graph.nodes g)
+
+let agreement_holds trace nodes =
+  match List.filter_map (fun u -> Trace.decision trace u) nodes with
+  | [] -> false
+  | first :: rest -> List.for_all (Value.equal first) rest
+
+let all_decided trace nodes =
+  List.for_all (fun u -> Trace.decision trace u <> None) nodes
+
+let validity_holds trace ~inputs nodes =
+  (* If all correct inputs coincide, the decision must be that value. *)
+  match List.sort_uniq Value.compare (List.map (fun u -> inputs u) nodes) with
+  | [ v ] ->
+    List.for_all
+      (fun u ->
+        match Trace.decision trace u with
+        | Some d -> Value.equal d v
+        | None -> false)
+      nodes
+  | _ -> true
+
+let run_eig ~n ~f ~inputs ~faulty_at =
+  let g = Topology.complete n in
+  let sys =
+    System.make g (fun u ->
+        Eig.device ~n ~f ~me:u ~default, vbool inputs.(u))
+  in
+  let sys =
+    List.fold_left
+      (fun acc (u, make_dev) -> System.substitute acc u (make_dev u))
+      sys faulty_at
+  in
+  Exec.run sys ~rounds:(Eig.decision_round ~f + 1)
+
+let fault_free () =
+  List.iter
+    (fun (n, f) ->
+      List.iter
+        (fun pattern ->
+          let inputs = Array.init n (fun u -> pattern land (1 lsl u) <> 0) in
+          let t = run_eig ~n ~f ~inputs ~faulty_at:[] in
+          let nodes = List.init n Fun.id in
+          check tbool "decided" true (all_decided t nodes);
+          check tbool "agreement" true (agreement_holds t nodes);
+          check tbool "validity" true
+            (validity_holds t
+               ~inputs:(fun u -> vbool inputs.(u))
+               nodes))
+        [ 0; 1; 3; (1 lsl n) - 1; 5 ])
+    [ 4, 1; 5, 1; 7, 2 ]
+
+let adversaries ~n ~f u =
+  let honest = Eig.device ~n ~f ~me:u ~default in
+  [ "silent", (fun _ -> Adversary.silent ~arity:(n - 1));
+    "crash", (fun _ -> Adversary.crash ~after:1 honest);
+    ( "split",
+      fun _ ->
+        Adversary.split_brain honest
+          ~inputs:(Array.init (n - 1) (fun j -> vbool (j mod 2 = 0))) );
+    ( "babbler",
+      fun _ ->
+        Adversary.babbler ~seed:(17 * u) ~arity:(n - 1)
+          ~palette:
+            [ vbool true;
+              vbool false;
+              Value.list [ Value.pair (Value.int_list [ 0 ]) (vbool true) ];
+            ] );
+    ( "mutate",
+      fun _ ->
+        Adversary.mutate honest ~rewrite:(fun ~port ~round m ->
+            match m with
+            | Some _ when (port + round) mod 2 = 0 -> Some (vbool (round mod 2 = 0))
+            | other -> other) );
+  ]
+
+let at_resilience_boundary () =
+  (* n = 3f+1: every adversary below must fail to break agreement/validity. *)
+  List.iter
+    (fun (n, f, faulty) ->
+      List.iter
+        (fun pattern ->
+          let inputs = Array.init n (fun u -> pattern land (1 lsl u) <> 0) in
+          List.iter
+            (fun (adv_name, make_dev) ->
+              let t =
+                run_eig ~n ~f ~inputs
+                  ~faulty_at:(List.map (fun u -> u, make_dev) faulty)
+              in
+              let correct = correct_nodes (Topology.complete n) faulty in
+              let label = Printf.sprintf "%s n=%d f=%d p=%d" adv_name n f pattern in
+              check tbool (label ^ " decided") true (all_decided t correct);
+              check tbool (label ^ " agreement") true (agreement_holds t correct);
+              check tbool (label ^ " validity") true
+                (validity_holds t
+                   ~inputs:(fun u -> vbool inputs.(u))
+                   correct))
+            (adversaries ~n ~f (List.hd faulty)))
+        [ 0; 6; (1 lsl n) - 1; 9 ])
+    [ 4, 1, [ 2 ]; 7, 2, [ 1; 5 ] ]
+
+let below_boundary_is_breakable () =
+  (* n = 3, f = 1: Theorem 1's construction, executed.  Install the EIG
+     devices in the hexagon covering (inputs 0,0,0,1,1,1), reconstruct the
+     three runs E1, E2, E3 of K3 with the Fault-axiom replay device, and
+     verify that the runs cannot all satisfy the conditions. *)
+  let f = 1 in
+  let c = Covering.triangle_hexagon () in
+  let g = c.Covering.target in
+  let device w = Eig.device ~n:3 ~f ~me:w ~default in
+  let sys_s =
+    System.of_covering c ~device ~input:(fun s -> vbool (s >= 3))
+  in
+  let horizon = Eig.decision_round ~f + 1 in
+  let ts = Exec.run sys_s ~rounds:horizon in
+  let mk_run faulty_node schedule inputs =
+    let sys = System.make g (fun w -> device w, vbool inputs.(w)) in
+    let sys =
+      System.substitute sys faulty_node
+        (Adversary.from_trace ts ~name:"F" ~schedule)
+    in
+    Exec.run sys ~rounds:horizon
+  in
+  (* Hexagon nodes u,v,w,x,y,z = 0..5 over a,b,c = 0,1,2. *)
+  let e1 = mk_run 0 [ 0, 1; 3, 2 ] [| false; false; false |] in
+  let e2 = mk_run 1 [ 4, 3; 1, 2 ] [| true; false; false |] in
+  let e3 = mk_run 2 [ 2, 3; 5, 4 ] [| true; true; false |] in
+  (* Locality: the reconstructed scenarios equal the covering scenarios. *)
+  let expect_match label s_nodes g_nodes trace =
+    let map s = List.assoc s (List.combine s_nodes g_nodes) in
+    match
+      Scenario.matches ~map
+        (Scenario.of_trace ts s_nodes)
+        (Scenario.of_trace trace g_nodes)
+    with
+    | Ok () -> ()
+    | Error m -> Alcotest.fail (label ^ ": " ^ m)
+  in
+  expect_match "E1 ~ S_vw" [ 1; 2 ] [ 1; 2 ] e1;
+  expect_match "E2 ~ S_wx" [ 2; 3 ] [ 2; 0 ] e2;
+  expect_match "E3 ~ S_xy" [ 3; 4 ] [ 0; 1 ] e3;
+  (* At least one of the three runs must violate its conditions. *)
+  let ok_e1 =
+    agreement_holds e1 [ 1; 2 ]
+    && validity_holds e1 ~inputs:(fun _ -> vbool false) [ 1; 2 ]
+    && all_decided e1 [ 1; 2 ]
+  in
+  let ok_e2 = agreement_holds e2 [ 0; 2 ] && all_decided e2 [ 0; 2 ] in
+  let ok_e3 =
+    agreement_holds e3 [ 0; 1 ]
+    && validity_holds e3 ~inputs:(fun _ -> vbool true) [ 0; 1 ]
+    && all_decided e3 [ 0; 1 ]
+  in
+  check tbool "Theorem 1: some condition fails below 3f+1" false
+    (ok_e1 && ok_e2 && ok_e3)
+
+let decision_round_exact () =
+  let n = 4 and f = 1 in
+  let inputs = [| true; true; false; true |] in
+  let t = run_eig ~n ~f ~inputs ~faulty_at:[] in
+  List.iter
+    (fun u ->
+      check Alcotest.(option int) "decides exactly at f+2"
+        (Some (Eig.decision_round ~f))
+        (Trace.decision_round t u))
+    [ 0; 1; 2; 3 ]
+
+(* Property: random inputs, random single corrupt node among the adversary
+   zoo, n = 4, f = 1. *)
+let prop_boundary =
+  let gen = QCheck.Gen.(triple (int_bound 15) (int_bound 3) (int_bound 4)) in
+  QCheck.Test.make ~name:"EIG safe at n=4,f=1 under adversary zoo" ~count:100
+    (QCheck.make gen)
+    (fun (pattern, bad, which) ->
+      let n = 4 and f = 1 in
+      let inputs = Array.init n (fun u -> pattern land (1 lsl u) <> 0) in
+      let name, make_dev = List.nth (adversaries ~n ~f bad) which in
+      ignore name;
+      let t = run_eig ~n ~f ~inputs ~faulty_at:[ bad, make_dev ] in
+      let correct = correct_nodes (Topology.complete n) [ bad ] in
+      all_decided t correct
+      && agreement_holds t correct
+      && validity_holds t ~inputs:(fun u -> vbool inputs.(u)) correct)
+
+let suite =
+  ( "eig",
+    [ Alcotest.test_case "fault-free" `Quick fault_free;
+      Alcotest.test_case "n=3f+1 under adversaries" `Quick at_resilience_boundary;
+      Alcotest.test_case "broken below 3f+1" `Quick below_boundary_is_breakable;
+      Alcotest.test_case "decision round exact" `Quick decision_round_exact;
+      QCheck_alcotest.to_alcotest prop_boundary;
+    ] )

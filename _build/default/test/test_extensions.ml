@@ -1,0 +1,209 @@
+(* Extensions: generalized message delay, permutation lifts, and Ben-Or —
+   including the "randomization does not escape the bound" certificate. *)
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+(* --- delay parameter ------------------------------------------------------ *)
+
+let delay_slows_information () =
+  let g = Topology.path 4 in
+  let run delay =
+    Exec.run ~delay (Util.make_gossip_system ~horizon:12 g) ~rounds:12
+  in
+  let knows trace u r =
+    let _, inner = Value.get_pair (Trace.node_behavior trace u).(r) in
+    List.exists (Value.equal (Value.int 0)) (Value.get_list inner)
+  in
+  let t1 = run 1 and t3 = run 3 in
+  (* Node 3 is 3 hops from node 0.  A hop costs [delay] rounds in flight and
+     the knowledge lands in the state *after* the absorbing step, so it
+     reaches node 3's state at index 3 * delay + 1. *)
+  check tbool "delay 1: knows at 4" true (knows t1 3 4);
+  check tbool "delay 1: not at 3" false (knows t1 3 3);
+  check tbool "delay 3: knows at 10" true (knows t3 3 10);
+  check tbool "delay 3: not at 9" false (knows t3 3 9)
+
+let prop_delay_scales_bounded_delay =
+  (* Bounded-Delay with general delta: a node at distance d is unaffected by
+     an input change through state d * delta - 1. *)
+  let gen =
+    QCheck.Gen.(
+      map3 (fun n seed d -> n + 4, seed, d + 1) (int_bound 5) (int_bound 999)
+        (int_bound 2))
+  in
+  QCheck.Test.make ~name:"news travels <= 1 edge per delta rounds" ~count:40
+    (QCheck.make gen)
+    (fun (n, seed, delta) ->
+      let g = Topology.random_connected ~seed ~n ~p:0.3 () in
+      let rounds = 8 in
+      let sys = Util.make_gossip_system ~horizon:rounds g in
+      let sys' = System.substitute_input sys 0 (Value.int 999) in
+      let t = Exec.run ~delay:delta sys ~rounds in
+      let t' = Exec.run ~delay:delta sys' ~rounds in
+      let dist = Graph.distances g 0 in
+      List.for_all
+        (fun u ->
+          u = 0
+          ||
+          let unaffected_through = min (dist.(u) * delta) rounds in
+          let b = Trace.node_behavior t u and b' = Trace.node_behavior t' u in
+          let rec same i =
+            i >= unaffected_through || (Value.equal b.(i) b'.(i) && same (i + 1))
+          in
+          same 0)
+        (Graph.nodes g))
+
+(* --- permutation lifts ------------------------------------------------------ *)
+
+let lift_reproduces_cyclic () =
+  (* The rotation lift of the triangle equals the triangle ring. *)
+  let g = Topology.complete 3 in
+  let copies = 4 in
+  let rotation u v =
+    let s =
+      match u, v with 2, 0 -> 1 | 0, 2 -> -1 | _ -> 0
+    in
+    Array.init copies (fun i -> ((i + s) mod copies + copies) mod copies)
+  in
+  let lifted = Covering.lift g ~copies ~perm:rotation in
+  let ring = Covering.triangle_ring ~copies in
+  check tbool "same source graph" true
+    (Graph.equal lifted.Covering.source ring.Covering.source)
+
+let prop_random_lifts_are_coverings =
+  let gen =
+    QCheck.Gen.(
+      map3 (fun n seed copies -> n + 3, seed, copies + 2) (int_bound 5)
+        (int_bound 9999) (int_bound 3))
+  in
+  QCheck.Test.make ~name:"random permutation lifts verify" ~count:60
+    (QCheck.make gen)
+    (fun (n, seed, copies) ->
+      let g = Topology.random_connected ~seed ~n ~p:0.4 () in
+      let state = Random.State.make [| seed; copies; 23 |] in
+      let table = Hashtbl.create 16 in
+      List.iter
+        (fun (u, v) ->
+          (* random permutation by sorting random keys *)
+          let keys = Array.init copies (fun i -> Random.State.bits state, i) in
+          Array.sort compare keys;
+          Hashtbl.add table (u, v) (Array.map snd keys))
+        (Graph.undirected_edges g);
+      let perm u v = Hashtbl.find table (u, v) in
+      let c = Covering.lift g ~copies ~perm in
+      Covering.verify c = Ok ())
+
+let lift_rejects_non_permutation () =
+  match
+    Covering.lift (Topology.complete 3) ~copies:3 ~perm:(fun _ _ -> [| 0; 0; 1 |])
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+(* A lifted gossip system still satisfies fiber symmetry when the inputs are
+   fiber-uniform — Locality is independent of which lift we chose. *)
+let lift_fiber_symmetry () =
+  let g = Topology.complete 3 in
+  let copies = 3 in
+  let swap = [| 1; 0; 2 |] in
+  let perm u v = if u = 0 && v = 1 then swap else Array.init copies Fun.id in
+  let c = Covering.lift g ~copies ~perm in
+  let device w =
+    Util.gossip_deciding ~name:(Printf.sprintf "D%d" w) ~arity:2 ~horizon:4
+  in
+  let sys =
+    System.of_covering c ~device ~input:(fun s ->
+        Value.int (Covering.apply c s))
+  in
+  let t = Exec.run sys ~rounds:4 in
+  List.iter
+    (fun w ->
+      match Covering.fiber c w with
+      | first :: rest ->
+        List.iter
+          (fun other ->
+            check tbool "lift fiber symmetric" true
+              (Array.for_all2 Value.equal (Trace.node_behavior t first)
+                 (Trace.node_behavior t other)))
+          rest
+      | [] -> Alcotest.fail "empty fiber")
+    (Graph.nodes g)
+
+(* --- Ben-Or ------------------------------------------------------------------ *)
+
+let ben_or_unanimous () =
+  List.iter
+    (fun (n, f) ->
+      List.iter
+        (fun v ->
+          let sys =
+            Ben_or.system (Topology.complete n) ~f ~seed:7
+              ~inputs:(Array.make n v)
+          in
+          let t = Exec.run sys ~rounds:4 in
+          List.iter
+            (fun u ->
+              check tbool "unanimous decides fast" true
+                (Trace.decision t u = Some (Value.bool v)))
+            (List.init n Fun.id))
+        [ true; false ])
+    [ 3, 1; 5, 2 ]
+
+let ben_or_with_crashes () =
+  let n = 5 and f = 2 in
+  let g = Topology.complete n in
+  let inputs = [| true; true; true; false; false |] in
+  List.iter
+    (fun seed ->
+      let sys = Ben_or.system g ~f ~seed ~inputs in
+      let sys =
+        System.substitute sys 3 (Adversary.crash ~after:2 (System.device sys 3))
+      in
+      let sys = System.substitute sys 4 (Adversary.silent ~arity:(n - 1)) in
+      let t = Exec.run_until_decided sys ~max_rounds:60 in
+      let correct = [ 0; 1; 2 ] in
+      let decisions = List.filter_map (fun u -> Trace.decision t u) correct in
+      check tint "all decide" 3 (List.length decisions);
+      match decisions with
+      | first :: rest ->
+        List.iter
+          (fun d -> check tbool "crash-fault agreement" true (Value.equal d first))
+          rest
+      | [] -> ())
+    [ 1; 2; 3; 42 ]
+
+let ben_or_certificate_per_seed () =
+  (* §3's determinism discussion: fixing the coin sequence makes Ben-Or a
+     deterministic device family, and every one of them falls to Theorem 1's
+     construction on the triangle. *)
+  List.iter
+    (fun seed ->
+      let cert =
+        Ba_nodes.certify
+          ~device:(fun w -> Ben_or.device ~n:3 ~f:1 ~me:w ~seed)
+          ~v0:(Value.bool false) ~v1:(Value.bool true) ~horizon:40 ~f:1
+          (Topology.complete 3)
+      in
+      check tbool
+        (Printf.sprintf "seed %d falls to the certificate" seed)
+        true
+        (Certificate.is_contradiction cert);
+      match Certificate.validate cert with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m)
+    [ 0; 1; 17; 123 ]
+
+let suite =
+  ( "extensions",
+    [ Alcotest.test_case "delay slows information" `Quick delay_slows_information;
+      QCheck_alcotest.to_alcotest prop_delay_scales_bounded_delay;
+      Alcotest.test_case "lift reproduces cyclic" `Quick lift_reproduces_cyclic;
+      QCheck_alcotest.to_alcotest prop_random_lifts_are_coverings;
+      Alcotest.test_case "lift rejects non-permutation" `Quick lift_rejects_non_permutation;
+      Alcotest.test_case "lift fiber symmetry" `Quick lift_fiber_symmetry;
+      Alcotest.test_case "ben-or unanimous" `Quick ben_or_unanimous;
+      Alcotest.test_case "ben-or with crashes" `Quick ben_or_with_crashes;
+      Alcotest.test_case "ben-or per-seed certificates" `Quick ben_or_certificate_per_seed;
+    ] )

@@ -1,0 +1,193 @@
+(* Infrastructure details: the signature functionality, trace statistics,
+   scenario prefix matching, and system construction errors. *)
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+(* --- Signature ------------------------------------------------------------ *)
+
+let sig_construct_verify () =
+  let payload = Value.string "msg" in
+  let s = Signature.signed ~signer:3 payload in
+  check tbool "verify right signer" true
+    (Signature.verify ~signer:3 s = Some payload);
+  check tbool "verify wrong signer" true (Signature.verify ~signer:2 s = None);
+  check tbool "verify non-signature" true
+    (Signature.verify ~signer:3 payload = None);
+  check tbool "is_signed" true (Signature.is_signed s);
+  check tbool "signer" true (Signature.signer s = Some 3);
+  check tbool "forged rejected" true
+    (Signature.verify ~signer:3 Signature.forged = None)
+
+let sig_ledger_self_signing () =
+  let ledger = Signature.ledger_create ~nodes:2 in
+  let own = Signature.signed ~signer:0 (Value.int 1) in
+  check tbool "self-signing allowed" true
+    (Value.equal (Signature.sanitize ledger ~node:0 own) own)
+
+let sig_ledger_blocks_forgery () =
+  let ledger = Signature.ledger_create ~nodes:3 in
+  let forged = Signature.signed ~signer:1 (Value.int 9) in
+  let out = Signature.sanitize ledger ~node:0 forged in
+  check tbool "forgery mangled" true (Value.equal out Signature.forged)
+
+let sig_ledger_allows_relay () =
+  let ledger = Signature.ledger_create ~nodes:3 in
+  let original = Signature.signed ~signer:1 (Value.int 9) in
+  (* Node 0 receives it, then may relay it. *)
+  Signature.absorb ledger ~node:0 original;
+  check tbool "relay allowed after receipt" true
+    (Value.equal (Signature.sanitize ledger ~node:0 original) original);
+  (* Node 2 never received it and cannot produce it. *)
+  check tbool "others still blocked" true
+    (Value.equal (Signature.sanitize ledger ~node:2 original) Signature.forged)
+
+let sig_nested () =
+  let ledger = Signature.ledger_create ~nodes:3 in
+  let inner = Signature.signed ~signer:1 (Value.int 5) in
+  Signature.absorb ledger ~node:0 inner;
+  (* Node 0 wraps the received signature in its own: legitimate. *)
+  let chain = Signature.signed ~signer:0 inner in
+  let out = Signature.sanitize ledger ~node:0 chain in
+  check tbool "nested chain intact" true (Value.equal out chain);
+  (* But a chain around a forgery keeps the outer signature and mangles the
+     inner one. *)
+  let forged_inner = Signature.signed ~signer:2 (Value.int 5) in
+  let bad_chain = Signature.signed ~signer:0 forged_inner in
+  let out = Signature.sanitize ledger ~node:0 bad_chain in
+  check tbool "inner forgery mangled" true
+    (Value.equal out (Signature.signed ~signer:0 Signature.forged))
+
+let sig_buried_in_structure () =
+  let ledger = Signature.ledger_create ~nodes:2 in
+  let forged = Signature.signed ~signer:1 (Value.int 3) in
+  let msg = Value.list [ Value.int 0; Value.pair forged (Value.int 2) ] in
+  let out = Signature.sanitize ledger ~node:0 msg in
+  check tbool "buried forgery found" true
+    (Value.equal out
+       (Value.list [ Value.int 0; Value.pair Signature.forged (Value.int 2) ]))
+
+(* --- Trace statistics -------------------------------------------------------- *)
+
+let trace_statistics () =
+  let g = Topology.complete 3 in
+  let sys = Util.make_gossip_system ~horizon:3 g in
+  let t = Exec.run sys ~rounds:3 in
+  (* Gossip broadcasts on both ports every round: 3 nodes x 2 ports x 3
+     rounds. *)
+  check tint "message count" 18 (Trace.message_count t);
+  check tbool "volume positive" true (Trace.message_volume t > 18);
+  let by_node = Trace.messages_by_node t in
+  check tint "per node" 6 by_node.(0);
+  check tint "sums to total" (Trace.message_count t)
+    (Array.fold_left ( + ) 0 by_node)
+
+let silent_trace_statistics () =
+  let g = Topology.complete 3 in
+  let sys =
+    System.make g (fun _ -> Device.silent ~name:"quiet" ~arity:2, Value.unit)
+  in
+  let t = Exec.run sys ~rounds:4 in
+  check tint "no messages" 0 (Trace.message_count t);
+  check tint "no volume" 0 (Trace.message_volume t)
+
+(* --- Scenario prefix matching -------------------------------------------------- *)
+
+let scenario_prefix () =
+  let g = Topology.path 3 in
+  let sys0 = Util.make_gossip_system ~horizon:4 g in
+  let sys1 =
+    System.substitute_input (Util.make_gossip_system ~horizon:4 g) 2
+      (Value.int 77)
+  in
+  let t0 = Exec.run sys0 ~rounds:4 and t1 = Exec.run sys1 ~rounds:4 in
+  let s0 = Scenario.of_trace t0 [ 0 ] and s1 = Scenario.of_trace t1 [ 0 ] in
+  (* Node 0 is 2 hops from node 2: its states agree through step 1 (and 2,
+     since the change needs 2 rounds to arrive). *)
+  check tbool "prefix through 1" true
+    (Scenario.matches_prefix ~through:1 ~map:Fun.id s0 s1 = Ok ());
+  check tbool "full match fails" true
+    (Scenario.matches ~map:Fun.id s0 s1 <> Ok ());
+  (* Non-injective maps are rejected. *)
+  let s01 = Scenario.of_trace t0 [ 0; 1 ] in
+  match Scenario.matches ~map:(fun _ -> 0) s01 s01 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "non-injective map must be rejected"
+
+(* --- System construction errors -------------------------------------------------- *)
+
+let system_arity_mismatch () =
+  let g = Topology.path 3 in
+  match
+    System.make g (fun _ -> Device.silent ~name:"x" ~arity:5, Value.unit)
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "arity mismatch must be rejected"
+
+let substitute_arity_mismatch () =
+  let g = Topology.complete 3 in
+  let sys = Util.make_gossip_system g in
+  match System.substitute sys 0 (Device.silent ~name:"bad" ~arity:7) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "substitute with wrong arity must be rejected"
+
+let port_wiring_roundtrip () =
+  let g = Topology.wheel 6 in
+  let sys = Util.make_gossip_system g in
+  List.iter
+    (fun u ->
+      Array.iteri
+        (fun j v -> check tint "port_to inverts wiring" j (System.port_to sys u v))
+        (System.wiring sys u))
+    (Graph.nodes g)
+
+(* --- from_traces: ports drawing on different runs --------------------------------- *)
+
+let fault_axiom_multiple_runs () =
+  (* The full-strength Fault axiom: one port replays run A, the other run B. *)
+  let g = Topology.complete 3 in
+  let run input =
+    Exec.run
+      (System.make g (fun u ->
+           ( Util.gossip_deciding ~name:(Printf.sprintf "N%d" u) ~arity:2
+               ~horizon:3,
+             Value.int input )))
+      ~rounds:3
+  in
+  let ta = run 1 and tb = run 2 in
+  let faulty =
+    Adversary.from_traces ~name:"two-runs" [ ta, 0, 1; tb, 0, 2 ]
+  in
+  let sys = Util.make_gossip_system ~horizon:3 g in
+  let sys = System.substitute sys 0 faulty in
+  let t = Exec.run sys ~rounds:3 in
+  let heard_at dst value =
+    match Trace.edge_behavior t ~src:0 ~dst with
+    | [||] -> false
+    | msgs ->
+      Array.exists
+        (function
+          | Some m -> List.exists (Value.equal (Value.int value)) (Value.get_list m)
+          | None -> false)
+        msgs
+  in
+  check tbool "port to 1 replays run A" true (heard_at 1 1);
+  check tbool "port to 2 replays run B" true (heard_at 2 2)
+
+let suite =
+  ( "infra",
+    [ Alcotest.test_case "signature construct/verify" `Quick sig_construct_verify;
+      Alcotest.test_case "signature self-signing" `Quick sig_ledger_self_signing;
+      Alcotest.test_case "signature blocks forgery" `Quick sig_ledger_blocks_forgery;
+      Alcotest.test_case "signature allows relay" `Quick sig_ledger_allows_relay;
+      Alcotest.test_case "signature nested chains" `Quick sig_nested;
+      Alcotest.test_case "signature buried forgery" `Quick sig_buried_in_structure;
+      Alcotest.test_case "trace statistics" `Quick trace_statistics;
+      Alcotest.test_case "silent trace statistics" `Quick silent_trace_statistics;
+      Alcotest.test_case "scenario prefix" `Quick scenario_prefix;
+      Alcotest.test_case "system arity mismatch" `Quick system_arity_mismatch;
+      Alcotest.test_case "substitute arity mismatch" `Quick substitute_arity_mismatch;
+      Alcotest.test_case "port wiring roundtrip" `Quick port_wiring_roundtrip;
+      Alcotest.test_case "fault axiom across runs" `Quick fault_axiom_multiple_runs;
+    ] )

@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "flm"
+    [ Test_value.suite;
+      Test_graph.suite;
+      Test_connectivity.suite;
+      Test_covering.suite;
+      Test_system.suite;
+      Test_eig.suite;
+      Test_protocols.suite;
+      Test_impossibility.suite;
+      Test_clocks.suite;
+      Test_compose.suite;
+      Test_infra.suite;
+      Test_extensions.suite;
+      Test_collapse.suite;
+      Test_properties.suite;
+      Test_crusader.suite;
+      Test_sweep.suite;
+      Test_edge_cases.suite;
+    ]

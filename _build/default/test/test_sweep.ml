@@ -1,0 +1,59 @@
+(* The boundary sweeps (used by the E3/E11 tables) are themselves public
+   API; pin their semantics. *)
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let nf_boundary_small () =
+  let cells = Sweep.nf_boundary ~n_max:5 ~f_max:1 in
+  check tint "3 cells" 3 (List.length cells);
+  List.iter
+    (fun (c : Sweep.cell) ->
+      check tbool "adequacy matches theory"
+        (c.Sweep.n >= (3 * c.Sweep.f) + 1)
+        c.Sweep.adequate;
+      if c.Sweep.adequate then begin
+        check tbool "adequate: survived attacks" true
+          (c.Sweep.survived_attacks = Some true);
+        check tbool "adequate: no certificate" true
+          (c.Sweep.certificate_broke_it = None)
+      end
+      else begin
+        check tbool "inadequate: certificate broke it" true
+          (c.Sweep.certificate_broke_it = Some true);
+        check tbool "inadequate: no attack run" true
+          (c.Sweep.survived_attacks = None)
+      end)
+    cells
+
+let connectivity_boundary_small () =
+  let rows = Sweep.connectivity_boundary ~f:1 ~kappas:[ 2; 3 ] ~n:7 in
+  (match rows with
+  | [ (2, adequate2, relay2, cert2); (3, adequate3, relay3, cert3) ] ->
+    check tbool "kappa=2 inadequate" false adequate2;
+    check tbool "kappa=2 certificate" true (cert2 = Some true);
+    check tbool "kappa=2 relay none" true (relay2 = None);
+    check tbool "kappa=3 adequate" true adequate3;
+    check tbool "kappa=3 relay correct" true (relay3 = Some true);
+    check tbool "kappa=3 no certificate" true (cert3 = None)
+  | _ -> Alcotest.fail "expected two rows");
+  ()
+
+let pp_table_renders () =
+  let cells = Sweep.nf_boundary ~n_max:4 ~f_max:1 in
+  let rendered = Format.asprintf "%a" Sweep.pp_nf cells in
+  check tbool "mentions IMPOSSIBLE" true
+    (let contains needle hay =
+       let nl = String.length needle and hl = String.length hay in
+       let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+       go 0
+     in
+     contains "IMPOSSIBLE" rendered && contains "OK (solves)" rendered)
+
+let suite =
+  ( "sweep",
+    [ Alcotest.test_case "nf boundary" `Quick nf_boundary_small;
+      Alcotest.test_case "connectivity boundary" `Quick connectivity_boundary_small;
+      Alcotest.test_case "table renders" `Quick pp_table_renders;
+    ] )
