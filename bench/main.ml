@@ -10,16 +10,7 @@ let bool_default = Value.bool false
 let section id title =
   Format.printf "@.=== %s: %s ===@." id title
 
-let verdict_line cert =
-  match cert.Certificate.verdict with
-  | Certificate.Contradiction { run_label; violations } ->
-    Printf.sprintf "CONTRADICTION in %s (%s)" run_label
-      (String.concat "+"
-         (List.sort_uniq compare
-            (List.map (fun v -> v.Violation.condition) violations)))
-  | Certificate.Fault_axiom_failed { run_label; _ } ->
-    Printf.sprintf "no contradiction: Fault axiom fails (%s)" run_label
-  | Certificate.Unbroken msg -> "UNBROKEN: " ^ msg
+let verdict_line = Certificate.verdict_line
 
 let validated cert =
   match Certificate.validate cert with Ok () -> "ok" | Error m -> "STALE: " ^ m
@@ -73,7 +64,12 @@ let e2 () =
 
 let e3 () =
   section "E3" "the 3f+1 boundary: EIG survives above, certificates kill below";
-  Format.printf "%a@." Sweep.pp_nf (Sweep.nf_boundary ~n_max:8 ~f_max:2)
+  let eng = Engine.create () in
+  Format.printf "%a@." Sweep.pp_nf (Engine.nf_boundary eng ~n_max:8 ~f_max:2);
+  let snap = Metrics.snapshot (Engine.metrics eng) in
+  Format.printf "(engine: %d domains, %d jobs, %d executions, %.3f s)@."
+    (Engine.jobs eng) snap.Metrics.jobs_completed snap.Metrics.executions_run
+    snap.Metrics.elapsed_seconds
 
 (* --- E4: weak agreement ring (§4) ------------------------------------------ *)
 
@@ -311,6 +307,7 @@ let e11 () =
   section "E11" "the 2f+1 connectivity frontier on Harary graphs (Dolev relay)";
   Format.printf "%-10s | %-9s | %-28s | %s@." "graph" "adequate"
     "relay vs lying relays" "certificate";
+  let eng = Engine.create () in
   List.iter
     (fun (f, n, kappas) ->
       List.iter
@@ -324,7 +321,7 @@ let e11 () =
             | Some true -> "CONTRADICTION"
             | Some false -> "failed?!"
             | None -> "-"))
-        (Sweep.connectivity_boundary ~f ~kappas ~n))
+        (Engine.connectivity_boundary eng ~f ~kappas ~n))
     [ 1, 7, [ 2; 3; 4 ]; 2, 11, [ 4; 5 ] ];
   (* And full agreement (not just broadcast) on the sparse side of the
      frontier, via EIG over the overlay. *)
@@ -481,6 +478,51 @@ let e14 () =
      Locality axiom holds with delta = 1 — the premise of Theorems 2 and 4 \
      (property-tested in the suite).@."
 
+(* --- E15: the certificate engine -------------------------------------------------- *)
+
+let e15 () =
+  section "E15"
+    "the certificate engine: sequential vs parallel vs warm cache on the \
+     harary 2f+1 boundary grid";
+  (* One Conn_cell job per (f, n, kappa): kappa = 2f straddles the frontier
+     from below (covering certificate), 2f+1 and 2f+2 from above (Dolev
+     relay under lying relays). *)
+  let grid =
+    List.concat_map
+      (fun (f, n) ->
+        List.map
+          (fun kappa -> Job.Conn_cell { kappa; n; f })
+          [ 2 * f; (2 * f) + 1; (2 * f) + 2 ])
+      [ 1, 7; 1, 9; 1, 11; 2, 11; 2, 13 ]
+  in
+  Format.printf "%-12s | %4s | %8s | %10s | %s@." "phase" "jobs" "seconds"
+    "jobs/sec" "cache hit rate";
+  let phase label eng =
+    Metrics.reset (Engine.metrics eng);
+    let t0 = Metrics.wall_now () in
+    let verdicts = Engine.run_all eng grid in
+    let dt = Metrics.wall_now () -. t0 in
+    let snap = Metrics.snapshot (Engine.metrics eng) in
+    Format.printf "%-12s | %4d | %8.3f | %10.1f | %5.1f%% (%d executions)@."
+      label (Engine.jobs eng) dt
+      (float_of_int (List.length grid) /. dt)
+      (100.0 *. Metrics.hit_rate snap)
+      snap.Metrics.executions_run;
+    verdicts
+  in
+  (* At least two domains even on one-core boxes, so the parallel machinery
+     (queue, domains, cross-domain cache) is really on the measured path. *)
+  let seq_engine = Engine.create ~jobs:1 () in
+  let par_engine =
+    Engine.create ~jobs:(max 2 (Domain.recommended_domain_count ())) ()
+  in
+  let seq = phase "sequential" seq_engine in
+  let par = phase "parallel" par_engine in
+  let warm = phase "warm-cache" par_engine in
+  Format.printf "verdicts identical (seq = par = warm): %b@."
+    (List.for_all2 Job.equal_verdict seq par
+    && List.for_all2 Job.equal_verdict par warm)
+
 (* --- Bechamel timing benches -------------------------------------------------------- *)
 
 let timing () =
@@ -584,5 +626,6 @@ let () =
   e12 ();
   e13 ();
   e14 ();
+  e15 ();
   timing ();
   Format.printf "@.done.@."

@@ -38,6 +38,35 @@ let f_arg =
   let open Cmdliner in
   Arg.(value & opt int 1 & info [ "f" ] ~docv:"F" ~doc:"Number of faults tolerated.")
 
+let jobs_arg =
+  let open Cmdliner in
+  let positive_int =
+    let parse s =
+      match Arg.conv_parser Arg.int s with
+      | Ok n when n >= 1 -> Ok n
+      | Ok _ -> Error (`Msg "expected a positive number of worker domains")
+      | Error _ as e -> e
+    in
+    Arg.conv (parse, Arg.conv_printer Arg.int)
+  in
+  Arg.(
+    value
+    & opt positive_int (Domain.recommended_domain_count ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the certificate engine (default: the \
+           recommended domain count; 1 forces the sequential path).")
+
+let metrics_arg =
+  let open Cmdliner in
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Print the engine's metrics report after the run.")
+
+let maybe_report eng metrics =
+  if metrics then Format.printf "%s@." (Engine.report eng)
+
 (* --- flm graph ----------------------------------------------------------- *)
 
 let graph_cmd =
@@ -139,8 +168,7 @@ let demo_cmd =
 (* --- flm certify ---------------------------------------------------------- *)
 
 let certify_cmd =
-  let run problem n f full =
-    let horizon = Eig.decision_round ~f + 1 in
+  let run problem n f full jobs metrics =
     let print_cert cert =
       if full then Format.printf "%a@." Certificate.pp cert
       else Format.printf "%a@." Certificate.pp_summary cert;
@@ -148,27 +176,20 @@ let certify_cmd =
       | Ok () -> Format.printf "(re-validated: OK)@."
       | Error m -> Format.printf "(VALIDATION FAILED: %s)@." m
     in
+    match Job.cert_problem_of_string problem with
+    | Some cert_problem ->
+      (* The engine path: memoized, metered, and (for batches) parallel. *)
+      let eng = Engine.create ~jobs () in
+      let outcome = Engine.certify eng ~problem:cert_problem ~n ~f in
+      print_cert outcome.Job.certificate;
+      maybe_report eng metrics
+    | None ->
+    let eng = Engine.create ~jobs () in
+    let print_cert cert =
+      print_cert cert;
+      maybe_report eng metrics
+    in
     match problem with
-    | "ba" ->
-      print_cert
-        (Ba_nodes.certify
-           ~device:(fun w -> Eig.device ~n ~f ~me:w ~default:bool_default)
-           ~v0:(Value.bool false) ~v1:(Value.bool true) ~horizon ~f
-           (Topology.complete n))
-    | "ba-collapse" ->
-      (* Footnote 3: collapse n <= 3f onto the triangle. *)
-      print_cert
-        (Collapse.certify_via_triangle
-           ~device:(fun w -> Eig.device ~n ~f ~me:w ~default:bool_default)
-           ~v0:(Value.bool false) ~v1:(Value.bool true) ~horizon ~f
-           (Topology.complete n))
-    | "ba-conn" ->
-      let g = Topology.cycle n in
-      print_cert
-        (Ba_connectivity.certify
-           ~device:(fun w ->
-             Naive.flood_vote g ~me:w ~rounds:n ~default:bool_default)
-           ~v0:(Value.bool false) ~v1:(Value.bool true) ~horizon:(n + 3) ~f g)
     | "weak" ->
       let deadline = Eig.decision_round ~f:1 in
       print_cert
@@ -210,8 +231,9 @@ let certify_cmd =
           ~device:(fun _ -> Clock_proto.averaging ~l:Fun.id ~arity:2)
           ~params ()
       in
-      if full then Format.printf "%a@." Clock_chain.pp cert
-      else Format.printf "%a@." Clock_chain.pp_summary cert
+      (if full then Format.printf "%a@." Clock_chain.pp cert
+       else Format.printf "%a@." Clock_chain.pp_summary cert);
+      maybe_report eng metrics
     | other -> invalid_arg ("unknown problem: " ^ other)
   in
   let open Cmdliner in
@@ -226,23 +248,28 @@ let certify_cmd =
   Cmd.v
     (Cmd.info "certify"
        ~doc:"Generate an impossibility certificate on an inadequate graph.")
-    Term.(const run $ problem $ n $ f_arg $ full)
+    Term.(const run $ problem $ n $ f_arg $ full $ jobs_arg $ metrics_arg)
 
 (* --- flm sweep ------------------------------------------------------------ *)
 
 let sweep_cmd =
-  let run n_max f_max =
+  let run n_max f_max jobs metrics =
+    let eng = Engine.create ~jobs () in
     Format.printf
       "EIG on K_n: adequate cells must survive the adversary zoo; inadequate \
-       cells must fall to the covering certificate.@.@.";
-    Format.printf "%a@." Sweep.pp_nf (Sweep.nf_boundary ~n_max ~f_max)
+       cells must fall to the covering certificate.  (engine: %d worker \
+       domain%s)@.@."
+      (Engine.jobs eng)
+      (if Engine.jobs eng = 1 then "" else "s");
+    Format.printf "%a@." Sweep.pp_nf (Engine.nf_boundary eng ~n_max ~f_max);
+    maybe_report eng metrics
   in
   let open Cmdliner in
   let n_max = Arg.(value & opt int 8 & info [ "n-max" ] ~doc:"Largest n.") in
   let f_max = Arg.(value & opt int 2 & info [ "f-max" ] ~doc:"Largest f.") in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Trace the 3f+1 boundary empirically.")
-    Term.(const run $ n_max $ f_max)
+    Term.(const run $ n_max $ f_max $ jobs_arg $ metrics_arg)
 
 let () =
   let open Cmdliner in

@@ -70,3 +70,12 @@ module Approx_chain = Approx_chain
 module Clock_chain = Clock_chain
 module Collapse = Collapse
 module Sweep = Sweep
+
+(** {1 The certificate engine (parallel, memoizing, metered)} *)
+
+module Fingerprint = Fingerprint
+module Metrics = Metrics
+module Exec_cache = Exec_cache
+module Pool = Pool
+module Job = Job
+module Engine = Engine

@@ -1,0 +1,74 @@
+type t = {
+  pool : Pool.t;
+  verdicts : Job.verdict Exec_cache.t;
+  scenarios : bool Exec_cache.t;
+  metrics : Metrics.t;
+}
+
+let create ?jobs ?(cache_capacity = 4096) () =
+  let jobs =
+    match jobs with Some j -> j | None -> Domain.recommended_domain_count ()
+  in
+  {
+    pool = Pool.create ~jobs ();
+    verdicts = Exec_cache.create ~capacity:cache_capacity ();
+    (* Scenario results are booleans — far cheaper than verdicts — so give
+       the fine-grained cache proportionally more room. *)
+    scenarios = Exec_cache.create ~capacity:(8 * cache_capacity) ();
+    metrics = Metrics.create ();
+  }
+
+let jobs t = Pool.jobs t.pool
+let metrics t = t.metrics
+
+(* The scenario-level memoizer threaded into the sweeps: overlapping
+   executions (the same zoo run or relay run revisited across jobs or across
+   warm re-runs) are executed once. *)
+let memo t : Sweep.memo =
+ fun desc run ->
+  Exec_cache.find_or_run t.scenarios ~metrics:t.metrics
+    (Fingerprint.intern desc) run
+
+let run_job t job =
+  let t0 = Metrics.wall_now () in
+  let v =
+    Exec_cache.find_or_run t.verdicts ~metrics:t.metrics (Job.key job)
+      (fun () -> Job.run ~memo:(memo t) job)
+  in
+  Metrics.record_job t.metrics ~seconds:(Metrics.wall_now () -. t0);
+  v
+
+let run_all t jobs = Pool.map_list t.pool (run_job t) jobs
+
+let nf_jobs ~n_max ~f_max =
+  List.concat_map
+    (fun f ->
+      List.filter_map
+        (fun n -> if n < 3 then None else Some (Job.Nf_cell { n; f }))
+        (List.init (n_max - 2) (fun i -> i + 3)))
+    (List.init f_max (fun i -> i + 1))
+
+let nf_boundary t ~n_max ~f_max =
+  List.map
+    (function Job.Cell c -> c | Job.Conn _ | Job.Cert _ -> assert false)
+    (run_all t (nf_jobs ~n_max ~f_max))
+
+let connectivity_boundary t ~f ~kappas ~n =
+  List.map
+    (function Job.Conn r -> r | Job.Cell _ | Job.Cert _ -> assert false)
+    (run_all t (List.map (fun kappa -> Job.Conn_cell { kappa; n; f }) kappas))
+
+let certify t ~problem ~n ~f =
+  match run_job t (Job.Certify { problem; n; f }) with
+  | Job.Cert outcome -> outcome
+  | Job.Cell _ | Job.Conn _ -> assert false
+
+let pp_report ppf t =
+  Format.fprintf ppf "%a@ caches: %d/%d verdicts, %d/%d scenarios (LRU)"
+    Metrics.pp_report t.metrics
+    (Exec_cache.length t.verdicts)
+    (Exec_cache.capacity t.verdicts)
+    (Exec_cache.length t.scenarios)
+    (Exec_cache.capacity t.scenarios)
+
+let report t = Format.asprintf "@[<v>%a@]" pp_report t

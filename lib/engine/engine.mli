@@ -1,0 +1,46 @@
+(** The certificate engine: the single entry point for running certificate
+    workloads at scale.
+
+    An engine owns a {!Pool} of worker domains, two {!Exec_cache}s (verdicts
+    keyed by job fingerprints; scenario executions keyed by scenario
+    fingerprints, threaded into the sweeps as a {!Sweep.memo}), and a
+    {!Metrics} instance shared by all of them.
+
+    {b Determinism guarantee.}  For any job list, [run_all] with [jobs > 1]
+    returns exactly what the sequential path ([jobs = 1], or calling
+    {!Job.run} directly) returns, in the same order: jobs are pure functions
+    of their descriptions, workers write results by input index, and cached
+    results are by construction equal to recomputed ones.  [nf_boundary] and
+    [connectivity_boundary] are drop-in parallel equivalents of
+    {!Sweep.nf_boundary} and {!Sweep.connectivity_boundary}. *)
+
+type t
+
+val create : ?jobs:int -> ?cache_capacity:int -> unit -> t
+(** [jobs] defaults to [Domain.recommended_domain_count ()]; [1] forces the
+    sequential path.  [cache_capacity] (default 4096) bounds the verdict
+    cache; the scenario cache gets 8x that. *)
+
+val jobs : t -> int
+val metrics : t -> Metrics.t
+
+val run_job : t -> Job.t -> Job.verdict
+(** Memoized: a re-run of an already-seen job is a cache hit and returns an
+    equal verdict without executing. *)
+
+val run_all : t -> Job.t list -> Job.verdict list
+(** Fan the batch out over the pool; verdicts come back in input order. *)
+
+val nf_boundary : t -> n_max:int -> f_max:int -> Sweep.cell list
+(** Parallel, memoized {!Sweep.nf_boundary}: byte-identical cells. *)
+
+val connectivity_boundary :
+  t -> f:int -> kappas:int list -> n:int -> (int * bool * bool option * bool option) list
+(** Parallel, memoized {!Sweep.connectivity_boundary}. *)
+
+val certify : t -> problem:Job.cert_problem -> n:int -> f:int -> Job.cert_outcome
+(** One memoized certificate job (the CLI's [certify] path). *)
+
+val pp_report : Format.formatter -> t -> unit
+val report : t -> string
+(** The metrics report plus cache occupancy. *)

@@ -1,0 +1,126 @@
+type 'v node = {
+  nkey : Fingerprint.key;
+  nvalue : 'v;
+  mutable newer : 'v node option;
+  mutable older : 'v node option;
+}
+
+type 'v t = {
+  capacity : int;
+  lock : Mutex.t;
+  table : (Fingerprint.t, 'v node list ref) Hashtbl.t;
+  mutable newest : 'v node option;
+  mutable oldest : 'v node option;
+  mutable size : int;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity < 1 then invalid_arg "Exec_cache.create: capacity >= 1 required";
+  {
+    capacity;
+    lock = Mutex.create ();
+    table = Hashtbl.create (min capacity 1024);
+    newest = None;
+    oldest = None;
+    size = 0;
+  }
+
+let capacity t = t.capacity
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* --- intrusive doubly-linked recency list (lock held) --------------------- *)
+
+let detach t node =
+  (match node.newer with
+  | Some n -> n.older <- node.older
+  | None -> t.newest <- node.older);
+  (match node.older with
+  | Some n -> n.newer <- node.newer
+  | None -> t.oldest <- node.newer);
+  node.newer <- None;
+  node.older <- None
+
+let push_newest t node =
+  node.older <- t.newest;
+  node.newer <- None;
+  (match t.newest with Some n -> n.newer <- Some node | None -> ());
+  t.newest <- Some node;
+  match t.oldest with None -> t.oldest <- Some node | Some _ -> ()
+
+let find_node t key =
+  match Hashtbl.find_opt t.table (Fingerprint.of_key key) with
+  | None -> None
+  | Some bucket ->
+    List.find_opt (fun n -> Fingerprint.equal_key n.nkey key) !bucket
+
+let remove_node t node =
+  let fp = Fingerprint.of_key node.nkey in
+  (match Hashtbl.find_opt t.table fp with
+  | Some bucket -> (
+    match List.filter (fun n -> n != node) !bucket with
+    | [] -> Hashtbl.remove t.table fp
+    | rest -> bucket := rest)
+  | None -> ());
+  detach t node;
+  t.size <- t.size - 1
+
+let insert_node t key value =
+  match find_node t key with
+  | Some node ->
+    (* Lost a race with another domain computing the same key; results are
+       deterministic, so keeping the first value is equivalent. *)
+    detach t node;
+    push_newest t node
+  | None ->
+    let node = { nkey = key; nvalue = value; newer = None; older = None } in
+    let fp = Fingerprint.of_key key in
+    (match Hashtbl.find_opt t.table fp with
+    | Some bucket -> bucket := node :: !bucket
+    | None -> Hashtbl.add t.table fp (ref [ node ]));
+    push_newest t node;
+    t.size <- t.size + 1;
+    while t.size > t.capacity do
+      match t.oldest with
+      | Some victim -> remove_node t victim
+      | None -> assert false
+    done
+
+(* --- public operations ---------------------------------------------------- *)
+
+let find_opt t key =
+  with_lock t (fun () ->
+      match find_node t key with
+      | Some node ->
+        detach t node;
+        push_newest t node;
+        Some node.nvalue
+      | None -> None)
+
+let mem t key = with_lock t (fun () -> find_node t key <> None)
+
+let insert t key value = with_lock t (fun () -> insert_node t key value)
+
+let find_or_run t ?metrics key run =
+  match find_opt t key with
+  | Some v ->
+    Option.iter Metrics.cache_hit metrics;
+    v
+  | None ->
+    Option.iter Metrics.cache_miss metrics;
+    (* Compute outside the lock: concurrent misses on the same key each run
+       (deterministic, so equivalent) rather than serializing all workers. *)
+    let v = run () in
+    insert t key v;
+    v
+
+let length t = with_lock t (fun () -> t.size)
+
+let clear t =
+  with_lock t (fun () ->
+      Hashtbl.reset t.table;
+      t.newest <- None;
+      t.oldest <- None;
+      t.size <- 0)

@@ -1,0 +1,37 @@
+(** Execution memoization: an LRU-bounded, domain-safe cache from scenario
+    fingerprints to results.
+
+    Keys are hash-consed {!Fingerprint.key}s whose descriptors fully describe
+    the computation (see {!Sweep.memo} and {!Job.describe}); lookups compare
+    descriptors structurally, so fingerprint collisions cannot return a wrong
+    entry.  Eviction is least-recently-used with a hard capacity bound.
+
+    Concurrency: every operation takes the cache's mutex.  [find_or_run]
+    computes misses {e outside} the lock; two domains missing the same key
+    concurrently both compute (deterministically equal) results and the
+    first insert wins — correctness never depends on single execution. *)
+
+type 'v t
+
+val create : ?capacity:int -> unit -> 'v t
+(** Default capacity 4096 entries.  Raises [Invalid_argument] if the
+    capacity is below 1. *)
+
+val capacity : 'v t -> int
+
+val find_opt : 'v t -> Fingerprint.key -> 'v option
+(** A hit refreshes the entry's recency. *)
+
+val mem : 'v t -> Fingerprint.key -> bool
+(** Peek without touching recency (used by eviction tests). *)
+
+val insert : 'v t -> Fingerprint.key -> 'v -> unit
+(** Inserts (or refreshes) and evicts the least-recently-used entries until
+    the size bound holds. *)
+
+val find_or_run : 'v t -> ?metrics:Metrics.t -> Fingerprint.key -> (unit -> 'v) -> 'v
+(** [find_or_run t ~metrics key run] returns the cached value for [key] or
+    evaluates [run ()] and caches it, recording a hit or miss on [metrics]. *)
+
+val length : 'v t -> int
+val clear : 'v t -> unit

@@ -1,0 +1,39 @@
+(** Stable fingerprints and hash-consed cache keys.
+
+    A fingerprint is a 64-bit FNV-1a hash of a {!Value.t} descriptor under a
+    prefix-unambiguous encoding (constructor tag bytes + length prefixes).
+    Fingerprints are deterministic across runs, domains, and processes —
+    unlike [Hashtbl.hash] they never truncate the structure — so they are
+    safe to persist and to use as shard keys.
+
+    Soundness note: the memoization cache never trusts a fingerprint alone.
+    Keys carry their full descriptor and the cache compares descriptors
+    structurally on every lookup, so a fingerprint collision costs a bucket
+    scan, never a wrong verdict. *)
+
+type t = int64
+
+val of_value : Value.t -> t
+val equal : t -> t -> bool
+val to_hex : t -> string
+
+(** {1 Hash-consed keys}
+
+    [intern] maps structurally-equal descriptors to one shared physical key,
+    computed-once fingerprint included, so repeated lookups with the same
+    scenario descriptor are cheap (physical equality fast path). *)
+
+type key
+
+val intern : Value.t -> key
+(** Thread-safe; callable from any domain. *)
+
+val desc : key -> Value.t
+val of_key : key -> t
+
+val equal_key : key -> key -> bool
+(** Physical equality, falling back to fingerprint + structural descriptor
+    comparison. *)
+
+val interned_count : unit -> int
+(** Number of distinct keys interned so far in this process. *)

@@ -1,0 +1,123 @@
+type cert_problem = Ba | Ba_collapse | Ba_conn
+
+type spec =
+  | Nf_cell of { n : int; f : int }
+  | Conn_cell of { kappa : int; n : int; f : int }
+  | Certify of { problem : cert_problem; n : int; f : int }
+
+type t = spec
+
+type cert_outcome = {
+  contradiction : bool;
+  summary : string;
+  certificate : Certificate.t;
+}
+
+type verdict =
+  | Cell of Sweep.cell
+  | Conn of (int * bool * bool option * bool option)
+  | Cert of cert_outcome
+
+let cert_problem_name = function
+  | Ba -> "ba"
+  | Ba_collapse -> "ba-collapse"
+  | Ba_conn -> "ba-conn"
+
+let cert_problem_of_string = function
+  | "ba" -> Some Ba
+  | "ba-collapse" -> Some Ba_collapse
+  | "ba-conn" -> Some Ba_conn
+  | _ -> None
+
+let bool_default = Value.bool false
+
+(* Derived deterministically from the spec; recorded in the descriptor so a
+   fingerprint pins the whole problem x topology x f x protocol x horizon
+   tuple, not just the spec fields. *)
+let shape = function
+  | Nf_cell { n; f } ->
+    "nf-cell", Printf.sprintf "complete:%d" n, n, f, "eig",
+    Eig.decision_round ~f + 1
+  | Conn_cell { kappa; n; f } ->
+    "conn-cell", Printf.sprintf "harary:%d:%d" kappa n, n, f,
+    "dolev-relay/flood-vote", n / 2 + 3
+  | Certify { problem = Ba; n; f } ->
+    "certify:ba", Printf.sprintf "complete:%d" n, n, f, "eig",
+    Eig.decision_round ~f + 1
+  | Certify { problem = Ba_collapse; n; f } ->
+    "certify:ba-collapse", Printf.sprintf "complete:%d" n, n, f, "eig",
+    Eig.decision_round ~f + 1
+  | Certify { problem = Ba_conn; n; f } ->
+    "certify:ba-conn", Printf.sprintf "cycle:%d" n, n, f, "flood-vote", n + 3
+
+let describe job =
+  let problem, topology, n, f, protocol, horizon = shape job in
+  Value.tag "flm-job"
+    (Value.of_assoc
+       [ Value.string "problem", Value.string problem;
+         Value.string "topology", Value.string topology;
+         Value.string "n", Value.int n;
+         Value.string "f", Value.int f;
+         Value.string "protocol", Value.string protocol;
+         Value.string "horizon", Value.int horizon;
+       ])
+
+let fingerprint job = Fingerprint.of_value (describe job)
+let key job = Fingerprint.intern (describe job)
+
+let label job =
+  let problem, topology, _, f, _, _ = shape job in
+  Printf.sprintf "%s(%s,f=%d)" problem topology f
+
+let run ?memo job =
+  match job with
+  | Nf_cell { n; f } -> Cell (Sweep.nf_cell ?memo ~n ~f ())
+  | Conn_cell { kappa; n; f } -> Conn (Sweep.connectivity_cell ?memo ~f ~n ~kappa ())
+  | Certify { problem; n; f } ->
+    let horizon = Eig.decision_round ~f + 1 in
+    let eig w = Eig.device ~n ~f ~me:w ~default:bool_default in
+    let v0 = Value.bool false and v1 = Value.bool true in
+    let certificate =
+      match problem with
+      | Ba -> Ba_nodes.certify ~device:eig ~v0 ~v1 ~horizon ~f (Topology.complete n)
+      | Ba_collapse ->
+        Collapse.certify_via_triangle ~device:eig ~v0 ~v1 ~horizon ~f
+          (Topology.complete n)
+      | Ba_conn ->
+        let g = Topology.cycle n in
+        Ba_connectivity.certify
+          ~device:(fun w -> Naive.flood_vote g ~me:w ~rounds:n ~default:bool_default)
+          ~v0 ~v1 ~horizon:(n + 3) ~f g
+    in
+    Cert
+      {
+        contradiction = Certificate.is_contradiction certificate;
+        summary = Certificate.verdict_line certificate;
+        certificate;
+      }
+
+(* Certificates carry traces and device closures; compare their data
+   projection.  Cells and connectivity rows are plain data. *)
+let equal_verdict a b =
+  match a, b with
+  | Cell x, Cell y -> x = y
+  | Conn x, Conn y -> x = y
+  | Cert x, Cert y ->
+    x.contradiction = y.contradiction && String.equal x.summary y.summary
+  | (Cell _ | Conn _ | Cert _), _ -> false
+
+let pp_verdict ppf = function
+  | Cell c ->
+    Format.fprintf ppf "cell(n=%d,f=%d,%s)" c.Sweep.n c.Sweep.f
+      (match c.Sweep.survived_attacks, c.Sweep.certificate_broke_it with
+      | Some s, _ -> Printf.sprintf "survived=%b" s
+      | _, Some b -> Printf.sprintf "broken=%b" b
+      | None, None -> "-")
+  | Conn (kappa, adequate, relay, cert) ->
+    Format.fprintf ppf "conn(kappa=%d,adequate=%b,relay=%s,cert=%s)" kappa
+      adequate
+      (match relay with Some b -> string_of_bool b | None -> "-")
+      (match cert with Some b -> string_of_bool b | None -> "-")
+  | Cert c -> Format.fprintf ppf "cert(%s)" c.summary
+
+let pp ppf job = Format.pp_print_string ppf (label job)

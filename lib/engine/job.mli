@@ -1,0 +1,56 @@
+(** The engine's job model.
+
+    A job is a first-order description of one certificate workload —
+    problem x topology x f x protocol x horizon — with a stable fingerprint.
+    Because [run] is a pure function of the description (every device,
+    input, adversary, and horizon is derived deterministically from it, and
+    the underlying executor is deterministic), memoizing verdicts on the
+    fingerprinted description cannot change any verdict: a cache hit returns
+    exactly what re-running would compute. *)
+
+type cert_problem = Ba | Ba_collapse | Ba_conn
+
+type spec =
+  | Nf_cell of { n : int; f : int }
+      (** One 3f+1-boundary cell on K_n ({!Sweep.nf_cell}). *)
+  | Conn_cell of { kappa : int; n : int; f : int }
+      (** One 2f+1-connectivity row on H(κ, n) ({!Sweep.connectivity_cell}). *)
+  | Certify of { problem : cert_problem; n : int; f : int }
+      (** A full covering certificate (EIG on K_n, or flood-vote on the
+          n-cycle for [Ba_conn]), as produced by the [flm certify] CLI. *)
+
+type t = spec
+
+type cert_outcome = {
+  contradiction : bool;
+  summary : string;  (** one-line verdict ({!Certificate.verdict_line}) *)
+  certificate : Certificate.t;
+}
+
+type verdict =
+  | Cell of Sweep.cell
+  | Conn of (int * bool * bool option * bool option)
+  | Cert of cert_outcome
+
+val cert_problem_name : cert_problem -> string
+val cert_problem_of_string : string -> cert_problem option
+
+val describe : t -> Value.t
+(** The canonical descriptor: problem, topology, n, f, protocol, horizon.
+    This is what gets fingerprinted and interned as the cache key. *)
+
+val fingerprint : t -> Fingerprint.t
+val key : t -> Fingerprint.key
+val label : t -> string
+
+val run : ?memo:Sweep.memo -> t -> verdict
+(** Execute the job sequentially in the calling domain.  [memo] is threaded
+    to the sweep's scenario-level executions ({!Sweep.memo}); omitting it
+    gives the uncached reference path. *)
+
+val equal_verdict : verdict -> verdict -> bool
+(** Structural equality on the data projection (certificates compare by
+    contradiction flag and verdict line; their traces are not re-compared). *)
+
+val pp : Format.formatter -> t -> unit
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,93 @@
+type snapshot = {
+  jobs_completed : int;
+  cache_hits : int;
+  cache_misses : int;
+  executions_run : int;
+  total_job_seconds : float;
+  max_job_seconds : float;
+  elapsed_seconds : float;
+}
+
+type t = {
+  lock : Mutex.t;
+  mutable jobs_completed : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable total_job_seconds : float;
+  mutable max_job_seconds : float;
+  mutable created_at : float;
+  mutable exec_baseline : int;
+}
+
+let wall_now = Unix.gettimeofday
+
+let create () =
+  {
+    lock = Mutex.create ();
+    jobs_completed = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    total_job_seconds = 0.0;
+    max_job_seconds = 0.0;
+    created_at = wall_now ();
+    exec_baseline = Exec.total_runs ();
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let reset t =
+  with_lock t (fun () ->
+      t.jobs_completed <- 0;
+      t.cache_hits <- 0;
+      t.cache_misses <- 0;
+      t.total_job_seconds <- 0.0;
+      t.max_job_seconds <- 0.0;
+      t.created_at <- wall_now ();
+      t.exec_baseline <- Exec.total_runs ())
+
+let cache_hit t = with_lock t (fun () -> t.cache_hits <- t.cache_hits + 1)
+let cache_miss t = with_lock t (fun () -> t.cache_misses <- t.cache_misses + 1)
+
+let record_job t ~seconds =
+  with_lock t (fun () ->
+      t.jobs_completed <- t.jobs_completed + 1;
+      t.total_job_seconds <- t.total_job_seconds +. seconds;
+      if seconds > t.max_job_seconds then t.max_job_seconds <- seconds)
+
+let snapshot t =
+  with_lock t (fun () ->
+      {
+        jobs_completed = t.jobs_completed;
+        cache_hits = t.cache_hits;
+        cache_misses = t.cache_misses;
+        executions_run = Exec.total_runs () - t.exec_baseline;
+        total_job_seconds = t.total_job_seconds;
+        max_job_seconds = t.max_job_seconds;
+        elapsed_seconds = wall_now () -. t.created_at;
+      })
+
+let hit_rate (s : snapshot) =
+  let total = s.cache_hits + s.cache_misses in
+  if total = 0 then 0.0 else float_of_int s.cache_hits /. float_of_int total
+
+let jobs_per_second (s : snapshot) =
+  if s.elapsed_seconds <= 0.0 then 0.0
+  else float_of_int s.jobs_completed /. s.elapsed_seconds
+
+let pp_snapshot ppf (s : snapshot) =
+  Format.fprintf ppf
+    "@[<v>engine metrics:@   jobs completed:   %d (%.1f jobs/s over %.3f s \
+     elapsed)@   executions run:   %d@   cache:            %d hits / %d \
+     misses (hit rate %.1f%%)@   job wall-clock:   %.3f s total, %.3f s max, \
+     %.3f s mean@]"
+    s.jobs_completed (jobs_per_second s) s.elapsed_seconds s.executions_run
+    s.cache_hits s.cache_misses
+    (100.0 *. hit_rate s)
+    s.total_job_seconds s.max_job_seconds
+    (if s.jobs_completed = 0 then 0.0
+     else s.total_job_seconds /. float_of_int s.jobs_completed)
+
+let pp_report ppf t = pp_snapshot ppf (snapshot t)
+let report t = Format.asprintf "%a" pp_report t

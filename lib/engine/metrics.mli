@@ -1,0 +1,38 @@
+(** Engine counters: jobs completed, cache hits/misses, executions run, and
+    wall-clock per job.  All mutators are mutex-protected and callable from
+    worker domains; [executions_run] is the delta of {!Exec.total_runs} since
+    creation (or the last {!reset}), so it counts every scenario execution
+    the workload triggered, however deep in the certificate machinery. *)
+
+type t
+
+type snapshot = {
+  jobs_completed : int;
+  cache_hits : int;
+  cache_misses : int;
+  executions_run : int;
+  total_job_seconds : float;
+  max_job_seconds : float;
+  elapsed_seconds : float;
+}
+
+val create : unit -> t
+
+val reset : t -> unit
+(** Zero the counters and re-anchor the execution baseline and the elapsed
+    clock (used by the bench to isolate warm-cache phases). *)
+
+val cache_hit : t -> unit
+val cache_miss : t -> unit
+val record_job : t -> seconds:float -> unit
+
+val snapshot : t -> snapshot
+val hit_rate : snapshot -> float
+val jobs_per_second : snapshot -> float
+
+val wall_now : unit -> float
+(** Wall-clock seconds (gettimeofday); the clock used for job timing. *)
+
+val pp_snapshot : Format.formatter -> snapshot -> unit
+val pp_report : Format.formatter -> t -> unit
+val report : t -> string

@@ -1,0 +1,85 @@
+type t = { jobs : int; queue_capacity : int }
+
+let create ?(queue_capacity = 64) ~jobs () =
+  if jobs < 1 then invalid_arg "Pool.create: jobs >= 1 required";
+  if queue_capacity < 1 then invalid_arg "Pool.create: queue capacity >= 1 required";
+  { jobs; queue_capacity }
+
+let jobs t = t.jobs
+
+let map t f arr =
+  let len = Array.length arr in
+  if t.jobs = 1 || len <= 1 then Array.map f arr
+  else begin
+    let workers = min t.jobs len in
+    let results = Array.make len None in
+    let errors = Array.make len None in
+    let lock = Mutex.create () in
+    let not_empty = Condition.create () in
+    let not_full = Condition.create () in
+    let queue = Queue.create () in
+    let closed = ref false in
+    let push i =
+      Mutex.lock lock;
+      while Queue.length queue >= t.queue_capacity do
+        Condition.wait not_full lock
+      done;
+      Queue.push i queue;
+      Condition.signal not_empty;
+      Mutex.unlock lock
+    in
+    let close () =
+      Mutex.lock lock;
+      closed := true;
+      Condition.broadcast not_empty;
+      Mutex.unlock lock
+    in
+    let pop () =
+      Mutex.lock lock;
+      let rec wait () =
+        if not (Queue.is_empty queue) then begin
+          let i = Queue.pop queue in
+          Condition.signal not_full;
+          Mutex.unlock lock;
+          Some i
+        end
+        else if !closed then begin
+          Mutex.unlock lock;
+          None
+        end
+        else begin
+          Condition.wait not_empty lock;
+          wait ()
+        end
+      in
+      wait ()
+    in
+    let worker () =
+      let rec go () =
+        match pop () with
+        | None -> ()
+        | Some i ->
+          (match f arr.(i) with
+          | v -> results.(i) <- Some v
+          | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+          go ()
+      in
+      go ()
+    in
+    let domains = Array.init workers (fun _ -> Domain.spawn worker) in
+    for i = 0 to len - 1 do
+      push i
+    done;
+    close ();
+    Array.iter Domain.join domains;
+    (* Deterministic error propagation: the lowest failing index wins,
+       whichever domain hit it first. *)
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+      errors;
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map_list t f xs = Array.to_list (map t f (Array.of_list xs))

@@ -1,0 +1,28 @@
+(** A domain-based worker pool with a bounded work queue and deterministic
+    result ordering.
+
+    [map] fans an index-addressed batch out over OCaml 5 domains: workers
+    pull indices from a bounded blocking queue (backpressure on the feeder),
+    write results into their own slot, and are all joined before [map]
+    returns — so results arrive in input order regardless of scheduling, no
+    domain outlives the call, and the memory model's happens-before edges
+    (join) make the result array safely visible.
+
+    With [jobs = 1] (or a batch of at most one element) [map] degenerates to
+    [Array.map] in the calling domain — the sequential reference path used
+    for differential testing.
+
+    If tasks raise, the exception of the {e lowest failing index} is
+    re-raised (deterministically), after all workers have drained.  [map] is
+    not reentrant from inside a worker task. *)
+
+type t
+
+val create : ?queue_capacity:int -> jobs:int -> unit -> t
+(** [queue_capacity] (default 64) bounds the in-flight work queue.  Raises
+    [Invalid_argument] when [jobs] or the capacity is below 1. *)
+
+val jobs : t -> int
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list

@@ -42,6 +42,17 @@ let decide ?(aux = []) ~runs ~fallback () =
         Contradiction { run_label = r.Reconstruct.label; violations }
       | None -> Unbroken fallback))
 
+let verdict_line t =
+  match t.verdict with
+  | Contradiction { run_label; violations } ->
+    Printf.sprintf "CONTRADICTION in %s (%s)" run_label
+      (String.concat "+"
+         (List.sort_uniq compare
+            (List.map (fun v -> v.Violation.condition) violations)))
+  | Fault_axiom_failed { run_label; _ } ->
+    Printf.sprintf "no contradiction: Fault axiom fails (%s)" run_label
+  | Unbroken msg -> "UNBROKEN: " ^ msg
+
 let is_contradiction t =
   match t.verdict with
   | Contradiction _ -> true

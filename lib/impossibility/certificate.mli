@@ -48,6 +48,11 @@ val decide :
 
 val is_contradiction : t -> bool
 
+val verdict_line : t -> string
+(** A one-line rendering of the verdict, e.g.
+    ["CONTRADICTION in E2 (agreement)"] — used by the bench tables and the
+    engine's job summaries. *)
+
 val validate : t -> (unit, string) result
 (** Re-verify: the graph is inadequate for [f], the covering is a covering,
     every run's locality witness and recorded violations match a fresh

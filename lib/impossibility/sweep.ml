@@ -6,6 +6,10 @@ type cell = {
   certificate_broke_it : bool option;
 }
 
+type memo = Value.t -> (unit -> bool) -> bool
+
+let no_memo _ run = run ()
+
 let bool_default = Value.bool false
 
 let agreement_and_validity trace correct inputs =
@@ -22,7 +26,7 @@ let attacks ~n ~f u =
       ~palette:[ Value.bool true; Value.bool false; Value.int 3 ];
   ]
 
-let survives_zoo ~n ~f =
+let survives_zoo ?(memo = no_memo) ~n ~f () =
   let g = Topology.complete n in
   let horizon = Eig.decision_round ~f + 1 in
   let patterns = [ 0; 1; (1 lsl n) - 1; 0b1010101 land ((1 lsl n) - 1) ] in
@@ -39,105 +43,120 @@ let survives_zoo ~n ~f =
         (fun faulty ->
           List.for_all
             (fun which ->
-              let sys =
-                System.make g (fun u ->
-                    Eig.device ~n ~f ~me:u ~default:bool_default, inputs.(u))
+              (* Everything the execution depends on — protocol, topology,
+                 inputs, adversary placement and kind, horizon — is a pure
+                 function of this descriptor, so a [memo] hit cannot change
+                 the verdict. *)
+              let key =
+                Value.tag "zoo-run"
+                  (Value.list
+                     [ Value.int n; Value.int f; Value.int horizon;
+                       Value.int pattern; Value.int_list faulty;
+                       Value.int which ])
               in
-              let sys =
-                List.fold_left
-                  (fun acc u ->
-                    System.substitute acc u (List.nth (attacks ~n ~f u) which))
-                  sys faulty
-              in
-              let trace = Exec.run sys ~rounds:horizon in
-              let correct =
-                List.filter (fun u -> not (List.mem u faulty)) (Graph.nodes g)
-              in
-              agreement_and_validity trace correct (fun u -> inputs.(u)))
+              memo key (fun () ->
+                  let sys =
+                    System.make g (fun u ->
+                        Eig.device ~n ~f ~me:u ~default:bool_default, inputs.(u))
+                  in
+                  let sys =
+                    List.fold_left
+                      (fun acc u ->
+                        System.substitute acc u (List.nth (attacks ~n ~f u) which))
+                      sys faulty
+                  in
+                  let trace = Exec.run sys ~rounds:horizon in
+                  let correct =
+                    List.filter (fun u -> not (List.mem u faulty)) (Graph.nodes g)
+                  in
+                  agreement_and_validity trace correct (fun u -> inputs.(u))))
             [ 0; 1; 2; 3 ])
         faulty_sets)
     patterns
+
+let nf_cell ?memo ~n ~f () =
+  if n < 3 then invalid_arg "Sweep.nf_cell: n >= 3 required";
+  let g = Topology.complete n in
+  let adequate = Connectivity.is_adequate ~f g in
+  if adequate then
+    {
+      n;
+      f;
+      adequate;
+      survived_attacks = Some (survives_zoo ?memo ~n ~f ());
+      certificate_broke_it = None;
+    }
+  else begin
+    let cert =
+      Ba_nodes.certify
+        ~device:(fun w -> Eig.device ~n ~f ~me:w ~default:bool_default)
+        ~v0:(Value.bool false) ~v1:(Value.bool true)
+        ~horizon:(Eig.decision_round ~f + 1)
+        ~f g
+    in
+    {
+      n;
+      f;
+      adequate;
+      survived_attacks = None;
+      certificate_broke_it = Some (Certificate.is_contradiction cert);
+    }
+  end
 
 let nf_boundary ~n_max ~f_max =
   List.concat_map
     (fun f ->
       List.filter_map
-        (fun n ->
-          if n < 3 then None
-          else begin
-            let g = Topology.complete n in
-            let adequate = Connectivity.is_adequate ~f g in
-            if adequate then
-              Some
-                {
-                  n;
-                  f;
-                  adequate;
-                  survived_attacks = Some (survives_zoo ~n ~f);
-                  certificate_broke_it = None;
-                }
-            else begin
-              let cert =
-                Ba_nodes.certify
-                  ~device:(fun w -> Eig.device ~n ~f ~me:w ~default:bool_default)
-                  ~v0:(Value.bool false) ~v1:(Value.bool true)
-                  ~horizon:(Eig.decision_round ~f + 1)
-                  ~f g
-              in
-              Some
-                {
-                  n;
-                  f;
-                  adequate;
-                  survived_attacks = None;
-                  certificate_broke_it =
-                    Some (Certificate.is_contradiction cert);
-                }
-            end
-          end)
+        (fun n -> if n < 3 then None else Some (nf_cell ~n ~f ()))
         (List.init (n_max - 2) (fun i -> i + 3)))
     (List.init f_max (fun i -> i + 1))
 
-let connectivity_boundary ~f ~kappas ~n =
-  List.map
-    (fun kappa ->
-      let g = Topology.harary ~k:kappa ~n in
-      let adequate = Connectivity.is_adequate ~f g in
-      if adequate then begin
-        (* Dolev relay under a lying relay node. *)
-        let source = 0 in
-        let value = Value.int 99 in
-        let horizon = Dolev_relay.decision_round g ~f ~source + 1 in
-        let liar u =
-          Adversary.mutate
-            (Dolev_relay.device g ~f ~source ~me:u ~default:(Value.int 0))
-            ~rewrite:(fun ~port:_ ~round:_ m ->
-              Option.map (fun _ -> Value.int 666) m)
-        in
-        let bad = List.init f (fun i -> 1 + (2 * i)) in
-        let sys = Dolev_relay.system g ~f ~source ~value ~default:(Value.int 0) in
-        let sys = List.fold_left (fun acc u -> System.substitute acc u (liar u)) sys bad in
-        let trace = Exec.run sys ~rounds:horizon in
-        let ok =
+let connectivity_cell ?(memo = no_memo) ~f ~n ~kappa () =
+  let g = Topology.harary ~k:kappa ~n in
+  let adequate = Connectivity.is_adequate ~f g in
+  if adequate then begin
+    (* Dolev relay under a lying relay node. *)
+    let source = 0 in
+    let value = Value.int 99 in
+    let horizon = Dolev_relay.decision_round g ~f ~source + 1 in
+    let key =
+      Value.tag "conn-relay"
+        (Value.list [ Value.int kappa; Value.int n; Value.int f; Value.int horizon ])
+    in
+    let ok =
+      memo key (fun () ->
+          let liar u =
+            Adversary.mutate
+              (Dolev_relay.device g ~f ~source ~me:u ~default:(Value.int 0))
+              ~rewrite:(fun ~port:_ ~round:_ m ->
+                Option.map (fun _ -> Value.int 666) m)
+          in
+          let bad = List.init f (fun i -> 1 + (2 * i)) in
+          let sys = Dolev_relay.system g ~f ~source ~value ~default:(Value.int 0) in
+          let sys =
+            List.fold_left (fun acc u -> System.substitute acc u (liar u)) sys bad
+          in
+          let trace = Exec.run sys ~rounds:horizon in
           List.for_all
-            (fun u ->
-              List.mem u bad || Trace.decision trace u = Some value)
-            (Graph.nodes g)
-        in
-        kappa, adequate, Some ok, None
-      end
-      else begin
-        let cert =
-          Ba_connectivity.certify
-            ~device:(fun w ->
-              Naive.flood_vote g ~me:w ~rounds:(n / 2) ~default:bool_default)
-            ~v0:(Value.bool false) ~v1:(Value.bool true)
-            ~horizon:(n / 2 + 3)
-            ~f g
-        in
-        kappa, adequate, None, Some (Certificate.is_contradiction cert)
-      end)
-    kappas
+            (fun u -> List.mem u bad || Trace.decision trace u = Some value)
+            (Graph.nodes g))
+    in
+    kappa, adequate, Some ok, None
+  end
+  else begin
+    let cert =
+      Ba_connectivity.certify
+        ~device:(fun w ->
+          Naive.flood_vote g ~me:w ~rounds:(n / 2) ~default:bool_default)
+        ~v0:(Value.bool false) ~v1:(Value.bool true)
+        ~horizon:(n / 2 + 3)
+        ~f g
+    in
+    kappa, adequate, None, Some (Certificate.is_contradiction cert)
+  end
+
+let connectivity_boundary ~f ~kappas ~n =
+  List.map (fun kappa -> connectivity_cell ~f ~n ~kappa ()) kappas
 
 let pp_nf ppf cells =
   Format.fprintf ppf "@[<v>  n \\ f |";

@@ -3,7 +3,11 @@
 
     Each sweep pits a real protocol against both sides of a bound: on the
     adequate side it must survive an adversary zoo; on the inadequate side
-    the certificate engine must dismantle it. *)
+    the certificate engine must dismantle it.
+
+    The per-cell entry points ({!nf_cell}, {!connectivity_cell}) are what the
+    parallel {!Engine} fans out over; the [*_boundary] functions are their
+    sequential compositions and define the reference semantics. *)
 
 type cell = {
   n : int;
@@ -17,8 +21,35 @@ type cell = {
           contradiction?  [None] on the adequate side. *)
 }
 
+type memo = Value.t -> (unit -> bool) -> bool
+(** A memoization hook for scenario executions: [memo key run] either returns
+    a cached result for [key] or evaluates [run ()].  The [key] is a complete
+    first-order description of the execution (protocol, topology, inputs,
+    adversary, horizon), so substituting a cached result never changes a
+    verdict.  The default hook always runs. *)
+
+val no_memo : memo
+(** Always executes; the sequential reference path. *)
+
+val nf_cell : ?memo:memo -> n:int -> f:int -> unit -> cell
+(** One cell of the 3f+1 table on the complete graph K_n: zoo survival when
+    adequate, covering certificate when inadequate.  [n >= 3] required. *)
+
+val survives_zoo : ?memo:memo -> n:int -> f:int -> unit -> bool
+(** The adequate-side adversary zoo on K_n (silent, crash, split-brain,
+    babbler over a grid of input patterns and faulty sets). *)
+
 val nf_boundary : n_max:int -> f_max:int -> cell list
 (** Complete graphs K_n for 3 ≤ n ≤ [n_max], 1 ≤ f ≤ [f_max]. *)
+
+val connectivity_cell :
+  ?memo:memo ->
+  f:int ->
+  n:int ->
+  kappa:int ->
+  unit ->
+  int * bool * bool option * bool option
+(** One row of the connectivity table on the Harary graph H(κ, n). *)
 
 val connectivity_boundary :
   f:int -> kappas:int list -> n:int -> (int * bool * bool option * bool option) list

@@ -1,5 +1,10 @@
+let runs_started = Atomic.make 0
+
+let total_runs () = Atomic.get runs_started
+
 let run ?(signed = false) ?(delay = 1) sys ~rounds =
   if rounds < 0 then invalid_arg "Exec.run: negative horizon";
+  Atomic.incr runs_started;
   if delay < 1 then invalid_arg "Exec.run: delay >= 1 required";
   let graph = System.graph sys in
   let n = Graph.n graph in

@@ -15,6 +15,11 @@
     masquerade — and is how the signed protocols escape the impossibility
     bound (experiment E13). *)
 
+val total_runs : unit -> int
+(** Number of [run] invocations so far in this process, across all domains
+    (a monotone atomic counter).  The engine's metrics report executions as
+    deltas of this counter. *)
+
 val run : ?signed:bool -> ?delay:int -> System.t -> rounds:int -> Trace.t
 (** [delay] (default 1): rounds a message spends in flight — the
     Bounded-Delay δ.  A message sent in round [r] is delivered in round

@@ -1,0 +1,33 @@
+(* A ~2-second engine smoke check, wired into @runtest via the
+   @engine-smoke alias: a tiny sweep grid with jobs=2 must reproduce the
+   sequential verdicts exactly, so parallel-path regressions fail tier-1. *)
+
+let () =
+  let eng = Engine.create ~jobs:2 () in
+  let par = Engine.nf_boundary eng ~n_max:5 ~f_max:1 in
+  let seq = Sweep.nf_boundary ~n_max:5 ~f_max:1 in
+  if par <> seq then begin
+    prerr_endline "engine-smoke: parallel nf verdicts diverge from sequential";
+    exit 1
+  end;
+  let conn = Engine.connectivity_boundary eng ~f:1 ~kappas:[ 2; 3 ] ~n:7 in
+  if conn <> Sweep.connectivity_boundary ~f:1 ~kappas:[ 2; 3 ] ~n:7 then begin
+    prerr_endline "engine-smoke: parallel connectivity verdicts diverge";
+    exit 1
+  end;
+  (* A warm re-run must be pure cache hits with equal verdicts. *)
+  let snap_cold = Metrics.snapshot (Engine.metrics eng) in
+  if Engine.nf_boundary eng ~n_max:5 ~f_max:1 <> seq then begin
+    prerr_endline "engine-smoke: warm-cache verdicts diverge";
+    exit 1
+  end;
+  let snap = Metrics.snapshot (Engine.metrics eng) in
+  if snap.Metrics.cache_hits <= snap_cold.Metrics.cache_hits then begin
+    prerr_endline "engine-smoke: warm re-run recorded no cache hits";
+    exit 1
+  end;
+  Printf.printf
+    "engine-smoke ok: jobs=%d, %d jobs completed, %d executions, %d hits / %d \
+     misses\n"
+    (Engine.jobs eng) snap.Metrics.jobs_completed snap.Metrics.executions_run
+    snap.Metrics.cache_hits snap.Metrics.cache_misses

@@ -1,0 +1,161 @@
+(* The parallel, memoizing certificate engine: determinism against the
+   sequential reference path, cache correctness, LRU bounds, pool ordering,
+   and fingerprint stability. *)
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+(* (a) Determinism: parallel (jobs=4) verdicts equal sequential (jobs=1)
+   verdicts, and both equal the plain Sweep reference, over a small grid. *)
+let determinism () =
+  let seq = Engine.create ~jobs:1 () in
+  let par = Engine.create ~jobs:4 () in
+  let reference = Sweep.nf_boundary ~n_max:5 ~f_max:1 in
+  check tbool "sequential engine = Sweep.nf_boundary" true
+    (Engine.nf_boundary seq ~n_max:5 ~f_max:1 = reference);
+  check tbool "parallel engine = Sweep.nf_boundary" true
+    (Engine.nf_boundary par ~n_max:5 ~f_max:1 = reference);
+  let conn_reference = Sweep.connectivity_boundary ~f:1 ~kappas:[ 2; 3 ] ~n:7 in
+  check tbool "parallel connectivity = Sweep.connectivity_boundary" true
+    (Engine.connectivity_boundary par ~f:1 ~kappas:[ 2; 3 ] ~n:7
+    = conn_reference);
+  (* run_all over mixed jobs preserves input order. *)
+  let jobs =
+    [ Job.Nf_cell { n = 4; f = 1 };
+      Job.Nf_cell { n = 3; f = 1 };
+      Job.Conn_cell { kappa = 2; n = 7; f = 1 };
+    ]
+  in
+  let via_par = Engine.run_all par jobs in
+  let via_seq = List.map (fun j -> Job.run j) jobs in
+  check tbool "mixed batch ordered and equal" true
+    (List.for_all2 Job.equal_verdict via_par via_seq)
+
+(* (b) Cache correctness: a memoized re-run of the same job returns an equal
+   certificate and records a cache hit without re-executing. *)
+let cache_correctness () =
+  let eng = Engine.create ~jobs:1 () in
+  let job = Job.Certify { problem = Job.Ba; n = 3; f = 1 } in
+  let v1 = Engine.run_job eng job in
+  let executions_after_first =
+    (Metrics.snapshot (Engine.metrics eng)).Metrics.executions_run
+  in
+  let v2 = Engine.run_job eng job in
+  check tbool "verdicts equal" true (Job.equal_verdict v1 v2);
+  (match v1 with
+  | Job.Cert c ->
+    check tbool "triangle certificate is a contradiction" true
+      c.Job.contradiction
+  | Job.Cell _ | Job.Conn _ -> Alcotest.fail "expected a Cert verdict");
+  let snap = Metrics.snapshot (Engine.metrics eng) in
+  check tint "two jobs completed" 2 snap.Metrics.jobs_completed;
+  check tint "one cache hit" 1 snap.Metrics.cache_hits;
+  check tint "one cache miss" 1 snap.Metrics.cache_misses;
+  check tint "hit ran nothing" executions_after_first
+    snap.Metrics.executions_run;
+  check tbool "hit rate 0.5" true
+    (Float.abs (Metrics.hit_rate snap -. 0.5) < 1e-9)
+
+(* (c) LRU eviction: the cache never exceeds its capacity and evicts the
+   least-recently-used key first. *)
+let lru_eviction () =
+  let cache = Exec_cache.create ~capacity:2 () in
+  let computed = ref 0 in
+  let get i =
+    Exec_cache.find_or_run cache
+      (Fingerprint.intern (Value.int i))
+      (fun () ->
+        incr computed;
+        i * 10)
+  in
+  check tint "get 1 computes" 10 (get 1);
+  check tint "get 2 computes" 20 (get 2);
+  check tint "two computations" 2 !computed;
+  check tint "hit does not recompute" 10 (get 1);
+  check tint "still two computations" 2 !computed;
+  (* 2 is now least-recently-used; inserting 3 must evict it. *)
+  check tint "get 3 computes" 30 (get 3);
+  check tint "bounded at capacity" 2 (Exec_cache.length cache);
+  check tbool "1 still cached" true
+    (Exec_cache.mem cache (Fingerprint.intern (Value.int 1)));
+  check tbool "2 evicted" false
+    (Exec_cache.mem cache (Fingerprint.intern (Value.int 2)));
+  check tint "re-running 2 recomputes" 20 (get 2);
+  check tint "four computations total" 4 !computed;
+  check tint "still bounded" 2 (Exec_cache.length cache)
+
+(* The scenario-level memo threaded into the sweeps: a warm re-run of the
+   same cell is all hits and produces the identical cell. *)
+let scenario_memo () =
+  let hits = ref 0 and misses = ref 0 in
+  let table = Hashtbl.create 64 in
+  let memo key run =
+    match Hashtbl.find_opt table key with
+    | Some v ->
+      incr hits;
+      v
+    | None ->
+      incr misses;
+      let v = run () in
+      Hashtbl.add table key v;
+      v
+  in
+  let c1 = Sweep.nf_cell ~memo ~n:4 ~f:1 () in
+  let cold_misses = !misses in
+  check tbool "cold run misses" true (cold_misses > 0);
+  check tint "cold run has no hits" 0 !hits;
+  let c2 = Sweep.nf_cell ~memo ~n:4 ~f:1 () in
+  check tbool "warm cell identical" true (c1 = c2);
+  check tint "warm run adds no misses" cold_misses !misses;
+  check tint "warm run is all hits" cold_misses !hits
+
+let pool_ordering () =
+  let pool = Pool.create ~jobs:4 ~queue_capacity:3 () in
+  let arr = Array.init 100 Fun.id in
+  check tbool "map preserves input order" true
+    (Pool.map pool (fun x -> x * x) arr = Array.map (fun x -> x * x) arr);
+  check tbool "map_list matches List.map" true
+    (Pool.map_list pool string_of_int [ 3; 1; 2 ] = [ "3"; "1"; "2" ])
+
+let pool_exception () =
+  let pool = Pool.create ~jobs:3 () in
+  match
+    Pool.map pool
+      (fun x -> if x >= 5 then failwith (string_of_int x) else x)
+      (Array.init 10 Fun.id)
+  with
+  | _ -> Alcotest.fail "expected the lowest failing index to raise"
+  | exception Failure m -> check Alcotest.string "lowest failing index" "5" m
+
+let fingerprints () =
+  let j = Job.Nf_cell { n = 4; f = 1 } in
+  check tbool "fingerprint is stable" true
+    (Fingerprint.equal (Job.fingerprint j)
+       (Job.fingerprint (Job.Nf_cell { n = 4; f = 1 })));
+  check tbool "different jobs differ" false
+    (Fingerprint.equal (Job.fingerprint j)
+       (Job.fingerprint (Job.Nf_cell { n = 5; f = 1 })));
+  check tbool "spec kinds differ" false
+    (Fingerprint.equal
+       (Job.fingerprint (Job.Nf_cell { n = 3; f = 1 }))
+       (Job.fingerprint (Job.Certify { problem = Job.Ba; n = 3; f = 1 })));
+  check tbool "interned keys are shared" true
+    (Job.key j == Job.key (Job.Nf_cell { n = 4; f = 1 }));
+  (* The encoding is prefix-unambiguous: list shape matters. *)
+  check tbool "list nesting distinguishes" false
+    (Fingerprint.equal
+       (Fingerprint.of_value (Value.list [ Value.int 1; Value.int 2 ]))
+       (Fingerprint.of_value
+          (Value.list [ Value.list [ Value.int 1; Value.int 2 ] ])))
+
+let suite =
+  ( "engine",
+    [ Alcotest.test_case "determinism: parallel = sequential" `Quick determinism;
+      Alcotest.test_case "cache correctness" `Quick cache_correctness;
+      Alcotest.test_case "LRU eviction bound" `Quick lru_eviction;
+      Alcotest.test_case "scenario memo" `Quick scenario_memo;
+      Alcotest.test_case "pool ordering" `Quick pool_ordering;
+      Alcotest.test_case "pool exception" `Quick pool_exception;
+      Alcotest.test_case "fingerprints" `Quick fingerprints;
+    ] )

@@ -16,5 +16,6 @@ let () =
       Test_properties.suite;
       Test_crusader.suite;
       Test_sweep.suite;
+      Test_engine.suite;
       Test_edge_cases.suite;
     ]
