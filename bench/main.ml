@@ -1,6 +1,6 @@
 (* The experiment harness: regenerates every "table and figure" of the
    paper's evaluation — here, the constructions and chains of Theorems 1-8
-   and their possibility-side counterparts — as printed tables (E1-E14, see
+   and their possibility-side counterparts — as printed tables (E1-E16, see
    DESIGN.md / EXPERIMENTS.md), then times the hot paths with Bechamel.
 
    Run with:  dune exec bench/main.exe *)
@@ -525,6 +525,53 @@ let e15 () =
 
 (* --- Bechamel timing benches -------------------------------------------------------- *)
 
+(* --- E16: supervision overhead ----------------------------------------------------- *)
+
+let e16 () =
+  section "E16"
+    "supervision overhead: the supervised result path (deadline frames + \
+     classification + retry accounting) vs the raw path on the harary 2f+1 \
+     boundary grid";
+  let grid =
+    List.concat_map
+      (fun (f, n) ->
+        List.map
+          (fun kappa -> Job.Conn_cell { kappa; n; f })
+          [ 2 * f; (2 * f) + 1; (2 * f) + 2 ])
+      [ 1, 7; 1, 9; 1, 11; 2, 11; 2, 13 ]
+  in
+  (* Fresh sequential engines per phase so both measure cold caches and no
+     pool scheduling noise; the deadline is generous — the point is the cost
+     of carrying supervision, not of tripping it. *)
+  let time phase =
+    let t0 = Metrics.wall_now () in
+    let out = phase () in
+    Metrics.wall_now () -. t0, out
+  in
+  let raw_dt, raw =
+    time (fun () -> Engine.run_all (Engine.create ~jobs:1 ()) grid)
+  in
+  let sup_dt, sup =
+    time (fun () ->
+        let eng =
+          Engine.create ~jobs:1
+            ~config:
+              { Engine.default_config with Engine.timeout_ms = Some 600_000 }
+            ()
+        in
+        Engine.run_all_results eng grid)
+  in
+  let overhead = 100.0 *. ((sup_dt /. raw_dt) -. 1.0) in
+  Format.printf "%-12s | %8s@." "path" "seconds";
+  Format.printf "%-12s | %8.3f@." "raw" raw_dt;
+  Format.printf "%-12s | %8.3f@." "supervised" sup_dt;
+  Format.printf "overhead: %+.1f%% over %d jobs (expected < 5%%)@." overhead
+    (List.length grid);
+  Format.printf "verdicts identical (raw = supervised): %b@."
+    (List.for_all2
+       (fun v -> function Ok v' -> Job.equal_verdict v v' | Error _ -> false)
+       raw sup)
+
 let timing () =
   section "TIMING" "Bechamel micro-benchmarks of the hot paths";
   let open Bechamel in
@@ -627,5 +674,6 @@ let () =
   e13 ();
   e14 ();
   e15 ();
+  e16 ();
   timing ();
   Format.printf "@.done.@."

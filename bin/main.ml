@@ -6,26 +6,28 @@ let bool_default = Value.bool false
 
 (* --- graph families ----------------------------------------------------- *)
 
+(* Family specs parse through {!Topology.of_family}, so a malformed spec
+   ("complete:xyz", "random:5") is a proper usage error, never a crash. *)
 let family_conv =
   let parse s =
-    match String.split_on_char ':' s with
-    | [ "complete"; n ] -> Ok (Topology.complete (int_of_string n))
-    | [ "cycle"; n ] -> Ok (Topology.cycle (int_of_string n))
-    | [ "wheel"; n ] -> Ok (Topology.wheel (int_of_string n))
-    | [ "star"; n ] -> Ok (Topology.star (int_of_string n))
-    | [ "hypercube"; d ] -> Ok (Topology.hypercube (int_of_string d))
-    | [ "harary"; k; n ] ->
-      Ok (Topology.harary ~k:(int_of_string k) ~n:(int_of_string n))
-    | [ "random"; n; p ] ->
-      Ok (Topology.random_connected ~n:(int_of_string n) ~p:(float_of_string p) ())
-    | _ ->
-      Error
-        (`Msg
-          "expected complete:N | cycle:N | wheel:N | star:N | hypercube:D | \
-           harary:K:N | random:N:P")
+    match Topology.of_family s with Ok g -> Ok g | Error m -> Error (`Msg m)
   in
   let print ppf g = Format.fprintf ppf "graph(n=%d)" (Graph.n g) in
   Cmdliner.Arg.conv (parse, print)
+
+(* Like {!family_conv}, but keeps the validated spec string — chaos jobs
+   carry the family by name so the descriptor stays first-order. *)
+let family_spec_conv =
+  let parse s =
+    match Topology.of_family s with Ok _ -> Ok s | Error m -> Error (`Msg m)
+  in
+  Cmdliner.Arg.conv (parse, Format.pp_print_string)
+
+let strategy_conv =
+  let parse s =
+    match Fault_strategy.of_string s with Ok _ -> Ok s | Error m -> Error (`Msg m)
+  in
+  Cmdliner.Arg.conv (parse, Format.pp_print_string)
 
 let graph_arg =
   let open Cmdliner in
@@ -36,7 +38,10 @@ let graph_arg =
 
 let f_arg =
   let open Cmdliner in
-  Arg.(value & opt int 1 & info [ "f" ] ~docv:"F" ~doc:"Number of faults tolerated.")
+  Arg.(
+    value
+    & opt int 1
+    & info [ "f"; "faults" ] ~docv:"F" ~doc:"Number of faults tolerated.")
 
 let jobs_arg =
   let open Cmdliner in
@@ -63,6 +68,30 @@ let metrics_arg =
     value & flag
     & info [ "metrics" ]
         ~doc:"Print the engine's metrics report after the run.")
+
+let timeout_arg =
+  let open Cmdliner in
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "timeout-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-job deadline in milliseconds (cooperatively checked each \
+           simulated round); a job past it yields a typed timeout instead of \
+           a verdict.")
+
+let retries_arg =
+  let open Cmdliner in
+  Arg.(
+    value
+    & opt int Engine.default_config.Engine.retries
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Retries (with exponential backoff) for transient failures; \
+           deterministic failures and timeouts are never retried.")
+
+let engine_config timeout_ms retries =
+  { Engine.default_config with Engine.timeout_ms; retries }
 
 let maybe_report eng metrics =
   if metrics then Format.printf "%s@." (Engine.report eng)
@@ -110,7 +139,8 @@ let adversary_of name ~honest ~arity =
     Some
       (Adversary.babbler ~seed:42 ~arity
          ~palette:[ Value.bool true; Value.bool false; Value.int 9 ])
-  | other -> invalid_arg ("unknown adversary: " ^ other)
+  (* The argument parser is an enum over exactly the names above. *)
+  | _ -> assert false
 
 let demo_cmd =
   let run n f adversary pattern =
@@ -153,8 +183,10 @@ let demo_cmd =
   let open Cmdliner in
   let n = Arg.(value & opt int 4 & info [ "n" ] ~doc:"Number of nodes.") in
   let adversary =
+    let names = [ "none"; "silent"; "crash"; "split"; "babbler" ] in
     Arg.(
-      value & opt string "split"
+      value
+      & opt (enum (List.map (fun a -> a, a) names)) "split"
       & info [ "a"; "adversary" ]
           ~doc:"none | silent | crash | split | babbler.")
   in
@@ -168,7 +200,8 @@ let demo_cmd =
 (* --- flm certify ---------------------------------------------------------- *)
 
 let certify_cmd =
-  let run problem n f full jobs metrics =
+  let run problem n f full timeout_ms retries jobs metrics =
+    let config = engine_config timeout_ms retries in
     let print_cert cert =
       if full then Format.printf "%a@." Certificate.pp cert
       else Format.printf "%a@." Certificate.pp_summary cert;
@@ -178,13 +211,20 @@ let certify_cmd =
     in
     match Job.cert_problem_of_string problem with
     | Some cert_problem ->
-      (* The engine path: memoized, metered, and (for batches) parallel. *)
-      let eng = Engine.create ~jobs () in
-      let outcome = Engine.certify eng ~problem:cert_problem ~n ~f in
-      print_cert outcome.Job.certificate;
-      maybe_report eng metrics
+      (* The engine path: memoized, metered, supervised, and (for batches)
+         parallel.  Bad problem sizes and blown deadlines come back as typed
+         errors, not crashes. *)
+      let eng = Engine.create ~jobs ~config () in
+      (match Engine.certify_result eng ~problem:cert_problem ~n ~f with
+      | Ok outcome ->
+        print_cert outcome.Job.certificate;
+        maybe_report eng metrics
+      | Error e ->
+        Format.printf "error: %a@." Flm_error.pp e;
+        maybe_report eng metrics;
+        exit 1)
     | None ->
-    let eng = Engine.create ~jobs () in
+    let eng = Engine.create ~jobs ~config () in
     let print_cert cert =
       print_cert cert;
       maybe_report eng metrics
@@ -234,12 +274,18 @@ let certify_cmd =
       (if full then Format.printf "%a@." Clock_chain.pp cert
        else Format.printf "%a@." Clock_chain.pp_summary cert);
       maybe_report eng metrics
-    | other -> invalid_arg ("unknown problem: " ^ other)
+    (* The argument parser is an enum over exactly the names above. *)
+    | _ -> assert false
   in
   let open Cmdliner in
   let problem =
+    let names =
+      [ "ba"; "ba-collapse"; "ba-conn"; "weak"; "firing"; "approx"; "edg";
+        "clock" ]
+    in
     Arg.(
-      value & pos 0 string "ba"
+      value
+      & pos 0 (enum (List.map (fun p -> p, p) names)) "ba"
       & info [] ~docv:"PROBLEM"
           ~doc:"ba | ba-collapse | ba-conn | weak | firing | approx | edg | clock.")
   in
@@ -248,37 +294,147 @@ let certify_cmd =
   Cmd.v
     (Cmd.info "certify"
        ~doc:"Generate an impossibility certificate on an inadequate graph.")
-    Term.(const run $ problem $ n $ f_arg $ full $ jobs_arg $ metrics_arg)
+    Term.(
+      const run $ problem $ n $ f_arg $ full $ timeout_arg $ retries_arg
+      $ jobs_arg $ metrics_arg)
 
 (* --- flm sweep ------------------------------------------------------------ *)
 
 let sweep_cmd =
-  let run n_max f_max jobs metrics =
-    let eng = Engine.create ~jobs () in
+  let run n_max f_max timeout_ms retries jobs metrics =
+    let eng = Engine.create ~jobs ~config:(engine_config timeout_ms retries) () in
     Format.printf
       "EIG on K_n: adequate cells must survive the adversary zoo; inadequate \
        cells must fall to the covering certificate.  (engine: %d worker \
        domain%s)@.@."
       (Engine.jobs eng)
       (if Engine.jobs eng = 1 then "" else "s");
-    Format.printf "%a@." Sweep.pp_nf (Engine.nf_boundary eng ~n_max ~f_max);
-    maybe_report eng metrics
+    (* The supervised batch path: a cell that blows the deadline reports a
+       typed error in place while every other cell still lands. *)
+    let specs =
+      List.concat_map
+        (fun f ->
+          List.filter_map
+            (fun n -> if n < 3 then None else Some (Job.Nf_cell { n; f }))
+            (List.init (n_max - 2) (fun i -> i + 3)))
+        (List.init f_max (fun i -> i + 1))
+    in
+    let outcomes = Engine.run_all_results eng specs in
+    List.iter2
+      (fun spec -> function
+        | Error e -> Format.printf "%s: %a@." (Job.label spec) Flm_error.pp e
+        | Ok _ -> ())
+      specs outcomes;
+    let cells =
+      List.filter_map
+        (function Ok (Job.Cell c) -> Some c | Ok _ | Error _ -> None)
+        outcomes
+    in
+    Format.printf "%a@." Sweep.pp_nf cells;
+    maybe_report eng metrics;
+    if List.exists Result.is_error outcomes then exit 1
   in
   let open Cmdliner in
   let n_max = Arg.(value & opt int 8 & info [ "n-max" ] ~doc:"Largest n.") in
   let f_max = Arg.(value & opt int 2 & info [ "f-max" ] ~doc:"Largest f.") in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Trace the 3f+1 boundary empirically.")
-    Term.(const run $ n_max $ f_max $ jobs_arg $ metrics_arg)
+    Term.(
+      const run $ n_max $ f_max $ timeout_arg $ retries_arg $ jobs_arg
+      $ metrics_arg)
+
+(* --- flm chaos ------------------------------------------------------------ *)
+
+let chaos_cmd =
+  let run family f seed strategy trials timeout_ms retries jobs metrics =
+    let eng = Engine.create ~jobs ~config:(engine_config timeout_ms retries) () in
+    Format.printf
+      "chaos: %d trial%s of %s against %s, f=%d, seed=%d (engine: %d worker \
+       domain%s%s)@.@."
+      trials
+      (if trials = 1 then "" else "s")
+      strategy family f seed (Engine.jobs eng)
+      (if Engine.jobs eng = 1 then "" else "s")
+      (match timeout_ms with
+      | Some ms -> Printf.sprintf ", %d ms/job deadline" ms
+      | None -> "");
+    let outcomes = Engine.chaos eng ~family ~f ~seed ~strategy ~trials in
+    let survived = ref 0 and violated = ref 0 and failed = ref 0 in
+    List.iteri
+      (fun trial -> function
+        | Ok c ->
+          if c.Job.survived then incr survived else incr violated;
+          Format.printf "trial %2d: faulty=[%s] %-9s %s@." trial
+            (String.concat "," (List.map string_of_int c.Job.faulty))
+            (if c.Job.survived then "survived" else "VIOLATED")
+            c.Job.strategy;
+          List.iter (fun v -> Format.printf "          %s@." v) c.Job.violations
+        | Error e ->
+          incr failed;
+          Format.printf "trial %2d: error: %a@." trial Flm_error.pp e)
+      outcomes;
+    Format.printf "@.%d survived, %d violated, %d failed@." !survived !violated
+      !failed;
+    maybe_report eng metrics
+  in
+  let open Cmdliner in
+  let family =
+    Arg.(
+      required
+      & opt (some family_spec_conv) None
+      & info [ "g"; "graph" ] ~docv:"FAMILY"
+          ~doc:"Target graph family, e.g. harary:3:7.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "fault-seed" ] ~docv:"SEED"
+          ~doc:
+            "Seed for every randomized fault decision; the same seed \
+             reproduces the same trials, whatever the jobs count.")
+  in
+  let strategy =
+    Arg.(
+      value
+      & opt strategy_conv "chaos"
+      & info [ "strategy" ] ~docv:"STRATEGY"
+          ~doc:
+            "Fault strategy: drop[:P] | dup[:P] | corrupt[:P] | equivocate | \
+             replay | crash | delay[:D] | poison | stall[:MS] | chaos \
+             (weighted mix of the in-model strategies).")
+  in
+  let trials =
+    Arg.(value & opt int 10 & info [ "trials" ] ~docv:"N" ~doc:"Trials to run.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Inject seeded faults into a protocol run and report survivals, \
+          violations, and supervised failures.")
+    Term.(
+      const run $ family $ f_arg $ seed $ strategy $ trials $ timeout_arg
+      $ retries_arg $ jobs_arg $ metrics_arg)
 
 let () =
   let open Cmdliner in
+  (* "--f" reads naturally but is a single-character option name to
+     cmdliner (and would otherwise abbreviate "--fault-seed"); accept it as
+     a spelling of "-f". *)
+  let argv =
+    Array.map
+      (fun a ->
+        if a = "--f" then "-f"
+        else if String.length a > 4 && String.sub a 0 4 = "--f=" then
+          "-f=" ^ String.sub a 4 (String.length a - 4)
+        else a)
+      Sys.argv
+  in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
-    (Cmd.eval
+    (Cmd.eval ~argv
        (Cmd.group ~default
           (Cmd.info "flm" ~version:"1.0.0"
              ~doc:
                "Easy impossibility proofs for distributed consensus problems \
                 (Fischer-Lynch-Merritt 1985), executable.")
-          [ graph_cmd; demo_cmd; certify_cmd; sweep_cmd ]))
+          [ graph_cmd; demo_cmd; certify_cmd; sweep_cmd; chaos_cmd ]))

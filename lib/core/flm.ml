@@ -79,3 +79,10 @@ module Exec_cache = Exec_cache
 module Pool = Pool
 module Job = Job
 module Engine = Engine
+
+(** {1 Robustness: errors, fault injection, supervision} *)
+
+module Flm_error = Flm_error
+module Fault_prng = Fault_prng
+module Fault_strategy = Fault_strategy
+module Fault_harness = Fault_harness

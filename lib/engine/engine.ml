@@ -1,25 +1,42 @@
+type config = { timeout_ms : int option; retries : int; backoff_ms : int }
+
+let default_config = { timeout_ms = None; retries = 2; backoff_ms = 50 }
+
 type t = {
   pool : Pool.t;
   verdicts : Job.verdict Exec_cache.t;
   scenarios : bool Exec_cache.t;
   metrics : Metrics.t;
+  config : config;
 }
 
-let create ?jobs ?(cache_capacity = 4096) () =
+let create ?jobs ?(cache_capacity = 4096) ?(config = default_config) () =
   let jobs =
     match jobs with Some j -> j | None -> Domain.recommended_domain_count ()
   in
+  if config.retries < 0 then invalid_arg "Engine.create: retries >= 0 required";
+  if config.backoff_ms < 0 then
+    invalid_arg "Engine.create: backoff_ms >= 0 required";
+  (match config.timeout_ms with
+  | Some ms when ms < 1 -> invalid_arg "Engine.create: timeout_ms >= 1 required"
+  | Some _ | None -> ());
+  let metrics = Metrics.create () in
   {
-    pool = Pool.create ~jobs ();
+    pool =
+      Pool.create ~jobs
+        ~on_degrade:(fun _reason -> Metrics.record_degraded metrics)
+        ();
     verdicts = Exec_cache.create ~capacity:cache_capacity ();
     (* Scenario results are booleans — far cheaper than verdicts — so give
        the fine-grained cache proportionally more room. *)
     scenarios = Exec_cache.create ~capacity:(8 * cache_capacity) ();
-    metrics = Metrics.create ();
+    metrics;
+    config;
   }
 
 let jobs t = Pool.jobs t.pool
 let metrics t = t.metrics
+let config t = t.config
 
 (* The scenario-level memoizer threaded into the sweeps: overlapping
    executions (the same zoo run or relay run revisited across jobs or across
@@ -38,7 +55,47 @@ let run_job t job =
   Metrics.record_job t.metrics ~seconds:(Metrics.wall_now () -. t0);
   v
 
+(* The supervised job boundary: per-job deadline, typed classification of
+   anything the job throws, bounded retry with exponential backoff for the
+   transient class.  Never raises — a poisoned job becomes an [Error]
+   verdict and the batch keeps draining.  The verdict cache only admits
+   successes ({!Exec_cache.find_or_run} inserts after the thunk returns), so
+   a timeout or failure is never replayed from cache. *)
+let run_job_result t job =
+  let label = Job.label job in
+  let rec attempt k =
+    let outcome =
+      match
+        match t.config.timeout_ms with
+        | None -> run_job t job
+        | Some timeout_ms ->
+          Flm_error.Deadline.with_deadline ~job:label ~timeout_ms (fun () ->
+              run_job t job)
+      with
+      | v -> Ok v
+      | exception e -> Error (Flm_error.classify ~job:label e)
+    in
+    match outcome with
+    | Ok _ as ok -> ok
+    | Error e when Flm_error.retryable e && k < t.config.retries ->
+      Metrics.record_retry t.metrics;
+      if t.config.backoff_ms > 0 then
+        Unix.sleepf
+          (float_of_int (t.config.backoff_ms * (1 lsl k)) /. 1000.0);
+      attempt (k + 1)
+    | Error e ->
+      Metrics.record_failure t.metrics
+        ~timeout:(match e with Flm_error.Job_timeout _ -> true | _ -> false);
+      Error e
+  in
+  attempt 0
+
 let run_all t jobs = Pool.map_list t.pool (run_job t) jobs
+
+(* Worker closures return [result] and never raise, so one hostile job
+   cannot take down the batch or perturb its ordering: outcomes land by
+   input index exactly as in {!run_all}. *)
+let run_all_results t jobs = Pool.map_list t.pool (run_job_result t) jobs
 
 let nf_jobs ~n_max ~f_max =
   List.concat_map
@@ -50,18 +107,38 @@ let nf_jobs ~n_max ~f_max =
 
 let nf_boundary t ~n_max ~f_max =
   List.map
-    (function Job.Cell c -> c | Job.Conn _ | Job.Cert _ -> assert false)
+    (function
+      | Job.Cell c -> c
+      | Job.Conn _ | Job.Cert _ | Job.Chaos _ -> assert false)
     (run_all t (nf_jobs ~n_max ~f_max))
 
 let connectivity_boundary t ~f ~kappas ~n =
   List.map
-    (function Job.Conn r -> r | Job.Cell _ | Job.Cert _ -> assert false)
+    (function
+      | Job.Conn r -> r
+      | Job.Cell _ | Job.Cert _ | Job.Chaos _ -> assert false)
     (run_all t (List.map (fun kappa -> Job.Conn_cell { kappa; n; f }) kappas))
 
 let certify t ~problem ~n ~f =
   match run_job t (Job.Certify { problem; n; f }) with
   | Job.Cert outcome -> outcome
-  | Job.Cell _ | Job.Conn _ -> assert false
+  | Job.Cell _ | Job.Conn _ | Job.Chaos _ -> assert false
+
+let certify_result t ~problem ~n ~f =
+  match run_job_result t (Job.Certify { problem; n; f }) with
+  | Ok (Job.Cert outcome) -> Ok outcome
+  | Ok (Job.Cell _ | Job.Conn _ | Job.Chaos _) -> assert false
+  | Error _ as e -> e
+
+let chaos t ~family ~f ~seed ~strategy ~trials =
+  List.map
+    (function
+      | Ok (Job.Chaos outcome) -> Ok outcome
+      | Ok (Job.Cell _ | Job.Conn _ | Job.Cert _) -> assert false
+      | Error e -> Error e)
+    (run_all_results t
+       (List.init trials (fun trial ->
+            Job.Chaos_trial { family; f; seed; strategy; trial })))
 
 let pp_report ppf t =
   Format.fprintf ppf "%a@ caches: %d/%d verdicts, %d/%d scenarios (LRU)"

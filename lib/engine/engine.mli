@@ -16,20 +16,45 @@
 
 type t
 
-val create : ?jobs:int -> ?cache_capacity:int -> unit -> t
+type config = {
+  timeout_ms : int option;  (** per-job deadline; [None] = no deadline *)
+  retries : int;  (** re-attempts for transient (retryable) failures *)
+  backoff_ms : int;  (** base backoff, doubled per attempt *)
+}
+
+val default_config : config
+(** No deadline, 2 retries, 50 ms base backoff. *)
+
+val create : ?jobs:int -> ?cache_capacity:int -> ?config:config -> unit -> t
 (** [jobs] defaults to [Domain.recommended_domain_count ()]; [1] forces the
     sequential path.  [cache_capacity] (default 4096) bounds the verdict
-    cache; the scenario cache gets 8x that. *)
+    cache; the scenario cache gets 8x that.  [config] governs the supervised
+    ([_result]) paths; raises [Invalid_argument] on negative retries/backoff
+    or a deadline below 1 ms. *)
 
 val jobs : t -> int
 val metrics : t -> Metrics.t
+val config : t -> config
 
 val run_job : t -> Job.t -> Job.verdict
 (** Memoized: a re-run of an already-seen job is a cache hit and returns an
-    equal verdict without executing. *)
+    equal verdict without executing.  Unsupervised — exceptions escape. *)
+
+val run_job_result : t -> Job.t -> (Job.verdict, Flm_error.t) result
+(** The supervised job boundary.  Installs the configured per-job deadline
+    (cooperatively checked by the executor each round), classifies anything
+    thrown into {!Flm_error.t}, and retries the transient class
+    ([Worker_crashed]) with exponential backoff.  Never raises.  Failures
+    and timeouts are counted in {!Metrics} and never cached, so a later
+    retry with a looser deadline re-executes. *)
 
 val run_all : t -> Job.t list -> Job.verdict list
 (** Fan the batch out over the pool; verdicts come back in input order. *)
+
+val run_all_results : t -> Job.t list -> (Job.verdict, Flm_error.t) result list
+(** Supervised {!run_all}: a raising or deadline-blowing job yields
+    [Error _] in its slot while every other job still completes — same
+    order, same verdicts, regardless of the jobs count. *)
 
 val nf_boundary : t -> n_max:int -> f_max:int -> Sweep.cell list
 (** Parallel, memoized {!Sweep.nf_boundary}: byte-identical cells. *)
@@ -40,6 +65,26 @@ val connectivity_boundary :
 
 val certify : t -> problem:Job.cert_problem -> n:int -> f:int -> Job.cert_outcome
 (** One memoized certificate job (the CLI's [certify] path). *)
+
+val certify_result :
+  t -> problem:Job.cert_problem -> n:int -> f:int ->
+  (Job.cert_outcome, Flm_error.t) result
+(** Supervised {!certify}. *)
+
+val chaos :
+  t ->
+  family:string ->
+  f:int ->
+  seed:int ->
+  strategy:string ->
+  trials:int ->
+  (Job.chaos_outcome, Flm_error.t) result list
+(** Run [trials] supervised fault-injection trials ({!Job.spec.Chaos_trial})
+    against [family], in trial order.  Reproducible: outcomes are a pure
+    function of [(family, f, seed, strategy, trial)] — the jobs count only
+    changes wall-clock.  Out-of-model strategies surface as typed errors
+    ([Job_failed] for a poisoned step, [Job_timeout] under a deadline) in
+    their slots. *)
 
 val pp_report : Format.formatter -> t -> unit
 val report : t -> string

@@ -4,6 +4,13 @@ type spec =
   | Nf_cell of { n : int; f : int }
   | Conn_cell of { kappa : int; n : int; f : int }
   | Certify of { problem : cert_problem; n : int; f : int }
+  | Chaos_trial of {
+      family : string;
+      f : int;
+      seed : int;
+      strategy : string;
+      trial : int;
+    }
 
 type t = spec
 
@@ -13,10 +20,19 @@ type cert_outcome = {
   certificate : Certificate.t;
 }
 
+type chaos_outcome = {
+  trial : int;
+  strategy : string;
+  faulty : int list;
+  survived : bool;
+  violations : string list;
+}
+
 type verdict =
   | Cell of Sweep.cell
   | Conn of (int * bool * bool option * bool option)
   | Cert of cert_outcome
+  | Chaos of chaos_outcome
 
 let cert_problem_name = function
   | Ba -> "ba"
@@ -49,6 +65,12 @@ let shape = function
     Eig.decision_round ~f + 1
   | Certify { problem = Ba_conn; n; f } ->
     "certify:ba-conn", Printf.sprintf "cycle:%d" n, n, f, "flood-vote", n + 3
+  | Chaos_trial { family; f; seed; strategy; trial } ->
+    (* n/protocol/horizon are derived inside [run] after the family parses;
+       the descriptor pins the full seed coordinates instead, which is what
+       makes two trials distinct cache keys. *)
+    ( Printf.sprintf "chaos[seed=%d,trial=%d,strategy=%s]" seed trial strategy,
+      family, 0, f, "chaos-target", 0 )
 
 let describe job =
   let problem, topology, n, f, protocol, horizon = shape job in
@@ -69,6 +91,83 @@ let label job =
   let problem, topology, _, f, _, _ = shape job in
   Printf.sprintf "%s(%s,f=%d)" problem topology f
 
+(* One chaos trial: parse the target family, pick a seeded faulty set,
+   install the strategy at each faulty node, run the strongest protocol the
+   graph supports, and check the Byzantine-agreement conditions over the
+   correct nodes.  Every random choice is a pure function of
+   (seed, trial, node, round, port), so trials are reproducible and
+   jobs-count independent.  Bad user input surfaces as
+   [Flm_error.Error (Invalid_input _)] — never a cached verdict. *)
+let run_chaos ~family ~f ~seed ~strategy ~trial =
+  let fail what detail =
+    Flm_error.raise_error (Flm_error.Invalid_input { what; detail })
+  in
+  let g =
+    match Topology.of_family family with Ok g -> g | Error d -> fail family d
+  in
+  let strategy_t =
+    match Fault_strategy.of_string strategy with
+    | Ok s -> s
+    | Error d -> fail strategy d
+  in
+  let n = Graph.n g in
+  if f < 1 then fail "f" "f >= 1 required";
+  if n < 2 then fail family "chaos needs at least 2 nodes";
+  let rng = Fault_prng.derive (Fault_prng.of_seed seed) trial in
+  let inputs =
+    Array.init n (fun u ->
+        Value.bool
+          (fst (Fault_prng.flip (Fault_prng.derive (Fault_prng.derive rng 1) u) ~p:0.5)))
+  in
+  (* Target the strongest protocol the topology admits: EIG on complete
+     graphs, EIG-over-overlay on adequate graphs, the flood-vote strawman
+     on anything else (where survival is not expected — that is the point). *)
+  let sys, horizon =
+    if Graph.min_degree g = n - 1 then
+      ( System.make g (fun u ->
+            Eig.device ~n ~f ~me:u ~default:bool_default, inputs.(u)),
+        Eig.decision_round ~f + 1 )
+    else if n > 3 * f && Connectivity.is_adequate ~f g then
+      ( Overlay.eig_system g ~f ~inputs ~default:bool_default,
+        Overlay.horizon g ~f ~inner_decision_round:(Eig.decision_round ~f) + 1 )
+    else
+      ( System.make g (fun u ->
+            Naive.flood_vote g ~me:u ~rounds:n ~default:bool_default, inputs.(u)),
+        n + 2 )
+  in
+  let k =
+    1 + fst (Fault_prng.int (Fault_prng.derive rng 2) (max 1 (min f (n - 1))))
+  in
+  let faulty, _ =
+    Fault_prng.choose_distinct (Fault_prng.derive rng 3) ~k ~bound:n
+  in
+  let faulted, labels =
+    List.fold_left
+      (fun (sys, labels) u ->
+        let node_rng = Fault_prng.derive (Fault_prng.derive rng 4) u in
+        let sys, label =
+          Fault_strategy.install ~rng:node_rng ~horizon ~strategy:strategy_t sys u
+        in
+        sys, (u, label) :: labels)
+      (sys, []) faulty
+  in
+  let trace = Exec.run faulted ~rounds:horizon in
+  let correct =
+    List.filter (fun u -> not (List.mem u faulty)) (Graph.nodes g)
+  in
+  let violations =
+    Ba_spec.check ~trace ~correct ~inputs:(fun u -> inputs.(u))
+  in
+  {
+    trial;
+    strategy =
+      String.concat ";"
+        (List.rev_map (fun (u, l) -> Printf.sprintf "%d:%s" u l) labels);
+    faulty;
+    survived = violations = [];
+    violations = List.map (Format.asprintf "%a" Violation.pp) violations;
+  }
+
 let run ?memo job =
   match job with
   | Nf_cell { n; f } -> Cell (Sweep.nf_cell ?memo ~n ~f ())
@@ -77,17 +176,27 @@ let run ?memo job =
     let horizon = Eig.decision_round ~f + 1 in
     let eig w = Eig.device ~n ~f ~me:w ~default:bool_default in
     let v0 = Value.bool false and v1 = Value.bool true in
+    (* The result APIs turn precondition failures (n > 3f, a κ out of
+       range…) into typed [Invalid_input]; re-raised here so supervision
+       reports them instead of a wrapped [Invalid_argument]. *)
     let certificate =
-      match problem with
-      | Ba -> Ba_nodes.certify ~device:eig ~v0 ~v1 ~horizon ~f (Topology.complete n)
-      | Ba_collapse ->
-        Collapse.certify_via_triangle ~device:eig ~v0 ~v1 ~horizon ~f
-          (Topology.complete n)
-      | Ba_conn ->
-        let g = Topology.cycle n in
-        Ba_connectivity.certify
-          ~device:(fun w -> Naive.flood_vote g ~me:w ~rounds:n ~default:bool_default)
-          ~v0 ~v1 ~horizon:(n + 3) ~f g
+      match
+        match problem with
+        | Ba ->
+          Ba_nodes.certify_result ~device:eig ~v0 ~v1 ~horizon ~f
+            (Topology.complete n)
+        | Ba_collapse ->
+          Collapse.certify_via_triangle_result ~device:eig ~v0 ~v1 ~horizon ~f
+            (Topology.complete n)
+        | Ba_conn ->
+          let g = Topology.cycle n in
+          Ba_connectivity.certify_result
+            ~device:(fun w ->
+              Naive.flood_vote g ~me:w ~rounds:n ~default:bool_default)
+            ~v0 ~v1 ~horizon:(n + 3) ~f g
+      with
+      | Ok c -> c
+      | Error e -> Flm_error.raise_error e
     in
     Cert
       {
@@ -95,6 +204,8 @@ let run ?memo job =
         summary = Certificate.verdict_line certificate;
         certificate;
       }
+  | Chaos_trial { family; f; seed; strategy; trial } ->
+    Chaos (run_chaos ~family ~f ~seed ~strategy ~trial)
 
 (* Certificates carry traces and device closures; compare their data
    projection.  Cells and connectivity rows are plain data. *)
@@ -104,7 +215,8 @@ let equal_verdict a b =
   | Conn x, Conn y -> x = y
   | Cert x, Cert y ->
     x.contradiction = y.contradiction && String.equal x.summary y.summary
-  | (Cell _ | Conn _ | Cert _), _ -> false
+  | Chaos x, Chaos y -> x = y
+  | (Cell _ | Conn _ | Cert _ | Chaos _), _ -> false
 
 let pp_verdict ppf = function
   | Cell c ->
@@ -119,5 +231,11 @@ let pp_verdict ppf = function
       (match relay with Some b -> string_of_bool b | None -> "-")
       (match cert with Some b -> string_of_bool b | None -> "-")
   | Cert c -> Format.fprintf ppf "cert(%s)" c.summary
+  | Chaos c ->
+    Format.fprintf ppf "chaos(trial=%d,faulty=[%s],%s%s)" c.trial
+      (String.concat "," (List.map string_of_int c.faulty))
+      (if c.survived then "survived" else "violated")
+      (if c.survived then ""
+       else Printf.sprintf ": %s" (String.concat " | " c.violations))
 
 let pp ppf job = Format.pp_print_string ppf (label job)

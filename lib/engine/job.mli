@@ -18,6 +18,18 @@ type spec =
   | Certify of { problem : cert_problem; n : int; f : int }
       (** A full covering certificate (EIG on K_n, or flood-vote on the
           n-cycle for [Ba_conn]), as produced by the [flm certify] CLI. *)
+  | Chaos_trial of {
+      family : string;  (** target topology, {!Topology.of_family} syntax *)
+      f : int;
+      seed : int;
+      strategy : string;  (** {!Fault_strategy.of_string} syntax *)
+      trial : int;
+    }
+      (** One fault-injection trial: a seeded faulty set running a seeded
+          strategy against the strongest protocol the topology admits (EIG,
+          EIG-over-overlay, or the flood-vote strawman), judged by
+          {!Ba_spec.check} over the correct nodes.  Malformed [family] or
+          [strategy] raise [Flm_error.Error (Invalid_input _)] from [run]. *)
 
 type t = spec
 
@@ -27,10 +39,19 @@ type cert_outcome = {
   certificate : Certificate.t;
 }
 
+type chaos_outcome = {
+  trial : int;
+  strategy : string;  (** resolved per-node labels, e.g. ["2:crash@3"] *)
+  faulty : int list;
+  survived : bool;  (** no BA condition violated among correct nodes *)
+  violations : string list;
+}
+
 type verdict =
   | Cell of Sweep.cell
   | Conn of (int * bool * bool option * bool option)
   | Cert of cert_outcome
+  | Chaos of chaos_outcome
 
 val cert_problem_name : cert_problem -> string
 val cert_problem_of_string : string -> cert_problem option

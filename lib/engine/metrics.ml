@@ -1,5 +1,9 @@
 type snapshot = {
   jobs_completed : int;
+  jobs_failed : int;
+  jobs_timed_out : int;
+  retries : int;
+  degraded : int;
   cache_hits : int;
   cache_misses : int;
   executions_run : int;
@@ -11,6 +15,10 @@ type snapshot = {
 type t = {
   lock : Mutex.t;
   mutable jobs_completed : int;
+  mutable jobs_failed : int;
+  mutable jobs_timed_out : int;
+  mutable retries : int;
+  mutable degraded : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable total_job_seconds : float;
@@ -25,6 +33,10 @@ let create () =
   {
     lock = Mutex.create ();
     jobs_completed = 0;
+    jobs_failed = 0;
+    jobs_timed_out = 0;
+    retries = 0;
+    degraded = 0;
     cache_hits = 0;
     cache_misses = 0;
     total_job_seconds = 0.0;
@@ -40,6 +52,10 @@ let with_lock t f =
 let reset t =
   with_lock t (fun () ->
       t.jobs_completed <- 0;
+      t.jobs_failed <- 0;
+      t.jobs_timed_out <- 0;
+      t.retries <- 0;
+      t.degraded <- 0;
       t.cache_hits <- 0;
       t.cache_misses <- 0;
       t.total_job_seconds <- 0.0;
@@ -56,10 +72,22 @@ let record_job t ~seconds =
       t.total_job_seconds <- t.total_job_seconds +. seconds;
       if seconds > t.max_job_seconds then t.max_job_seconds <- seconds)
 
+let record_failure t ~timeout =
+  with_lock t (fun () ->
+      t.jobs_failed <- t.jobs_failed + 1;
+      if timeout then t.jobs_timed_out <- t.jobs_timed_out + 1)
+
+let record_retry t = with_lock t (fun () -> t.retries <- t.retries + 1)
+let record_degraded t = with_lock t (fun () -> t.degraded <- t.degraded + 1)
+
 let snapshot t =
   with_lock t (fun () ->
       {
         jobs_completed = t.jobs_completed;
+        jobs_failed = t.jobs_failed;
+        jobs_timed_out = t.jobs_timed_out;
+        retries = t.retries;
+        degraded = t.degraded;
         cache_hits = t.cache_hits;
         cache_misses = t.cache_misses;
         executions_run = Exec.total_runs () - t.exec_baseline;
@@ -79,11 +107,13 @@ let jobs_per_second (s : snapshot) =
 let pp_snapshot ppf (s : snapshot) =
   Format.fprintf ppf
     "@[<v>engine metrics:@   jobs completed:   %d (%.1f jobs/s over %.3f s \
-     elapsed)@   executions run:   %d@   cache:            %d hits / %d \
+     elapsed)@   supervision:      %d failed (%d timeouts), %d retries, %d \
+     degradations@   executions run:   %d@   cache:            %d hits / %d \
      misses (hit rate %.1f%%)@   job wall-clock:   %.3f s total, %.3f s max, \
      %.3f s mean@]"
-    s.jobs_completed (jobs_per_second s) s.elapsed_seconds s.executions_run
-    s.cache_hits s.cache_misses
+    s.jobs_completed (jobs_per_second s) s.elapsed_seconds s.jobs_failed
+    s.jobs_timed_out s.retries s.degraded s.executions_run s.cache_hits
+    s.cache_misses
     (100.0 *. hit_rate s)
     s.total_job_seconds s.max_job_seconds
     (if s.jobs_completed = 0 then 0.0

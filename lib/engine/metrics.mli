@@ -8,6 +8,10 @@ type t
 
 type snapshot = {
   jobs_completed : int;
+  jobs_failed : int;  (** supervised jobs that ended in a typed error *)
+  jobs_timed_out : int;  (** subset of [jobs_failed] that blew the deadline *)
+  retries : int;  (** re-attempts of transient ([Worker_crashed]) failures *)
+  degraded : int;  (** pool degradations to the sequential path *)
   cache_hits : int;
   cache_misses : int;
   executions_run : int;
@@ -25,6 +29,13 @@ val reset : t -> unit
 val cache_hit : t -> unit
 val cache_miss : t -> unit
 val record_job : t -> seconds:float -> unit
+
+val record_failure : t -> timeout:bool -> unit
+(** One supervised job gave up with a typed error; [timeout] marks deadline
+    blows so they are counted in both [jobs_failed] and [jobs_timed_out]. *)
+
+val record_retry : t -> unit
+val record_degraded : t -> unit
 
 val snapshot : t -> snapshot
 val hit_rate : snapshot -> float

@@ -1,11 +1,18 @@
-type t = { jobs : int; queue_capacity : int }
+type t = {
+  jobs : int;
+  queue_capacity : int;
+  on_degrade : (string -> unit) option;
+}
 
-let create ?(queue_capacity = 64) ~jobs () =
+let create ?(queue_capacity = 64) ?on_degrade ~jobs () =
   if jobs < 1 then invalid_arg "Pool.create: jobs >= 1 required";
   if queue_capacity < 1 then invalid_arg "Pool.create: queue capacity >= 1 required";
-  { jobs; queue_capacity }
+  { jobs; queue_capacity; on_degrade }
 
 let jobs t = t.jobs
+
+let degrade t reason =
+  match t.on_degrade with Some notify -> notify reason | None -> ()
 
 let map t f arr =
   let len = Array.length arr in
@@ -19,13 +26,22 @@ let map t f arr =
     let not_full = Condition.create () in
     let queue = Queue.create () in
     let closed = ref false in
+    (* Workers still running.  Every queue wait is conditioned on it so that
+       a worker dying abnormally (an exception escaping the per-item capture,
+       e.g. an asynchronous one) can never strand the feeder on a full queue
+       or a sibling on an empty one. *)
+    let alive = ref 0 in
     let push i =
       Mutex.lock lock;
-      while Queue.length queue >= t.queue_capacity do
+      while !alive > 0 && Queue.length queue >= t.queue_capacity do
         Condition.wait not_full lock
       done;
-      Queue.push i queue;
-      Condition.signal not_empty;
+      (* No live worker: leave the item for the post-join sweep instead of
+         parking it on a queue nobody drains. *)
+      if !alive > 0 then begin
+        Queue.push i queue;
+        Condition.signal not_empty
+      end;
       Mutex.unlock lock
     in
     let close () =
@@ -64,14 +80,59 @@ let map t f arr =
           | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
           go ()
       in
-      go ()
+      Fun.protect
+        ~finally:(fun () ->
+          Mutex.lock lock;
+          decr alive;
+          if !alive = 0 then begin
+            Condition.broadcast not_full;
+            Condition.broadcast not_empty
+          end;
+          Mutex.unlock lock)
+        go
     in
-    let domains = Array.init workers (fun _ -> Domain.spawn worker) in
+    (* Spawning a domain can itself fail (resource limits).  Run with
+       however many spawned; zero means the whole batch degrades to the
+       calling domain. *)
+    let domains =
+      List.filter_map
+        (fun _ ->
+          Mutex.lock lock;
+          incr alive;
+          Mutex.unlock lock;
+          match Domain.spawn worker with
+          | d -> Some d
+          | exception _ ->
+            Mutex.lock lock;
+            decr alive;
+            Mutex.unlock lock;
+            None)
+        (List.init workers Fun.id)
+    in
+    let spawned = List.length domains in
+    if spawned < workers then
+      degrade t
+        (Printf.sprintf "spawned %d of %d worker domains; %s" spawned workers
+           (if spawned = 0 then "running the batch sequentially"
+            else "continuing with fewer workers"));
+    if spawned > 0 then begin
+      for i = 0 to len - 1 do
+        push i
+      done;
+      close ();
+      List.iter Domain.join domains
+    end;
+    (* Anything neither computed nor failed was stranded by worker loss (or
+       never handed out at all); finish it here, in index order, preserving
+       per-item exception capture. *)
     for i = 0 to len - 1 do
-      push i
+      match results.(i), errors.(i) with
+      | None, None -> (
+        match f arr.(i) with
+        | v -> results.(i) <- Some v
+        | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()))
+      | _ -> ()
     done;
-    close ();
-    Array.iter Domain.join domains;
     (* Deterministic error propagation: the lowest failing index wins,
        whichever domain hit it first. *)
     Array.iter

@@ -14,12 +14,24 @@
 
     If tasks raise, the exception of the {e lowest failing index} is
     re-raised (deterministically), after all workers have drained.  [map] is
-    not reentrant from inside a worker task. *)
+    not reentrant from inside a worker task.
+
+    {b Supervision.}  The pool survives worker loss: a failed [Domain.spawn]
+    (resource limits) and a worker dying abnormally are both tolerated.
+    Queue waits are conditioned on a live-worker count so the feeder can
+    never deadlock against dead workers, and after the join every item that
+    no worker completed is finished {e in the calling domain, in index
+    order} — so [map] still returns a complete, deterministic batch with
+    zero healthy workers (graceful degradation to the sequential path).
+    Each degradation is reported through [on_degrade]. *)
 
 type t
 
-val create : ?queue_capacity:int -> jobs:int -> unit -> t
-(** [queue_capacity] (default 64) bounds the in-flight work queue.  Raises
+val create :
+  ?queue_capacity:int -> ?on_degrade:(string -> unit) -> jobs:int -> unit -> t
+(** [queue_capacity] (default 64) bounds the in-flight work queue.
+    [on_degrade] is called (from the feeding domain) with a reason each time
+    the pool has to fall back toward the sequential path.  Raises
     [Invalid_argument] when [jobs] or the capacity is below 1. *)
 
 val jobs : t -> int

@@ -1,0 +1,69 @@
+type t =
+  | Invalid_input of { what : string; detail : string }
+  | Job_failed of { job : string; exn : string }
+  | Job_timeout of { job : string; timeout_ms : int }
+  | Worker_crashed of { detail : string }
+  | Axiom_violation of { axiom : string; detail : string }
+
+exception Error of t
+
+let retryable = function
+  | Worker_crashed _ -> true
+  | Invalid_input _ | Job_failed _ | Job_timeout _ | Axiom_violation _ -> false
+
+let to_string = function
+  | Invalid_input { what; detail } ->
+    Printf.sprintf "invalid %s: %s" what detail
+  | Job_failed { job; exn } -> Printf.sprintf "job %s failed: %s" job exn
+  | Job_timeout { job; timeout_ms } ->
+    Printf.sprintf "job %s timed out after %d ms" job timeout_ms
+  | Worker_crashed { detail } -> Printf.sprintf "worker crashed: %s" detail
+  | Axiom_violation { axiom; detail } ->
+    Printf.sprintf "%s axiom violated: %s" axiom detail
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+let equal (a : t) (b : t) = a = b
+let raise_error e = raise (Error e)
+
+let guard ~what f =
+  match f () with
+  | v -> Ok v
+  | exception Error e -> Result.Error e
+  | exception Invalid_argument detail ->
+    Result.Error (Invalid_input { what; detail })
+  | exception Failure detail -> Result.Error (Invalid_input { what; detail })
+
+let classify ~job = function
+  | Error e -> e
+  | (Out_of_memory | Stack_overflow) as e ->
+    Worker_crashed { detail = Printexc.to_string e }
+  | e -> Job_failed { job; exn = Printexc.to_string e }
+
+module Deadline = struct
+  type frame = { job : string; timeout_ms : int; expires : float }
+
+  let key : frame option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+  let with_deadline ~job ~timeout_ms f =
+    if timeout_ms < 1 then
+      invalid_arg "Flm_error.Deadline.with_deadline: timeout_ms >= 1 required";
+    let expires = Unix.gettimeofday () +. (float_of_int timeout_ms /. 1000.0) in
+    let previous = Domain.DLS.get key in
+    let frame =
+      (* Nested deadlines: the tighter (earlier) one stays in force. *)
+      match previous with
+      | Some p when p.expires <= expires -> p
+      | Some _ | None -> { job; timeout_ms; expires }
+    in
+    Domain.DLS.set key (Some frame);
+    Fun.protect ~finally:(fun () -> Domain.DLS.set key previous) f
+
+  let check () =
+    match Domain.DLS.get key with
+    | None -> ()
+    | Some { job; timeout_ms; expires } ->
+      if Unix.gettimeofday () > expires then
+        raise (Error (Job_timeout { job; timeout_ms }))
+
+  let active () = Domain.DLS.get key <> None
+end

@@ -1,0 +1,79 @@
+(** The typed error taxonomy shared by the whole stack.
+
+    Every failure a user can reach — malformed CLI input, a protocol step
+    that raises inside a certificate job, a job blowing its deadline, a
+    worker domain dying — is represented as a value of {!t} instead of an
+    escaped exception.  The engine's supervised paths return
+    [('a, Flm_error.t) result]; the hot sequential paths may still raise
+    {!Error} internally, which supervision catches and classifies at the job
+    boundary.
+
+    Classification matters for retry policy: {!retryable} is [true] only for
+    failures that can plausibly succeed on a re-run ([Worker_crashed] —
+    resource exhaustion, a lost domain).  Deterministic failures
+    ([Job_failed], [Invalid_input], [Axiom_violation]) and deadline blows
+    ([Job_timeout]) are permanent: the engine reports them as verdicts and
+    keeps draining the batch. *)
+
+type t =
+  | Invalid_input of { what : string; detail : string }
+      (** A user-supplied parameter (graph family, strategy spec, problem
+          size) failed validation before any work ran. *)
+  | Job_failed of { job : string; exn : string }
+      (** The job's computation raised: a misbehaving protocol step, a
+          poisoned device, a type error on a corrupted message. *)
+  | Job_timeout of { job : string; timeout_ms : int }
+      (** The job exceeded its per-job deadline (see {!Deadline}). *)
+  | Worker_crashed of { detail : string }
+      (** A worker domain could not be spawned or died abnormally — the only
+          transient class; supervised runs retry it with backoff. *)
+  | Axiom_violation of { axiom : string; detail : string }
+      (** The fault-injection harness found a run where the Locality or
+          Fault axiom did not hold — a model bug, never a user error. *)
+
+exception Error of t
+(** The carrier used on exception-based internal paths; supervision catches
+    it at the job boundary and returns the payload. *)
+
+val retryable : t -> bool
+(** [true] exactly for [Worker_crashed]. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool
+(** Structural equality (payloads are plain strings and ints). *)
+
+val raise_error : t -> 'a
+(** [raise (Error t)], for pipelines. *)
+
+val guard : what:string -> (unit -> 'a) -> ('a, t) result
+(** Run a thunk, converting the exceptions a user can reach into typed
+    errors: [Error e] keeps its payload, [Invalid_argument]/[Failure] become
+    [Invalid_input], and any other exception becomes [Job_failed].  Used to
+    wrap legacy [invalid_arg]-raising entry points into result APIs. *)
+
+val classify : job:string -> exn -> t
+(** The supervision classifier: [Error e] unwraps to [e];
+    [Out_of_memory]/[Stack_overflow] become [Worker_crashed] (transient);
+    everything else becomes [Job_failed]. *)
+
+(** Per-domain job deadlines, cooperatively checked.
+
+    [with_deadline] installs a wall-clock deadline in domain-local storage
+    for the duration of a thunk; {!check} (called by the executor once per
+    simulated round, and by any long-running loop that wants to be
+    interruptible) raises [Error (Job_timeout _)] once the deadline has
+    passed.  Nested deadlines keep the tighter one.  When no deadline is
+    installed, [check] is a single domain-local read. *)
+module Deadline : sig
+  val with_deadline : job:string -> timeout_ms:int -> (unit -> 'a) -> 'a
+  (** Raises [Invalid_argument] when [timeout_ms < 1]. *)
+
+  val check : unit -> unit
+  (** Raises [Error (Job_timeout _)] if the current domain's deadline has
+      passed; a no-op when none is set. *)
+
+  val active : unit -> bool
+  (** Is a deadline installed in the current domain? *)
+end

@@ -1,0 +1,128 @@
+type report = {
+  trials : int;
+  locality_checks : int;
+  fault_checks : int;
+}
+
+let default_families =
+  [ "complete:4"; "complete:5"; "cycle:5"; "wheel:5"; "harary:3:7"; "grid:2:3" ]
+
+let parse_families families =
+  let rec go acc = function
+    | [] -> Ok (Array.of_list (List.rev acc))
+    | spec :: rest -> (
+      match Topology.of_family spec with
+      | Ok g -> go ((spec, g) :: acc) rest
+      | Error detail -> Error (Flm_error.Invalid_input { what = spec; detail }))
+  in
+  go [] families
+
+let violation ~axiom fmt =
+  Printf.ksprintf
+    (fun detail -> Error (Flm_error.Axiom_violation { axiom; detail }))
+    fmt
+
+(* One fuzzed trial: build a flood-vote system on a random family, inject a
+   random in-model strategy at a random faulty set, and check both axioms. *)
+let check_trial ~rng ~families ~f_max trial =
+  let ( let* ) = Result.bind in
+  let (family, g), _ = Fault_prng.pick (Fault_prng.derive rng 1) families in
+  let n = Graph.n g in
+  let f = 1 + fst (Fault_prng.int (Fault_prng.derive rng 2) f_max) in
+  let horizon = n + 2 in
+  let input_rng = Fault_prng.derive rng 3 in
+  let inputs =
+    Array.init n (fun u -> fst (Fault_prng.flip (Fault_prng.derive input_rng u) ~p:0.5))
+  in
+  let sys =
+    System.make g (fun u ->
+        ( Naive.flood_vote g ~me:u ~rounds:n ~default:(Value.bool false),
+          Value.bool inputs.(u) ))
+  in
+  let k = 1 + fst (Fault_prng.int (Fault_prng.derive rng 4) (min f (n - 1))) in
+  let faulty, _ = Fault_prng.choose_distinct (Fault_prng.derive rng 5) ~k ~bound:n in
+  let faulted, labels =
+    List.fold_left
+      (fun (sys, labels) u ->
+        let node_rng = Fault_prng.derive (Fault_prng.derive rng 6) u in
+        let sys, label =
+          Fault_strategy.install ~rng:node_rng ~horizon
+            ~strategy:Fault_strategy.default_chaos sys u
+        in
+        sys, (u, label) :: labels)
+      (sys, []) faulty
+  in
+  let context =
+    Printf.sprintf "trial %d: %s f=%d faulty=[%s]" trial family f
+      (String.concat "; "
+         (List.rev_map (fun (u, l) -> Printf.sprintf "%d:%s" u l) labels))
+  in
+  let all = Graph.nodes g in
+  let correct = List.filter (fun u -> not (List.mem u faulty)) all in
+  (* Locality/determinism: the faulted system is a pure function of the
+     seed — two runs must produce the same scenario on every node. *)
+  let trace1 = Exec.run faulted ~rounds:horizon in
+  let trace2 = Exec.run faulted ~rounds:horizon in
+  let* () =
+    match
+      Scenario.matches ~map:Fun.id (Scenario.of_trace trace1 all)
+        (Scenario.of_trace trace2 all)
+    with
+    | Ok () -> Ok ()
+    | Error msg -> violation ~axiom:"locality" "%s: rerun diverged: %s" context msg
+  in
+  (* Fault-axiom closure: every injected behavior must be expressible as
+     the paper's replay device F_A(E_1,…,E_d).  Substitute each faulty node
+     by a replay of its own recorded outedge behaviors and rerun: the
+     correct nodes must see an identical scenario, and the faulty outedges
+     must carry identical traffic. *)
+  let replayed =
+    List.fold_left
+      (fun acc u ->
+        let sources =
+          List.map (fun dst -> (trace1, u, dst)) (Array.to_list (System.wiring sys u))
+        in
+        System.substitute acc u
+          (Adversary.from_traces ~name:(Printf.sprintf "closure@%d" u) sources))
+      faulted faulty
+  in
+  let trace3 = Exec.run replayed ~rounds:horizon in
+  let* () =
+    match
+      Scenario.matches ~map:Fun.id
+        (Scenario.of_trace trace1 correct)
+        (Scenario.of_trace trace3 correct)
+    with
+    | Ok () -> Ok ()
+    | Error msg ->
+      violation ~axiom:"fault" "%s: replay closure changed a correct node: %s"
+        context msg
+  in
+  let rec check_edges = function
+    | [] -> Ok ()
+    | (u, dst) :: rest ->
+      let b1 = Trace.edge_behavior trace1 ~src:u ~dst in
+      let b3 = Trace.edge_behavior trace3 ~src:u ~dst in
+      if Array.for_all2 Value.equal_opt b1 b3 then check_edges rest
+      else
+        violation ~axiom:"fault" "%s: replay closure changed edge %d->%d" context
+          u dst
+  in
+  check_edges
+    (List.concat_map
+       (fun u -> List.map (fun dst -> (u, dst)) (Array.to_list (System.wiring sys u)))
+       faulty)
+
+let run ?(trials = 20) ?(families = default_families) ?(f_max = 2) ~seed () =
+  let ( let* ) = Result.bind in
+  let* families = parse_families families in
+  let root = Fault_prng.of_seed seed in
+  let rec go trial checks =
+    if trial >= trials then
+      Ok { trials; locality_checks = trials; fault_checks = checks }
+    else
+      let rng = Fault_prng.derive root trial in
+      let* () = check_trial ~rng ~families ~f_max trial in
+      go (trial + 1) (checks + 1)
+  in
+  go 0 0

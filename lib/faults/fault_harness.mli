@@ -1,0 +1,38 @@
+(** The axiom property harness: fuzz fault injection over graph families × f
+    and assert the model axioms survive every injected strategy.
+
+    For each trial the harness builds a system on a randomly chosen family,
+    injects a randomly chosen in-model strategy at a random faulty set of
+    size ≤ f, runs it, and checks:
+
+    - {b Determinism/Locality}: running the identical faulty system twice
+      yields identical scenarios (node and edge behaviors) — injected
+      faults are functions of the seed, never of wall-clock or scheduling.
+    - {b Fault axiom closure}: replacing every faulty node by the paper's
+      replay device [F_A(E_1,…,E_d)] built from its own recorded outedge
+      behaviors reproduces the run exactly on the correct nodes — i.e.
+      every injected behavior {e is} expressible under the Fault axiom, and
+      correct nodes' behavior depends only on what crossed their inedges
+      (Locality).
+
+    Any mismatch is reported as [Axiom_violation] — a model bug, not a user
+    error. *)
+
+type report = {
+  trials : int;
+  locality_checks : int;
+  fault_checks : int;  (** replay-closure comparisons performed *)
+}
+
+val default_families : string list
+
+val run :
+  ?trials:int ->
+  ?families:string list ->
+  ?f_max:int ->
+  seed:int ->
+  unit ->
+  (report, Flm_error.t) result
+(** Defaults: 20 trials, {!default_families}, [f_max = 2].  Returns
+    [Invalid_input] if a family spec does not parse, [Axiom_violation] on
+    the first failing check. *)

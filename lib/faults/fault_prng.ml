@@ -1,0 +1,82 @@
+type t = { state : int64; gamma : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* The murmur3/variant-13 64-bit finalizer used by SplitMix64. *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let popcount z =
+  let c = ref 0 in
+  for i = 0 to 63 do
+    if Int64.(logand (shift_right_logical z i) 1L) = 1L then incr c
+  done;
+  !c
+
+(* Gammas must be odd; reject weak ones (too few bit transitions) as in the
+   reference implementation. *)
+let mix_gamma z =
+  let z = Int64.logor (mix64 z) 1L in
+  if popcount (Int64.logxor z (Int64.shift_right_logical z 1)) < 24 then
+    Int64.logxor z 0xAAAAAAAAAAAAAAAAL
+  else z
+
+let of_seed seed = { state = mix64 (Int64.of_int seed); gamma = golden_gamma }
+
+let next t =
+  let state = Int64.add t.state t.gamma in
+  mix64 state, { t with state }
+
+let split t =
+  let v1, t = next t in
+  let v2, t = next t in
+  t, { state = v1; gamma = mix_gamma v2 }
+
+let derive t k =
+  (* Pure in (t, k): hash the stream identity together with the key; the
+     parent is not advanced. *)
+  let h = mix64 (Int64.logxor t.state (mix64 (Int64.of_int k))) in
+  { state = h; gamma = mix_gamma (Int64.logxor h t.gamma) }
+
+let int t bound =
+  if bound < 1 then invalid_arg "Fault_prng.int: bound >= 1 required";
+  let v, t = next t in
+  (* Top bits through a positive int; modulo bias is negligible for the
+     small bounds used here. *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical v 1) (Int64.of_int bound)), t
+
+let float t =
+  let v, t = next t in
+  Int64.to_float (Int64.shift_right_logical v 11) *. 0x1.0p-53, t
+
+let flip t ~p =
+  let x, t = float t in
+  x < p, t
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Fault_prng.pick: empty array";
+  let i, t = int t (Array.length arr) in
+  arr.(i), t
+
+let weighted t choices =
+  let total = List.fold_left (fun acc (w, _) -> acc + max 0 w) 0 choices in
+  if total <= 0 then invalid_arg "Fault_prng.weighted: no positive weight";
+  let roll, t = int t total in
+  let rec go roll = function
+    | [] -> invalid_arg "Fault_prng.weighted: no positive weight"
+    | (w, x) :: rest -> if roll < max 0 w then x else go (roll - max 0 w) rest
+  in
+  go roll choices, t
+
+let choose_distinct t ~k ~bound =
+  if k > bound then invalid_arg "Fault_prng.choose_distinct: k > bound";
+  let rec go acc t =
+    if List.length acc = k then List.sort Int.compare acc, t
+    else
+      let x, t = int t bound in
+      if List.mem x acc then go acc t else go (x :: acc) t
+  in
+  go [] t

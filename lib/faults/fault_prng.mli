@@ -1,0 +1,50 @@
+(** A splittable, deterministic PRNG (SplitMix64).
+
+    Fault injection must be reproducible: the same [--fault-seed] must
+    produce the same adversaries, the same faulty sets, and the same trial
+    outcomes, run after run, regardless of how many worker domains execute
+    the batch.  So the generator is a pure value: drawing returns the drawn
+    value {e and} the advanced generator, and {!split}/{!derive} produce
+    statistically independent child streams without mutating the parent —
+    each chaos trial, each faulty node, and each (round, port) decision gets
+    its own stream derived purely from the seed and its coordinates.
+
+    The implementation is SplitMix64 (Steele, Lea & Flood 2014): a 64-bit
+    counter advanced by a per-stream odd gamma, finalized with murmur-style
+    mixing.  Not cryptographic; plenty for adversarial scheduling. *)
+
+type t
+
+val of_seed : int -> t
+
+val next : t -> int64 * t
+(** The raw 64-bit draw. *)
+
+val split : t -> t * t
+(** Two independent streams; neither equals the parent's continuation. *)
+
+val derive : t -> int -> t
+(** [derive t k]: the child stream keyed by integer [k].  Pure in [(t, k)]
+    — deriving the same key twice gives the same stream — and children of
+    distinct keys are independent.  The parent is unchanged, so fan-out over
+    trials/nodes/rounds/ports needs no threading discipline. *)
+
+val int : t -> int -> int * t
+(** [int t bound]: uniform in [\[0, bound)]; [bound >= 1] required. *)
+
+val float : t -> float * t
+(** Uniform in [\[0, 1)]. *)
+
+val flip : t -> p:float -> bool * t
+(** [true] with probability [p]. *)
+
+val pick : t -> 'a array -> 'a * t
+(** Uniform element of a non-empty array. *)
+
+val weighted : t -> (int * 'a) list -> 'a * t
+(** Pick by positive integer weights; raises [Invalid_argument] when the
+    list is empty or the weights sum to 0. *)
+
+val choose_distinct : t -> k:int -> bound:int -> int list * t
+(** [k] distinct naturals below [bound], in increasing order
+    ([k <= bound] required). *)

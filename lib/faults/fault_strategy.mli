@@ -1,0 +1,64 @@
+(** Seeded, composable fault-injection strategies — the Fault axiom as an
+    operational, randomized layer.
+
+    FLM's Fault axiom says a faulty node may exhibit, on each outedge
+    independently, a behavior drawn from a {e different} run.  The fixed
+    adversary gallery ({!Adversary}) exercises hand-picked corners of that
+    power; this module spans it randomly but reproducibly: every decision —
+    which messages to drop, how to corrupt them, which run to replay on
+    which port — is a pure function of a {!Fault_prng.t} stream, so a chaos
+    run is replayable from its seed.
+
+    [Poison] and [Stall] are deliberately {e out-of-model} strategies: they
+    attack the engine rather than the protocol (a raising step, a step that
+    burns wall-clock past the job deadline) and exist to exercise the
+    supervision layer.  {!default_chaos} excludes them. *)
+
+type t =
+  | Drop of float  (** each message independently replaced by silence *)
+  | Duplicate of float
+      (** re-send the previous round's message in silent slots *)
+  | Corrupt of float  (** each message independently mangled *)
+  | Equivocate
+      (** split-brain: per-outedge divergent runs of the honest device,
+          seeded with randomly chosen per-port inputs *)
+  | Replay
+      (** the Fault axiom verbatim: each outedge replays the recorded edge
+          behavior of this node from one of two runs of the same system
+          (original inputs, and inputs rotated by one node), chosen per
+          port *)
+  | Crash_midway  (** honest until a seed-chosen round, then silent *)
+  | Delay of int  (** honest, but all sends lag by [d] rounds *)
+  | Poison  (** every step raises — must surface as [Job_failed] *)
+  | Stall of int
+      (** every step burns [ms] of wall-clock (checking the job deadline)
+          before acting honestly — must surface as [Job_timeout] under a
+          tight [--timeout-ms] *)
+  | Chaos of (int * t) list
+      (** weighted mix: installation picks one strategy by weight *)
+
+val default_chaos : t
+(** The weighted mix of the seven in-model strategies. *)
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Parse a strategy spec: [drop\[:P\]], [dup\[:P\]], [corrupt\[:P\]],
+    [equivocate], [replay], [crash], [delay\[:D\]], [poison],
+    [stall\[:MS\]], [chaos].  Malformed numbers come back as [Error]. *)
+
+val grammar : string
+(** One-line summary of accepted specs. *)
+
+val install :
+  rng:Fault_prng.t ->
+  horizon:int ->
+  strategy:t ->
+  System.t ->
+  Graph.node ->
+  System.t * string
+(** [install ~rng ~horizon ~strategy sys u] replaces node [u]'s device with
+    the faulty device the strategy (and stream) dictates, and returns the
+    resolved strategy label (after [Chaos] picks).  Deterministic in
+    [(rng, horizon, strategy, sys, u)].  [horizon] bounds crash rounds and
+    the replay runs' length. *)

@@ -127,3 +127,57 @@ let random_connected ?(seed = 0) ~n ~p () =
     done
   done;
   Graph.make ~n !edges
+
+(* --- family specs ---------------------------------------------------------- *)
+
+let family_grammar =
+  "expected complete:N | cycle:N | path:N | wheel:N | star:N | grid:R:C | \
+   hypercube:D | harary:K:N | random:N:P"
+
+let of_family spec =
+  let int_of what s =
+    match int_of_string_opt s with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "%s: expected an integer, got %S" what s)
+  in
+  let float_of what s =
+    match float_of_string_opt s with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "%s: expected a number, got %S" what s)
+  in
+  let ( let* ) = Result.bind in
+  (* The builders validate their own ranges with [invalid_arg]; surface those
+     messages as parse errors rather than exceptions. *)
+  let build f = match f () with g -> Ok g | exception Invalid_argument m -> Error m in
+  match String.split_on_char ':' spec with
+  | [ "complete"; n ] ->
+    let* n = int_of "complete:N" n in
+    build (fun () -> complete n)
+  | [ "cycle"; n ] ->
+    let* n = int_of "cycle:N" n in
+    build (fun () -> cycle n)
+  | [ "path"; n ] ->
+    let* n = int_of "path:N" n in
+    build (fun () -> path n)
+  | [ "wheel"; n ] ->
+    let* n = int_of "wheel:N" n in
+    build (fun () -> wheel n)
+  | [ "star"; n ] ->
+    let* n = int_of "star:N" n in
+    build (fun () -> star n)
+  | [ "grid"; r; c ] ->
+    let* r = int_of "grid:R" r in
+    let* c = int_of "grid:C" c in
+    build (fun () -> grid r c)
+  | [ "hypercube"; d ] ->
+    let* d = int_of "hypercube:D" d in
+    build (fun () -> hypercube d)
+  | [ "harary"; k; n ] ->
+    let* k = int_of "harary:K" k in
+    let* n = int_of "harary:N" n in
+    build (fun () -> harary ~k ~n)
+  | [ "random"; n; p ] ->
+    let* n = int_of "random:N" n in
+    let* p = float_of "random:P" p in
+    build (fun () -> random_connected ~n ~p ())
+  | _ -> Error family_grammar

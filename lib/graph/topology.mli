@@ -38,3 +38,12 @@ val random : ?seed:int -> n:int -> p:float -> unit -> Graph.t
 val random_connected : ?seed:int -> n:int -> p:float -> unit -> Graph.t
 (** G(n,p) conditioned on connectivity: a random spanning tree is added
     first, then each remaining edge independently with probability [p]. *)
+
+val of_family : string -> (Graph.t, string) result
+(** Parse a graph-family spec such as ["complete:7"], ["harary:3:7"] or
+    ["random:9:0.4"].  Malformed numbers and out-of-range parameters come
+    back as [Error message] — never as an exception — so CLI and job
+    descriptors can carry family strings safely. *)
+
+val family_grammar : string
+(** One-line summary of the accepted specs (for error messages and docs). *)

@@ -85,3 +85,7 @@ let certify ?(signed = false) ?split ~device ~v0 ~v1 ~horizon ~f g =
       ];
     verdict;
   }
+
+let certify_result ?signed ?split ~device ~v0 ~v1 ~horizon ~f g =
+  Flm_error.guard ~what:"ba-connectivity certificate" (fun () ->
+      certify ?signed ?split ~device ~v0 ~v1 ~horizon ~f g)

@@ -88,3 +88,7 @@ let certify ?(signed = false) ?partition ~device ~v0 ~v1 ~horizon ~f g =
       ];
     verdict;
   }
+
+let certify_result ?signed ?partition ~device ~v0 ~v1 ~horizon ~f g =
+  Flm_error.guard ~what:"ba-nodes certificate" (fun () ->
+      certify ?signed ?partition ~device ~v0 ~v1 ~horizon ~f g)

@@ -25,6 +25,11 @@ let run ?(signed = false) ?(delay = 1) sys ~rounds =
         Array.map (fun v -> System.port_to sys v u) (System.wiring sys u))
   in
   for r = 0 to rounds - 1 do
+    (* Cooperative deadline check, once per simulated round: a run whose job
+       carries a deadline (see Flm_error.Deadline) aborts with a typed
+       timeout instead of running away.  A single domain-local read when no
+       deadline is installed. *)
+    Flm_error.Deadline.check ();
     (* Absorb this round's deliveries into the signature ledgers first, so a
        signature received now may be relayed now. *)
     let inboxes =

@@ -1,0 +1,21 @@
+(* A ~2-second fault-injection smoke check, wired into @runtest via the
+   @faults-smoke alias: the axiom property harness must pass a fuzzed batch
+   of chaos trials (Locality + Fault-axiom closure under every injected
+   strategy), and the whole batch must be reproducible from its seed. *)
+
+let () =
+  (match Fault_harness.run ~trials:12 ~seed:42 () with
+  | Ok r ->
+    Printf.printf "faults-smoke ok: %d trials, %d locality checks, %d fault checks\n"
+      r.Fault_harness.trials r.Fault_harness.locality_checks
+      r.Fault_harness.fault_checks
+  | Error e ->
+    Format.eprintf "faults-smoke: %a@." Flm_error.pp e;
+    exit 1);
+  (* Same seed, same verdict — strategy installation is a pure function of
+     the stream, so a second pass must also succeed without any divergence. *)
+  match Fault_harness.run ~trials:12 ~seed:42 () with
+  | Ok _ -> ()
+  | Error e ->
+    Format.eprintf "faults-smoke: rerun diverged: %a@." Flm_error.pp e;
+    exit 1

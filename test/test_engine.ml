@@ -47,7 +47,8 @@ let cache_correctness () =
   | Job.Cert c ->
     check tbool "triangle certificate is a contradiction" true
       c.Job.contradiction
-  | Job.Cell _ | Job.Conn _ -> Alcotest.fail "expected a Cert verdict");
+  | Job.Cell _ | Job.Conn _ | Job.Chaos _ ->
+    Alcotest.fail "expected a Cert verdict");
   let snap = Metrics.snapshot (Engine.metrics eng) in
   check tint "two jobs completed" 2 snap.Metrics.jobs_completed;
   check tint "one cache hit" 1 snap.Metrics.cache_hits;
