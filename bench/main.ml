@@ -1,6 +1,6 @@
 (* The experiment harness: regenerates every "table and figure" of the
    paper's evaluation — here, the constructions and chains of Theorems 1-8
-   and their possibility-side counterparts — as printed tables (E1-E16, see
+   and their possibility-side counterparts — as printed tables (E1-E17, see
    DESIGN.md / EXPERIMENTS.md), then times the hot paths with Bechamel.
 
    Run with:  dune exec bench/main.exe *)
@@ -572,6 +572,57 @@ let e16 () =
        (fun v -> function Ok v' -> Job.equal_verdict v v' | Error _ -> false)
        raw sup)
 
+(* --- E17: checkpoint/resume warm-start ---------------------------------------------- *)
+
+let e17 () =
+  section "E17"
+    "checkpoint/resume: a cold sweep journaling into a store vs a fresh \
+     process warm-starting from it with --resume, on the harary 2f+1 \
+     boundary grid";
+  let grid =
+    List.concat_map
+      (fun (f, n) ->
+        List.map
+          (fun kappa -> Job.Conn_cell { kappa; n; f })
+          [ 2 * f; (2 * f) + 1; (2 * f) + 2 ])
+      [ 1, 7; 1, 9; 1, 11; 2, 11; 2, 13 ]
+  in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "flm_bench_e17_%d" (Unix.getpid ()))
+  in
+  let open_store () =
+    match Store.open_dir dir with
+    | Ok s -> s
+    | Error e -> failwith (Flm_error.to_string e)
+  in
+  Format.printf "%-12s | %8s | %7s | %10s | %s@." "phase" "seconds" "resumed"
+    "recomputed" "journal writes";
+  (* Fresh engine per phase: the warm start must come from the journal on
+     disk, not from a shared in-memory cache — this is the cross-process
+     resume path, minus the process boundary. *)
+  let phase label ~resume =
+    let store = open_store () in
+    let eng = Engine.create ~jobs:1 ~store ~resume () in
+    let t0 = Metrics.wall_now () in
+    let verdicts = Engine.run_all eng grid in
+    let dt = Metrics.wall_now () -. t0 in
+    let snap = Metrics.snapshot (Engine.metrics eng) in
+    Format.printf "%-12s | %8.3f | %7d | %10d | %d@." label dt
+      snap.Metrics.resumed snap.Metrics.recomputed snap.Metrics.store_writes;
+    Store.close store;
+    dt, verdicts
+  in
+  let cold_dt, cold = phase "cold" ~resume:false in
+  let warm_dt, warm = phase "warm-resume" ~resume:true in
+  Format.printf "warm-start speedup: %.1fx over %d cells (expected >= 5x)@."
+    (cold_dt /. warm_dt) (List.length grid);
+  Format.printf "verdicts identical (cold = warm): %b@."
+    (List.for_all2 Job.equal_verdict cold warm);
+  (try Sys.remove (Filename.concat dir "journal.flm") with Sys_error _ -> ());
+  try Unix.rmdir dir with Unix.Unix_error _ -> ()
+
 let timing () =
   section "TIMING" "Bechamel micro-benchmarks of the hot paths";
   let open Bechamel in
@@ -675,5 +726,6 @@ let () =
   e14 ();
   e15 ();
   e16 ();
+  e17 ();
   timing ();
   Format.printf "@.done.@."

@@ -96,6 +96,61 @@ let engine_config timeout_ms retries =
 let maybe_report eng metrics =
   if metrics then Format.printf "%s@." (Engine.report eng)
 
+(* Every typed failure exits with its class's stable code
+   (Flm_error.exit_code), so scripts can dispatch without parsing output. *)
+let fail_error e =
+  Format.printf "error: %a@." Flm_error.pp e;
+  exit (Flm_error.exit_code e)
+
+let store_arg =
+  let open Cmdliner in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Checkpoint completed cells into a crash-safe certificate store at \
+           $(docv) (created if missing).  Each verdict is journaled with CRC \
+           framing and fsync'd before the next cell runs, so a killed run \
+           loses at most the cell in flight.")
+
+let resume_arg =
+  let open Cmdliner in
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Serve already-checkpointed cells from the $(b,--store) directory \
+           instead of recomputing them; the metrics report counts them as \
+           resumed.")
+
+(* Open the checkpoint store, surfacing (but surviving) skipped corrupt
+   records: they are typed reports, and the affected cells just recompute. *)
+let open_store dir =
+  match Store.open_dir dir with
+  | Error e -> fail_error e
+  | Ok s ->
+    (match Store.corruptions s with
+    | [] -> ()
+    | cs ->
+      Format.printf
+        "store: skipped %d corrupt record%s (affected cells will be \
+         recomputed):@."
+        (List.length cs)
+        (if List.length cs = 1 then "" else "s");
+      List.iter (fun e -> Format.printf "  %a@." Flm_error.pp e) cs);
+    s
+
+let checkpoint_summary eng =
+  match Engine.store eng with
+  | None -> ()
+  | Some _ ->
+    let snap = Metrics.snapshot (Engine.metrics eng) in
+    Format.printf
+      "checkpoint: %d resumed, %d recomputed, %d journal write%s@."
+      snap.Metrics.resumed snap.Metrics.recomputed snap.Metrics.store_writes
+      (if snap.Metrics.store_writes = 1 then "" else "s")
+
 (* --- flm graph ----------------------------------------------------------- *)
 
 let graph_cmd =
@@ -220,9 +275,8 @@ let certify_cmd =
         print_cert outcome.Job.certificate;
         maybe_report eng metrics
       | Error e ->
-        Format.printf "error: %a@." Flm_error.pp e;
         maybe_report eng metrics;
-        exit 1)
+        fail_error e)
     | None ->
     let eng = Engine.create ~jobs ~config () in
     let print_cert cert =
@@ -301,8 +355,12 @@ let certify_cmd =
 (* --- flm sweep ------------------------------------------------------------ *)
 
 let sweep_cmd =
-  let run n_max f_max timeout_ms retries jobs metrics =
-    let eng = Engine.create ~jobs ~config:(engine_config timeout_ms retries) () in
+  let run n_max f_max timeout_ms retries jobs metrics store_dir resume =
+    let store = Option.map open_store store_dir in
+    let eng =
+      Engine.create ~jobs ~config:(engine_config timeout_ms retries) ?store
+        ~resume ()
+    in
     Format.printf
       "EIG on K_n: adequate cells must survive the adversary zoo; inadequate \
        cells must fall to the covering certificate.  (engine: %d worker \
@@ -331,8 +389,14 @@ let sweep_cmd =
         outcomes
     in
     Format.printf "%a@." Sweep.pp_nf cells;
+    checkpoint_summary eng;
     maybe_report eng metrics;
-    if List.exists Result.is_error outcomes then exit 1
+    Option.iter Store.close (Engine.store eng);
+    (* A partial sweep exits with the first failure's class code, so a
+       driver script can tell a timeout from a bad input at a glance. *)
+    List.iter
+      (function Error e -> exit (Flm_error.exit_code e) | Ok _ -> ())
+      outcomes
   in
   let open Cmdliner in
   let n_max = Arg.(value & opt int 8 & info [ "n-max" ] ~doc:"Largest n.") in
@@ -341,13 +405,18 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Trace the 3f+1 boundary empirically.")
     Term.(
       const run $ n_max $ f_max $ timeout_arg $ retries_arg $ jobs_arg
-      $ metrics_arg)
+      $ metrics_arg $ store_arg $ resume_arg)
 
 (* --- flm chaos ------------------------------------------------------------ *)
 
 let chaos_cmd =
-  let run family f seed strategy trials timeout_ms retries jobs metrics =
-    let eng = Engine.create ~jobs ~config:(engine_config timeout_ms retries) () in
+  let run family f seed strategy trials timeout_ms retries jobs metrics
+      store_dir resume =
+    let store = Option.map open_store store_dir in
+    let eng =
+      Engine.create ~jobs ~config:(engine_config timeout_ms retries) ?store
+        ~resume ()
+    in
     Format.printf
       "chaos: %d trial%s of %s against %s, f=%d, seed=%d (engine: %d worker \
        domain%s%s)@.@."
@@ -375,7 +444,14 @@ let chaos_cmd =
       outcomes;
     Format.printf "@.%d survived, %d violated, %d failed@." !survived !violated
       !failed;
-    maybe_report eng metrics
+    checkpoint_summary eng;
+    maybe_report eng metrics;
+    Option.iter Store.close (Engine.store eng);
+    (* Failed trials must be visible to scripts: exit with the first
+       failure's class code rather than a blanket success. *)
+    List.iter
+      (function Error e -> exit (Flm_error.exit_code e) | Ok _ -> ())
+      outcomes
   in
   let open Cmdliner in
   let family =
@@ -413,7 +489,95 @@ let chaos_cmd =
           violations, and supervised failures.")
     Term.(
       const run $ family $ f_arg $ seed $ strategy $ trials $ timeout_arg
-      $ retries_arg $ jobs_arg $ metrics_arg)
+      $ retries_arg $ jobs_arg $ metrics_arg $ store_arg $ resume_arg)
+
+(* --- flm store ------------------------------------------------------------ *)
+
+let store_dir_pos =
+  let open Cmdliner in
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"DIR" ~doc:"The store directory.")
+
+let store_stat_cmd =
+  let run dir =
+    let s = open_store dir in
+    let st = Store.stat s in
+    Format.printf
+      "journal: %s@.live keys: %d@.records: %d@.corrupt: %d@.bytes: %d@."
+      st.Store.path st.Store.live st.Store.records st.Store.corrupt st.Store.bytes;
+    Store.close s
+  in
+  let open Cmdliner in
+  Cmd.v
+    (Cmd.info "stat" ~doc:"Summarize a store's journal.")
+    Term.(const run $ store_dir_pos)
+
+let store_verify_cmd =
+  let run dir =
+    (* Static scan: never rewrites anything, and a corrupt store exits with
+       the Store_corrupt class code so CI can gate on it. *)
+    match Store.verify dir with
+    | Error e -> fail_error e
+    | Ok (records, []) ->
+      Format.printf "ok: %d record%s verified@." records
+        (if records = 1 then "" else "s")
+    | Ok (records, corruptions) ->
+      Format.printf "%d record%s verified, %d corrupt:@." records
+        (if records = 1 then "" else "s")
+        (List.length corruptions);
+      List.iter (fun e -> Format.printf "  %a@." Flm_error.pp e) corruptions;
+      exit (Flm_error.exit_code (List.hd corruptions))
+  in
+  let open Cmdliner in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Re-scan a store's journal and report every corrupt record.")
+    Term.(const run $ store_dir_pos)
+
+let store_gc_cmd =
+  let run dir =
+    let s = open_store dir in
+    let dropped = Store.gc s in
+    let st = Store.stat s in
+    Format.printf "dropped %d frame%s; %d live record%s remain (%d bytes)@."
+      dropped
+      (if dropped = 1 then "" else "s")
+      st.Store.live
+      (if st.Store.live = 1 then "" else "s")
+      st.Store.bytes;
+    Store.close s
+  in
+  let open Cmdliner in
+  Cmd.v
+    (Cmd.info "gc"
+       ~doc:
+         "Compact a store's journal: atomically rewrite it with only the \
+          live records, dropping superseded and corrupt regions.")
+    Term.(const run $ store_dir_pos)
+
+let store_export_cmd =
+  let run dir =
+    let s = open_store dir in
+    Store.iter s (fun ~key ~payload ->
+        Format.printf "%a@.  %a@." Value.pp key Value.pp payload);
+    Store.close s
+  in
+  let open Cmdliner in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:
+         "Print every live record (key, then indented payload) in \
+          first-insertion order.")
+    Term.(const run $ store_dir_pos)
+
+let store_cmd =
+  let open Cmdliner in
+  Cmd.group
+    (Cmd.info "store"
+       ~doc:"Inspect and maintain a crash-safe certificate store.")
+    [ store_stat_cmd; store_verify_cmd; store_gc_cmd; store_export_cmd ]
 
 let () =
   let open Cmdliner in
@@ -437,4 +601,4 @@ let () =
              ~doc:
                "Easy impossibility proofs for distributed consensus problems \
                 (Fischer-Lynch-Merritt 1985), executable.")
-          [ graph_cmd; demo_cmd; certify_cmd; sweep_cmd; chaos_cmd ]))
+          [ graph_cmd; demo_cmd; certify_cmd; sweep_cmd; chaos_cmd; store_cmd ]))

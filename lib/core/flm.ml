@@ -86,3 +86,10 @@ module Flm_error = Flm_error
 module Fault_prng = Fault_prng
 module Fault_strategy = Fault_strategy
 module Fault_harness = Fault_harness
+
+(** {1 Persistence: the crash-safe certificate store} *)
+
+module Crc32 = Crc32
+module Store_codec = Store_codec
+module Journal = Journal
+module Store = Store

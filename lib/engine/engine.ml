@@ -8,9 +8,12 @@ type t = {
   scenarios : bool Exec_cache.t;
   metrics : Metrics.t;
   config : config;
+  store : Store.t option;
+  resume : bool;
 }
 
-let create ?jobs ?(cache_capacity = 4096) ?(config = default_config) () =
+let create ?jobs ?(cache_capacity = 4096) ?(config = default_config) ?store
+    ?(resume = false) () =
   let jobs =
     match jobs with Some j -> j | None -> Domain.recommended_domain_count ()
   in
@@ -26,17 +29,20 @@ let create ?jobs ?(cache_capacity = 4096) ?(config = default_config) () =
       Pool.create ~jobs
         ~on_degrade:(fun _reason -> Metrics.record_degraded metrics)
         ();
-    verdicts = Exec_cache.create ~capacity:cache_capacity ();
+    verdicts = Exec_cache.create ~capacity:cache_capacity ~metrics ();
     (* Scenario results are booleans — far cheaper than verdicts — so give
        the fine-grained cache proportionally more room. *)
-    scenarios = Exec_cache.create ~capacity:(8 * cache_capacity) ();
+    scenarios = Exec_cache.create ~capacity:(8 * cache_capacity) ~metrics ();
     metrics;
     config;
+    store;
+    resume;
   }
 
 let jobs t = Pool.jobs t.pool
 let metrics t = t.metrics
 let config t = t.config
+let store t = t.store
 
 (* The scenario-level memoizer threaded into the sweeps: overlapping
    executions (the same zoo run or relay run revisited across jobs or across
@@ -46,11 +52,50 @@ let memo t : Sweep.memo =
   Exec_cache.find_or_run t.scenarios ~metrics:t.metrics
     (Fingerprint.intern desc) run
 
+(* The persistent tier below the verdict cache, read-through/write-behind:
+   on a cache miss, a resuming engine first consults the store (a checkpoint
+   hit skips execution entirely and is counted as [resumed]); a store miss
+   executes and then journals the verdict ([recomputed] + one store write).
+   Only successful verdicts reach this point — failures and timeouts raise
+   before [persist], mirroring the cache's never-admit-failures rule — and
+   [Cert] verdicts carry closures, so they are never persisted and always
+   recompute (verdict_to_value = None). *)
+let persist t job v =
+  match t.store with
+  | None -> ()
+  | Some store -> (
+    match Job.verdict_to_value v with
+    | None -> ()
+    | Some payload ->
+      Store.put store ~key:(Job.describe job) payload;
+      Metrics.record_store_write t.metrics)
+
+let resume_find t job =
+  match t.store with
+  | Some store when t.resume -> (
+    match Store.find store (Job.describe job) with
+    | None -> None
+    | Some payload -> (
+      (* A record that does not parse back is a miss, never a verdict. *)
+      match Job.verdict_of_value payload with
+      | Some v ->
+        Metrics.record_resumed t.metrics;
+        Some v
+      | None -> None))
+  | Some _ | None -> None
+
 let run_job t job =
   let t0 = Metrics.wall_now () in
   let v =
     Exec_cache.find_or_run t.verdicts ~metrics:t.metrics (Job.key job)
-      (fun () -> Job.run ~memo:(memo t) job)
+      (fun () ->
+        match resume_find t job with
+        | Some v -> v
+        | None ->
+          let v = Job.run ~memo:(memo t) job in
+          if t.store <> None then Metrics.record_recomputed t.metrics;
+          persist t job v;
+          v)
   in
   Metrics.record_job t.metrics ~seconds:(Metrics.wall_now () -. t0);
   v

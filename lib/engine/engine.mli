@@ -25,16 +25,35 @@ type config = {
 val default_config : config
 (** No deadline, 2 retries, 50 ms base backoff. *)
 
-val create : ?jobs:int -> ?cache_capacity:int -> ?config:config -> unit -> t
+val create :
+  ?jobs:int ->
+  ?cache_capacity:int ->
+  ?config:config ->
+  ?store:Store.t ->
+  ?resume:bool ->
+  unit ->
+  t
 (** [jobs] defaults to [Domain.recommended_domain_count ()]; [1] forces the
     sequential path.  [cache_capacity] (default 4096) bounds the verdict
     cache; the scenario cache gets 8x that.  [config] governs the supervised
     ([_result]) paths; raises [Invalid_argument] on negative retries/backoff
-    or a deadline below 1 ms. *)
+    or a deadline below 1 ms.
+
+    [store] attaches a persistent tier below the verdict cache: every
+    successful, storable verdict ([Cell]/[Conn]/[Chaos] — not [Cert], which
+    carries closures) is journaled after it is computed, and with
+    [resume = true] (default [false]) a cache miss consults the store before
+    executing, so a re-run of the same grid skips completed cells.  Failures
+    and timeouts are never persisted, exactly as they are never cached.
+    {!Metrics} counts [resumed] (checkpoint hits), [recomputed] (store
+    misses that executed), and [store_writes]. *)
 
 val jobs : t -> int
 val metrics : t -> Metrics.t
 val config : t -> config
+
+val store : t -> Store.t option
+(** The attached persistent tier, if any. *)
 
 val run_job : t -> Job.t -> Job.verdict
 (** Memoized: a re-run of an already-seen job is a cache hit and returns an

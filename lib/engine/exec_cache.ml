@@ -9,17 +9,19 @@ type 'v t = {
   capacity : int;
   lock : Mutex.t;
   table : (Fingerprint.t, 'v node list ref) Hashtbl.t;
+  metrics : Metrics.t option;
   mutable newest : 'v node option;
   mutable oldest : 'v node option;
   mutable size : int;
 }
 
-let create ?(capacity = 4096) () =
+let create ?(capacity = 4096) ?metrics () =
   if capacity < 1 then invalid_arg "Exec_cache.create: capacity >= 1 required";
   {
     capacity;
     lock = Mutex.create ();
     table = Hashtbl.create (min capacity 1024);
+    metrics;
     newest = None;
     oldest = None;
     size = 0;
@@ -84,7 +86,9 @@ let insert_node t key value =
     t.size <- t.size + 1;
     while t.size > t.capacity do
       match t.oldest with
-      | Some victim -> remove_node t victim
+      | Some victim ->
+        remove_node t victim;
+        Option.iter Metrics.record_eviction t.metrics
       | None -> assert false
     done
 

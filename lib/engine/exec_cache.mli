@@ -13,9 +13,11 @@
 
 type 'v t
 
-val create : ?capacity:int -> unit -> 'v t
+val create : ?capacity:int -> ?metrics:Metrics.t -> unit -> 'v t
 (** Default capacity 4096 entries.  Raises [Invalid_argument] if the
-    capacity is below 1. *)
+    capacity is below 1.  When [metrics] is given, every LRU eviction is
+    counted ({!Metrics.record_eviction}) — evictions are otherwise
+    invisible to callers. *)
 
 val capacity : 'v t -> int
 

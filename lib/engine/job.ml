@@ -207,6 +207,84 @@ let run ?memo job =
   | Chaos_trial { family; f; seed; strategy; trial } ->
     Chaos (run_chaos ~family ~f ~seed ~strategy ~trial)
 
+(* --- the persistent-store projection --------------------------------------- *)
+
+(* Cells, connectivity rows, and chaos outcomes are plain data and round-trip
+   exactly through Value.t — that is what makes resumed sweeps byte-identical
+   to uninterrupted ones.  Certificates carry traces and device closures, so
+   a [Cert] verdict has no faithful first-order projection: it is never
+   persisted ([verdict_to_value] = None) and always recomputed. *)
+
+let opt_bool = function
+  | None -> Value.tag "none" Value.unit
+  | Some b -> Value.tag "some" (Value.bool b)
+
+let opt_bool_of = function
+  | Value.Tag ("none", Value.Unit) -> Some None
+  | Value.Tag ("some", Value.Bool b) -> Some (Some b)
+  | _ -> None
+
+let verdict_to_value = function
+  | Cell { Sweep.n; f; adequate; survived_attacks; certificate_broke_it } ->
+    Some
+      (Value.tag "verdict:cell"
+         (Value.list
+            [ Value.int n; Value.int f; Value.bool adequate;
+              opt_bool survived_attacks; opt_bool certificate_broke_it ]))
+  | Conn (kappa, adequate, relay_ok, cert_broke) ->
+    Some
+      (Value.tag "verdict:conn"
+         (Value.list
+            [ Value.int kappa; Value.bool adequate; opt_bool relay_ok;
+              opt_bool cert_broke ]))
+  | Chaos { trial; strategy; faulty; survived; violations } ->
+    Some
+      (Value.tag "verdict:chaos"
+         (Value.list
+            [ Value.int trial; Value.string strategy; Value.int_list faulty;
+              Value.bool survived;
+              Value.list (List.map Value.string violations) ]))
+  | Cert _ -> None
+
+let verdict_of_value v =
+  let ( let* ) = Option.bind in
+  match v with
+  | Value.Tag
+      ( "verdict:cell",
+        Value.List
+          [ Value.Int n; Value.Int f; Value.Bool adequate; survived; broke ] )
+    ->
+    let* survived_attacks = opt_bool_of survived in
+    let* certificate_broke_it = opt_bool_of broke in
+    Some
+      (Cell { Sweep.n; f; adequate; survived_attacks; certificate_broke_it })
+  | Value.Tag
+      ( "verdict:conn",
+        Value.List [ Value.Int kappa; Value.Bool adequate; relay; cert ] ) ->
+    let* relay_ok = opt_bool_of relay in
+    let* cert_broke = opt_bool_of cert in
+    Some (Conn (kappa, adequate, relay_ok, cert_broke))
+  | Value.Tag
+      ( "verdict:chaos",
+        Value.List
+          [ Value.Int trial; Value.String strategy; faulty;
+            Value.Bool survived; Value.List violations ] ) ->
+    let* faulty =
+      match faulty with
+      | Value.List _ -> ( try Some (Value.get_int_list faulty) with _ -> None)
+      | _ -> None
+    in
+    let* violations =
+      List.fold_right
+        (fun v acc ->
+          match v, acc with
+          | Value.String s, Some rest -> Some (s :: rest)
+          | _ -> None)
+        violations (Some [])
+    in
+    Some (Chaos { trial; strategy; faulty; survived; violations })
+  | _ -> None
+
 (* Certificates carry traces and device closures; compare their data
    projection.  Cells and connectivity rows are plain data. *)
 let equal_verdict a b =

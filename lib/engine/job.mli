@@ -73,5 +73,16 @@ val equal_verdict : verdict -> verdict -> bool
 (** Structural equality on the data projection (certificates compare by
     contradiction flag and verdict line; their traces are not re-compared). *)
 
+val verdict_to_value : verdict -> Value.t option
+(** The persistent-store projection.  [Cell], [Conn], and [Chaos] verdicts
+    are plain data and project faithfully; [Cert] verdicts carry traces and
+    device closures, have no first-order projection, and return [None] —
+    they are recomputed rather than resumed. *)
+
+val verdict_of_value : Value.t -> verdict option
+(** Inverse of {!verdict_to_value} ([verdict_of_value (verdict_to_value v)
+    = Some v] for storable verdicts); [None] on anything malformed — a
+    store record that does not parse is treated as a miss, never trusted. *)
+
 val pp : Format.formatter -> t -> unit
 val pp_verdict : Format.formatter -> verdict -> unit

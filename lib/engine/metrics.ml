@@ -6,6 +6,10 @@ type snapshot = {
   degraded : int;
   cache_hits : int;
   cache_misses : int;
+  evictions : int;
+  resumed : int;
+  recomputed : int;
+  store_writes : int;
   executions_run : int;
   total_job_seconds : float;
   max_job_seconds : float;
@@ -21,6 +25,10 @@ type t = {
   mutable degraded : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
+  mutable evictions : int;
+  mutable resumed : int;
+  mutable recomputed : int;
+  mutable store_writes : int;
   mutable total_job_seconds : float;
   mutable max_job_seconds : float;
   mutable created_at : float;
@@ -39,6 +47,10 @@ let create () =
     degraded = 0;
     cache_hits = 0;
     cache_misses = 0;
+    evictions = 0;
+    resumed = 0;
+    recomputed = 0;
+    store_writes = 0;
     total_job_seconds = 0.0;
     max_job_seconds = 0.0;
     created_at = wall_now ();
@@ -58,6 +70,10 @@ let reset t =
       t.degraded <- 0;
       t.cache_hits <- 0;
       t.cache_misses <- 0;
+      t.evictions <- 0;
+      t.resumed <- 0;
+      t.recomputed <- 0;
+      t.store_writes <- 0;
       t.total_job_seconds <- 0.0;
       t.max_job_seconds <- 0.0;
       t.created_at <- wall_now ();
@@ -65,6 +81,14 @@ let reset t =
 
 let cache_hit t = with_lock t (fun () -> t.cache_hits <- t.cache_hits + 1)
 let cache_miss t = with_lock t (fun () -> t.cache_misses <- t.cache_misses + 1)
+let record_eviction t = with_lock t (fun () -> t.evictions <- t.evictions + 1)
+let record_resumed t = with_lock t (fun () -> t.resumed <- t.resumed + 1)
+
+let record_recomputed t =
+  with_lock t (fun () -> t.recomputed <- t.recomputed + 1)
+
+let record_store_write t =
+  with_lock t (fun () -> t.store_writes <- t.store_writes + 1)
 
 let record_job t ~seconds =
   with_lock t (fun () ->
@@ -90,6 +114,10 @@ let snapshot t =
         degraded = t.degraded;
         cache_hits = t.cache_hits;
         cache_misses = t.cache_misses;
+        evictions = t.evictions;
+        resumed = t.resumed;
+        recomputed = t.recomputed;
+        store_writes = t.store_writes;
         executions_run = Exec.total_runs () - t.exec_baseline;
         total_job_seconds = t.total_job_seconds;
         max_job_seconds = t.max_job_seconds;
@@ -109,12 +137,14 @@ let pp_snapshot ppf (s : snapshot) =
     "@[<v>engine metrics:@   jobs completed:   %d (%.1f jobs/s over %.3f s \
      elapsed)@   supervision:      %d failed (%d timeouts), %d retries, %d \
      degradations@   executions run:   %d@   cache:            %d hits / %d \
-     misses (hit rate %.1f%%)@   job wall-clock:   %.3f s total, %.3f s max, \
-     %.3f s mean@]"
+     misses / %d evictions (hit rate %.1f%%)@   store:            %d \
+     resumed, %d recomputed, %d journal writes@   job wall-clock:   %.3f s \
+     total, %.3f s max, %.3f s mean@]"
     s.jobs_completed (jobs_per_second s) s.elapsed_seconds s.jobs_failed
     s.jobs_timed_out s.retries s.degraded s.executions_run s.cache_hits
-    s.cache_misses
+    s.cache_misses s.evictions
     (100.0 *. hit_rate s)
+    s.resumed s.recomputed s.store_writes
     s.total_job_seconds s.max_job_seconds
     (if s.jobs_completed = 0 then 0.0
      else s.total_job_seconds /. float_of_int s.jobs_completed)

@@ -14,6 +14,14 @@ type snapshot = {
   degraded : int;  (** pool degradations to the sequential path *)
   cache_hits : int;
   cache_misses : int;
+  evictions : int;  (** LRU entries pushed out of the in-memory caches *)
+  resumed : int;
+      (** verdicts loaded from the persistent store instead of recomputed
+          (checkpoint hits during a [--resume] run) *)
+  recomputed : int;
+      (** verdicts actually executed while a persistent store was attached
+          (store misses — the cells a resumed sweep still had to run) *)
+  store_writes : int;  (** journal records appended (checkpoints written) *)
   executions_run : int;
   total_job_seconds : float;
   max_job_seconds : float;
@@ -28,6 +36,19 @@ val reset : t -> unit
 
 val cache_hit : t -> unit
 val cache_miss : t -> unit
+
+val record_eviction : t -> unit
+(** An LRU cache pushed out its least-recently-used entry. *)
+
+val record_resumed : t -> unit
+(** A verdict was served from the persistent store (checkpoint hit). *)
+
+val record_recomputed : t -> unit
+(** A verdict was executed while a store was attached (checkpoint miss). *)
+
+val record_store_write : t -> unit
+(** A verdict was journaled to the persistent store. *)
+
 val record_job : t -> seconds:float -> unit
 
 val record_failure : t -> timeout:bool -> unit

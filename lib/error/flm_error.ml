@@ -4,12 +4,15 @@ type t =
   | Job_timeout of { job : string; timeout_ms : int }
   | Worker_crashed of { detail : string }
   | Axiom_violation of { axiom : string; detail : string }
+  | Store_corrupt of { path : string; offset : int; detail : string }
 
 exception Error of t
 
 let retryable = function
   | Worker_crashed _ -> true
-  | Invalid_input _ | Job_failed _ | Job_timeout _ | Axiom_violation _ -> false
+  | Invalid_input _ | Job_failed _ | Job_timeout _ | Axiom_violation _
+  | Store_corrupt _ ->
+    false
 
 let to_string = function
   | Invalid_input { what; detail } ->
@@ -20,6 +23,21 @@ let to_string = function
   | Worker_crashed { detail } -> Printf.sprintf "worker crashed: %s" detail
   | Axiom_violation { axiom; detail } ->
     Printf.sprintf "%s axiom violated: %s" axiom detail
+  | Store_corrupt { path; offset; detail } ->
+    Printf.sprintf "corrupt store record in %s at offset %d: %s" path offset
+      detail
+
+(* One stable, distinct process exit code per error class, used by every CLI
+   command: scripts can dispatch on the class without parsing stderr.  Kept
+   clear of 0 (success), 1 (generic), 2 and cmdliner's 124/125 (usage /
+   internal). *)
+let exit_code = function
+  | Invalid_input _ -> 10
+  | Job_failed _ -> 11
+  | Job_timeout _ -> 12
+  | Worker_crashed _ -> 13
+  | Axiom_violation _ -> 14
+  | Store_corrupt _ -> 15
 
 let pp ppf e = Format.pp_print_string ppf (to_string e)
 let equal (a : t) (b : t) = a = b

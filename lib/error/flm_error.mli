@@ -30,6 +30,11 @@ type t =
   | Axiom_violation of { axiom : string; detail : string }
       (** The fault-injection harness found a run where the Locality or
           Fault axiom did not hold — a model bug, never a user error. *)
+  | Store_corrupt of { path : string; offset : int; detail : string }
+      (** The persistent certificate store found a record it cannot trust —
+          a torn tail after a crash, a CRC mismatch, an unknown format
+          version.  The record is skipped (and recomputed on demand), never
+          deserialized. *)
 
 exception Error of t
 (** The carrier used on exception-based internal paths; supervision catches
@@ -37,6 +42,13 @@ exception Error of t
 
 val retryable : t -> bool
 (** [true] exactly for [Worker_crashed]. *)
+
+val exit_code : t -> int
+(** The stable process exit code for the class: [Invalid_input] 10,
+    [Job_failed] 11, [Job_timeout] 12, [Worker_crashed] 13,
+    [Axiom_violation] 14, [Store_corrupt] 15.  Every CLI command exits with
+    the code of the failure it reports, so callers can dispatch on the class
+    without parsing output. *)
 
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,12 @@
+(** CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over strings.
+
+    The journal frames every record with this checksum so a bit-flipped or
+    torn record is detected on scan, never deserialized.  Table-driven,
+    zlib-compatible: [string "123456789" = 0xCBF43926]. *)
+
+val update : int -> string -> pos:int -> len:int -> int
+(** [update crc s ~pos ~len] folds [s.[pos .. pos+len-1]] into a running
+    checksum; start from [0] and chain for multi-part input. *)
+
+val string : string -> int
+(** The checksum of a whole string (a 32-bit value in an OCaml int). *)

@@ -1,0 +1,72 @@
+(** The crash-safe, content-addressed certificate and result store.
+
+    A store is a directory holding one append-only {!Journal}
+    ([journal.flm]).  Records are [(key, payload)] pairs of {!Value.t}s,
+    content-addressed by the {e canonical encoded bytes} of the key
+    ({!Store_codec.encode} is deterministic, so byte equality is structural
+    equality — a 64-bit fingerprint collision can never alias two keys).
+    The engine keys records by job descriptors ({!Fingerprint} descriptors /
+    [Job.describe]); the store itself is agnostic.
+
+    {b Durability contract.}  {!put} returns only after the record is framed
+    (length + CRC-32), written, and fsynced, so a completed cell survives
+    [kill -9].  {!open_dir} scans the journal and {e skips} — never
+    deserializes — any record it cannot verify (torn tail, CRC mismatch,
+    unknown codec version), reporting each as a typed
+    {!Flm_error.Store_corrupt} in {!corruptions}; a resumed sweep simply
+    recomputes what was lost.  Duplicate keys are last-writer-wins on scan;
+    {!put} of an already-stored equal payload is a no-op (no journal
+    growth), so re-running a fully-checkpointed sweep does not write.
+
+    All operations are serialized by an internal mutex: engine worker
+    domains checkpoint concurrently. *)
+
+type t
+
+type stats = {
+  path : string;  (** the journal file *)
+  live : int;  (** distinct keys *)
+  records : int;  (** verified frames in the journal (incl. superseded) *)
+  corrupt : int;  (** corruption reports from the open scan *)
+  bytes : int;  (** journal file size *)
+}
+
+val open_dir : string -> (t, Flm_error.t) result
+(** Open (creating if needed) the store directory and scan its journal.
+    Corrupt {e records} are skipped and reported via {!corruptions} — the
+    store still opens.  [Error _] only when the directory cannot be used or
+    the journal is not a journal at all (bad magic): nothing in it can be
+    trusted. *)
+
+val find : t -> Value.t -> Value.t option
+val mem : t -> Value.t -> bool
+
+val put : t -> key:Value.t -> Value.t -> unit
+(** Durable once returned (fsync'd journal append).  Overwriting a key with
+    a different payload appends a superseding record ({!gc} drops the old
+    one); overwriting with an equal payload is a no-op. *)
+
+val length : t -> int
+(** Distinct live keys. *)
+
+val corruptions : t -> Flm_error.t list
+(** Typed reports for every record skipped when the store was opened. *)
+
+val iter : t -> (key:Value.t -> payload:Value.t -> unit) -> unit
+(** In first-insertion order (scan order, then put order) — deterministic,
+    for [flm store export]. *)
+
+val stat : t -> stats
+
+val gc : t -> int
+(** Compact: atomically rewrite the journal with exactly the live records
+    (temp + fsync + rename, see {!Journal.rewrite}), dropping superseded and
+    corrupt regions.  Returns the number of frames dropped.  Clears
+    {!corruptions}. *)
+
+val close : t -> unit
+
+val verify : string -> (int * Flm_error.t list, Flm_error.t) result
+(** [verify dir] re-scans the journal from disk without opening a store:
+    [Ok (verified_records, corruptions)] where [corruptions] includes both
+    framing-level damage and records whose payload fails to decode. *)

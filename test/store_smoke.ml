@@ -1,0 +1,184 @@
+(* The kill-during-run soak: prove the checkpoint store's crash-safety
+   end to end.  For each seed, a child process sweeps the grid while
+   checkpointing into a store; the parent SIGKILLs it at a seeded random
+   point mid-run, then resumes the sweep in-process from whatever the
+   journal durably holds.  The resumed verdict set must be byte-identical
+   (under the canonical codec) to an uninterrupted run, with every cell
+   accounted for as either resumed or recomputed.  A final pass flips and
+   truncates journal bytes to check that deliberate corruption surfaces as
+   typed reports and recomputation, never wrong verdicts.
+
+   Run via the @store-smoke alias (wired into @runtest). *)
+
+let n_max = 9
+let f_max = 2
+
+let fail fmt =
+  Printf.ksprintf
+    (fun m ->
+      Printf.eprintf "store_smoke: FAIL: %s\n%!" m;
+      exit 1)
+    fmt
+
+let open_store dir =
+  match Store.open_dir dir with
+  | Ok s -> s
+  | Error e -> fail "open_dir %s: %s" dir (Flm_error.to_string e)
+
+(* The canonical bytes of a verdict list: what "byte-identical" means. *)
+let serialize cells =
+  String.concat "|"
+    (List.map
+       (fun c ->
+         match Job.verdict_to_value (Job.Cell c) with
+         | Some v -> Store_codec.encode v
+         | None -> fail "nf cells must be storable")
+       cells)
+
+let sweep ?store ?(resume = false) () =
+  let eng = Engine.create ~jobs:2 ?store ~resume () in
+  let cells = Engine.nf_boundary eng ~n_max ~f_max in
+  cells, Metrics.snapshot (Engine.metrics eng)
+
+(* Child mode: checkpoint the sweep into DIR until killed. *)
+let run_child dir =
+  let store = open_store dir in
+  let _ = sweep ~store () in
+  Store.close store;
+  exit 0
+
+let fresh_dir name =
+  let d = Filename.concat (Filename.get_temp_dir_name ()) name in
+  (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d);
+  d
+
+let cleanup dir =
+  (try
+     Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir)
+   with _ -> ());
+  try Unix.rmdir dir with _ -> ()
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* One seeded kill-resume round.  [reference] is the uninterrupted run's
+   serialized verdicts; [duration] its wall-clock, which scales the seeded
+   kill delay so the SIGKILL lands mid-sweep. *)
+let soak_round ~reference ~duration ~total seed =
+  let dir = fresh_dir (Printf.sprintf "flm_soak_%d_%d" (Unix.getpid ()) seed) in
+  let frac, _ = Fault_prng.float (Fault_prng.of_seed seed) in
+  let delay = (0.15 +. (0.7 *. frac)) *. duration in
+  let pid =
+    Unix.create_process Sys.executable_name
+      [| Sys.executable_name; "--child"; dir |]
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  Unix.sleepf delay;
+  (try Unix.kill pid Sys.sigkill with Unix.Unix_error (Unix.ESRCH, _, _) -> ());
+  let _, status = Unix.waitpid [] pid in
+  let outcome =
+    match status with
+    | Unix.WSIGNALED s when s = Sys.sigkill -> "killed mid-run"
+    | Unix.WEXITED 0 -> "finished before the kill"
+    | _ -> fail "seed %d: child ended unexpectedly" seed
+  in
+  let store = open_store dir in
+  let checkpointed = Store.length store in
+  let torn = List.length (Store.corruptions store) in
+  let cells, snap = sweep ~store ~resume:true () in
+  Store.close store;
+  if serialize cells <> reference then
+    fail "seed %d: resumed verdicts differ from the uninterrupted run" seed;
+  if snap.Metrics.resumed <> checkpointed then
+    fail "seed %d: resumed %d cells but the store held %d" seed
+      snap.Metrics.resumed checkpointed;
+  if snap.Metrics.resumed + snap.Metrics.recomputed <> total then
+    fail "seed %d: %d resumed + %d recomputed <> %d cells" seed
+      snap.Metrics.resumed snap.Metrics.recomputed total;
+  Printf.printf
+    "store_smoke: seed %d: %s at %.2fs; %d checkpointed (%d torn), %d \
+     resumed + %d recomputed, verdicts byte-identical\n%!"
+    seed outcome delay checkpointed torn snap.Metrics.resumed
+    snap.Metrics.recomputed;
+  dir
+
+(* Deliberate damage on a completed store: a flipped payload byte and a
+   torn tail must each surface as typed corruption reports, and a resumed
+   sweep must recompute exactly the lost cells and still match. *)
+let corruption_round ~reference ~total dir =
+  let path = Filename.concat dir "journal.flm" in
+  (* A full, clean journal to damage. *)
+  let store = open_store dir in
+  let cells, _ = sweep ~store ~resume:true () in
+  Store.close store;
+  if serialize cells <> reference then fail "pre-damage run differs";
+  let whole = read_file path in
+  let damaged = Bytes.of_string whole in
+  Bytes.set damaged 17 (Char.chr (Char.code (Bytes.get damaged 17) lxor 0x01));
+  write_file path (Bytes.to_string damaged);
+  (match Store.verify dir with
+  | Ok (_, [ Flm_error.Store_corrupt _ ]) -> ()
+  | Ok (_, cs) -> fail "bit flip: expected 1 corruption, got %d" (List.length cs)
+  | Error e -> fail "bit flip: verify refused: %s" (Flm_error.to_string e));
+  let store = open_store dir in
+  let live = Store.length store in
+  let cells, snap = sweep ~store ~resume:true () in
+  Store.close store;
+  if serialize cells <> reference then fail "bit flip: verdicts differ";
+  if snap.Metrics.recomputed <> total - live || snap.Metrics.recomputed < 1
+  then
+    fail "bit flip: expected the damaged cell recomputed, got %d"
+      snap.Metrics.recomputed;
+  (* Compact away the flipped frame (its repair only superseded it) so the
+     next damage pass starts from a clean journal. *)
+  let store = open_store dir in
+  let (_ : int) = Store.gc store in
+  Store.close store;
+  (match Store.verify dir with
+  | Ok (n, []) when n = total -> ()
+  | _ -> fail "gc did not leave a clean journal");
+  (* Torn tail: chop the last few bytes, as a mid-append crash would. *)
+  let whole = read_file path in
+  write_file path (String.sub whole 0 (String.length whole - 5));
+  (match Store.verify dir with
+  | Ok (_, [ Flm_error.Store_corrupt _ ]) -> ()
+  | Ok (_, cs) -> fail "torn tail: expected 1 corruption, got %d" (List.length cs)
+  | Error e -> fail "torn tail: verify refused: %s" (Flm_error.to_string e));
+  let store = open_store dir in
+  let cells, snap = sweep ~store ~resume:true () in
+  Store.close store;
+  if serialize cells <> reference then fail "torn tail: verdicts differ";
+  if snap.Metrics.recomputed < 1 then fail "torn tail: nothing recomputed";
+  Printf.printf
+    "store_smoke: corruption: bit flip and torn tail both detected, \
+     recomputed, verdicts byte-identical\n%!"
+
+let run_parent () =
+  let t0 = Unix.gettimeofday () in
+  let cells, _ = sweep () in
+  let duration = Unix.gettimeofday () -. t0 in
+  let reference = serialize cells in
+  let total = List.length cells in
+  Printf.printf
+    "store_smoke: reference: %d cells in %.2fs; killing at seeded points\n%!"
+    total duration;
+  let dirs =
+    List.map (soak_round ~reference ~duration ~total) [ 11; 23; 42 ]
+  in
+  corruption_round ~reference ~total (List.hd dirs);
+  List.iter cleanup dirs;
+  print_endline "store_smoke: OK"
+
+let () =
+  match Sys.argv with
+  | [| _; "--child"; dir |] -> run_child dir
+  | _ -> run_parent ()

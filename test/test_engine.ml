@@ -86,6 +86,37 @@ let lru_eviction () =
   check tint "four computations total" 4 !computed;
   check tint "still bounded" 2 (Exec_cache.length cache)
 
+(* Evictions are otherwise invisible; the metrics hook must count each one,
+   in LRU order, alongside the hits and misses find_or_run records. *)
+let eviction_metrics () =
+  let metrics = Metrics.create () in
+  let cache = Exec_cache.create ~capacity:2 ~metrics () in
+  let get i =
+    Exec_cache.find_or_run cache ~metrics
+      (Fingerprint.intern (Value.int i))
+      (fun () -> i * 10)
+  in
+  List.iter (fun i -> ignore (get i)) [ 1; 2 ];
+  check tint "no evictions below capacity" 0
+    (Metrics.snapshot metrics).Metrics.evictions;
+  ignore (get 1);
+  (* 1 was refreshed, so inserting 3 then 4 evicts 2 then 1 — exactly two
+     evictions, counted as they happen. *)
+  ignore (get 3);
+  check tint "one eviction at capacity+1" 1
+    (Metrics.snapshot metrics).Metrics.evictions;
+  check tbool "the LRU entry (2) went first" false
+    (Exec_cache.mem cache (Fingerprint.intern (Value.int 2)));
+  check tbool "the refreshed entry (1) survived" true
+    (Exec_cache.mem cache (Fingerprint.intern (Value.int 1)));
+  ignore (get 4);
+  let snap = Metrics.snapshot metrics in
+  check tint "two evictions after a second overflow" 2 snap.Metrics.evictions;
+  check tbool "then 1 went" false
+    (Exec_cache.mem cache (Fingerprint.intern (Value.int 1)));
+  check tint "hits counted" 1 snap.Metrics.cache_hits;
+  check tint "misses counted" 4 snap.Metrics.cache_misses
+
 (* The scenario-level memo threaded into the sweeps: a warm re-run of the
    same cell is all hits and produces the identical cell. *)
 let scenario_memo () =
@@ -155,6 +186,7 @@ let suite =
     [ Alcotest.test_case "determinism: parallel = sequential" `Quick determinism;
       Alcotest.test_case "cache correctness" `Quick cache_correctness;
       Alcotest.test_case "LRU eviction bound" `Quick lru_eviction;
+      Alcotest.test_case "eviction metrics" `Quick eviction_metrics;
       Alcotest.test_case "scenario memo" `Quick scenario_memo;
       Alcotest.test_case "pool ordering" `Quick pool_ordering;
       Alcotest.test_case "pool exception" `Quick pool_exception;

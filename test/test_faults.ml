@@ -184,6 +184,52 @@ let out_of_model () =
       (Printexc.to_string e)
   | _ -> Alcotest.fail "poison should raise"
 
+(* (g) Split independence, statistically: deriving by (trial, node) and by
+   (node, trial) must give independent streams — the harness fans out over
+   both orders, and a correlation would couple the faults of trial i at node
+   j with those of trial j at node i.  A 2x2 chi-square over the first bit
+   of each stream, at every off-diagonal coordinate of a 32x32 grid (on the
+   diagonal the two derivation orders are the same chain by construction, so
+   those cells are excluded).  Deterministic seed: no flake. *)
+let split_independence () =
+  let root = Fault_prng.of_seed 2026 in
+  let bit t = Int64.to_int (Int64.logand (fst (Fault_prng.next t)) 1L) in
+  let counts = Array.make_matrix 2 2 0 in
+  let samples = ref 0 in
+  for trial = 0 to 31 do
+    for node = 0 to 31 do
+      if trial <> node then begin
+        let a = bit (Fault_prng.derive (Fault_prng.derive root trial) node) in
+        let b = bit (Fault_prng.derive (Fault_prng.derive root node) trial) in
+        counts.(a).(b) <- counts.(a).(b) + 1;
+        incr samples
+      end
+    done
+  done;
+  Array.iter
+    (Array.iter (fun c -> check tbool "every bit pair occurs" true (c > 0)))
+    counts;
+  let total = float_of_int !samples in
+  let row i = float_of_int (counts.(i).(0) + counts.(i).(1)) in
+  let col j = float_of_int (counts.(0).(j) + counts.(1).(j)) in
+  let chi2 = ref 0.0 in
+  for i = 0 to 1 do
+    for j = 0 to 1 do
+      let expected = row i *. col j /. total in
+      let d = float_of_int counts.(i).(j) -. expected in
+      chi2 := !chi2 +. (d *. d /. expected)
+    done
+  done;
+  (* 1 degree of freedom; 10.83 is the p = 0.001 critical value. *)
+  check tbool "chi-square below the 0.1% critical value" true (!chi2 < 10.83);
+  (* The marginals themselves are unbiased: each order's bit is fair to
+     within 4 sigma of a 50/50 coin over the sample count. *)
+  let slack = 4.0 *. sqrt total /. 2.0 in
+  check tbool "first-order marginal is fair" true
+    (Float.abs (row 0 -. (total /. 2.0)) < slack);
+  check tbool "second-order marginal is fair" true
+    (Float.abs (col 0 -. (total /. 2.0)) < slack)
+
 let suite =
   ( "faults",
     [ Alcotest.test_case "prng" `Quick prng;
@@ -192,4 +238,6 @@ let suite =
       Alcotest.test_case "axiom harness" `Quick harness;
       Alcotest.test_case "chaos jobs" `Quick chaos_jobs;
       Alcotest.test_case "out-of-model strategies" `Quick out_of_model;
+      Alcotest.test_case "split independence (chi-square)" `Quick
+        split_independence;
     ] )

@@ -17,6 +17,7 @@ let () =
       Test_crusader.suite;
       Test_sweep.suite;
       Test_engine.suite;
+      Test_store.suite;
       Test_faults.suite;
       Test_supervision.suite;
       Test_edge_cases.suite;
