@@ -1,0 +1,102 @@
+(* E18: strong scaling of the n/f boundary sweep over the persistent-pool
+   engine, plus the pool-reuse dividend — the spawn-per-batch dispatch the
+   persistent pool replaced, measured head to head on warm-sweep-shaped
+   batches.  Shared between bench/main.exe (full config, BENCH_E18.json) and
+   the @bench-smoke test (tiny config, temp file). *)
+
+let wall = Metrics.wall_now
+
+(* Cold then warm sweep at each jobs count.  A fresh engine per jobs count
+   keeps the cold phases honestly cold (the scenario/verdict caches are
+   per-engine); the warm phase re-runs the same grid on the same engine. *)
+let scaling_runs ~n_max ~f_max ~jobs_list =
+  List.concat_map
+    (fun jobs ->
+      let eng = Engine.create ~jobs () in
+      let measure label =
+        Metrics.reset (Engine.metrics eng);
+        let t0 = wall () in
+        ignore (Engine.nf_boundary eng ~n_max ~f_max);
+        let dt = wall () -. t0 in
+        let snap = Metrics.snapshot (Engine.metrics eng) in
+        Bench_json.run_record ~label ~jobs ~wall_seconds:dt
+          ~cache_hit_rate:(Metrics.hit_rate snap)
+          ~extra:
+            [ "jobs_completed", Bench_json.Int snap.Metrics.jobs_completed;
+              "executions", Bench_json.Int snap.Metrics.executions_run;
+              "cache_hits", Bench_json.Int snap.Metrics.cache_hits;
+              "cache_misses", Bench_json.Int snap.Metrics.cache_misses;
+              "dedups", Bench_json.Int snap.Metrics.dedups;
+            ]
+          ()
+      in
+      let cold = measure (Printf.sprintf "sweep_cold_j%d" jobs) in
+      let warm = measure (Printf.sprintf "sweep_warm_j%d" jobs) in
+      Engine.shutdown eng;
+      [ cold; warm ])
+    jobs_list
+
+(* The before/after of the tentpole: [batches] warm-sweep-shaped batches
+   (every item a table lookup, as in a fully warm engine) dispatched through
+   one persistent pool vs through a fresh pool per batch — the old executor
+   spawned and joined its domains on every [map], so the fresh-per-batch
+   configuration reproduces the pre-persistent-pool dispatch cost. *)
+let pool_overhead ~jobs ~batches ~n_max ~f_max =
+  let grid = Array.of_list (Sweep.nf_grid ~n_max ~f_max) in
+  let cells = Hashtbl.create (Array.length grid) in
+  Array.iter
+    (fun (n, f) -> Hashtbl.replace cells (n, f) (Sweep.nf_cell ~n ~f ()))
+    grid;
+  let lookup nf = Hashtbl.find cells nf in
+  let extra =
+    [ "batches", Bench_json.Int batches;
+      "batch_items", Bench_json.Int (Array.length grid);
+    ]
+  in
+  let persistent_dt =
+    let pool = Pool.create ~jobs () in
+    let t0 = wall () in
+    for _ = 1 to batches do
+      ignore (Pool.map pool lookup grid)
+    done;
+    let dt = wall () -. t0 in
+    Pool.shutdown pool;
+    dt
+  in
+  let fresh_dt =
+    let t0 = wall () in
+    for _ = 1 to batches do
+      let pool = Pool.create ~jobs () in
+      ignore (Pool.map pool lookup grid);
+      Pool.shutdown pool
+    done;
+    wall () -. t0
+  in
+  let speedup = if persistent_dt > 0.0 then fresh_dt /. persistent_dt else 0.0 in
+  ( [ Bench_json.run_record ~label:"pool_persistent" ~jobs
+        ~wall_seconds:persistent_dt ~extra ();
+      Bench_json.run_record ~label:"pool_spawn_per_batch" ~jobs
+        ~wall_seconds:fresh_dt ~extra ();
+    ],
+    speedup )
+
+let run ?out ~n_max ~f_max ~jobs_list ~batches () =
+  let runs = scaling_runs ~n_max ~f_max ~jobs_list in
+  let overhead_jobs = List.fold_left max 1 jobs_list in
+  let overhead_runs, speedup =
+    pool_overhead ~jobs:overhead_jobs ~batches ~n_max ~f_max
+  in
+  let json =
+    Bench_json.bench_record ~experiment:"E18"
+      ~config:
+        [ "n_max", Bench_json.Int n_max;
+          "f_max", Bench_json.Int f_max;
+          "jobs_list", Bench_json.List (List.map (fun j -> Bench_json.Int j) jobs_list);
+          "batches", Bench_json.Int batches;
+          "cores", Bench_json.Int (Domain.recommended_domain_count ());
+        ]
+      ~derived:[ "pool_reuse_speedup", Bench_json.Float speedup ]
+      ~runs:(runs @ overhead_runs) ()
+  in
+  (match out with Some path -> Bench_json.write_file ~path json | None -> ());
+  json

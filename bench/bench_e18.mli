@@ -1,0 +1,20 @@
+(** E18: strong scaling of the boundary sweep over the persistent-pool
+    engine, cold and warm cache, plus the pool-reuse dividend (persistent
+    dispatch vs the spawn-per-batch dispatch it replaced).
+
+    [run] executes the experiment and returns its {!Bench_json} record
+    (writing it to [out] when given): one [sweep_cold_jN] / [sweep_warm_jN]
+    run pair per entry of [jobs_list], a [pool_persistent] /
+    [pool_spawn_per_batch] pair at the largest jobs count over [batches]
+    warm-shaped batches, and [derived.pool_reuse_speedup].  Deterministic
+    modulo wall-clock.  Shared by [bench/main.exe] (full config) and the
+    [@bench-smoke] test (tiny config). *)
+
+val run :
+  ?out:string ->
+  n_max:int ->
+  f_max:int ->
+  jobs_list:int list ->
+  batches:int ->
+  unit ->
+  Bench_json.t

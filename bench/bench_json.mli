@@ -1,0 +1,65 @@
+(** Machine-readable benchmark records: a dependency-free JSON tree with a
+    printer, a strict parser, and the [BENCH_<exp>.json] schema used by the
+    experiment harness (see EXPERIMENTS.md and the README's Performance
+    section).
+
+    The schema: one top-level object per experiment with
+    - ["experiment"] — the experiment id (["E18"], ...),
+    - ["schema_version"] — {!schema_version},
+    - ["config"] — the experiment's parameters,
+    - ["runs"] — a list of measurements, each with ["label"], ["jobs"],
+      ["wall_seconds"], and usually ["cache_hit_rate"] plus per-experiment
+      extras,
+    - optional ["derived"] — summary figures (speedups, overheads).
+
+    {!validate} checks exactly that contract, so a CI smoke test can fail on
+    a malformed emitter without pinning every field. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Pretty-printed JSON, newline-terminated. *)
+
+val write_file : path:string -> t -> unit
+
+val parse : string -> (t, string) result
+(** Strict: rejects trailing garbage; [\u] escapes outside ASCII decode to
+    ['?'] (labels in this schema are ASCII). *)
+
+val member : string -> t -> t option
+val to_int_opt : t -> int option
+
+val to_float_opt : t -> float option
+(** Accepts [Int] too — JSON does not distinguish. *)
+
+val to_string_opt : t -> string option
+val to_list_opt : t -> t list option
+
+val schema_version : int
+
+val run_record :
+  label:string ->
+  jobs:int ->
+  wall_seconds:float ->
+  ?cache_hit_rate:float ->
+  ?extra:(string * t) list ->
+  unit ->
+  t
+
+val bench_record :
+  experiment:string ->
+  config:(string * t) list ->
+  ?derived:(string * t) list ->
+  runs:t list ->
+  unit ->
+  t
+
+val validate : t -> (unit, string) result
+(** Check the [BENCH_<exp>.json] contract above. *)

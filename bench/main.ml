@@ -69,7 +69,8 @@ let e3 () =
   let snap = Metrics.snapshot (Engine.metrics eng) in
   Format.printf "(engine: %d domains, %d jobs, %d executions, %.3f s)@."
     (Engine.jobs eng) snap.Metrics.jobs_completed snap.Metrics.executions_run
-    snap.Metrics.elapsed_seconds
+    snap.Metrics.elapsed_seconds;
+  Engine.shutdown eng
 
 (* --- E4: weak agreement ring (§4) ------------------------------------------ *)
 
@@ -497,6 +498,7 @@ let e15 () =
   in
   Format.printf "%-12s | %4s | %8s | %10s | %s@." "phase" "jobs" "seconds"
     "jobs/sec" "cache hit rate";
+  let records = ref [] in
   let phase label eng =
     Metrics.reset (Engine.metrics eng);
     let t0 = Metrics.wall_now () in
@@ -508,6 +510,12 @@ let e15 () =
       (float_of_int (List.length grid) /. dt)
       (100.0 *. Metrics.hit_rate snap)
       snap.Metrics.executions_run;
+    records :=
+      Bench_json.run_record ~label ~jobs:(Engine.jobs eng) ~wall_seconds:dt
+        ~cache_hit_rate:(Metrics.hit_rate snap)
+        ~extra:[ "executions", Bench_json.Int snap.Metrics.executions_run ]
+        ()
+      :: !records;
     verdicts
   in
   (* At least two domains even on one-core boxes, so the parallel machinery
@@ -519,9 +527,15 @@ let e15 () =
   let seq = phase "sequential" seq_engine in
   let par = phase "parallel" par_engine in
   let warm = phase "warm-cache" par_engine in
+  Engine.shutdown seq_engine;
+  Engine.shutdown par_engine;
   Format.printf "verdicts identical (seq = par = warm): %b@."
     (List.for_all2 Job.equal_verdict seq par
-    && List.for_all2 Job.equal_verdict par warm)
+    && List.for_all2 Job.equal_verdict par warm);
+  Bench_json.write_file ~path:"BENCH_E15.json"
+    (Bench_json.bench_record ~experiment:"E15"
+       ~config:[ "grid_jobs", Bench_json.Int (List.length grid) ]
+       ~runs:(List.rev !records) ())
 
 (* --- Bechamel timing benches -------------------------------------------------------- *)
 
@@ -570,7 +584,17 @@ let e16 () =
   Format.printf "verdicts identical (raw = supervised): %b@."
     (List.for_all2
        (fun v -> function Ok v' -> Job.equal_verdict v v' | Error _ -> false)
-       raw sup)
+       raw sup);
+  Bench_json.write_file ~path:"BENCH_E16.json"
+    (Bench_json.bench_record ~experiment:"E16"
+       ~config:[ "grid_jobs", Bench_json.Int (List.length grid) ]
+       ~derived:[ "supervision_overhead_pct", Bench_json.Float overhead ]
+       ~runs:
+         [ Bench_json.run_record ~label:"raw" ~jobs:1 ~wall_seconds:raw_dt ();
+           Bench_json.run_record ~label:"supervised" ~jobs:1
+             ~wall_seconds:sup_dt ();
+         ]
+       ())
 
 (* --- E17: checkpoint/resume warm-start ---------------------------------------------- *)
 
@@ -620,8 +644,52 @@ let e17 () =
     (cold_dt /. warm_dt) (List.length grid);
   Format.printf "verdicts identical (cold = warm): %b@."
     (List.for_all2 Job.equal_verdict cold warm);
+  Bench_json.write_file ~path:"BENCH_E17.json"
+    (Bench_json.bench_record ~experiment:"E17"
+       ~config:[ "grid_jobs", Bench_json.Int (List.length grid) ]
+       ~derived:
+         [ ( "warm_start_speedup",
+             Bench_json.Float
+               (if warm_dt > 0.0 then cold_dt /. warm_dt else 0.0) );
+         ]
+       ~runs:
+         [ Bench_json.run_record ~label:"cold" ~jobs:1 ~wall_seconds:cold_dt ();
+           Bench_json.run_record ~label:"warm_resume" ~jobs:1
+             ~wall_seconds:warm_dt ();
+         ]
+       ());
   (try Sys.remove (Filename.concat dir "journal.flm") with Sys_error _ -> ());
   try Unix.rmdir dir with Unix.Unix_error _ -> ()
+
+(* --- E18: strong scaling and the persistent-pool dividend --------------------------- *)
+
+let e18 () =
+  section "E18"
+    "strong scaling of the boundary sweep (cold/warm cache at 1/2/4/8 jobs) \
+     and the persistent-pool dividend vs spawn-per-batch dispatch";
+  let json =
+    Bench_e18.run ~out:"BENCH_E18.json" ~n_max:8 ~f_max:2
+      ~jobs_list:[ 1; 2; 4; 8 ] ~batches:50 ()
+  in
+  Format.printf "%-22s | %4s | %8s | %s@." "run" "jobs" "seconds"
+    "cache hit rate";
+  let str field v d = Option.value ~default:d (Option.bind (Bench_json.member field v) Bench_json.to_string_opt) in
+  let num field v = Option.value ~default:0.0 (Option.bind (Bench_json.member field v) Bench_json.to_float_opt) in
+  List.iter
+    (fun r ->
+      Format.printf "%-22s | %4.0f | %8.3f | %5.1f%%@." (str "label" r "?")
+        (num "jobs" r) (num "wall_seconds" r)
+        (100.0 *. num "cache_hit_rate" r))
+    (Option.value ~default:[]
+       (Option.bind (Bench_json.member "runs" json) Bench_json.to_list_opt));
+  (match Bench_json.member "derived" json with
+  | Some d ->
+    Format.printf
+      "pool reuse speedup (persistent vs spawn-per-batch, warm batches): \
+       %.1fx (expected >= 1.5x)@."
+      (num "pool_reuse_speedup" d)
+  | None -> ());
+  Format.printf "wrote BENCH_E18.json@."
 
 let timing () =
   section "TIMING" "Bechamel micro-benchmarks of the hot paths";
@@ -727,5 +795,6 @@ let () =
   e15 ();
   e16 ();
   e17 ();
+  e18 ();
   timing ();
   Format.printf "@.done.@."

@@ -96,6 +96,12 @@ let engine_config timeout_ms retries =
 let maybe_report eng metrics =
   if metrics then Format.printf "%s@." (Engine.report eng)
 
+(* Terminal engine hand-off: print the report if asked, then release the
+   persistent worker domains. *)
+let finish eng metrics =
+  maybe_report eng metrics;
+  Engine.shutdown eng
+
 (* Every typed failure exits with its class's stable code
    (Flm_error.exit_code), so scripts can dispatch without parsing output. *)
 let fail_error e =
@@ -273,15 +279,15 @@ let certify_cmd =
       (match Engine.certify_result eng ~problem:cert_problem ~n ~f with
       | Ok outcome ->
         print_cert outcome.Job.certificate;
-        maybe_report eng metrics
+        finish eng metrics
       | Error e ->
-        maybe_report eng metrics;
+        finish eng metrics;
         fail_error e)
     | None ->
     let eng = Engine.create ~jobs ~config () in
     let print_cert cert =
       print_cert cert;
-      maybe_report eng metrics
+      finish eng metrics
     in
     match problem with
     | "weak" ->
@@ -327,7 +333,7 @@ let certify_cmd =
       in
       (if full then Format.printf "%a@." Clock_chain.pp cert
        else Format.printf "%a@." Clock_chain.pp_summary cert);
-      maybe_report eng metrics
+      finish eng metrics
     (* The argument parser is an enum over exactly the names above. *)
     | _ -> assert false
   in
@@ -370,12 +376,7 @@ let sweep_cmd =
     (* The supervised batch path: a cell that blows the deadline reports a
        typed error in place while every other cell still lands. *)
     let specs =
-      List.concat_map
-        (fun f ->
-          List.filter_map
-            (fun n -> if n < 3 then None else Some (Job.Nf_cell { n; f }))
-            (List.init (n_max - 2) (fun i -> i + 3)))
-        (List.init f_max (fun i -> i + 1))
+      List.map (fun (n, f) -> Job.Nf_cell { n; f }) (Sweep.nf_grid ~n_max ~f_max)
     in
     let outcomes = Engine.run_all_results eng specs in
     List.iter2
@@ -390,7 +391,7 @@ let sweep_cmd =
     in
     Format.printf "%a@." Sweep.pp_nf cells;
     checkpoint_summary eng;
-    maybe_report eng metrics;
+    finish eng metrics;
     Option.iter Store.close (Engine.store eng);
     (* A partial sweep exits with the first failure's class code, so a
        driver script can tell a timeout from a bad input at a glance. *)
@@ -445,7 +446,7 @@ let chaos_cmd =
     Format.printf "@.%d survived, %d violated, %d failed@." !survived !violated
       !failed;
     checkpoint_summary eng;
-    maybe_report eng metrics;
+    finish eng metrics;
     Option.iter Store.close (Engine.store eng);
     (* Failed trials must be visible to scripts: exit with the first
        failure's class code rather than a blanket success. *)

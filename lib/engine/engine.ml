@@ -143,12 +143,7 @@ let run_all t jobs = Pool.map_list t.pool (run_job t) jobs
 let run_all_results t jobs = Pool.map_list t.pool (run_job_result t) jobs
 
 let nf_jobs ~n_max ~f_max =
-  List.concat_map
-    (fun f ->
-      List.filter_map
-        (fun n -> if n < 3 then None else Some (Job.Nf_cell { n; f }))
-        (List.init (n_max - 2) (fun i -> i + 3)))
-    (List.init f_max (fun i -> i + 1))
+  List.map (fun (n, f) -> Job.Nf_cell { n; f }) (Sweep.nf_grid ~n_max ~f_max)
 
 let nf_boundary t ~n_max ~f_max =
   List.map
@@ -185,12 +180,17 @@ let chaos t ~family ~f ~seed ~strategy ~trials =
        (List.init trials (fun trial ->
             Job.Chaos_trial { family; f; seed; strategy; trial })))
 
+let shutdown t = Pool.shutdown t.pool
+
 let pp_report ppf t =
-  Format.fprintf ppf "%a@ caches: %d/%d verdicts, %d/%d scenarios (LRU)"
+  Format.fprintf ppf
+    "%a@ caches: %d/%d verdicts, %d/%d scenarios (LRU), %d/%d interned keys"
     Metrics.pp_report t.metrics
     (Exec_cache.length t.verdicts)
     (Exec_cache.capacity t.verdicts)
     (Exec_cache.length t.scenarios)
     (Exec_cache.capacity t.scenarios)
+    (Fingerprint.interned_count ())
+    (Fingerprint.capacity ())
 
 let report t = Format.asprintf "@[<v>%a@]" pp_report t

@@ -105,6 +105,13 @@ val chaos :
     ([Job_failed] for a poisoned step, [Job_timeout] under a deadline) in
     their slots. *)
 
+val shutdown : t -> unit
+(** Stop and join the engine's persistent worker domains ({!Pool.shutdown}).
+    Idempotent; a later run on a shut engine quietly executes sequentially.
+    Long-lived processes that are done with an engine should call this to
+    release its domains. *)
+
 val pp_report : Format.formatter -> t -> unit
 val report : t -> string
-(** The metrics report plus cache occupancy. *)
+(** The metrics report plus cache occupancy (including the process-wide
+    interned-key count against its bound, see {!Fingerprint.capacity}). *)

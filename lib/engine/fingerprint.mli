@@ -21,7 +21,14 @@ val to_hex : t -> string
 
     [intern] maps structurally-equal descriptors to one shared physical key,
     computed-once fingerprint included, so repeated lookups with the same
-    scenario descriptor are cheap (physical equality fast path). *)
+    scenario descriptor are cheap (physical equality fast path).
+
+    The intern table is lock-striped by fingerprint bits (16 stripes), so
+    worker domains interning concurrently rarely contend, and {e bounded}:
+    when a stripe exceeds its share of [capacity ()] it is reset.  Interning
+    is a sharing optimization only — [equal_key] falls back to structural
+    comparison — so a reset can never change a verdict, it just costs future
+    lookups the fast path for the dropped keys. *)
 
 type key
 
@@ -36,4 +43,16 @@ val equal_key : key -> key -> bool
     comparison. *)
 
 val interned_count : unit -> int
-(** Number of distinct keys interned so far in this process. *)
+(** Number of distinct keys currently interned in this process. *)
+
+val capacity : unit -> int
+(** The intern-table bound (total across stripes; default 65536 keys). *)
+
+val set_capacity : int -> unit
+(** Change the bound (>= the stripe count).  Takes effect on the next
+    insert; already-interned keys stay valid either way. *)
+
+val clear : unit -> unit
+(** Drop every interned key (the reset hook for long-running processes).
+    Outstanding keys remain usable — equality degrades to the structural
+    path until their descriptors are re-interned. *)

@@ -6,6 +6,7 @@ type snapshot = {
   degraded : int;
   cache_hits : int;
   cache_misses : int;
+  dedups : int;
   evictions : int;
   resumed : int;
   recomputed : int;
@@ -25,6 +26,7 @@ type t = {
   mutable degraded : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
+  mutable dedups : int;
   mutable evictions : int;
   mutable resumed : int;
   mutable recomputed : int;
@@ -47,6 +49,7 @@ let create () =
     degraded = 0;
     cache_hits = 0;
     cache_misses = 0;
+    dedups = 0;
     evictions = 0;
     resumed = 0;
     recomputed = 0;
@@ -70,6 +73,7 @@ let reset t =
       t.degraded <- 0;
       t.cache_hits <- 0;
       t.cache_misses <- 0;
+      t.dedups <- 0;
       t.evictions <- 0;
       t.resumed <- 0;
       t.recomputed <- 0;
@@ -81,6 +85,7 @@ let reset t =
 
 let cache_hit t = with_lock t (fun () -> t.cache_hits <- t.cache_hits + 1)
 let cache_miss t = with_lock t (fun () -> t.cache_misses <- t.cache_misses + 1)
+let record_dedup t = with_lock t (fun () -> t.dedups <- t.dedups + 1)
 let record_eviction t = with_lock t (fun () -> t.evictions <- t.evictions + 1)
 let record_resumed t = with_lock t (fun () -> t.resumed <- t.resumed + 1)
 
@@ -114,6 +119,7 @@ let snapshot t =
         degraded = t.degraded;
         cache_hits = t.cache_hits;
         cache_misses = t.cache_misses;
+        dedups = t.dedups;
         evictions = t.evictions;
         resumed = t.resumed;
         recomputed = t.recomputed;
@@ -137,12 +143,12 @@ let pp_snapshot ppf (s : snapshot) =
     "@[<v>engine metrics:@   jobs completed:   %d (%.1f jobs/s over %.3f s \
      elapsed)@   supervision:      %d failed (%d timeouts), %d retries, %d \
      degradations@   executions run:   %d@   cache:            %d hits / %d \
-     misses / %d evictions (hit rate %.1f%%)@   store:            %d \
-     resumed, %d recomputed, %d journal writes@   job wall-clock:   %.3f s \
-     total, %.3f s max, %.3f s mean@]"
+     misses / %d evictions / %d deduped (hit rate %.1f%%)@   store:            \
+     %d resumed, %d recomputed, %d journal writes@   job wall-clock:   %.3f \
+     s total, %.3f s max, %.3f s mean@]"
     s.jobs_completed (jobs_per_second s) s.elapsed_seconds s.jobs_failed
     s.jobs_timed_out s.retries s.degraded s.executions_run s.cache_hits
-    s.cache_misses s.evictions
+    s.cache_misses s.evictions s.dedups
     (100.0 *. hit_rate s)
     s.resumed s.recomputed s.store_writes
     s.total_job_seconds s.max_job_seconds

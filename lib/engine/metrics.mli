@@ -14,6 +14,10 @@ type snapshot = {
   degraded : int;  (** pool degradations to the sequential path *)
   cache_hits : int;
   cache_misses : int;
+  dedups : int;
+      (** concurrent misses that joined another domain's in-flight
+          computation instead of running the thunk again (single-flight
+          hits; a subset of [cache_hits]) *)
   evictions : int;  (** LRU entries pushed out of the in-memory caches *)
   resumed : int;
       (** verdicts loaded from the persistent store instead of recomputed
@@ -36,6 +40,10 @@ val reset : t -> unit
 
 val cache_hit : t -> unit
 val cache_miss : t -> unit
+
+val record_dedup : t -> unit
+(** A domain joined an in-flight computation (single-flight deduplication)
+    rather than duplicating it. *)
 
 val record_eviction : t -> unit
 (** An LRU cache pushed out its least-recently-used entry. *)

@@ -1,140 +1,238 @@
-type t = {
-  jobs : int;
-  queue_capacity : int;
-  on_degrade : (string -> unit) option;
+(* A batch in flight.  [run i] computes item [i] and records the outcome in
+   the caller's result/error slots — it captures every exception per item and
+   never raises itself, so the only way a participant abandons a batch is an
+   exception outside [run] (a dying worker, or the test sabotage hook). *)
+type batch = {
+  run : int -> unit;
+  len : int;
+  chunk : int;
+  cursor : int Atomic.t;
+  mutable joined : int;  (* workers that entered this batch *)
+  mutable left : int;  (* workers that exited it (completing or dying) *)
 }
 
-let create ?(queue_capacity = 64) ?on_degrade ~jobs () =
+type t = {
+  jobs : int;
+  chunk_hint : int option;
+  on_degrade : (string -> unit) option;
+  lock : Mutex.t;
+  work_ready : Condition.t;  (* a new batch was published, or shutdown *)
+  batch_done : Condition.t;  (* a worker left the current batch *)
+  submit : Mutex.t;  (* serializes map/shutdown against each other *)
+  mutable batch : batch option;
+  mutable seq : int;  (* batch generation counter *)
+  mutable alive : int;  (* live worker domains *)
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+  mutable spawned : bool;  (* the lazy one-time spawn has happened *)
+  mutable shut : bool;
+  mutable sabotage : bool;  (* test hook: workers die on their next claim *)
+}
+
+let create ?chunk ?on_degrade ~jobs () =
   if jobs < 1 then invalid_arg "Pool.create: jobs >= 1 required";
-  if queue_capacity < 1 then invalid_arg "Pool.create: queue capacity >= 1 required";
-  { jobs; queue_capacity; on_degrade }
+  (match chunk with
+  | Some c when c < 1 -> invalid_arg "Pool.create: chunk >= 1 required"
+  | Some _ | None -> ());
+  {
+    jobs;
+    chunk_hint = chunk;
+    on_degrade;
+    lock = Mutex.create ();
+    work_ready = Condition.create ();
+    batch_done = Condition.create ();
+    submit = Mutex.create ();
+    batch = None;
+    seq = 0;
+    alive = 0;
+    stopping = false;
+    domains = [];
+    spawned = false;
+    shut = false;
+    sabotage = false;
+  }
 
 let jobs t = t.jobs
 
 let degrade t reason =
   match t.on_degrade with Some notify -> notify reason | None -> ()
 
-let map t f arr =
-  let len = Array.length arr in
-  if t.jobs = 1 || len <= 1 then Array.map f arr
-  else begin
-    let workers = min t.jobs len in
-    let results = Array.make len None in
-    let errors = Array.make len None in
-    let lock = Mutex.create () in
-    let not_empty = Condition.create () in
-    let not_full = Condition.create () in
-    let queue = Queue.create () in
-    let closed = ref false in
-    (* Workers still running.  Every queue wait is conditioned on it so that
-       a worker dying abnormally (an exception escaping the per-item capture,
-       e.g. an asynchronous one) can never strand the feeder on a full queue
-       or a sibling on an empty one. *)
-    let alive = ref 0 in
-    let push i =
-      Mutex.lock lock;
-      while !alive > 0 && Queue.length queue >= t.queue_capacity do
-        Condition.wait not_full lock
+exception Sabotaged
+
+(* Chunked self-scheduling: participants race on one fetch-and-add cursor and
+   peel off index ranges — no queue, no per-item lock traffic, and the work
+   distribution adapts to however fast each participant happens to run. *)
+let claim_chunks ?(worker = false) t b =
+  let rec go () =
+    let start = Atomic.fetch_and_add b.cursor b.chunk in
+    if start < b.len then begin
+      if worker && t.sabotage then raise Sabotaged;
+      let stop = min b.len (start + b.chunk) in
+      for i = start to stop - 1 do
+        b.run i
       done;
-      (* No live worker: leave the item for the post-join sweep instead of
-         parking it on a queue nobody drains. *)
-      if !alive > 0 then begin
-        Queue.push i queue;
-        Condition.signal not_empty
-      end;
-      Mutex.unlock lock
-    in
-    let close () =
-      Mutex.lock lock;
-      closed := true;
-      Condition.broadcast not_empty;
-      Mutex.unlock lock
-    in
-    let pop () =
-      Mutex.lock lock;
-      let rec wait () =
-        if not (Queue.is_empty queue) then begin
-          let i = Queue.pop queue in
-          Condition.signal not_full;
-          Mutex.unlock lock;
-          Some i
-        end
-        else if !closed then begin
-          Mutex.unlock lock;
-          None
-        end
-        else begin
-          Condition.wait not_empty lock;
-          wait ()
-        end
-      in
-      wait ()
-    in
-    let worker () =
-      let rec go () =
-        match pop () with
-        | None -> ()
-        | Some i ->
-          (match f arr.(i) with
-          | v -> results.(i) <- Some v
-          | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
-          go ()
-      in
-      Fun.protect
-        ~finally:(fun () ->
-          Mutex.lock lock;
-          decr alive;
-          if !alive = 0 then begin
-            Condition.broadcast not_full;
-            Condition.broadcast not_empty
-          end;
-          Mutex.unlock lock)
-        go
-    in
-    (* Spawning a domain can itself fail (resource limits).  Run with
-       however many spawned; zero means the whole batch degrades to the
-       calling domain. *)
-    let domains =
+      go ()
+    end
+  in
+  go ()
+
+let worker_loop t =
+  let last = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    Mutex.lock t.lock;
+    while (not t.stopping) && t.seq = !last do
+      Condition.wait t.work_ready t.lock
+    done;
+    if t.stopping then begin
+      continue_ := false;
+      Mutex.unlock t.lock
+    end
+    else begin
+      last := t.seq;
+      match t.batch with
+      | None -> Mutex.unlock t.lock
+      | Some b ->
+        b.joined <- b.joined + 1;
+        Mutex.unlock t.lock;
+        (* [run] captures per-item exceptions, so anything escaping here is
+           abnormal (an asynchronous exception, or sabotage): record the
+           departure so the feeder's join can never hang, then die.  The
+           items this worker claimed but never finished are drained by the
+           feeder after the join. *)
+        let crashed =
+          match claim_chunks ~worker:true t b with
+          | () -> false
+          | exception _ -> true
+        in
+        Mutex.lock t.lock;
+        b.left <- b.left + 1;
+        Condition.broadcast t.batch_done;
+        Mutex.unlock t.lock;
+        if crashed then continue_ := false
+    end
+  done
+
+let worker t () =
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock t.lock;
+      t.alive <- t.alive - 1;
+      Condition.broadcast t.batch_done;
+      Mutex.unlock t.lock)
+    (fun () -> worker_loop t)
+
+(* Spawn the persistent workers on first parallel use (under the submit
+   lock).  Spawning can fail under resource limits; the pool runs with
+   however many domains came up — zero degrades every batch to the calling
+   domain. *)
+let ensure_spawned t =
+  if (not t.spawned) && t.jobs > 1 && not t.shut then begin
+    t.spawned <- true;
+    let want = t.jobs - 1 in
+    let ds =
       List.filter_map
         (fun _ ->
-          Mutex.lock lock;
-          incr alive;
-          Mutex.unlock lock;
-          match Domain.spawn worker with
+          Mutex.lock t.lock;
+          t.alive <- t.alive + 1;
+          Mutex.unlock t.lock;
+          match Domain.spawn (worker t) with
           | d -> Some d
           | exception _ ->
-            Mutex.lock lock;
-            decr alive;
-            Mutex.unlock lock;
+            Mutex.lock t.lock;
+            t.alive <- t.alive - 1;
+            Mutex.unlock t.lock;
             None)
-        (List.init workers Fun.id)
+        (List.init want Fun.id)
     in
-    let spawned = List.length domains in
-    if spawned < workers then
+    t.domains <- ds;
+    if List.length ds < want then
       degrade t
-        (Printf.sprintf "spawned %d of %d worker domains; %s" spawned workers
-           (if spawned = 0 then "running the batch sequentially"
-            else "continuing with fewer workers"));
-    if spawned > 0 then begin
+        (Printf.sprintf "spawned %d of %d persistent worker domains"
+           (List.length ds) want)
+  end
+
+let map t f arr =
+  let len = Array.length arr in
+  if len = 0 then [||]
+  else begin
+    Mutex.lock t.submit;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.submit) @@ fun () ->
+    let results = Array.make len None in
+    let errors = Array.make len None in
+    let run i =
+      match f arr.(i) with
+      | v -> results.(i) <- Some v
+      | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ())
+    in
+    let sequential () =
       for i = 0 to len - 1 do
-        push i
-      done;
-      close ();
-      List.iter Domain.join domains
+        run i
+      done
+    in
+    if t.jobs = 1 || len <= 1 then sequential ()
+    else begin
+      ensure_spawned t;
+      Mutex.lock t.lock;
+      let workers = t.alive in
+      Mutex.unlock t.lock;
+      if workers = 0 then begin
+        (* Every worker failed to spawn or has died: the whole batch runs in
+           the calling domain, in index order.  A deliberately shut pool
+           falls back the same way, silently. *)
+        if not t.shut then
+          degrade t "no live worker domains; running the batch sequentially";
+        sequential ()
+      end
+      else begin
+        let chunk =
+          let even = max 1 (len / (t.jobs * 4)) in
+          match t.chunk_hint with Some c -> min c even | None -> even
+        in
+        let b =
+          { run; len; chunk; cursor = Atomic.make 0; joined = 0; left = 0 }
+        in
+        Mutex.lock t.lock;
+        t.batch <- Some b;
+        t.seq <- t.seq + 1;
+        Condition.broadcast t.work_ready;
+        Mutex.unlock t.lock;
+        (* The feeder is a full participant, so the cursor always drains
+           even with zero healthy workers; [run] never raises. *)
+        claim_chunks t b;
+        (* Join: wait until every worker that entered the batch has left it.
+           A dying worker still counts itself out (see [worker_loop]), so
+           this cannot hang; a straggler waking after the batch is retired
+           sees an exhausted cursor and claims nothing.  The mutex hand-off
+           publishes every worker's result writes to this domain. *)
+        Mutex.lock t.lock;
+        while b.left < b.joined do
+          Condition.wait t.batch_done t.lock
+        done;
+        t.batch <- None;
+        Mutex.unlock t.lock;
+        (* Post-join drain: anything a dead worker claimed but never
+           finished is completed here, in index order, preserving per-item
+           exception capture. *)
+        let stranded = ref 0 in
+        for i = 0 to len - 1 do
+          match results.(i), errors.(i) with
+          | None, None ->
+            incr stranded;
+            run i
+          | _ -> ()
+        done;
+        if !stranded > 0 then
+          degrade t
+            (Printf.sprintf
+               "worker loss stranded %d item%s; finished them in the calling \
+                domain"
+               !stranded
+               (if !stranded = 1 then "" else "s"))
+      end
     end;
-    (* Anything neither computed nor failed was stranded by worker loss (or
-       never handed out at all); finish it here, in index order, preserving
-       per-item exception capture. *)
-    for i = 0 to len - 1 do
-      match results.(i), errors.(i) with
-      | None, None -> (
-        match f arr.(i) with
-        | v -> results.(i) <- Some v
-        | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()))
-      | _ -> ()
-    done;
     (* Deterministic error propagation: the lowest failing index wins,
-       whichever domain hit it first. *)
+       whichever participant hit it first. *)
     Array.iter
       (function
         | Some (e, bt) -> Printexc.raise_with_backtrace e bt
@@ -144,3 +242,20 @@ let map t f arr =
   end
 
 let map_list t f xs = Array.to_list (map t f (Array.of_list xs))
+
+let shutdown t =
+  Mutex.lock t.submit;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.submit) @@ fun () ->
+  if not t.shut then begin
+    t.shut <- true;
+    Mutex.lock t.lock;
+    t.stopping <- true;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.lock;
+    (* A worker that died abnormally re-raises from [join]; teardown has no
+       use for the corpse's exception. *)
+    List.iter (fun d -> try Domain.join d with _ -> ()) t.domains;
+    t.domains <- []
+  end
+
+let sabotage_workers_for_testing t = t.sabotage <- true

@@ -1,40 +1,65 @@
-(** A domain-based worker pool with a bounded work queue and deterministic
-    result ordering.
+(** A persistent domain-based worker pool with chunked self-scheduling
+    dispatch and deterministic result ordering.
 
-    [map] fans an index-addressed batch out over OCaml 5 domains: workers
-    pull indices from a bounded blocking queue (backpressure on the feeder),
-    write results into their own slot, and are all joined before [map]
-    returns — so results arrive in input order regardless of scheduling, no
-    domain outlives the call, and the memory model's happens-before edges
-    (join) make the result array safely visible.
+    [create ~jobs] sizes the pool at [jobs] computational participants: the
+    calling domain plus [jobs - 1] persistent worker domains, spawned once
+    (lazily, on the first parallel [map]) and reused across every subsequent
+    batch — a batch no longer pays domain spawn/join, only a condvar wake.
+
+    [map] publishes an index-addressed batch; every participant (workers
+    {e and} the calling domain) claims index ranges off a single
+    [Atomic.fetch_and_add] cursor, writes results into per-index slots, and
+    the call returns once every worker that entered the batch has left it —
+    so results arrive in input order regardless of scheduling, no work
+    outlives the call, and the mutex hand-off on batch exit makes the result
+    array safely visible to the caller.
 
     With [jobs = 1] (or a batch of at most one element) [map] degenerates to
-    [Array.map] in the calling domain — the sequential reference path used
-    for differential testing.
+    a sequential in-order loop in the calling domain — the reference path
+    used for differential testing.
 
     If tasks raise, the exception of the {e lowest failing index} is
-    re-raised (deterministically), after all workers have drained.  [map] is
-    not reentrant from inside a worker task.
+    re-raised (deterministically), after the batch fully drains.  [map] is
+    serialized (one batch at a time) and is not reentrant from inside a
+    worker task.
 
     {b Supervision.}  The pool survives worker loss: a failed [Domain.spawn]
-    (resource limits) and a worker dying abnormally are both tolerated.
-    Queue waits are conditioned on a live-worker count so the feeder can
-    never deadlock against dead workers, and after the join every item that
-    no worker completed is finished {e in the calling domain, in index
-    order} — so [map] still returns a complete, deterministic batch with
-    zero healthy workers (graceful degradation to the sequential path).
-    Each degradation is reported through [on_degrade]. *)
+    (resource limits) and a worker dying abnormally are both tolerated.  A
+    dying worker counts itself out of the batch before expiring, so the
+    caller's join can never hang; because the calling domain is itself a
+    participant, the cursor always drains even with zero healthy workers;
+    and after the join, every item a dead worker claimed but never finished
+    is completed {e in the calling domain, in index order} — [map] still
+    returns a complete, deterministic batch under total worker loss
+    (graceful degradation to the sequential path).  Each degradation is
+    reported through [on_degrade].
+
+    {b Teardown.}  [shutdown] stops and joins the worker domains;
+    it is idempotent, and a later [map] on a shut pool quietly runs
+    sequentially. *)
 
 type t
 
-val create :
-  ?queue_capacity:int -> ?on_degrade:(string -> unit) -> jobs:int -> unit -> t
-(** [queue_capacity] (default 64) bounds the in-flight work queue.
-    [on_degrade] is called (from the feeding domain) with a reason each time
-    the pool has to fall back toward the sequential path.  Raises
-    [Invalid_argument] when [jobs] or the capacity is below 1. *)
+val create : ?chunk:int -> ?on_degrade:(string -> unit) -> jobs:int -> unit -> t
+(** [chunk] caps the number of indices handed out per cursor claim (default:
+    [len / (jobs * 4)], at least 1) — lower it to stress interleaving in
+    tests.  [on_degrade] is called (from the submitting domain) with a
+    reason each time the pool has to fall back toward the sequential path.
+    Raises [Invalid_argument] when [jobs] or [chunk] is below 1.  No domain
+    is spawned until the first parallel [map]. *)
 
 val jobs : t -> int
 
 val map : t -> ('a -> 'b) -> 'a array -> 'b array
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+
+val shutdown : t -> unit
+(** Stop and join the persistent workers.  Idempotent; must not be called
+    concurrently with a [map] from another domain. *)
+
+(**/**)
+
+val sabotage_workers_for_testing : t -> unit
+(** Test hook: every worker dies on its next chunk claim (after the claim,
+    before computing it), stranding the claimed items — forces the
+    worker-loss drain path.  The calling domain is unaffected. *)

@@ -103,13 +103,19 @@ let nf_cell ?memo ~n ~f () =
     }
   end
 
-let nf_boundary ~n_max ~f_max =
+(* The one n×f grid enumerator: every consumer of the boundary sweep (the
+   in-process sweep below, the engine's job builder, the CLI) walks this same
+   list, in this same order — f outer, n inner from 3. *)
+let nf_grid ~n_max ~f_max =
   List.concat_map
     (fun f ->
       List.filter_map
-        (fun n -> if n < 3 then None else Some (nf_cell ~n ~f ()))
+        (fun n -> if n < 3 then None else Some (n, f))
         (List.init (n_max - 2) (fun i -> i + 3)))
     (List.init f_max (fun i -> i + 1))
+
+let nf_boundary ~n_max ~f_max =
+  List.map (fun (n, f) -> nf_cell ~n ~f ()) (nf_grid ~n_max ~f_max)
 
 let connectivity_cell ?(memo = no_memo) ~f ~n ~kappa () =
   let g = Topology.harary ~k:kappa ~n in
@@ -162,13 +168,21 @@ let pp_nf ppf cells =
   Format.fprintf ppf "@[<v>  n \\ f |";
   let fs = List.sort_uniq Int.compare (List.map (fun c -> c.f) cells) in
   let ns = List.sort_uniq Int.compare (List.map (fun c -> c.n) cells) in
+  (* Index the cells once by (n, f) — first match wins, as with the linear
+     scan this replaces, but the table turns the render from quadratic in the
+     cell count into linear. *)
+  let by_nf = Hashtbl.create (List.length cells) in
+  List.iter
+    (fun c ->
+      if not (Hashtbl.mem by_nf (c.n, c.f)) then Hashtbl.add by_nf (c.n, c.f) c)
+    cells;
   List.iter (fun f -> Format.fprintf ppf " f=%d        |" f) fs;
   List.iter
     (fun n ->
       Format.fprintf ppf "@   n=%2d |" n;
       List.iter
         (fun f ->
-          match List.find_opt (fun c -> c.n = n && c.f = f) cells with
+          match Hashtbl.find_opt by_nf (n, f) with
           | None -> Format.fprintf ppf "            |"
           | Some c ->
             let text =

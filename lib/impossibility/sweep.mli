@@ -39,8 +39,14 @@ val survives_zoo : ?memo:memo -> n:int -> f:int -> unit -> bool
 (** The adequate-side adversary zoo on K_n (silent, crash, split-brain,
     babbler over a grid of input patterns and faulty sets). *)
 
+val nf_grid : n_max:int -> f_max:int -> (int * int) list
+(** The (n, f) pairs of the boundary sweep — 3 ≤ n ≤ [n_max] inner,
+    1 ≤ f ≤ [f_max] outer — in the canonical order.  The single grid
+    enumerator shared by {!nf_boundary}, the engine's job builder, and the
+    CLI, so the three can never drift apart. *)
+
 val nf_boundary : n_max:int -> f_max:int -> cell list
-(** Complete graphs K_n for 3 ≤ n ≤ [n_max], 1 ≤ f ≤ [f_max]. *)
+(** Complete graphs K_n over {!nf_grid}: 3 ≤ n ≤ [n_max], 1 ≤ f ≤ [f_max]. *)
 
 val connectivity_cell :
   ?memo:memo ->

@@ -19,10 +19,16 @@ let run ?(signed = false) ?(delay = 1) sys ~rounds =
     Array.init n (fun u ->
         Array.make_matrix rounds (Array.length (System.wiring sys u)) None)
   in
-  (* back_port.(u).(j): the port on which wiring(u).(j) reaches back to u. *)
-  let back_port =
-    Array.init n (fun u ->
-        Array.map (fun v -> System.port_to sys v u) (System.wiring sys u))
+  (* back_port.(u).(j): the port on which wiring(u).(j) reaches back to u —
+     precomputed once on the system (wiring never changes). *)
+  let back_port = System.back_ports sys in
+  (* One inbox scratch array per node, refilled every round: the executor's
+     hottest allocation used to be a fresh n-deep array-of-arrays per round.
+     Reuse is safe because devices are pure step functions — they read the
+     inbox during [step] and never retain it (their state is an immutable
+     [Value.t]). *)
+  let inboxes =
+    Array.init n (fun u -> Array.make (Array.length (System.wiring sys u)) None)
   in
   for r = 0 to rounds - 1 do
     (* Cooperative deadline check, once per simulated round: a run whose job
@@ -32,13 +38,15 @@ let run ?(signed = false) ?(delay = 1) sys ~rounds =
     Flm_error.Deadline.check ();
     (* Absorb this round's deliveries into the signature ledgers first, so a
        signature received now may be relayed now. *)
-    let inboxes =
-      Array.init n (fun u ->
-          let wiring = System.wiring sys u in
-          Array.init (Array.length wiring) (fun j ->
-              if r < delay then None
-              else sent.(wiring.(j)).(r - delay).(back_port.(u).(j))))
-    in
+    for u = 0 to n - 1 do
+      let wiring = System.wiring sys u in
+      let inbox = inboxes.(u) in
+      for j = 0 to Array.length wiring - 1 do
+        inbox.(j) <-
+          (if r < delay then None
+           else sent.(wiring.(j)).(r - delay).(back_port.(u).(j)))
+      done
+    done;
     (match ledger with
     | None -> ()
     | Some ledger ->

@@ -7,6 +7,7 @@ type assignment = {
 type t = {
   graph : Graph.t;
   assign : assignment array;
+  back_ports : int array array;
 }
 
 let validate graph assign =
@@ -30,6 +31,24 @@ let validate graph assign =
                            neighbors" u))
     assign
 
+(* back_ports.(u).(j): the port on which wiring(u).(j) reaches back to u.
+   Wiring is fixed at construction (substitutions swap devices and inputs
+   only), so this inverse is computed once per system instead of once per
+   execution — it was the executor's hottest setup cost. *)
+let compute_back_ports assign =
+  let port_on v u =
+    let w = assign.(v).wiring in
+    let rec find j =
+      if j >= Array.length w then assert false (* validate: wiring symmetric *)
+      else if w.(j) = u then j
+      else find (j + 1)
+    in
+    find 0
+  in
+  Array.mapi
+    (fun u { wiring; _ } -> Array.map (fun v -> port_on v u) wiring)
+    assign
+
 let make graph assign_fn =
   let assign =
     Array.init (Graph.n graph) (fun u ->
@@ -38,7 +57,7 @@ let make graph assign_fn =
         { device; input; wiring })
   in
   validate graph assign;
-  { graph; assign }
+  { graph; assign; back_ports = compute_back_ports assign }
 
 let of_covering c ~device ~input =
   let graph = c.Covering.source in
@@ -51,7 +70,7 @@ let of_covering c ~device ~input =
         })
   in
   validate graph assign;
-  { graph; assign }
+  { graph; assign; back_ports = compute_back_ports assign }
 
 let substitute sys u device =
   let old = sys.assign.(u) in
@@ -67,6 +86,7 @@ let substitute_input sys u input =
   { sys with assign }
 
 let graph sys = sys.graph
+let back_ports sys = sys.back_ports
 let device sys u = sys.assign.(u).device
 let input sys u = sys.assign.(u).input
 let wiring sys u = sys.assign.(u).wiring

@@ -18,6 +18,9 @@ type assignment = {
 type t = private {
   graph : Graph.t;
   assign : assignment array;
+  back_ports : int array array;
+      (** [back_ports.(u).(j)] = the port on which [wiring.(u).(j)] reaches
+          back to [u]; precomputed at construction (wiring never changes). *)
 }
 
 val make : Graph.t -> (Graph.node -> Device.t * Value.t) -> t
@@ -48,3 +51,9 @@ val wiring : t -> Graph.node -> Graph.node array
 val port_to : t -> Graph.node -> Graph.node -> int
 (** [port_to sys u v] is the port of [u] wired to neighbor [v];
     raises [Not_found] if [v] is not a neighbor of [u]. *)
+
+val back_ports : t -> int array array
+(** The precomputed inverse wiring ([back_ports.(u).(j)] =
+    [port_to sys wiring.(u).(j) u]), shared across substitutions.  The
+    executor's per-run setup reads it instead of rebuilding the inverse with
+    [port_to] searches.  Callers must not mutate it. *)

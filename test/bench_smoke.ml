@@ -1,0 +1,100 @@
+(* The machine-readable bench contract, wired into @runtest via the
+   @bench-smoke alias: run E18 at a tiny configuration, then check that the
+   emitted BENCH_E18.json parses and satisfies the schema the README
+   documents (experiment id, config, runs with label/jobs/wall_seconds).
+   Also exercises the JSON round-trip on a synthetic record so a printer or
+   parser regression fails here, not in a long bench run. *)
+
+let failures = ref 0
+
+let check what ok =
+  if not ok then begin
+    incr failures;
+    Printf.eprintf "bench-smoke FAILED: %s\n" what
+  end
+
+let roundtrip () =
+  let record =
+    Bench_json.bench_record ~experiment:"E0"
+      ~config:[ "n_max", Bench_json.Int 4; "note", Bench_json.String "a\"b\n" ]
+      ~derived:[ "speedup", Bench_json.Float 1.5 ]
+      ~runs:
+        [ Bench_json.run_record ~label:"one" ~jobs:1 ~wall_seconds:0.25
+            ~cache_hit_rate:0.5
+            ~extra:[ "empty", Bench_json.List []; "null", Bench_json.Null ]
+            ();
+        ]
+      ()
+  in
+  (match Bench_json.parse (Bench_json.to_string record) with
+  | Ok reparsed ->
+    check "round-trip preserves the record" (reparsed = record);
+    check "round-trip validates" (Bench_json.validate reparsed = Ok ())
+  | Error m -> check (Printf.sprintf "round-trip parses (%s)" m) false);
+  check "validate rejects a record without runs"
+    (Bench_json.validate (Bench_json.Obj [ "experiment", Bench_json.String "x" ])
+    <> Ok ());
+  check "parse rejects trailing garbage"
+    (match Bench_json.parse "{} junk" with Ok _ -> false | Error _ -> true)
+
+let e18_tiny () =
+  let out =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "flm_bench_smoke_%d.json" (Unix.getpid ()))
+  in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ())
+    (fun () ->
+      let returned =
+        Bench_e18.run ~out ~n_max:4 ~f_max:1 ~jobs_list:[ 1; 2 ] ~batches:3 ()
+      in
+      let contents =
+        let ic = open_in out in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match Bench_json.parse contents with
+      | Error m -> check (Printf.sprintf "BENCH_E18.json parses (%s)" m) false
+      | Ok json ->
+        check "file matches the returned record" (json = returned);
+        (match Bench_json.validate json with
+        | Ok () -> ()
+        | Error m ->
+          check (Printf.sprintf "BENCH_E18.json validates (%s)" m) false);
+        check "experiment id is E18"
+          (Option.bind (Bench_json.member "experiment" json)
+             Bench_json.to_string_opt
+          = Some "E18");
+        let runs =
+          Option.value ~default:[]
+            (Option.bind (Bench_json.member "runs" json) Bench_json.to_list_opt)
+        in
+        (* One cold + one warm run per jobs count, plus the two pool-overhead
+           runs. *)
+        check "runs: cold/warm per jobs count + pool overhead pair"
+          (List.length runs = (2 * 2) + 2);
+        check "every configured jobs count appears"
+          (List.for_all
+             (fun j ->
+               List.exists
+                 (fun r ->
+                   Option.bind (Bench_json.member "jobs" r) Bench_json.to_int_opt
+                   = Some j)
+                 runs)
+             [ 1; 2 ]);
+        check "derived pool_reuse_speedup present"
+          (Option.bind (Bench_json.member "derived" json) (fun d ->
+               Option.bind
+                 (Bench_json.member "pool_reuse_speedup" d)
+                 Bench_json.to_float_opt)
+          <> None))
+
+let () =
+  roundtrip ();
+  e18_tiny ();
+  if !failures > 0 then begin
+    Printf.eprintf "bench-smoke: %d failure(s)\n" !failures;
+    exit 1
+  end;
+  print_endline "bench-smoke ok: JSON round-trip + tiny E18 contract"

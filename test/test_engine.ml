@@ -61,7 +61,7 @@ let cache_correctness () =
 (* (c) LRU eviction: the cache never exceeds its capacity and evicts the
    least-recently-used key first. *)
 let lru_eviction () =
-  let cache = Exec_cache.create ~capacity:2 () in
+  let cache = Exec_cache.create ~capacity:2 ~stripes:1 () in
   let computed = ref 0 in
   let get i =
     Exec_cache.find_or_run cache
@@ -90,7 +90,7 @@ let lru_eviction () =
    in LRU order, alongside the hits and misses find_or_run records. *)
 let eviction_metrics () =
   let metrics = Metrics.create () in
-  let cache = Exec_cache.create ~capacity:2 ~metrics () in
+  let cache = Exec_cache.create ~capacity:2 ~stripes:1 ~metrics () in
   let get i =
     Exec_cache.find_or_run cache ~metrics
       (Fingerprint.intern (Value.int i))
@@ -142,8 +142,112 @@ let scenario_memo () =
   check tint "warm run adds no misses" cold_misses !misses;
   check tint "warm run is all hits" cold_misses !hits
 
+(* Single-flight deduplication: a second domain missing on a key while the
+   first is computing it must share the leader's result, not rerun the
+   thunk.  The leader's thunk is gated on an atomic so the follower
+   provably arrives mid-flight. *)
+let single_flight () =
+  let cache = Exec_cache.create ~capacity:16 () in
+  let metrics = Metrics.create () in
+  let key = Fingerprint.intern (Value.string "single-flight-test") in
+  let runs = Atomic.make 0 in
+  let release = Atomic.make false in
+  let thunk () =
+    Atomic.incr runs;
+    while not (Atomic.get release) do
+      Domain.cpu_relax ()
+    done;
+    42
+  in
+  let leader =
+    Domain.spawn (fun () -> Exec_cache.find_or_run cache ~metrics key thunk)
+  in
+  while Atomic.get runs = 0 do
+    Domain.cpu_relax ()
+  done;
+  let about = Atomic.make false in
+  let follower =
+    Domain.spawn (fun () ->
+        Atomic.set about true;
+        Exec_cache.find_or_run cache ~metrics key thunk)
+  in
+  while not (Atomic.get about) do
+    Domain.cpu_relax ()
+  done;
+  Unix.sleepf 0.1;
+  Atomic.set release true;
+  let v1 = Domain.join leader in
+  let v2 = Domain.join follower in
+  check tint "leader's value" 42 v1;
+  check tint "follower shares the leader's value" 42 v2;
+  check tint "the thunk ran exactly once" 1 (Atomic.get runs);
+  let snap = Metrics.snapshot metrics in
+  check tint "one dedup recorded" 1 snap.Metrics.dedups;
+  check tint "one miss (the leader's)" 1 snap.Metrics.cache_misses
+
+(* A leader that raises abandons the flight: its waiters retry (and compute
+   for themselves), and the failure is never cached. *)
+let single_flight_abandon () =
+  let cache = Exec_cache.create ~capacity:16 () in
+  let key = Fingerprint.intern (Value.string "single-flight-abandon") in
+  let entered = Atomic.make false in
+  let release = Atomic.make false in
+  let leader =
+    Domain.spawn (fun () ->
+        match
+          Exec_cache.find_or_run cache key (fun () ->
+              Atomic.set entered true;
+              while not (Atomic.get release) do
+                Domain.cpu_relax ()
+              done;
+              failwith "leader boom")
+        with
+        | (_ : int) -> `Value
+        | exception Failure _ -> `Failed)
+  in
+  while not (Atomic.get entered) do
+    Domain.cpu_relax ()
+  done;
+  let about = Atomic.make false in
+  let follower =
+    Domain.spawn (fun () ->
+        Atomic.set about true;
+        Exec_cache.find_or_run cache key (fun () -> 7))
+  in
+  while not (Atomic.get about) do
+    Domain.cpu_relax ()
+  done;
+  Unix.sleepf 0.1;
+  Atomic.set release true;
+  check tbool "the leader's own exception propagates" true
+    (Domain.join leader = `Failed);
+  check tint "the follower retries with its own thunk" 7 (Domain.join follower);
+  check tbool "only the successful value was cached" true
+    (Exec_cache.find_opt cache key = Some 7)
+
+(* The intern table is bounded: stripes reset at capacity instead of growing
+   without limit, and interned keys stay usable afterwards. *)
+let intern_bound () =
+  let original = Fingerprint.capacity () in
+  Fingerprint.clear ();
+  Fingerprint.set_capacity 64;
+  let keys =
+    List.init 1000 (fun i -> Fingerprint.intern (Value.int (1_000_000 + i)))
+  in
+  check tbool "intern table stays within its bound" true
+    (Fingerprint.interned_count () <= 64);
+  (* Keys dropped by a stripe reset still compare correctly (structural
+     fallback) against a fresh interning of the same descriptor. *)
+  check tbool "evicted keys still equal their re-interned descriptors" true
+    (List.for_all
+       (fun k -> Fingerprint.equal_key k (Fingerprint.intern (Fingerprint.desc k)))
+       keys);
+  Fingerprint.clear ();
+  check tint "clear empties the table" 0 (Fingerprint.interned_count ());
+  Fingerprint.set_capacity original
+
 let pool_ordering () =
-  let pool = Pool.create ~jobs:4 ~queue_capacity:3 () in
+  let pool = Pool.create ~jobs:4 ~chunk:3 () in
   let arr = Array.init 100 Fun.id in
   check tbool "map preserves input order" true
     (Pool.map pool (fun x -> x * x) arr = Array.map (fun x -> x * x) arr);
@@ -188,6 +292,9 @@ let suite =
       Alcotest.test_case "LRU eviction bound" `Quick lru_eviction;
       Alcotest.test_case "eviction metrics" `Quick eviction_metrics;
       Alcotest.test_case "scenario memo" `Quick scenario_memo;
+      Alcotest.test_case "single-flight dedup" `Quick single_flight;
+      Alcotest.test_case "single-flight abandon" `Quick single_flight_abandon;
+      Alcotest.test_case "intern-table bound" `Quick intern_bound;
       Alcotest.test_case "pool ordering" `Quick pool_ordering;
       Alcotest.test_case "pool exception" `Quick pool_exception;
       Alcotest.test_case "fingerprints" `Quick fingerprints;

@@ -72,7 +72,7 @@ let deadlines () =
 (* (c) The pool under hostile tasks: per-item exception capture, lowest
    failing index re-raised, healthy items all complete, order stress. *)
 let hostile_pool () =
-  let pool = Pool.create ~jobs:4 ~queue_capacity:2 () in
+  let pool = Pool.create ~jobs:4 ~chunk:2 () in
   let done_ = Array.make 12 false in
   (match
      Pool.map pool
