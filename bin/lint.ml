@@ -1,0 +1,32 @@
+(* The standalone lint runner behind `dune build @lint` (the CLI's `flm
+   lint` subcommand wraps the same library).  Kept free of cmdliner so the
+   alias links fast: `lint.exe [--format text|json] [--rules] PATH...`. *)
+
+let usage () =
+  prerr_endline "usage: lint [--format text|json] [--rules] PATH...";
+  exit 2
+
+let () =
+  let json = ref false in
+  let paths = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--rules" :: _ ->
+      Format.printf "%a" Lint_report.pp_rules ();
+      exit 0
+    | "--format" :: "json" :: rest ->
+      json := true;
+      parse rest
+    | "--format" :: "text" :: rest -> parse rest
+    | "--format" :: _ -> usage ()
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' -> usage ()
+    | path :: rest ->
+      paths := path :: !paths;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !paths = [] then usage ();
+  let report = Flm_lint.run ~paths:(List.rev !paths) in
+  if !json then print_string (Lint_report.json_string report)
+  else Format.printf "%a" Lint_report.pp_text report;
+  exit (Lint_report.exit_code report)

@@ -580,6 +580,64 @@ let store_cmd =
        ~doc:"Inspect and maintain a crash-safe certificate store.")
     [ store_stat_cmd; store_verify_cmd; store_gc_cmd; store_export_cmd ]
 
+(* --- flm lint ------------------------------------------------------------ *)
+
+let lint_cmd =
+  let run paths json rules =
+    if rules then Format.printf "%a" Lint_report.pp_rules ()
+    else begin
+      let paths = if paths = [] then [ "." ] else paths in
+      let report = Flm_lint.run ~paths in
+      if json then print_string (Lint_report.json_string report)
+      else Format.printf "%a" Lint_report.pp_text report;
+      exit (Lint_report.exit_code report)
+    end
+  in
+  let open Cmdliner in
+  let paths =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"PATH"
+          ~doc:
+            "Files or directories to lint (every $(b,.ml) under a \
+             directory, $(b,_build) and dot-directories skipped).  \
+             Defaults to the current directory.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ "text", false; "json", true ]) false
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Output format: $(b,text) (default) or $(b,json).")
+  in
+  let rules =
+    Arg.(
+      value & flag
+      & info [ "rules" ]
+          ~doc:"Print the rule catalog and directory allow-list, then exit.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically check the Locality axiom and engine concurrency \
+          invariants."
+       ~man:
+         [ `S Manpage.s_description;
+           `P
+             "Parses every OCaml source with the compiler's own front end \
+              and enforces the repo's semantic ground rules: protocol, \
+              clock, and problem modules must be deterministic and local \
+              (no ambient randomness, time, or shared mutable state); \
+              engine and store code must pair every lock release with its \
+              acquisition and raise typed errors.  Violations exit with \
+              the Axiom_violation code; parse failures with the \
+              Invalid_input code.";
+           `P
+             "Suppress a finding with a justified inline comment: (* \
+              flm-lint: allow <rule> -- reason *).";
+         ])
+    Term.(const run $ paths $ format $ rules)
+
 let () =
   let open Cmdliner in
   (* "--f" reads naturally but is a single-character option name to
@@ -602,4 +660,11 @@ let () =
              ~doc:
                "Easy impossibility proofs for distributed consensus problems \
                 (Fischer-Lynch-Merritt 1985), executable.")
-          [ graph_cmd; demo_cmd; certify_cmd; sweep_cmd; chaos_cmd; store_cmd ]))
+          [ graph_cmd;
+            demo_cmd;
+            certify_cmd;
+            sweep_cmd;
+            chaos_cmd;
+            store_cmd;
+            lint_cmd;
+          ]))

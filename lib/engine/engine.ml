@@ -17,11 +17,14 @@ let create ?jobs ?(cache_capacity = 4096) ?(config = default_config) ?store
   let jobs =
     match jobs with Some j -> j | None -> Domain.recommended_domain_count ()
   in
-  if config.retries < 0 then invalid_arg "Engine.create: retries >= 0 required";
-  if config.backoff_ms < 0 then
-    invalid_arg "Engine.create: backoff_ms >= 0 required";
+  let reject detail =
+    Flm_error.raise_error
+      (Flm_error.Invalid_input { what = "engine config"; detail })
+  in
+  if config.retries < 0 then reject "Engine.create: retries >= 0 required";
+  if config.backoff_ms < 0 then reject "Engine.create: backoff_ms >= 0 required";
   (match config.timeout_ms with
-  | Some ms when ms < 1 -> invalid_arg "Engine.create: timeout_ms >= 1 required"
+  | Some ms when ms < 1 -> reject "Engine.create: timeout_ms >= 1 required"
   | Some _ | None -> ());
   let metrics = Metrics.create () in
   {

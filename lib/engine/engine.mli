@@ -36,8 +36,8 @@ val create :
 (** [jobs] defaults to [Domain.recommended_domain_count ()]; [1] forces the
     sequential path.  [cache_capacity] (default 4096) bounds the verdict
     cache; the scenario cache gets 8x that.  [config] governs the supervised
-    ([_result]) paths; raises [Invalid_argument] on negative retries/backoff
-    or a deadline below 1 ms.
+    ([_result]) paths; raises [Flm_error.Error (Invalid_input _)] on
+    negative retries/backoff or a deadline below 1 ms.
 
     [store] attaches a persistent tier below the verdict cache: every
     successful, storable verdict ([Cell]/[Conn]/[Chaos] — not [Cert], which

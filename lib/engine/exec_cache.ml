@@ -33,9 +33,13 @@ type 'v t = {
   metrics : Metrics.t option;
 }
 
+let reject detail =
+  Flm_error.raise_error
+    (Flm_error.Invalid_input { what = "cache config"; detail })
+
 let create ?(capacity = 4096) ?(stripes = 16) ?metrics () =
-  if capacity < 1 then invalid_arg "Exec_cache.create: capacity >= 1 required";
-  if stripes < 1 then invalid_arg "Exec_cache.create: stripes >= 1 required";
+  if capacity < 1 then reject "Exec_cache.create: capacity >= 1 required";
+  if stripes < 1 then reject "Exec_cache.create: stripes >= 1 required";
   let nstripes = min stripes capacity in
   {
     capacity;
@@ -159,7 +163,7 @@ let find_opt t key =
 
 let mem t key =
   let s = stripe_for t key in
-  with_stripe s (fun () -> find_node s key <> None)
+  with_stripe s (fun () -> Option.is_some (find_node s key))
 
 let insert t key value =
   let s = stripe_for t key in
@@ -167,6 +171,13 @@ let insert t key value =
 
 let rec find_or_run t ?metrics key run =
   let s = stripe_for t key in
+  (* flm-lint: allow concurrency/lock-pairing — single-flight condvar
+     protocol: the hit path unlocks inline; the follower path unlocks
+     inside [await] (Condition.wait re-acquires, and every outcome branch
+     unlocks before returning/retrying); the leader path unlocks before
+     computing and re-enters via [with_stripe].  No path leaves the stripe
+     locked, but the release sites live in a local closure the static
+     all-paths check cannot see. *)
   Mutex.lock s.lock;
   match find_node s key with
   | Some node ->

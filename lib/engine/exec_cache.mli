@@ -23,8 +23,8 @@ type 'v t
 
 val create : ?capacity:int -> ?stripes:int -> ?metrics:Metrics.t -> unit -> 'v t
 (** Default capacity 4096 entries (total, across stripes), default 16
-    stripes (clamped to [capacity]).  Raises [Invalid_argument] if either is
-    below 1.  When [metrics] is given, every LRU eviction is counted
+    stripes (clamped to [capacity]).  Raises
+    [Flm_error.Error (Invalid_input _)] if either is below 1.  When [metrics] is given, every LRU eviction is counted
     ({!Metrics.record_eviction}) — evictions are otherwise invisible to
     callers. *)
 

@@ -78,46 +78,48 @@ let capacity () = Atomic.get capacity_
 
 let set_capacity n =
   if n < stripe_count then
-    invalid_arg
-      (Printf.sprintf "Fingerprint.set_capacity: >= %d required" stripe_count);
+    Flm_error.raise_error
+      (Flm_error.Invalid_input
+         {
+           what = "intern capacity";
+           detail =
+             Printf.sprintf "Fingerprint.set_capacity: >= %d required"
+               stripe_count;
+         });
   Atomic.set capacity_ n
+
+let with_stripe s f =
+  Mutex.lock s.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) f
 
 let intern desc =
   let fp = of_value desc in
   let s = stripe_of fp in
-  Mutex.lock s.lock;
-  let key =
-    match Hashtbl.find_opt s.table fp with
-    | Some bucket -> (
-      match List.find_opt (fun k -> Value.equal k.desc desc) !bucket with
-      | Some k -> k
-      | None ->
-        let k = { desc; fp } in
-        bucket := k :: !bucket;
-        s.count <- s.count + 1;
-        k)
+  with_stripe s @@ fun () ->
+  match Hashtbl.find_opt s.table fp with
+  | Some bucket -> (
+    match List.find_opt (fun k -> Value.equal k.desc desc) !bucket with
+    | Some k -> k
     | None ->
-      if s.count >= Atomic.get capacity_ / stripe_count then begin
-        Hashtbl.reset s.table;
-        s.count <- 0
-      end;
       let k = { desc; fp } in
-      Hashtbl.add s.table fp (ref [ k ]);
+      bucket := k :: !bucket;
       s.count <- s.count + 1;
-      k
-  in
-  Mutex.unlock s.lock;
-  key
+      k)
+  | None ->
+    if s.count >= Atomic.get capacity_ / stripe_count then begin
+      Hashtbl.reset s.table;
+      s.count <- 0
+    end;
+    let k = { desc; fp } in
+    Hashtbl.add s.table fp (ref [ k ]);
+    s.count <- s.count + 1;
+    k
 
 (* Physical equality first: interned keys with equal descriptors are shared,
    so the fast path almost always fires.  The structural fallback keeps
    equality correct for keys built before interning, across processes, or
    across an intern-table reset. *)
 let equal_key a b = a == b || (Int64.equal a.fp b.fp && Value.equal a.desc b.desc)
-
-let with_stripe s f =
-  Mutex.lock s.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) f
 
 let interned_count () =
   Array.fold_left (fun acc s -> acc + with_stripe s (fun () -> s.count)) 0 stripes

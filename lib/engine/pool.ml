@@ -29,10 +29,13 @@ type t = {
   mutable sabotage : bool;  (* test hook: workers die on their next claim *)
 }
 
+let reject detail =
+  Flm_error.raise_error (Flm_error.Invalid_input { what = "pool config"; detail })
+
 let create ?chunk ?on_degrade ~jobs () =
-  if jobs < 1 then invalid_arg "Pool.create: jobs >= 1 required";
+  if jobs < 1 then reject "Pool.create: jobs >= 1 required";
   (match chunk with
-  | Some c when c < 1 -> invalid_arg "Pool.create: chunk >= 1 required"
+  | Some c when c < 1 -> reject "Pool.create: chunk >= 1 required"
   | Some _ | None -> ());
   {
     jobs;
@@ -173,6 +176,10 @@ let map t f arr =
     if t.jobs = 1 || len <= 1 then sequential ()
     else begin
       ensure_spawned t;
+      (* flm-lint: allow concurrency/nested-lock — intentional two-level
+         order: [submit] (held for the whole batch, serializes map/shutdown)
+         strictly precedes [lock] (the worker handshake, held for short
+         critical sections); never acquired in the other order. *)
       Mutex.lock t.lock;
       let workers = t.alive in
       Mutex.unlock t.lock;
@@ -192,6 +199,8 @@ let map t f arr =
         let b =
           { run; len; chunk; cursor = Atomic.make 0; joined = 0; left = 0 }
         in
+        (* flm-lint: allow concurrency/nested-lock — same submit > lock
+           order as above: publish the batch under the worker lock. *)
         Mutex.lock t.lock;
         t.batch <- Some b;
         t.seq <- t.seq + 1;
@@ -205,6 +214,8 @@ let map t f arr =
            this cannot hang; a straggler waking after the batch is retired
            sees an exhausted cursor and claims nothing.  The mutex hand-off
            publishes every worker's result writes to this domain. *)
+        (* flm-lint: allow concurrency/nested-lock — same submit > lock
+           order as above: the join waits under the worker lock. *)
         Mutex.lock t.lock;
         while b.left < b.joined do
           Condition.wait t.batch_done t.lock
@@ -248,6 +259,8 @@ let shutdown t =
   Fun.protect ~finally:(fun () -> Mutex.unlock t.submit) @@ fun () ->
   if not t.shut then begin
     t.shut <- true;
+    (* flm-lint: allow concurrency/nested-lock — same submit > lock order
+       as in [map]: the stop flag flips under the worker lock. *)
     Mutex.lock t.lock;
     t.stopping <- true;
     Condition.broadcast t.work_ready;

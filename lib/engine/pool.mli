@@ -45,7 +45,8 @@ val create : ?chunk:int -> ?on_degrade:(string -> unit) -> jobs:int -> unit -> t
     [len / (jobs * 4)], at least 1) — lower it to stress interleaving in
     tests.  [on_degrade] is called (from the submitting domain) with a
     reason each time the pool has to fall back toward the sequential path.
-    Raises [Invalid_argument] when [jobs] or [chunk] is below 1.  No domain
+    Raises [Flm_error.Error (Invalid_input _)] when [jobs] or [chunk] is
+    below 1.  No domain
     is spawned until the first parallel [map]. *)
 
 val jobs : t -> int

@@ -1,0 +1,73 @@
+(* The driver: parse one file with the compiler's own front end
+   (compiler-libs), run the rule families the scoping table puts in force
+   for its directory, then subtract inline suppressions. *)
+
+let parse ~path source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf path;
+  Parse.implementation lexbuf
+
+let check_source ~path source =
+  let active = Lint_scope.rules_for path in
+  let supps, supp_errors = Lint_suppress.scan ~file:path source in
+  match parse ~path source with
+  | exception _ ->
+    ( [ Lint_rule.finding ~rule:Lint_rule.Lint_parse ~file:path ~line:1 ~col:0
+          "file does not parse as an OCaml implementation" ],
+      0 )
+  | str ->
+    let raw =
+      Lint_locality.check ~active str
+      @ Lint_concurrency.check ~active str
+      @ Lint_hygiene.check ~active str
+    in
+    let active_findings, suppressed =
+      List.partition
+        (fun (f : Lint_rule.finding) ->
+          not (Lint_suppress.covers supps f.rule ~line:f.line))
+        raw
+    in
+    ( List.sort Lint_rule.compare_finding (supp_errors @ active_findings),
+      List.length suppressed )
+
+(* --- filesystem walk -------------------------------------------------------- *)
+
+let skip_dir name =
+  name = "_build" || name = "_opam"
+  || (String.length name > 0 && name.[0] = '.')
+
+let rec ml_files path =
+  match (Unix.stat path).Unix.st_kind with
+  | Unix.S_DIR ->
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.concat_map (fun name ->
+           if skip_dir name then []
+           else ml_files (Filename.concat path name))
+  | Unix.S_REG when Filename.check_suffix path ".ml" -> [ path ]
+  | _ -> []
+  | exception Unix.Unix_error _ -> []
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let check_file path =
+  match read_file path with
+  | source -> check_source ~path source
+  | exception Sys_error detail ->
+    ( [ Lint_rule.finding ~rule:Lint_rule.Lint_parse ~file:path ~line:1 ~col:0
+          ("unreadable: " ^ detail) ],
+      0 )
+
+let run ~paths =
+  let files = List.concat_map ml_files paths in
+  let findings, suppressed =
+    List.fold_left
+      (fun (fs, n) path ->
+        let f, k = check_file path in
+        fs @ f, n + k)
+      ([], 0) files
+  in
+  { Lint_report.findings; suppressed; files = List.length files }

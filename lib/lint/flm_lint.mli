@@ -1,0 +1,26 @@
+(** [flm_lint] — a compiler-libs static analyzer that enforces the
+    Locality axiom and the engine's concurrency/hygiene invariants at
+    build time.
+
+    The engine's load-bearing guarantees — memoized verdicts
+    ([Exec_cache]), hash-consed fingerprints, byte-identical crash-safe
+    resume ([Store]) — are sound only if every protocol/device step is a
+    deterministic, local function of its inputs.  This analyzer makes that
+    a checked property instead of a convention: see {!Lint_rule} for the
+    catalog, {!Lint_scope} for which directory is bound by which family,
+    and {!Lint_suppress} for the inline escape hatch (reason required).
+
+    Parsing uses the compiler's own front end ([Parse] +
+    [Ast_iterator]), so anything the build accepts, the linter sees. *)
+
+val check_source :
+  path:string -> string -> Lint_rule.finding list * int
+(** Lint one compilation unit given as a string; [path] determines scope.
+    Returns (sorted active findings, suppressed count).  An unparseable
+    source yields a single [Lint_parse] finding. *)
+
+val check_file : string -> Lint_rule.finding list * int
+
+val run : paths:string list -> Lint_report.t
+(** Walk files and directories (recursively; [_build], [.git] and other
+    dot-directories skipped), linting every [.ml]. *)

@@ -1,0 +1,121 @@
+open Parsetree
+
+let flat (lid : Longident.t) =
+  match Longident.flatten lid with path -> path | exception _ -> []
+
+let ident_path (e : expression) =
+  match e.pexp_desc with Pexp_ident { txt; _ } -> Some (flat txt) | _ -> None
+
+(* Peel an application down to (head ident path, args), looking through
+   [@@] and [|>] so "f x @@ fun () -> ..." and "x |> f" analyze like the
+   direct application they denote. *)
+let rec head_call (e : expression) =
+  match e.pexp_desc with
+  | Pexp_apply (f, args) -> (
+    match ident_path f with
+    | Some [ ("@@" | "Stdlib.@@") ] | Some [ "Stdlib"; "@@" ] -> (
+      match args with
+      | [ (_, g); (_, x) ] ->
+        Option.map (fun (h, a) -> h, a @ [ Asttypes.Nolabel, x ]) (head_call g)
+      | _ -> None)
+    | Some [ "|>" ] | Some [ "Stdlib"; "|>" ] -> (
+      match args with
+      | [ (_, x); (_, g) ] ->
+        Option.map (fun (h, a) -> h, a @ [ Asttypes.Nolabel, x ]) (head_call g)
+      | _ -> None)
+    | Some path -> Some (path, args)
+    | None -> Option.map (fun (h, a) -> h, a @ args) (head_call f))
+  | Pexp_ident { txt; _ } -> Some (flat txt, [])
+  | _ -> None
+
+(* A stable name for a mutex expression ("t.lock", "s.lock", "m"), used to
+   match lock/unlock/wait sites.  Anything unprintable still yields a
+   deterministic string. *)
+let expr_name (e : expression) =
+  match Pprintast.string_of_expression e with
+  | s -> String.trim s
+  | exception _ -> "<expr>"
+
+let is_call path (e : expression) =
+  match head_call e with
+  | Some (p, args) when p = path -> Some args
+  | _ -> None
+
+let mutex_arg args =
+  match args with (Asttypes.Nolabel, m) :: _ -> Some m | _ -> None
+
+(* [Mutex.lock m] / [Mutex.unlock m] recognizers, returning the mutex name. *)
+let lock_site e =
+  Option.bind (is_call [ "Mutex"; "lock" ] e) (fun args ->
+      Option.map expr_name (mutex_arg args))
+
+let unlock_site e =
+  Option.bind (is_call [ "Mutex"; "unlock" ] e) (fun args ->
+      Option.map expr_name (mutex_arg args))
+
+(* Does [e]'s subtree contain [Mutex.unlock m]?  Used on Fun.protect
+   ~finally closures. *)
+let contains_unlock_of m (e : expression) =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self ex ->
+          (match unlock_site ex with
+          | Some m' when m' = m -> found := true
+          | _ -> ());
+          Ast_iterator.default_iterator.expr self ex);
+    }
+  in
+  it.expr it e;
+  !found
+
+(* If [e] is (possibly via @@ / |>) an application of [Fun.protect
+   ~finally:fin body], return (fin, body when present). *)
+let fun_protect e =
+  match head_call e with
+  | Some (([ "Fun"; "protect" ] | [ "Stdlib"; "Fun"; "protect" ]), args) ->
+    let fin =
+      List.find_map
+        (function
+          | Asttypes.Labelled "finally", f -> Some f
+          | _ -> None)
+        args
+    in
+    let body =
+      List.find_map
+        (function Asttypes.Nolabel, b -> Some b | _ -> None)
+        args
+    in
+    Option.map (fun f -> f, body) fin
+  | _ -> None
+
+(* The closure body of [fun () -> e] / [fun x -> e] (peeling parameters). *)
+let rec closure_body (e : expression) =
+  match e.pexp_desc with
+  | Pexp_fun (_, _, _, body) -> closure_body body
+  | Pexp_newtype (_, body) -> closure_body body
+  | _ -> e
+
+let visiting_iterator f =
+  {
+    Ast_iterator.default_iterator with
+    expr =
+      (fun self e ->
+        f e;
+        Ast_iterator.default_iterator.expr self e);
+  }
+
+let iter_expressions (str : structure) f =
+  let it = visiting_iterator f in
+  it.structure it str
+
+let iter_expr (e : expression) f =
+  let it = visiting_iterator f in
+  it.expr it e
+
+(* Byte-offset containment: is [inner] located within [outer]? *)
+let within ~(outer : Location.t) (inner : Location.t) =
+  outer.loc_start.pos_cnum <= inner.loc_start.pos_cnum
+  && inner.loc_end.pos_cnum <= outer.loc_end.pos_cnum

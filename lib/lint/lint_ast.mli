@@ -1,0 +1,39 @@
+(** Small parsetree helpers shared by the rule families. *)
+
+val flat : Longident.t -> string list
+(** [Longident.flatten], total (Lapply yields []). *)
+
+val ident_path : Parsetree.expression -> string list option
+
+val head_call :
+  Parsetree.expression ->
+  (string list * (Asttypes.arg_label * Parsetree.expression) list) option
+(** Peel an application to (head ident path, args), looking through [@@]
+    and [|>]. *)
+
+val expr_name : Parsetree.expression -> string
+(** A stable printable name for an expression — mutex identity. *)
+
+val lock_site : Parsetree.expression -> string option
+(** [Mutex.lock m] recognizer; returns the mutex name. *)
+
+val unlock_site : Parsetree.expression -> string option
+
+val contains_unlock_of : string -> Parsetree.expression -> bool
+(** Does the subtree contain [Mutex.unlock] of this mutex? *)
+
+val fun_protect :
+  Parsetree.expression ->
+  (Parsetree.expression * Parsetree.expression option) option
+(** [Fun.protect ~finally:fin body] recognizer: [(fin, body)]. *)
+
+val closure_body : Parsetree.expression -> Parsetree.expression
+(** Peel [fun ... ->] parameters down to the body. *)
+
+val iter_expressions :
+  Parsetree.structure -> (Parsetree.expression -> unit) -> unit
+
+val iter_expr : Parsetree.expression -> (Parsetree.expression -> unit) -> unit
+
+val within : outer:Location.t -> Location.t -> bool
+(** Byte-offset containment. *)

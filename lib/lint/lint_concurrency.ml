@@ -1,0 +1,203 @@
+open Parsetree
+
+(* Lock-discipline analysis, syntactic and conservative.  Three checks:
+
+   1. lock-pairing: a [Mutex.lock m] statement's continuation must release
+      [m] on every control path, either directly ([Mutex.unlock m] in
+      sequence on all branches) or via [Fun.protect ~finally] whose finally
+      unlocks [m].  A release the analysis cannot see (a condvar loop that
+      unlocks inside a local closure, say) needs an inline suppression —
+      by design: those are exactly the sites a reviewer should re-derive.
+
+   2. condvar-discipline: [Condition.wait c m] must sit lexically inside a
+      region where [m] is held (the continuation of [Mutex.lock m], a
+      [Fun.protect] body whose finally unlocks [m], or a [with_*] helper's
+      closure).
+
+   3. nested-lock: no [Mutex.lock] inside a [Fun.protect] body that
+      already holds a different lock, or inside a [with_*] helper closure
+      (the striped caches' lock-order discipline). *)
+
+type region =
+  | Cont of string * Location.t
+      (* continuation of a statement [Mutex.lock m]: m is held (until the
+         unlock somewhere inside) *)
+  | Protect of string * Location.t
+      (* a [Fun.protect] body whose finally unlocks m: m is held throughout *)
+  | Helper of Location.t
+      (* a [with_*] helper's closure argument: some lock is held *)
+
+(* --- all-paths release ----------------------------------------------------- *)
+
+let rec releases m (e : expression) =
+  match e.pexp_desc with
+  | Pexp_sequence (a, b) -> releases m a || releases m b
+  | Pexp_let (_, vbs, body) ->
+    List.exists (fun vb -> releases m vb.pvb_expr) vbs || releases m body
+  | Pexp_ifthenelse (_, t, Some e') -> releases m t && releases m e'
+  | Pexp_ifthenelse (_, _, None) -> false
+  | Pexp_match (_, cases) | Pexp_function cases ->
+    cases <> [] && List.for_all (fun c -> releases m c.pc_rhs) cases
+  | Pexp_try (body, _) -> releases m body
+  | Pexp_constraint (x, _) | Pexp_open (_, x) | Pexp_letmodule (_, _, x) ->
+    releases m x
+  | _ -> (
+    match Lint_ast.unlock_site e with
+    | Some m' when m' = m -> true
+    | _ -> (
+      match Lint_ast.fun_protect e with
+      | Some (fin, _) -> Lint_ast.contains_unlock_of m fin
+      | None -> false))
+
+(* --- site collection -------------------------------------------------------- *)
+
+type sites = {
+  mutable positioned : Location.t list;
+  mutable unreleased : (string * Location.t) list;
+  mutable all_locks : (string * Location.t) list;
+  mutable waits : (string * Location.t) list;
+  mutable regions : region list;
+}
+
+let wait_site e =
+  match Lint_ast.head_call e with
+  | Some ([ "Condition"; "wait" ], [ (_, _); (_, m) ]) ->
+    Some (Lint_ast.expr_name m)
+  | _ -> None
+
+(* [with_lock t f] / [with_stripe s f]-style helpers: the closure argument
+   runs under the helper's lock. *)
+let with_helper e =
+  match Lint_ast.head_call e with
+  | Some (path, args) -> (
+    match List.rev path with
+    | name :: _ when String.length name > 5 && String.sub name 0 5 = "with_"
+      ->
+      List.find_map
+        (fun (_, a) ->
+          match a.pexp_desc with Pexp_fun _ -> Some a | _ -> None)
+        args
+    | _ -> None)
+  | None -> None
+
+(* The mutexes a finally closure unlocks. *)
+let unlocks_in fin =
+  let acc = ref [] in
+  Lint_ast.iter_expr fin (fun e ->
+      match Lint_ast.unlock_site e with
+      | Some m -> acc := m :: !acc
+      | None -> ());
+  !acc
+
+let collect (str : structure) =
+  let s =
+    {
+      positioned = [];
+      unreleased = [];
+      all_locks = [];
+      waits = [];
+      regions = [];
+    }
+  in
+  let statement_lock lock cont =
+    match Lint_ast.lock_site lock with
+    | None -> ()
+    | Some m ->
+      s.positioned <- lock.pexp_loc :: s.positioned;
+      s.regions <- Cont (m, cont.pexp_loc) :: s.regions;
+      if not (releases m cont) then
+        s.unreleased <- (m, lock.pexp_loc) :: s.unreleased
+  in
+  Lint_ast.iter_expressions str (fun e ->
+      (match Lint_ast.lock_site e with
+      | Some m -> s.all_locks <- (m, e.pexp_loc) :: s.all_locks
+      | None -> ());
+      (match wait_site e with
+      | Some m -> s.waits <- (m, e.pexp_loc) :: s.waits
+      | None -> ());
+      (match Lint_ast.fun_protect e with
+      | Some (fin, Some body) ->
+        let body = Lint_ast.closure_body body in
+        List.iter
+          (fun m -> s.regions <- Protect (m, body.pexp_loc) :: s.regions)
+          (unlocks_in fin)
+      | Some (_, None) | None -> ());
+      (match with_helper e with
+      | Some closure ->
+        let body = Lint_ast.closure_body closure in
+        s.regions <- Helper body.pexp_loc :: s.regions
+      | None -> ());
+      match e.pexp_desc with
+      | Pexp_sequence (a, b) -> statement_lock a b
+      | Pexp_let (_, [ vb ], body)
+        when (match vb.pvb_pat.ppat_desc with
+             | Ppat_construct ({ txt = Longident.Lident "()"; _ }, None) ->
+               true
+             | _ -> false) ->
+        statement_lock vb.pvb_expr body
+      | _ -> ());
+  s
+
+(* --- the three checks ------------------------------------------------------- *)
+
+let check ~active (str : structure) =
+  let s = collect str in
+  let acc = ref [] in
+  let add rule loc message =
+    if List.mem rule active then
+      acc := Lint_rule.of_location ~rule ~message loc :: !acc
+  in
+  List.iter
+    (fun (m, loc) ->
+      add Lint_rule.Concurrency_lock_pairing loc
+        (Printf.sprintf
+           "Mutex.lock %s is not guarded by Fun.protect ~finally and is not \
+            released on every branch of its continuation"
+           m))
+    s.unreleased;
+  List.iter
+    (fun (m, loc) ->
+      if not (List.mem loc s.positioned) then
+        add Lint_rule.Concurrency_lock_pairing loc
+          (Printf.sprintf
+             "Mutex.lock %s is not in statement position; its release cannot \
+              be checked"
+             m))
+    s.all_locks;
+  List.iter
+    (fun (m, loc) ->
+      let covered =
+        List.exists
+          (function
+            | Cont (m', outer) | Protect (m', outer) ->
+              m' = m && Lint_ast.within ~outer loc
+            | Helper outer -> Lint_ast.within ~outer loc)
+          s.regions
+      in
+      if not covered then
+        add Lint_rule.Concurrency_condvar loc
+          (Printf.sprintf
+             "Condition.wait on %s outside a region that lexically holds it"
+             m))
+    s.waits;
+  List.iter
+    (fun (m, loc) ->
+      List.iter
+        (function
+          | Protect (m', outer)
+            when m' <> m && Lint_ast.within ~outer loc ->
+            add Lint_rule.Concurrency_nested_lock loc
+              (Printf.sprintf
+                 "Mutex.lock %s inside a Fun.protect body that already holds \
+                  %s"
+                 m m')
+          | Helper outer when Lint_ast.within ~outer loc ->
+            add Lint_rule.Concurrency_nested_lock loc
+              (Printf.sprintf
+                 "Mutex.lock %s inside a with_* helper closure that already \
+                  holds a lock"
+                 m)
+          | _ -> ())
+        s.regions)
+    s.all_locks;
+  List.rev !acc

@@ -1,0 +1,13 @@
+(** Rule family 2 — concurrency hygiene for the engine and store layers.
+
+    Syntactic, conservative lock-discipline checks: every [Mutex.lock]
+    must provably release on all paths (or be [Fun.protect]-guarded),
+    [Condition.wait] must sit under its lexically-held mutex, and no lock
+    may be taken inside a critical section already holding another.
+    Intentional patterns the analysis cannot prove (condvar follower
+    loops, deliberate two-level lock orders) carry inline suppressions
+    with their justification. *)
+
+val check :
+  active:Lint_rule.id list -> Parsetree.structure -> Lint_rule.finding list
+(** Only rules listed in [active] fire. *)

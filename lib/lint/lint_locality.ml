@@ -1,0 +1,133 @@
+open Parsetree
+
+(* The Locality axiom, enforced syntactically: a protocol/device step may
+   depend only on its explicit inputs.  Any reference to an ambient
+   information source — the global PRNG, wall-clock time, the environment,
+   shared-memory primitives, the representation hash — breaks that, and
+   with it the soundness of Exec_cache memoization and byte-identical
+   Store resume. *)
+
+let banned_ident path =
+  match path with
+  | "Random" :: _ ->
+    Some
+      ( Lint_rule.Locality_random,
+        "Random.* is ambient nondeterminism; draw from a Fault_prng stream \
+         derived from explicit inputs instead" )
+  | "Unix" :: _ ->
+    Some
+      ( Lint_rule.Locality_time,
+        "Unix.* reads ambient time/OS state a step function must not see" )
+  | [ "Sys"; ("time" | "getenv" | "getenv_opt" | "argv" | "unsafe_getenv") ] ->
+    Some
+      ( Lint_rule.Locality_time,
+        "Sys reads ambient time/environment a step function must not see" )
+  | ("Domain" | "Atomic" | "Mutex" | "Condition" | "Thread" | "Effect") :: _ ->
+    Some
+      ( Lint_rule.Locality_domain,
+        "shared-memory primitives have no place in model-layer code" )
+  | [ "Hashtbl"; ("hash" | "seeded_hash" | "hash_param" | "seeded_hash_param") ]
+    ->
+    Some
+      ( Lint_rule.Locality_hash,
+        "Hashtbl.hash is a representation hash, not part of the model" )
+  | _ -> None
+
+(* Allocators whose result is mutable: binding one at structure level is
+   shared mutable module state. *)
+let mutable_alloc path =
+  match path with
+  | [ "ref" ]
+  | [ "Array"; ("make" | "create_float" | "init" | "copy") ]
+  | [ "Bytes"; ("make" | "create" | "of_string" | "init") ]
+  | [ "Hashtbl"; "create" ]
+  | [ "Queue"; "create" ]
+  | [ "Stack"; "create" ]
+  | [ "Buffer"; "create" ]
+  | [ "Atomic"; "make" ] ->
+    Some (String.concat "." path)
+  | _ -> None
+
+let check_idents ~active str add =
+  if
+    List.exists
+      (fun r ->
+        List.mem r
+          [ Lint_rule.Locality_random; Locality_time; Locality_domain;
+            Locality_hash ])
+      active
+  then
+    Lint_ast.iter_expressions str (fun e ->
+        match e.pexp_desc with
+        | Pexp_ident { txt; loc } -> (
+          match banned_ident (Lint_ast.flat txt) with
+          | Some (rule, msg) when List.mem rule active ->
+            add (Lint_rule.of_location ~rule ~message:msg loc)
+          | _ -> ())
+        | _ -> ())
+
+(* Structure-level mutable state: walk top-level bindings but never descend
+   into function bodies — state allocated per call is local, not shared. *)
+let rec scan_toplevel_expr add (e : expression) =
+  match e.pexp_desc with
+  | Pexp_fun _ | Pexp_function _ | Pexp_newtype _ | Pexp_lazy _ -> ()
+  | _ ->
+    (match Lint_ast.head_call e with
+    | Some (path, _) -> (
+      match mutable_alloc path with
+      | Some what ->
+        add
+          (Lint_rule.of_location ~rule:Lint_rule.Locality_mutable_state
+             ~message:
+               (Printf.sprintf
+                  "%s at structure level is shared mutable state; Locality \
+                   requires step functions to own no state between calls"
+                  what)
+             e.pexp_loc)
+      | None -> ())
+    | None -> ());
+    (* Recurse through value-shaped sub-expressions only.  The head of an
+       application was already judged via [head_call] above — descending
+       into it would report the same allocator twice. *)
+    let sub =
+      match e.pexp_desc with
+      | Pexp_apply (_, args) -> List.map snd args
+      | Pexp_tuple es | Pexp_array es -> es
+      | Pexp_record (fields, base) ->
+        List.map snd fields @ Option.to_list base
+      | Pexp_construct (_, arg) | Pexp_variant (_, arg) -> Option.to_list arg
+      | Pexp_let (_, vbs, body) -> List.map (fun vb -> vb.pvb_expr) vbs @ [ body ]
+      | Pexp_sequence (a, b) -> [ a; b ]
+      | Pexp_constraint (x, _) | Pexp_coerce (x, _, _) | Pexp_open (_, x) ->
+        [ x ]
+      | Pexp_ifthenelse (c, t, e') -> c :: t :: Option.to_list e'
+      | _ -> []
+    in
+    List.iter (scan_toplevel_expr add) sub
+
+let rec check_structure_state add (str : structure) =
+  List.iter
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) ->
+        List.iter (fun vb -> scan_toplevel_expr add vb.pvb_expr) vbs
+      | Pstr_module { pmb_expr; _ } -> check_module_expr add pmb_expr
+      | Pstr_recmodule mbs ->
+        List.iter (fun mb -> check_module_expr add mb.pmb_expr) mbs
+      | _ -> ())
+    str
+
+and check_module_expr add me =
+  match me.pmod_desc with
+  | Pmod_structure str -> check_structure_state add str
+  | Pmod_functor (_, body) -> check_module_expr add body
+  | Pmod_constraint (body, _) -> check_module_expr add body
+  | _ -> ()
+
+let check ~active (str : structure) =
+  let acc = ref [] in
+  let add f = acc := f :: !acc in
+  check_idents ~active str add;
+  if List.mem Lint_rule.Locality_mutable_state active then
+    check_structure_state add str;
+  List.rev !acc

@@ -1,0 +1,12 @@
+(** Rule family 1 — Locality/determinism.
+
+    A protocol/device step must be a deterministic, local function of its
+    explicit inputs (the paper's Locality axiom); otherwise the engine's
+    memoized verdicts and byte-identical resume are unsound.  Flags
+    references to [Random.*], ambient time/environment ([Sys.time],
+    [Unix.*]), shared-memory primitives ([Domain]/[Atomic]/[Mutex]/...),
+    [Hashtbl.hash], and mutable state bound at structure level. *)
+
+val check :
+  active:Lint_rule.id list -> Parsetree.structure -> Lint_rule.finding list
+(** Only rules listed in [active] fire. *)

@@ -1,0 +1,70 @@
+type t = {
+  findings : Lint_rule.finding list;
+  suppressed : int;
+  files : int;
+}
+
+let schema_version = 1
+
+let pp_text ppf t =
+  List.iter
+    (fun f -> Format.fprintf ppf "%a@." Lint_rule.pp_finding f)
+    t.findings;
+  Format.fprintf ppf "flm-lint: %d file%s, %d finding%s, %d suppressed@."
+    t.files
+    (if t.files = 1 then "" else "s")
+    (List.length t.findings)
+    (if List.length t.findings = 1 then "" else "s")
+    t.suppressed
+
+(* The JSON tree reuses Bench_json — the same dependency-free ADT, printer
+   and strict parser the benchmark harness emits and CI round-trips. *)
+let to_json t =
+  Bench_json.Obj
+    [ "tool", Bench_json.String "flm-lint";
+      "schema_version", Bench_json.Int schema_version;
+      "files", Bench_json.Int t.files;
+      "suppressed", Bench_json.Int t.suppressed;
+      ( "findings",
+        Bench_json.List
+          (List.map
+             (fun (f : Lint_rule.finding) ->
+               Bench_json.Obj
+                 [ "rule", Bench_json.String (Lint_rule.to_string f.rule);
+                   "file", Bench_json.String f.file;
+                   "line", Bench_json.Int f.line;
+                   "col", Bench_json.Int f.col;
+                   "message", Bench_json.String f.message ])
+             t.findings) ) ]
+
+let json_string t = Bench_json.to_string (to_json t)
+
+(* Exit codes route through Flm_error so the lint honors the same
+   per-class contract as every other flm command: a rule violation is an
+   Axiom_violation (the code checks an axiom of the implementation), an
+   unreadable/unparseable input is an Invalid_input. *)
+let exit_code t =
+  match t.findings with
+  | [] -> 0
+  | fs ->
+    if List.for_all (fun (f : Lint_rule.finding) -> f.rule = Lint_rule.Lint_parse) fs
+    then
+      Flm_error.exit_code
+        (Flm_error.Invalid_input { what = "lint input"; detail = "" })
+    else
+      Flm_error.exit_code
+        (Flm_error.Axiom_violation { axiom = "lint"; detail = "" })
+
+let pp_rules ppf () =
+  Format.fprintf ppf "rules:@.";
+  List.iter
+    (fun id ->
+      Format.fprintf ppf "  %-28s %s@." (Lint_rule.to_string id)
+        (Lint_rule.describe id))
+    Lint_rule.all;
+  Format.fprintf ppf "@.directory allow-list:@.";
+  List.iter
+    (fun (dir, rule, reason) ->
+      Format.fprintf ppf "  %-12s %-24s %s@." dir (Lint_rule.to_string rule)
+        reason)
+    Lint_scope.allow_listed

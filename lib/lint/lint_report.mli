@@ -1,0 +1,28 @@
+(** Rendering and exit codes for a lint run. *)
+
+type t = {
+  findings : Lint_rule.finding list;  (** active (unsuppressed) findings *)
+  suppressed : int;
+  files : int;
+}
+
+val schema_version : int
+
+val pp_text : Format.formatter -> t -> unit
+(** One [file:line:col: [rule] message] line per finding, then a summary. *)
+
+val to_json : t -> Bench_json.t
+(** The machine format, built on {!Bench_json} so [flm lint --format json]
+    round-trips through [Bench_json.parse] like every BENCH_*.json file:
+    [{"tool": "flm-lint", "schema_version": 1, "files": N, "suppressed": K,
+    "findings": [{"rule","file","line","col","message"}, ...]}]. *)
+
+val json_string : t -> string
+
+val exit_code : t -> int
+(** [0] when clean; otherwise the {!Flm_error.exit_code} of the class the
+    run maps to — [Axiom_violation] for rule findings, [Invalid_input]
+    when nothing but parse failures were produced. *)
+
+val pp_rules : Format.formatter -> unit -> unit
+(** The catalog with rationales, plus the directory allow-list. *)

@@ -1,0 +1,116 @@
+type id =
+  | Locality_random
+  | Locality_time
+  | Locality_domain
+  | Locality_hash
+  | Locality_mutable_state
+  | Concurrency_lock_pairing
+  | Concurrency_condvar
+  | Concurrency_nested_lock
+  | Hygiene_obj_magic
+  | Hygiene_poly_compare
+  | Hygiene_untyped_raise
+  | Lint_suppression
+  | Lint_parse
+
+type family = Locality | Concurrency | Hygiene | Meta
+
+let family = function
+  | Locality_random | Locality_time | Locality_domain | Locality_hash
+  | Locality_mutable_state ->
+    Locality
+  | Concurrency_lock_pairing | Concurrency_condvar | Concurrency_nested_lock ->
+    Concurrency
+  | Hygiene_obj_magic | Hygiene_poly_compare | Hygiene_untyped_raise -> Hygiene
+  | Lint_suppression | Lint_parse -> Meta
+
+let to_string = function
+  | Locality_random -> "locality/random"
+  | Locality_time -> "locality/time"
+  | Locality_domain -> "locality/domain"
+  | Locality_hash -> "locality/hashtbl-hash"
+  | Locality_mutable_state -> "locality/mutable-state"
+  | Concurrency_lock_pairing -> "concurrency/lock-pairing"
+  | Concurrency_condvar -> "concurrency/condvar-discipline"
+  | Concurrency_nested_lock -> "concurrency/nested-lock"
+  | Hygiene_obj_magic -> "hygiene/obj-magic"
+  | Hygiene_poly_compare -> "hygiene/poly-compare"
+  | Hygiene_untyped_raise -> "hygiene/untyped-raise"
+  | Lint_suppression -> "lint/suppression"
+  | Lint_parse -> "lint/parse"
+
+let all =
+  [ Locality_random; Locality_time; Locality_domain; Locality_hash;
+    Locality_mutable_state; Concurrency_lock_pairing; Concurrency_condvar;
+    Concurrency_nested_lock; Hygiene_obj_magic; Hygiene_poly_compare;
+    Hygiene_untyped_raise; Lint_suppression; Lint_parse ]
+
+let of_string s = List.find_opt (fun id -> to_string id = s) all
+
+let describe = function
+  | Locality_random ->
+    "protocol/device code may not draw from Random; seeded randomness goes \
+     through Fault_prng"
+  | Locality_time ->
+    "protocol/device code may not read ambient time or the OS environment \
+     (Sys.time, Unix.*)"
+  | Locality_domain ->
+    "protocol/device code may not touch shared-memory primitives (Domain, \
+     Atomic, Mutex, Condition, Thread, Effect)"
+  | Locality_hash ->
+    "Hashtbl.hash is a representation hash, not part of the model; derive \
+     coins from inputs instead (or suppress with a determinism argument)"
+  | Locality_mutable_state ->
+    "no mutable top-level state (ref / Array.make / Bytes / Hashtbl.create \
+     at structure level) in protocol/device modules"
+  | Concurrency_lock_pairing ->
+    "every Mutex.lock must be guarded by Fun.protect ~finally:unlock or \
+     released on all branches of its continuation"
+  | Concurrency_condvar ->
+    "Condition.wait must appear under a lexically-held matching mutex"
+  | Concurrency_nested_lock ->
+    "no Mutex.lock inside a critical section that already holds another \
+     lock (Fun.protect body or with_* helper closure)"
+  | Hygiene_obj_magic -> "Obj.magic is forbidden everywhere"
+  | Hygiene_poly_compare ->
+    "no polymorphic =/<>/compare on Fingerprint.t or interned key values; \
+     use Fingerprint.equal / Fingerprint.equal_key"
+  | Hygiene_untyped_raise ->
+    "library paths raise through Flm_error, not bare failwith/invalid_arg"
+  | Lint_suppression ->
+    "malformed suppression comment: expected (* flm-lint: allow <rule> \
+     \xe2\x80\x94 reason *)"
+  | Lint_parse -> "the file could not be parsed as an OCaml implementation"
+
+type finding = {
+  rule : id;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let finding ~rule ~file ~line ~col message = { rule; file; line; col; message }
+
+let of_location ~rule ~message (loc : Location.t) =
+  {
+    rule;
+    file = loc.Location.loc_start.Lexing.pos_fname;
+    line = loc.Location.loc_start.Lexing.pos_lnum;
+    col =
+      loc.Location.loc_start.Lexing.pos_cnum
+      - loc.Location.loc_start.Lexing.pos_bol;
+    message;
+  }
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%s:%d:%d: [%s] %s" f.file f.line f.col (to_string f.rule)
+    f.message
+
+let compare_finding a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+    match Int.compare a.line b.line with
+    | 0 -> Int.compare a.col b.col
+    | c -> c)
+  | c -> c

@@ -1,0 +1,48 @@
+(** The rule catalog: every check the analyzer knows, each with a stable
+    string id ("family/name") used in reports, in suppression comments, and
+    in the scoping table ({!Lint_scope}). *)
+
+type id =
+  | Locality_random  (** [Random.*] in protocol/device code *)
+  | Locality_time  (** [Sys.time]/[Unix.*]: ambient time or environment *)
+  | Locality_domain  (** [Domain]/[Atomic]/[Mutex]/... shared-memory access *)
+  | Locality_hash  (** [Hashtbl.hash] and friends *)
+  | Locality_mutable_state  (** mutable state at structure level *)
+  | Concurrency_lock_pairing  (** a [Mutex.lock] not released on all paths *)
+  | Concurrency_condvar  (** [Condition.wait] outside its paired mutex *)
+  | Concurrency_nested_lock  (** a lock taken while another is held *)
+  | Hygiene_obj_magic  (** [Obj.magic] anywhere *)
+  | Hygiene_poly_compare  (** polymorphic compare on fingerprint values *)
+  | Hygiene_untyped_raise  (** bare [failwith]/[invalid_arg] in library paths *)
+  | Lint_suppression  (** a malformed suppression comment *)
+  | Lint_parse  (** the file does not parse *)
+
+type family = Locality | Concurrency | Hygiene | Meta
+
+val family : id -> family
+val to_string : id -> string
+val of_string : string -> id option
+
+val all : id list
+(** Every rule, in catalog order. *)
+
+val describe : id -> string
+(** One-line rationale, printed by [flm lint --rules]. *)
+
+(** A single diagnostic: where, which rule, and why. *)
+type finding = {
+  rule : id;
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, matching compiler diagnostics *)
+  message : string;
+}
+
+val finding :
+  rule:id -> file:string -> line:int -> col:int -> string -> finding
+
+val of_location : rule:id -> message:string -> Location.t -> finding
+val pp_finding : Format.formatter -> finding -> unit
+
+val compare_finding : finding -> finding -> int
+(** Order by file, then line, then column. *)

@@ -1,0 +1,78 @@
+(* Scoping is by directory, not by module: the Locality axiom binds the
+   model layer (protocols, clocks, problem specs), the concurrency rules
+   bind the layers that actually hold locks (engine, store), and the
+   hygiene rules bind everything.  The table is code, not configuration —
+   adding a directory to a family is a reviewed change. *)
+
+type dirclass =
+  | Protocols
+  | Clocks
+  | Problems
+  | Engine
+  | Store
+  | Graph
+  | Lint
+  | Other_lib
+  | Outside  (* bin, bench, test, examples, anything else *)
+
+(* Match on path components so both repo-relative ("lib/engine/pool.ml")
+   and absolute paths classify identically. *)
+let classify path =
+  let parts = String.split_on_char '/' path in
+  let rec find = function
+    | "lib" :: dir :: _ :: _ -> (
+      match dir with
+      | "protocols" -> Protocols
+      | "clocks" -> Clocks
+      | "problems" -> Problems
+      | "engine" -> Engine
+      | "store" -> Store
+      | "graph" -> Graph
+      | "lint" -> Lint
+      | _ -> Other_lib)
+    | _ :: rest -> find rest
+    | [] -> Outside
+  in
+  find parts
+
+let locality =
+  [ Lint_rule.Locality_random; Locality_time; Locality_domain; Locality_hash;
+    Locality_mutable_state ]
+
+let concurrency =
+  [ Lint_rule.Concurrency_lock_pairing; Concurrency_condvar;
+    Concurrency_nested_lock ]
+
+(* [Hygiene_poly_compare] keys on fingerprints, which only circulate in the
+   library layers; [Hygiene_obj_magic] is repo-wide. *)
+let rules_for path =
+  match classify path with
+  | Protocols | Clocks | Problems ->
+    locality @ [ Lint_rule.Hygiene_obj_magic; Hygiene_poly_compare ]
+  | Engine | Store ->
+    concurrency
+    @ [ Lint_rule.Hygiene_obj_magic; Hygiene_poly_compare;
+        Hygiene_untyped_raise ]
+  | Graph | Lint | Other_lib ->
+    [ Lint_rule.Hygiene_obj_magic; Hygiene_poly_compare ]
+  | Outside -> [ Lint_rule.Hygiene_obj_magic ]
+
+(* Directory-level allow-list: rules that would fire in a directory but are
+   deliberately not applied there, each with the reason on record.  This is
+   the coarse-grained sibling of inline suppressions — use it when a whole
+   directory's idiom is the exception, not a single site. *)
+let allow_listed =
+  [ ( "lib/graph",
+      Lint_rule.Hygiene_untyped_raise,
+      "graph constructors document Invalid_argument as their precondition \
+       contract; engine-facing callers route them through Flm_error.guard \
+       and Topology.of_family, which type the failure at the boundary" );
+    ( "lib/error",
+      Lint_rule.Hygiene_untyped_raise,
+      "Flm_error is the error taxonomy itself; its own precondition checks \
+       cannot raise through the module they define" ) ]
+
+let allow_reason ~dir rule =
+  List.find_map
+    (fun (d, r, reason) -> if d = dir && r = rule then Some reason else None)
+    allow_listed

@@ -1,0 +1,37 @@
+(** Per-directory rule scoping.
+
+    The table is deliberately code, not a config file: which layer is bound
+    by which axiom is an architectural fact, and changing it should look
+    like a source change in review.
+
+    - [lib/protocols], [lib/clocks], [lib/problems] — the Locality family
+      (plus hygiene): step functions must be deterministic, local functions
+      of their inputs, or the engine's memo/resume tiers are unsound.
+    - [lib/engine], [lib/store] — the concurrency family plus full hygiene
+      (typed raises included).
+    - everywhere else — [hygiene/obj-magic] (and, inside [lib/],
+      [hygiene/poly-compare]). *)
+
+type dirclass =
+  | Protocols
+  | Clocks
+  | Problems
+  | Engine
+  | Store
+  | Graph
+  | Lint
+  | Other_lib
+  | Outside
+
+val classify : string -> dirclass
+(** Classify by path components, so relative and absolute paths agree. *)
+
+val rules_for : string -> Lint_rule.id list
+(** The rules in force for a file at this path. *)
+
+val allow_listed : (string * Lint_rule.id * string) list
+(** Directory-level exemptions [(dir, rule, reason)] — rules that would
+    otherwise apply but are deliberately off for a whole directory.  Each
+    entry must carry its reason; [flm lint --rules] prints them. *)
+
+val allow_reason : dir:string -> Lint_rule.id -> string option

@@ -1,0 +1,178 @@
+(* Suppressions are comments, and comments are not in the parsetree, so
+   this module lexes the raw source: it tracks string literals (plain and
+   quoted) and nested comments, and extracts every comment's text together
+   with its line span. *)
+
+type t = {
+  rule : Lint_rule.id;
+  start_line : int;
+  end_line : int;
+  reason : string;
+}
+
+(* --- a minimal OCaml comment lexer ---------------------------------------- *)
+
+type comment = { text : string; first : int; last : int }
+
+let comments source =
+  let n = String.length source in
+  let out = ref [] in
+  let line = ref 1 in
+  let bump c = if c = '\n' then incr line in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some source.[!i + k] else None in
+  (* Skip a "...\"..." string literal; [i] is on the opening quote. *)
+  let skip_string () =
+    incr i;
+    let continue_ = ref true in
+    while !continue_ && !i < n do
+      (match source.[!i] with
+      | '\\' ->
+        (* Skip the escaped char — but a backslash-newline continuation
+           still ends a physical line, so keep the count honest. *)
+        (match peek 1 with Some c -> bump c | None -> ());
+        i := !i + 1
+      | '"' -> continue_ := false
+      | c -> bump c);
+      incr i
+    done
+  in
+  (* Skip a {id|...|id} quoted literal; [i] is on the '{'. Returns false if
+     this '{' does not open one. *)
+  let skip_quoted () =
+    let j = ref (!i + 1) in
+    while
+      !j < n && (source.[!j] = '_' || (source.[!j] >= 'a' && source.[!j] <= 'z'))
+    do
+      incr j
+    done;
+    if !j < n && source.[!j] = '|' then begin
+      let id = String.sub source (!i + 1) (!j - !i - 1) in
+      let close = "|" ^ id ^ "}" in
+      let len = String.length close in
+      i := !j + 1;
+      let continue_ = ref true in
+      while !continue_ && !i < n do
+        if !i + len <= n && String.sub source !i len = close then begin
+          i := !i + len;
+          continue_ := false
+        end
+        else begin
+          bump source.[!i];
+          incr i
+        end
+      done;
+      true
+    end
+    else false
+  in
+  while !i < n do
+    match source.[!i] with
+    | '"' -> skip_string ()
+    | '{' -> if not (skip_quoted ()) then incr i
+    | '(' when peek 1 = Some '*' ->
+      let first = !line in
+      let start = !i + 2 in
+      let depth = ref 1 in
+      i := start;
+      while !depth > 0 && !i < n do
+        if peek 1 <> None && source.[!i] = '(' && source.[!i + 1] = '*' then begin
+          incr depth;
+          i := !i + 2
+        end
+        else if peek 1 <> None && source.[!i] = '*' && source.[!i + 1] = ')'
+        then begin
+          decr depth;
+          i := !i + 2
+        end
+        else begin
+          bump source.[!i];
+          incr i
+        end
+      done;
+      let stop = max start (!i - 2) in
+      out :=
+        { text = String.sub source start (stop - start); first; last = !line }
+        :: !out
+    | c ->
+      bump c;
+      incr i
+  done;
+  List.rev !out
+
+(* --- the suppression grammar ----------------------------------------------- *)
+
+let trim = String.trim
+
+(* Split [s] at the first reason separator: an em dash or "--". *)
+let split_reason s =
+  let n = String.length s in
+  let rec go i =
+    if i >= n then None
+    else if i + 2 < n && String.sub s i 3 = "\xe2\x80\x94" then
+      Some (String.sub s 0 i, String.sub s (i + 3) (n - i - 3))
+    else if i + 1 < n && s.[i] = '-' && s.[i + 1] = '-' then
+      Some (String.sub s 0 i, String.sub s (i + 2) (n - i - 2))
+    else go (i + 1)
+  in
+  go 0
+
+let marker = "flm-lint:"
+
+let parse_comment ~file c =
+  let body = trim c.text in
+  let mlen = String.length marker in
+  if String.length body < mlen || String.sub body 0 mlen <> marker then None
+  else
+    let rest = trim (String.sub body mlen (String.length body - mlen)) in
+    let malformed detail =
+      Some
+        (Error
+           (Lint_rule.finding ~rule:Lint_rule.Lint_suppression ~file
+              ~line:c.first ~col:0 detail))
+    in
+    if String.length rest < 5 || String.sub rest 0 5 <> "allow" then
+      malformed "expected 'allow <rule>' after 'flm-lint:'"
+    else begin
+      let rest = trim (String.sub rest 5 (String.length rest - 5)) in
+      match split_reason rest with
+      | None ->
+        malformed
+          "suppression needs a reason: (* flm-lint: allow <rule> \xe2\x80\x94 \
+           reason *)"
+      | Some (rule_part, reason) -> (
+        let rule_s =
+          (* The rule id is the first token; tolerate trailing spaces. *)
+          match String.index_opt (trim rule_part) ' ' with
+          | None -> trim rule_part
+          | Some j -> String.sub (trim rule_part) 0 j
+        in
+        let reason = trim reason in
+        match Lint_rule.of_string rule_s with
+        | None -> malformed (Printf.sprintf "unknown rule id %S" rule_s)
+        | Some _ when reason = "" ->
+          malformed "suppression reason must be non-empty"
+        | Some rule ->
+          Some (Ok { rule; start_line = c.first; end_line = c.last; reason }))
+    end
+
+let scan ~file source =
+  let results = List.filter_map (parse_comment ~file) (comments source) in
+  let supps =
+    List.filter_map (function Ok s -> Some s | Error _ -> None) results
+  in
+  let errs =
+    List.filter_map (function Error f -> Some f | Ok _ -> None) results
+  in
+  supps, errs
+
+(* A suppression covers its own lines plus the line immediately after the
+   comment — the idiom is the comment directly above (or trailing) the
+   flagged construct. *)
+let covers supps rule ~line =
+  List.exists
+    (fun s ->
+      s.rule = rule && line >= s.start_line && line <= s.end_line + 1)
+    supps
+
+let reason s = s.reason

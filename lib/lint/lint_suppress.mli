@@ -1,0 +1,21 @@
+(** Inline suppression comments.
+
+    Grammar (the reason is mandatory — an unexplained suppression is itself
+    a finding):
+
+    {v (* flm-lint: allow <rule-id> — <reason> *) v}
+
+    The separator is an em dash or ["--"].  A suppression covers findings
+    of its rule on the comment's own lines and on the line immediately
+    below it, so the idiom is the comment directly above (or trailing) the
+    flagged construct. *)
+
+type t
+
+val scan : file:string -> string -> t list * Lint_rule.finding list
+(** Lex the raw source (string literals and nested comments respected) and
+    return the well-formed suppressions plus one [Lint_suppression] finding
+    per malformed one. *)
+
+val covers : t list -> Lint_rule.id -> line:int -> bool
+val reason : t -> string

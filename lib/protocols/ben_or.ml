@@ -4,6 +4,11 @@
 
 let bot = Value.tag "bot" Value.unit
 
+(* flm-lint: allow locality/hashtbl-hash — the shared coin must be a pure
+   function of (seed, me, phase), and Hashtbl.hash on an acyclic tuple of
+   immediates is exactly that: deterministic for a fixed compiler, no
+   ambient state.  Fault_prng would be the canonical stream, but protocols
+   sit below lib/faults in the dependency order. *)
 let coin ~seed ~me ~phase = Hashtbl.hash (seed, me, phase, "ben-or") mod 2 = 0
 
 let device ~n ~f ~me ~seed =

@@ -9,7 +9,9 @@ let table =
 
 let update crc s ~pos ~len =
   if pos < 0 || len < 0 || pos + len > String.length s then
-    invalid_arg "Crc32.update: range out of bounds";
+    Flm_error.raise_error
+      (Flm_error.Invalid_input
+         { what = "crc32 range"; detail = "Crc32.update: range out of bounds" });
   let t = Lazy.force table in
   let c = ref (crc lxor 0xFFFFFFFF) in
   for i = pos to pos + len - 1 do

@@ -6,7 +6,8 @@
 
 val update : int -> string -> pos:int -> len:int -> int
 (** [update crc s ~pos ~len] folds [s.[pos .. pos+len-1]] into a running
-    checksum; start from [0] and chain for multi-part input. *)
+    checksum; start from [0] and chain for multi-part input.  Raises
+    [Flm_error.Error (Invalid_input _)] when the range is out of bounds. *)
 
 val string : string -> int
 (** The checksum of a whole string (a 32-bit value in an OCaml int). *)

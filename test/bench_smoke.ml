@@ -37,6 +37,35 @@ let roundtrip () =
   check "parse rejects trailing garbage"
     (match Bench_json.parse "{} junk" with Ok _ -> false | Error _ -> true)
 
+(* `flm lint --format json` speaks the same dialect: the report built on
+   Bench_json must survive print-then-parse with its fields intact. *)
+let lint_report_roundtrip () =
+  let findings, _ =
+    Flm_lint.check_source ~path:"lib/protocols/fixture.ml"
+      "let coin () = Random.int 2"
+  in
+  let report = { Lint_report.findings; suppressed = 2; files = 7 } in
+  match Bench_json.parse (Lint_report.json_string report) with
+  | Error m -> check (Printf.sprintf "lint JSON parses (%s)" m) false
+  | Ok json ->
+    check "lint JSON: tool"
+      (Option.bind (Bench_json.member "tool" json) Bench_json.to_string_opt
+      = Some "flm-lint");
+    check "lint JSON: files"
+      (Option.bind (Bench_json.member "files" json) Bench_json.to_int_opt
+      = Some 7);
+    check "lint JSON: suppressed"
+      (Option.bind (Bench_json.member "suppressed" json) Bench_json.to_int_opt
+      = Some 2);
+    check "lint JSON: the finding's rule survives"
+      (match
+         Option.bind (Bench_json.member "findings" json) Bench_json.to_list_opt
+       with
+      | Some [ f ] ->
+        Option.bind (Bench_json.member "rule" f) Bench_json.to_string_opt
+        = Some "locality/random"
+      | _ -> false)
+
 let e18_tiny () =
   let out =
     Filename.concat (Filename.get_temp_dir_name ())
@@ -92,6 +121,7 @@ let e18_tiny () =
 
 let () =
   roundtrip ();
+  lint_report_roundtrip ();
   e18_tiny ();
   if !failures > 0 then begin
     Printf.eprintf "bench-smoke: %d failure(s)\n" !failures;

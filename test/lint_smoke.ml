@@ -1,0 +1,158 @@
+(* The analyzer end to end, against the real binary (argv.(1)): seeded
+   mutations in a temp tree fail with the Axiom_violation exit code and
+   name the expected rule; clean trees exit 0; --format json emits a
+   document Bench_json.parse accepts.
+
+   This is the ISSUE's mutation check: drop Random.int into a protocol
+   module, or an unpaired Mutex.lock into an engine module, and the build
+   gate must go red with the right rule id.
+
+   Run via the @lint-smoke alias (wired into @runtest). *)
+
+let failures = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun m ->
+      incr failures;
+      Printf.eprintf "lint_smoke: FAIL: %s\n%!" m)
+    fmt
+
+let ok fmt = Printf.ksprintf (fun m -> Printf.printf "lint_smoke: ok: %s\n%!" m) fmt
+
+(* Run [exe args], capturing stdout and the exit code. *)
+let run_exe exe args =
+  let r, w = Unix.pipe () in
+  let pid =
+    Unix.create_process exe (Array.of_list (exe :: args)) Unix.stdin w Unix.stderr
+  in
+  Unix.close w;
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec drain () =
+    match Unix.read r chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      drain ()
+  in
+  drain ();
+  Unix.close r;
+  let _, status = Unix.waitpid [] pid in
+  let code =
+    match status with
+    | Unix.WEXITED c -> c
+    | Unix.WSIGNALED s | Unix.WSTOPPED s ->
+      fail "%s ended by signal %d" (String.concat " " args) s;
+      255
+  in
+  code, Buffer.contents buf
+
+let rec rm_rf path =
+  match (Unix.lstat path).Unix.st_kind with
+  | Unix.S_DIR ->
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let mkdir_p dir =
+  let root = if String.length dir > 0 && dir.[0] = '/' then "/" else "" in
+  List.fold_left
+    (fun parent seg ->
+      if seg = "" then parent
+      else begin
+        let d = if parent = "" then seg else Filename.concat parent seg in
+        (try Unix.mkdir d 0o755
+         with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        d
+      end)
+    root
+    (String.split_on_char '/' dir)
+  |> ignore
+
+let write_file path contents =
+  mkdir_p (Filename.dirname path);
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* The exit-code contract mirrored from Flm_error: Axiom_violation -> 14,
+   hard-coded here on purpose so a drive-by renumbering fails the smoke. *)
+let violation_code = 14
+
+let () =
+  let exe =
+    if Array.length Sys.argv > 1 then Sys.argv.(1)
+    else (
+      prerr_endline "usage: lint_smoke LINT_BINARY";
+      exit 2)
+  in
+  let root =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "flm_lint_smoke_%d" (Unix.getpid ()))
+  in
+  rm_rf root;
+  let expect what ~code ~grep tree =
+    rm_rf root;
+    List.iter (fun (rel, src) -> write_file (Filename.concat root rel) src) tree;
+    let got, out = run_exe exe [ root ] in
+    if got <> code then
+      fail "%s: expected exit %d, got %d\noutput:\n%s" what code got out
+    else if not (List.for_all (fun n -> contains ~needle:n out) grep) then
+      fail "%s: output missing %s:\n%s" what (String.concat ", " grep) out
+    else ok "%-34s -> %d" what got
+  in
+  (* Mutation: ambient randomness in a protocol module. *)
+  expect "Random.int in lib/protocols" ~code:violation_code
+    ~grep:[ "locality/random"; "mutant.ml:2" ]
+    [ "lib/protocols/mutant.ml", "let shared = 1\nlet coin () = Random.int 2\n" ];
+  (* Mutation: an unpaired lock in an engine module. *)
+  expect "unpaired Mutex.lock in lib/engine" ~code:violation_code
+    ~grep:[ "concurrency/lock-pairing"; "mutant.ml:2" ]
+    [ ( "lib/engine/mutant.ml",
+        "let f m g =\n  Mutex.lock m;\n  g ()\nlet g' = ignore\n" ) ];
+  (* The same sources are clean where their rules are out of scope... *)
+  expect "same code outside scoped dirs" ~code:0 ~grep:[ "0 findings" ]
+    [ "bench/mutant.ml", "let coin () = Random.int 2\n" ];
+  (* ...and a justified suppression silences the model-layer finding. *)
+  expect "suppressed mutation" ~code:0 ~grep:[ "1 suppressed" ]
+    [ ( "lib/protocols/mutant.ml",
+        "(* flm-lint: allow locality/random -- smoke fixture *)\n\
+         let coin () = Random.int 2\n" ) ];
+  (* A file that does not parse is Invalid_input, not a rule violation. *)
+  expect "parse failure is Invalid_input" ~code:10 ~grep:[ "lint/parse" ]
+    [ "lib/protocols/mutant.ml", "let let\n" ];
+  (* --format json round-trips through Bench_json.parse. *)
+  rm_rf root;
+  write_file
+    (Filename.concat root "lib/protocols/mutant.ml")
+    "let coin () = Random.int 2\n";
+  let code, out = run_exe exe [ "--format"; "json"; root ] in
+  (if code <> violation_code then
+     fail "json run: expected exit %d, got %d" violation_code code);
+  (match Bench_json.parse out with
+  | Error e -> fail "json output rejected by Bench_json.parse: %s" e
+  | Ok (Bench_json.Obj fields) ->
+    if List.assoc_opt "tool" fields <> Some (Bench_json.String "flm-lint") then
+      fail "json output missing tool=flm-lint"
+    else begin
+      (match List.assoc_opt "findings" fields with
+      | Some (Bench_json.List [ Bench_json.Obj f ]) ->
+        if
+          List.assoc_opt "rule" f
+          <> Some (Bench_json.String "locality/random")
+        then fail "json finding lacks rule=locality/random"
+        else ok "json round-trip names the rule"
+      | _ -> fail "json output should carry exactly one finding")
+    end
+  | Ok _ -> fail "json output should be an object");
+  rm_rf root;
+  if !failures > 0 then exit 1;
+  print_endline "lint_smoke: OK"

@@ -1,0 +1,172 @@
+(* The static analyzer against inline fixtures: every rule fires at the
+   expected location, each family's suppression comment silences it (and
+   is counted), clean code stays clean, and malformed suppressions are
+   themselves findings. *)
+
+let check = Alcotest.check
+let tint = Alcotest.int
+let tstring = Alcotest.string
+
+(* Fixture paths only steer Lint_scope; nothing is read from disk. *)
+let proto = "lib/protocols/fixture.ml"
+let engine = "lib/engine/fixture.ml"
+
+let show fs =
+  String.concat "; " (List.map (Format.asprintf "%a" Lint_rule.pp_finding) fs)
+
+let expect_one ~path ~rule ~line src =
+  match Flm_lint.check_source ~path src with
+  | [ f ], 0 ->
+    check tstring "rule id" (Lint_rule.to_string rule)
+      (Lint_rule.to_string f.Lint_rule.rule);
+    check tint "line" line f.Lint_rule.line
+  | fs, n ->
+    Alcotest.failf "expected exactly one %s, got %d finding(s) [%s] (%d supp)"
+      (Lint_rule.to_string rule) (List.length fs) (show fs) n
+
+let expect_clean ~path src =
+  match Flm_lint.check_source ~path src with
+  | [], 0 -> ()
+  | fs, n ->
+    Alcotest.failf "expected clean, got %d finding(s) [%s] (%d supp)"
+      (List.length fs) (show fs) n
+
+(* (a) Locality family, seeded one rule at a time into a protocol path. *)
+let locality () =
+  expect_one ~path:proto ~rule:Lint_rule.Locality_random ~line:1
+    "let coin () = Random.int 2";
+  expect_one ~path:proto ~rule:Lint_rule.Locality_time ~line:1
+    "let now () = Sys.time ()";
+  expect_one ~path:proto ~rule:Lint_rule.Locality_time ~line:2
+    "let pad = ()\nlet now () = Unix.gettimeofday ()";
+  expect_one ~path:proto ~rule:Lint_rule.Locality_domain ~line:1
+    "let me () = Domain.self ()";
+  expect_one ~path:proto ~rule:Lint_rule.Locality_hash ~line:1
+    "let h x = Hashtbl.hash x";
+  expect_one ~path:proto ~rule:Lint_rule.Locality_mutable_state ~line:1
+    "let calls = ref 0";
+  (* The same constructs are no business of the locality family outside
+     the model layer: an engine file may hold a ref. *)
+  expect_clean ~path:engine "let calls = ref 0"
+
+(* (b) Concurrency family in an engine path. *)
+let concurrency () =
+  expect_one ~path:engine ~rule:Lint_rule.Concurrency_lock_pairing ~line:2
+    "let f m g =\n  Mutex.lock m;\n  g ()";
+  expect_one ~path:engine ~rule:Lint_rule.Concurrency_condvar ~line:1
+    "let w c m = Condition.wait c m";
+  expect_one ~path:engine ~rule:Lint_rule.Concurrency_nested_lock ~line:4
+    "let f a b =\n\
+     \  Mutex.lock a;\n\
+     \  Fun.protect ~finally:(fun () -> Mutex.unlock a) @@ fun () ->\n\
+     \  Mutex.lock b;\n\
+     \  Mutex.unlock b";
+  (* The blessed shapes pass: protect-with-finally, and branch-balanced
+     manual pairing. *)
+  expect_clean ~path:engine
+    "let f m g =\n\
+     \  Mutex.lock m;\n\
+     \  Fun.protect ~finally:(fun () -> Mutex.unlock m) g";
+  expect_clean ~path:engine
+    "let f m p =\n\
+     \  Mutex.lock m;\n\
+     \  if p then begin Mutex.unlock m; 1 end\n\
+     \  else begin Mutex.unlock m; 2 end";
+  expect_clean ~path:engine
+    "let w c m g =\n\
+     \  Mutex.lock m;\n\
+     \  Fun.protect ~finally:(fun () -> Mutex.unlock m) @@ fun () ->\n\
+     \  while g () do Condition.wait c m done"
+
+(* (c) Hygiene family. *)
+let hygiene () =
+  expect_one ~path:engine ~rule:Lint_rule.Hygiene_obj_magic ~line:1
+    "let cast x = Obj.magic x";
+  (* obj-magic is the one repo-wide rule: it fires outside lib/ too. *)
+  expect_one ~path:"test/fixture.ml" ~rule:Lint_rule.Hygiene_obj_magic ~line:1
+    "let cast x = Obj.magic x";
+  expect_one ~path:engine ~rule:Lint_rule.Hygiene_poly_compare ~line:1
+    "let same k h = k.fp = h";
+  expect_one ~path:engine ~rule:Lint_rule.Hygiene_untyped_raise ~line:1
+    "let boom () = failwith \"no\"";
+  expect_one ~path:engine ~rule:Lint_rule.Hygiene_untyped_raise ~line:1
+    "let boom () = raise (Invalid_argument \"no\")";
+  (* lib/graph's Invalid_argument precondition idiom is allow-listed as a
+     directory fact, with the reason on record. *)
+  expect_clean ~path:"lib/graph/fixture.ml" "let g () = invalid_arg \"x\"";
+  check Alcotest.bool "graph allow-list reason recorded" true
+    (Lint_scope.allow_reason ~dir:"lib/graph" Lint_rule.Hygiene_untyped_raise
+    <> None)
+
+(* (d) One suppression per family: the finding disappears and is counted. *)
+let suppressions () =
+  let suppressed_one ~path src =
+    match Flm_lint.check_source ~path src with
+    | [], 1 -> ()
+    | fs, n ->
+      Alcotest.failf "expected 0 findings/1 suppressed, got %d [%s] (%d supp)"
+        (List.length fs) (show fs) n
+  in
+  suppressed_one ~path:proto
+    "(* flm-lint: allow locality/random -- seeded fixture *)\n\
+     let coin () = Random.int 2";
+  suppressed_one ~path:engine
+    "(* flm-lint: allow concurrency/lock-pairing -- fixture *)\n\
+     let f m g = Mutex.lock m; g ()";
+  suppressed_one ~path:engine
+    "(* flm-lint: allow hygiene/untyped-raise -- fixture *)\n\
+     let boom () = failwith \"no\"";
+  (* A suppression only reaches the line below the comment. *)
+  expect_one ~path:proto ~rule:Lint_rule.Locality_random ~line:3
+    "(* flm-lint: allow locality/random -- too far away *)\n\
+     let pad = ()\n\
+     let coin () = Random.int 2"
+
+(* (e) The meta rules: reasonless or unknown-rule suppressions, and files
+   that do not parse. *)
+let meta () =
+  expect_one ~path:proto ~rule:Lint_rule.Lint_suppression ~line:1
+    "(* flm-lint: allow locality/random *)\nlet ok = 1";
+  expect_one ~path:proto ~rule:Lint_rule.Lint_suppression ~line:1
+    "(* flm-lint: allow bogus/rule -- why *)\nlet ok = 1";
+  expect_one ~path:proto ~rule:Lint_rule.Lint_parse ~line:1 "let let";
+  (* Every catalog id survives the string round-trip used by reports and
+     suppressions. *)
+  List.iter
+    (fun r ->
+      check Alcotest.bool
+        (Printf.sprintf "%s round-trips" (Lint_rule.to_string r))
+        true
+        (Lint_rule.of_string (Lint_rule.to_string r) = Some r))
+    Lint_rule.all
+
+(* (f) Clean model code is clean, and the JSON report round-trips through
+   Bench_json like every other machine artifact. *)
+let clean_and_json () =
+  expect_clean ~path:proto "let double x = x + x\nlet twice f x = f (f x)";
+  let findings, _ =
+    Flm_lint.check_source ~path:proto "let coin () = Random.int 2"
+  in
+  let report = { Lint_report.findings; suppressed = 0; files = 1 } in
+  check tint "findings exit via Axiom_violation's code"
+    (Flm_error.exit_code
+       (Flm_error.Axiom_violation { axiom = "lint"; detail = "" }))
+    (Lint_report.exit_code report);
+  check tint "clean exit is 0" 0
+    (Lint_report.exit_code { Lint_report.findings = []; suppressed = 0; files = 1 });
+  match Bench_json.parse (Lint_report.json_string report) with
+  | Ok (Bench_json.Obj fields) ->
+    check Alcotest.bool "tool field survives the round-trip" true
+      (List.assoc_opt "tool" fields = Some (Bench_json.String "flm-lint"))
+  | Ok _ -> Alcotest.fail "lint JSON should parse back to an object"
+  | Error e -> Alcotest.failf "lint JSON failed to parse: %s" e
+
+let suite =
+  ( "lint",
+    [ Alcotest.test_case "locality rules" `Quick locality;
+      Alcotest.test_case "concurrency rules" `Quick concurrency;
+      Alcotest.test_case "hygiene rules" `Quick hygiene;
+      Alcotest.test_case "suppressions" `Quick suppressions;
+      Alcotest.test_case "meta rules" `Quick meta;
+      Alcotest.test_case "clean and json" `Quick clean_and_json;
+    ] )

@@ -21,4 +21,5 @@ let () =
       Test_faults.suite;
       Test_supervision.suite;
       Test_edge_cases.suite;
+      Test_lint.suite;
     ]

@@ -163,7 +163,7 @@ let supervision_boundary () =
   match
     Engine.create ~config:{ Engine.default_config with Engine.retries = -1 } ()
   with
-  | exception Invalid_argument _ -> ()
+  | exception Flm_error.Error (Flm_error.Invalid_input _) -> ()
   | _ -> Alcotest.fail "negative retries should be rejected"
 
 let suite =
