@@ -1,0 +1,302 @@
+(* E19: the serve daemon under load, measured from the outside.
+
+   Process architecture (everything is processes, not domains, so the
+   load generator composes with the daemon's own session domains and a
+   64-client level cannot blow the runtime's domain budget):
+
+     bench parent ── fork ──> daemon (Serve.run; SIGTERM'd when done)
+            │
+            └────── fork ──> client x N  (connect, fire, record latencies)
+
+   Clients write their per-request latencies to files; the parent reduces
+   them to percentiles and throughput. *)
+
+let ( // ) = Filename.concat
+
+(* The mixed query set: small certificates across all three servable
+   problems, seeded chaos batches, and boundary sweeps — the shape of an
+   interactive session, not a single hot key. *)
+let default_ops =
+  [| Serve_proto.Request.Certify { problem = Job.Ba; n = 3; f = 1 };
+     Serve_proto.Request.Certify { problem = Job.Ba; n = 4; f = 2 };
+     Serve_proto.Request.Certify { problem = Job.Ba; n = 5; f = 2 };
+     Serve_proto.Request.Certify { problem = Job.Ba; n = 6; f = 2 };
+     Serve_proto.Request.Certify { problem = Job.Ba_collapse; n = 4; f = 2 };
+     Serve_proto.Request.Certify { problem = Job.Ba_collapse; n = 5; f = 2 };
+     Serve_proto.Request.Certify { problem = Job.Ba_conn; n = 8; f = 1 };
+     Serve_proto.Request.Certify { problem = Job.Ba_conn; n = 10; f = 1 };
+     Serve_proto.Request.Chaos
+       { family = "complete:5"; f = 1; seed = 11; strategy = "drop"; trials = 5 };
+     Serve_proto.Request.Chaos
+       { family = "harary:3:7"; f = 1; seed = 12; strategy = "chaos"; trials = 5 };
+     Serve_proto.Request.Sweep { n_max = 6; f_max = 2 };
+     Serve_proto.Request.Sweep { n_max = 7; f_max = 2 };
+  |]
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let rank = int_of_float (ceil (q *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+(* --- daemon lifecycle ----------------------------------------------------- *)
+
+let start_daemon ~socket_path ~store_dir ~jobs ~max_sessions =
+  match Unix.fork () with
+  | 0 ->
+    let cfg =
+      {
+        Serve.socket_path;
+        jobs;
+        store_dir = Some store_dir;
+        resume = false;
+        max_sessions;
+        engine_config = Engine.default_config;
+      }
+    in
+    let code = match Serve.run cfg with Ok _ -> 0 | Error _ -> 1 in
+    Unix._exit code
+  | pid -> pid
+
+let wait_connectable socket_path =
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec go () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+    | () ->
+      Unix.close fd;
+      true
+    | exception Unix.Unix_error (_, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if Unix.gettimeofday () > deadline then false
+      else begin
+        Unix.sleepf 0.02;
+        go ()
+      end
+  in
+  go ()
+
+let stop_daemon pid =
+  Unix.kill pid Sys.sigterm;
+  ignore (Unix.waitpid [] pid)
+
+(* --- the load generator --------------------------------------------------- *)
+
+(* One client process: [count] sequential requests round-robin over the
+   query set starting at [offset] (so concurrent clients are phase-shifted
+   and the daemon sees a mix, not a thundering herd on one key). *)
+let run_client ~socket_path ~ops ~count ~offset ~latency_file : 'a =
+  match Serve_client.connect ~socket_path () with
+  | Error _ -> Unix._exit 2
+  | Ok c ->
+    let n_ops = Array.length ops in
+    let buf = Buffer.create (count * 12) in
+    let ok = ref true in
+    for k = 0 to count - 1 do
+      let op = ops.((offset + k) mod n_ops) in
+      let t0 = Unix.gettimeofday () in
+      match Serve_client.result c { Serve_proto.Request.op; timeout_ms = None }
+      with
+      | Ok _ ->
+        Buffer.add_string buf
+          (Printf.sprintf "%.6f\n" (Unix.gettimeofday () -. t0))
+      | Error _ -> ok := false
+    done;
+    Serve_client.close c;
+    let oc = open_out latency_file in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Unix._exit (if !ok then 0 else 3)
+
+let read_latencies file =
+  match open_in file with
+  | exception Sys_error _ -> []
+  | ic ->
+    let rec go acc =
+      match input_line ic with
+      | line -> go (float_of_string line :: acc)
+      | exception End_of_file ->
+        close_in ic;
+        acc
+    in
+    go []
+
+type pass = {
+  wall : float;
+  requests : int;
+  failures : int;
+  p50_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
+let run_pass ~socket_path ~ops ~clients ~requests_per_client ~dir ~tag =
+  let latency_file i = dir // Printf.sprintf "lat_%s_%d" tag i in
+  let t0 = Unix.gettimeofday () in
+  let pids =
+    List.init clients (fun i ->
+        match Unix.fork () with
+        | 0 ->
+          run_client ~socket_path ~ops ~count:requests_per_client ~offset:i
+            ~latency_file:(latency_file i)
+        | pid -> pid)
+  in
+  let failures =
+    List.fold_left
+      (fun acc pid ->
+        match Unix.waitpid [] pid with
+        | _, Unix.WEXITED 0 -> acc
+        | _ -> acc + 1)
+      0 pids
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let lats =
+    Array.of_list
+      (List.concat_map
+         (fun i -> read_latencies (latency_file i))
+         (List.init clients Fun.id))
+  in
+  Array.sort Float.compare lats;
+  let ms s = 1000.0 *. s in
+  {
+    wall;
+    requests = Array.length lats;
+    failures;
+    p50_ms = ms (percentile lats 0.50);
+    p99_ms = ms (percentile lats 0.99);
+    max_ms =
+      ms (if Array.length lats = 0 then 0.0 else lats.(Array.length lats - 1));
+  }
+
+(* The in-process analogue of running the batch CLI once per query: a
+   fresh single-job engine (cold caches, no store, no pool domains) per
+   query.  Per-query mean in seconds. *)
+let batch_reference ops =
+  let t0 = Unix.gettimeofday () in
+  Array.iter
+    (fun op ->
+      let eng = Engine.create ~jobs:1 () in
+      (match op with
+      | Serve_proto.Request.Certify { problem; n; f } ->
+        ignore (Engine.certify_result eng ~problem ~n ~f)
+      | Serve_proto.Request.Chaos { family; f; seed; strategy; trials } ->
+        ignore (Engine.chaos eng ~family ~f ~seed ~strategy ~trials)
+      | Serve_proto.Request.Sweep { n_max; f_max } ->
+        ignore (Engine.nf_boundary eng ~n_max ~f_max)
+      | Serve_proto.Request.Store_stat | Serve_proto.Request.Stats -> ());
+      Engine.shutdown eng)
+    ops;
+  (Unix.gettimeofday () -. t0) /. float_of_int (Array.length ops)
+
+(* --- the experiment ------------------------------------------------------- *)
+
+let fresh_dir root tag =
+  let dir = root // tag in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  dir
+
+let run ?out ~clients_list ~requests_per_client ~jobs () =
+  let ops = default_ops in
+  let root =
+    Filename.get_temp_dir_name ()
+    // Printf.sprintf "flm_e19_%d" (Unix.getpid ())
+  in
+  (try Unix.mkdir root 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let max_sessions = List.fold_left max 1 clients_list + 4 in
+  Format.printf
+    "@.E19: serve under load — %d-query mix, %d request(s)/client, engine \
+     jobs=%d@."
+    (Array.length ops) requests_per_client jobs;
+  let runs =
+    List.concat_map
+      (fun clients ->
+        (* A fresh daemon and store per level: the cold pass is genuinely
+           cold, and levels do not warm each other. *)
+        let dir = fresh_dir root (Printf.sprintf "c%d" clients) in
+        let socket_path = dir // "flm.sock" in
+        let daemon =
+          start_daemon ~socket_path ~store_dir:(dir // "store") ~jobs
+            ~max_sessions
+        in
+        if not (wait_connectable socket_path) then begin
+          stop_daemon daemon;
+          Format.printf "  c=%-3d daemon failed to come up; skipping@." clients;
+          []
+        end
+        else begin
+          let measure tag =
+            let p =
+              run_pass ~socket_path ~ops ~clients ~requests_per_client ~dir
+                ~tag:(Printf.sprintf "%s_c%d" tag clients)
+            in
+            Format.printf
+              "  %-4s c=%-3d %6d req in %6.2f s (%7.1f req/s)  p50 %7.2f ms  \
+               p99 %7.2f ms%s@."
+              tag clients p.requests p.wall
+              (float_of_int p.requests /. p.wall)
+              p.p50_ms p.p99_ms
+              (if p.failures = 0 then ""
+               else Printf.sprintf "  (%d client failures)" p.failures);
+            Bench_json.run_record
+              ~label:(Printf.sprintf "%s_c%d" tag clients)
+              ~jobs ~wall_seconds:p.wall
+              ~extra:
+                [ "clients", Bench_json.Int clients;
+                  "phase", Bench_json.String tag;
+                  "requests", Bench_json.Int p.requests;
+                  "client_failures", Bench_json.Int p.failures;
+                  "p50_ms", Bench_json.Float p.p50_ms;
+                  "p99_ms", Bench_json.Float p.p99_ms;
+                  "max_ms", Bench_json.Float p.max_ms;
+                  ( "throughput_rps",
+                    Bench_json.Float (float_of_int p.requests /. p.wall) );
+                ]
+              ()
+          in
+          let cold = measure "cold" in
+          let warm = measure "warm" in
+          stop_daemon daemon;
+          [ cold; warm ]
+        end)
+      clients_list
+  in
+  (* Batch reference last: it is the only in-process engine work, and every
+     fork above must happen while this process still has a single domain. *)
+  let batch_s = batch_reference ops in
+  Format.printf "  batch reference: %.2f ms/query (fresh engine per query)@."
+    (1000.0 *. batch_s);
+  let warm_p50 =
+    List.find_map
+      (fun r ->
+        match Bench_json.member "label" r, Bench_json.member "p50_ms" r with
+        | Some (Bench_json.String l), Some p
+          when String.length l >= 4 && String.sub l 0 4 = "warm" ->
+          Bench_json.to_float_opt p
+        | _ -> None)
+      runs
+  in
+  let derived =
+    ("batch_ms_per_query", Bench_json.Float (1000.0 *. batch_s))
+    ::
+    (match warm_p50 with
+    | Some p50 when p50 > 0.0 ->
+      [ "warm_p50_ms", Bench_json.Float p50;
+        ( "warm_p50_speedup_vs_batch",
+          Bench_json.Float (1000.0 *. batch_s /. p50) );
+      ]
+    | _ -> [])
+  in
+  let record =
+    Bench_json.bench_record ~experiment:"E19"
+      ~config:
+        [ "clients_list",
+          Bench_json.List (List.map (fun c -> Bench_json.Int c) clients_list);
+          "requests_per_client", Bench_json.Int requests_per_client;
+          "jobs", Bench_json.Int jobs;
+          "query_set", Bench_json.Int (Array.length ops);
+        ]
+      ~derived ~runs ()
+  in
+  Option.iter (fun path -> Bench_json.write_file ~path record) out;
+  record

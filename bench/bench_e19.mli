@@ -1,0 +1,31 @@
+(** E19: serve-mode latency and throughput under a multi-process load
+    generator.
+
+    [run] starts a real [Serve] daemon (forked, own store) per concurrency
+    level, then forks [clients] client processes that each fire
+    [requests_per_client] requests round-robin over a fixed mixed query
+    set (certify / chaos / sweep).  Each level is measured twice against
+    the same daemon: a {e cold} pass (empty caches and store — every
+    distinct query computes, concurrent duplicates coalesce) and a
+    {e warm} pass (every query is a cache hit).  Per-request latencies are
+    collected from the clients and reduced to p50/p99/max plus
+    requests-per-second; a final {e batch reference} times the same query
+    set on one fresh single-job engine per query — the in-process
+    analogue of invoking the batch CLI once per query — so the derived
+    figures put warm serve latency against cold batch startup.
+
+    Forks processes: call it before anything in the calling process has
+    spawned domains (forking a multi-domain OCaml runtime is undefined).
+    The daemon children spawn their own domains safely after the fork.
+
+    Returns the experiment's {!Bench_json} record (written to [out] when
+    given).  Wall-clock figures vary by host; the record's shape does
+    not. *)
+
+val run :
+  ?out:string ->
+  clients_list:int list ->
+  requests_per_client:int ->
+  jobs:int ->
+  unit ->
+  Bench_json.t

@@ -537,6 +537,29 @@ let e15 () =
        ~config:[ "grid_jobs", Bench_json.Int (List.length grid) ]
        ~runs:(List.rev !records) ())
 
+(* --- E19: the serve daemon under load ------------------------------------------------ *)
+
+let e19 () =
+  section "E19"
+    "flm serve under load: p50/p99 latency and throughput at 1/8/64 \
+     concurrent clients, cold vs warm store, vs one fresh engine per query";
+  let json =
+    Bench_e19.run ~out:"BENCH_E19.json" ~clients_list:[ 1; 8; 64 ]
+      ~requests_per_client:24 ~jobs:4 ()
+  in
+  (match Bench_json.member "derived" json with
+  | Some d ->
+    let num field =
+      Option.value ~default:0.0
+        (Option.bind (Bench_json.member field d) Bench_json.to_float_opt)
+    in
+    Format.printf
+      "warm serve p50 %.2f ms vs batch %.2f ms/query: %.0fx@."
+      (num "warm_p50_ms") (num "batch_ms_per_query")
+      (num "warm_p50_speedup_vs_batch")
+  | None -> ());
+  Format.printf "wrote BENCH_E19.json@."
+
 (* --- Bechamel timing benches -------------------------------------------------------- *)
 
 (* --- E16: supervision overhead ----------------------------------------------------- *)
@@ -778,6 +801,10 @@ let timing () =
 let () =
   Format.printf
     "flm benchmark & experiment harness — Fischer-Lynch-Merritt (PODC 1985)@.";
+  (* E19 first: it forks daemon and client processes, and forking is only
+     defined while this process still has a single domain — every later
+     experiment spawns engine pools. *)
+  e19 ();
   e1 ();
   e2 ();
   e3 ();

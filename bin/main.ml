@@ -56,11 +56,12 @@ let jobs_arg =
   in
   Arg.(
     value
-    & opt positive_int (Domain.recommended_domain_count ())
+    & opt positive_int (Engine.default_jobs ())
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
           "Worker domains for the certificate engine (default: the \
-           recommended domain count; 1 forces the sequential path).")
+           recommended domain count capped at 8 — small grids get slower, \
+           not faster, past that; 1 forces the sequential path).")
 
 let metrics_arg =
   let open Cmdliner in
@@ -580,6 +581,194 @@ let store_cmd =
        ~doc:"Inspect and maintain a crash-safe certificate store.")
     [ store_stat_cmd; store_verify_cmd; store_gc_cmd; store_export_cmd ]
 
+(* --- flm serve / flm query ------------------------------------------------ *)
+
+let socket_arg =
+  let open Cmdliner in
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"The daemon's Unix domain socket path.")
+
+let serve_cmd =
+  let run socket jobs max_sessions timeout_ms retries store_dir resume quiet =
+    let cfg =
+      {
+        Serve.socket_path = socket;
+        jobs;
+        store_dir;
+        resume;
+        max_sessions;
+        engine_config = engine_config timeout_ms retries;
+      }
+    in
+    let log =
+      if quiet then fun _ -> ()
+      else fun line ->
+        print_endline ("serve: " ^ line);
+        flush stdout
+    in
+    match Serve.run ~log cfg with
+    | Ok report -> Format.printf "%s@." report
+    | Error e -> fail_error e
+  in
+  let open Cmdliner in
+  let max_sessions =
+    Arg.(
+      value
+      & opt int Serve.default_max_sessions
+      & info [ "max-sessions" ] ~docv:"N"
+          ~doc:
+            "Concurrent client sessions; a connection past the bound is \
+             refused with a typed overload error, never queued.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress progress lines.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the long-lived certificate daemon: one resident engine (warm \
+          caches, persistent worker pool, optional crash-safe store) \
+          answering certify/sweep/chaos/store-stat/stats requests over a \
+          Unix socket.  Identical concurrent requests are computed once \
+          (single-flight coalescing).  SIGTERM/SIGINT drain in-flight \
+          sessions, then shut the engine and store down cleanly.")
+    Term.(
+      const run $ socket_arg $ jobs_arg $ max_sessions $ timeout_arg
+      $ retries_arg $ store_arg $ resume_arg $ quiet)
+
+(* One request per invocation: connect, send, print the result document as
+   JSON, exit with the class code of any typed failure — the daemon's
+   errors keep their batch-mode exit codes end to end. *)
+let query_run socket timeout_ms op =
+  let client_timeout =
+    match timeout_ms with
+    | Some ms -> max 600_000 (2 * ms)
+    | None -> 600_000
+  in
+  match Serve_client.connect ~timeout_ms:client_timeout ~socket_path:socket ()
+  with
+  | Error e -> fail_error e
+  | Ok client ->
+    let outcome =
+      Serve_client.result client { Serve_proto.Request.op; timeout_ms }
+    in
+    Serve_client.close client;
+    (match outcome with
+    | Ok doc -> print_string (Bench_json.to_string doc)
+    | Error e -> fail_error e)
+
+let query_timeout_arg =
+  let open Cmdliner in
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "timeout-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-request deadline, enforced server-side (nested inside the \
+           daemon's own per-job deadline; the tighter wins).")
+
+let query_certify_cmd =
+  let run socket timeout_ms problem n f =
+    match Job.cert_problem_of_string problem with
+    | Some problem ->
+      query_run socket timeout_ms (Serve_proto.Request.Certify { problem; n; f })
+    (* The argument parser is an enum over exactly the servable names. *)
+    | None -> assert false
+  in
+  let open Cmdliner in
+  let problem =
+    let names = [ "ba"; "ba-collapse"; "ba-conn" ] in
+    Arg.(
+      value
+      & pos 0 (enum (List.map (fun p -> p, p) names)) "ba"
+      & info [] ~docv:"PROBLEM" ~doc:"ba | ba-collapse | ba-conn.")
+  in
+  let n = Arg.(value & opt int 3 & info [ "n" ] ~doc:"Nodes.") in
+  Cmd.v
+    (Cmd.info "certify" ~doc:"Ask the daemon for one covering certificate.")
+    Term.(const run $ socket_arg $ query_timeout_arg $ problem $ n $ f_arg)
+
+let query_sweep_cmd =
+  let run socket timeout_ms n_max f_max =
+    query_run socket timeout_ms (Serve_proto.Request.Sweep { n_max; f_max })
+  in
+  let open Cmdliner in
+  let n_max = Arg.(value & opt int 8 & info [ "n-max" ] ~doc:"Largest n.") in
+  let f_max = Arg.(value & opt int 2 & info [ "f-max" ] ~doc:"Largest f.") in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Ask the daemon for a 3f+1 boundary sweep.")
+    Term.(const run $ socket_arg $ query_timeout_arg $ n_max $ f_max)
+
+let query_chaos_cmd =
+  let run socket timeout_ms family f seed strategy trials =
+    query_run socket timeout_ms
+      (Serve_proto.Request.Chaos { family; f; seed; strategy; trials })
+  in
+  let open Cmdliner in
+  let family =
+    Arg.(
+      required
+      & opt (some family_spec_conv) None
+      & info [ "g"; "graph" ] ~docv:"FAMILY"
+          ~doc:"Target graph family, e.g. harary:3:7.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "fault-seed" ] ~docv:"SEED" ~doc:"Seed.")
+  in
+  let strategy =
+    Arg.(
+      value
+      & opt strategy_conv "chaos"
+      & info [ "strategy" ] ~docv:"STRATEGY" ~doc:"Fault strategy.")
+  in
+  let trials =
+    Arg.(value & opt int 10 & info [ "trials" ] ~docv:"N" ~doc:"Trials to run.")
+  in
+  Cmd.v
+    (Cmd.info "chaos" ~doc:"Ask the daemon for seeded fault-injection trials.")
+    Term.(
+      const run $ socket_arg $ query_timeout_arg $ family $ f_arg $ seed
+      $ strategy $ trials)
+
+let query_store_stat_cmd =
+  let run socket =
+    query_run socket None Serve_proto.Request.Store_stat
+  in
+  let open Cmdliner in
+  Cmd.v
+    (Cmd.info "store-stat" ~doc:"Summarize the daemon's store journal.")
+    Term.(const run $ socket_arg)
+
+let query_stats_cmd =
+  let run socket = query_run socket None Serve_proto.Request.Stats in
+  let open Cmdliner in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Fetch the daemon's counters: requests by outcome, overload \
+          refusals, p50/p99 latency, and the engine's cache and coalescing \
+          figures.")
+    Term.(const run $ socket_arg)
+
+let query_cmd =
+  let open Cmdliner in
+  Cmd.group
+    (Cmd.info "query"
+       ~doc:
+         "Send one request to a running $(b,flm serve) daemon and print the \
+          result document as JSON.  Server-side failures exit with the same \
+          class codes as batch mode; transport failures exit with the Net \
+          code.")
+    [ query_certify_cmd;
+      query_sweep_cmd;
+      query_chaos_cmd;
+      query_store_stat_cmd;
+      query_stats_cmd;
+    ]
+
 (* --- flm lint ------------------------------------------------------------ *)
 
 let lint_cmd =
@@ -666,5 +855,7 @@ let () =
             sweep_cmd;
             chaos_cmd;
             store_cmd;
+            serve_cmd;
+            query_cmd;
             lint_cmd;
           ]))

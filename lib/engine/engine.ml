@@ -2,6 +2,14 @@ type config = { timeout_ms : int option; retries : int; backoff_ms : int }
 
 let default_config = { timeout_ms = None; retries = 2; backoff_ms = 50 }
 
+(* The out-of-the-box worker count: scale with the hardware, but capped.
+   E18 measured the inverted curve — on grids the size we serve today,
+   domains beyond a handful only add scheduling overhead (and on a
+   many-core host an uncapped default would also crowd the 128-domain
+   runtime budget that serve sessions draw from). *)
+let jobs_cap = 8
+let default_jobs () = max 1 (min (Domain.recommended_domain_count ()) jobs_cap)
+
 type t = {
   pool : Pool.t;
   verdicts : Job.verdict Exec_cache.t;
@@ -14,9 +22,7 @@ type t = {
 
 let create ?jobs ?(cache_capacity = 4096) ?(config = default_config) ?store
     ?(resume = false) () =
-  let jobs =
-    match jobs with Some j -> j | None -> Domain.recommended_domain_count ()
-  in
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
   let reject detail =
     Flm_error.raise_error
       (Flm_error.Invalid_input { what = "engine config"; detail })

@@ -25,6 +25,14 @@ type config = {
 val default_config : config
 (** No deadline, 2 retries, 50 ms base backoff. *)
 
+val default_jobs : unit -> int
+(** The out-of-the-box worker count used whenever [jobs] is not given:
+    [Domain.recommended_domain_count ()] capped at 8 (and at least 1).
+    The cap keeps the E18 inverted curve — more domains, slower cold
+    sweeps on grids too small to amortize them — from being the default
+    configuration on a many-core host, and leaves domain budget for serve
+    sessions.  Pass [~jobs] explicitly to go wider. *)
+
 val create :
   ?jobs:int ->
   ?cache_capacity:int ->
@@ -33,8 +41,8 @@ val create :
   ?resume:bool ->
   unit ->
   t
-(** [jobs] defaults to [Domain.recommended_domain_count ()]; [1] forces the
-    sequential path.  [cache_capacity] (default 4096) bounds the verdict
+(** [jobs] defaults to {!default_jobs} ([Domain.recommended_domain_count]
+    capped at 8); [1] forces the sequential path.  [cache_capacity] (default 4096) bounds the verdict
     cache; the scenario cache gets 8x that.  [config] governs the supervised
     ([_result]) paths; raises [Flm_error.Error (Invalid_input _)] on
     negative retries/backoff or a deadline below 1 ms.

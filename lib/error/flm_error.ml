@@ -5,13 +5,14 @@ type t =
   | Worker_crashed of { detail : string }
   | Axiom_violation of { axiom : string; detail : string }
   | Store_corrupt of { path : string; offset : int; detail : string }
+  | Net of { endpoint : string; detail : string }
 
 exception Error of t
 
 let retryable = function
   | Worker_crashed _ -> true
   | Invalid_input _ | Job_failed _ | Job_timeout _ | Axiom_violation _
-  | Store_corrupt _ ->
+  | Store_corrupt _ | Net _ ->
     false
 
 let to_string = function
@@ -26,6 +27,7 @@ let to_string = function
   | Store_corrupt { path; offset; detail } ->
     Printf.sprintf "corrupt store record in %s at offset %d: %s" path offset
       detail
+  | Net { endpoint; detail } -> Printf.sprintf "net %s: %s" endpoint detail
 
 (* One stable, distinct process exit code per error class, used by every CLI
    command: scripts can dispatch on the class without parsing stderr.  Kept
@@ -38,6 +40,7 @@ let exit_code = function
   | Worker_crashed _ -> 13
   | Axiom_violation _ -> 14
   | Store_corrupt _ -> 15
+  | Net _ -> 16
 
 let pp ppf e = Format.pp_print_string ppf (to_string e)
 let equal (a : t) (b : t) = a = b

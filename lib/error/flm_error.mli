@@ -35,6 +35,14 @@ type t =
           a torn tail after a crash, a CRC mismatch, an unknown format
           version.  The record is skipped (and recomputed on demand), never
           deserialized. *)
+  | Net of { endpoint : string; detail : string }
+      (** A serve-protocol failure at the process boundary: the daemon
+          socket cannot be bound or reached, a connection died mid-frame, a
+          frame violated the wire protocol (bad length prefix, oversized
+          payload, malformed or wrong-version document), or the server
+          refused a session (overload).  [endpoint] names the socket path or
+          protocol stage.  Never retried by supervision — the serve client
+          surfaces it to its caller, which owns the reconnect policy. *)
 
 exception Error of t
 (** The carrier used on exception-based internal paths; supervision catches
@@ -46,9 +54,9 @@ val retryable : t -> bool
 val exit_code : t -> int
 (** The stable process exit code for the class: [Invalid_input] 10,
     [Job_failed] 11, [Job_timeout] 12, [Worker_crashed] 13,
-    [Axiom_violation] 14, [Store_corrupt] 15.  Every CLI command exits with
-    the code of the failure it reports, so callers can dispatch on the class
-    without parsing output. *)
+    [Axiom_violation] 14, [Store_corrupt] 15, [Net] 16.  Every CLI command
+    exits with the code of the failure it reports, so callers can dispatch
+    on the class without parsing output. *)
 
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

@@ -10,6 +10,7 @@ type dirclass =
   | Problems
   | Engine
   | Store
+  | Serve
   | Graph
   | Lint
   | Other_lib
@@ -27,6 +28,7 @@ let classify path =
       | "problems" -> Problems
       | "engine" -> Engine
       | "store" -> Store
+      | "serve" -> Serve
       | "graph" -> Graph
       | "lint" -> Lint
       | _ -> Other_lib)
@@ -49,7 +51,7 @@ let rules_for path =
   match classify path with
   | Protocols | Clocks | Problems ->
     locality @ [ Lint_rule.Hygiene_obj_magic; Hygiene_poly_compare ]
-  | Engine | Store ->
+  | Engine | Store | Serve ->
     concurrency
     @ [ Lint_rule.Hygiene_obj_magic; Hygiene_poly_compare;
         Hygiene_untyped_raise ]
@@ -70,7 +72,20 @@ let allow_listed =
     ( "lib/error",
       Lint_rule.Hygiene_untyped_raise,
       "Flm_error is the error taxonomy itself; its own precondition checks \
-       cannot raise through the module they define" ) ]
+       cannot raise through the module they define" );
+    (* lib/serve is the process boundary, not model code: the Locality
+       family stays off there by design, while the concurrency family and
+       typed-raise hygiene are in full force. *)
+    ( "lib/serve",
+      Lint_rule.Locality_time,
+      "the daemon is the process boundary: sockets, signals, and wall-clock \
+       latency measurement are its job; simulated rounds inside jobs never \
+       read them" );
+    ( "lib/serve",
+      Lint_rule.Locality_domain,
+      "sessions are domains and the registry/metrics are lock-protected \
+       shared state; the concurrency rules (lock pairing, condvar \
+       discipline, no nested locks) bind instead" ) ]
 
 let allow_reason ~dir rule =
   List.find_map

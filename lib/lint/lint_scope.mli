@@ -7,8 +7,11 @@
     - [lib/protocols], [lib/clocks], [lib/problems] — the Locality family
       (plus hygiene): step functions must be deterministic, local functions
       of their inputs, or the engine's memo/resume tiers are unsound.
-    - [lib/engine], [lib/store] — the concurrency family plus full hygiene
-      (typed raises included).
+    - [lib/engine], [lib/store], [lib/serve] — the concurrency family plus
+      full hygiene (typed raises included).  [lib/serve] is additionally the
+      one library layer where Unix (sockets, signals, wall-clock) is fair
+      game: it is the process boundary, not model code, and the allow-list
+      records that exemption with its reasons.
     - everywhere else — [hygiene/obj-magic] (and, inside [lib/],
       [hygiene/poly-compare]). *)
 
@@ -18,6 +21,7 @@ type dirclass =
   | Problems
   | Engine
   | Store
+  | Serve
   | Graph
   | Lint
   | Other_lib

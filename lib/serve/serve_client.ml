@@ -1,0 +1,54 @@
+type t = { fd : Unix.file_descr; endpoint : string }
+
+let ( let* ) = Result.bind
+let net ~endpoint detail = Flm_error.Net { endpoint; detail }
+
+let connect ?(timeout_ms = 30_000) ~socket_path () =
+  let endpoint = socket_path in
+  if timeout_ms < 1 then
+    Error
+      (net ~endpoint
+         (Printf.sprintf "timeout_ms must be positive, got %d" timeout_ms))
+  else
+    match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+    | exception Unix.Unix_error (e, _, _) ->
+      Error
+        (net ~endpoint
+           (Printf.sprintf "socket failed: %s" (Unix.error_message e)))
+    | fd -> (
+      match
+        Unix.connect fd (Unix.ADDR_UNIX socket_path);
+        let s = float_of_int timeout_ms /. 1000.0 in
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO s;
+        Unix.setsockopt_float fd Unix.SO_SNDTIMEO s
+      with
+      | () -> Ok { fd; endpoint }
+      | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error
+          (net ~endpoint
+             (Printf.sprintf "connect failed: %s" (Unix.error_message e))))
+
+let request t req =
+  let payload = Bench_json.to_string (Serve_proto.Request.to_json req) in
+  let* () = Serve_proto.write_frame ~endpoint:t.endpoint t.fd payload in
+  let* input = Serve_proto.read_frame ~endpoint:t.endpoint t.fd in
+  match input with
+  | Serve_proto.Eof ->
+    Error (net ~endpoint:t.endpoint "server closed the connection unanswered")
+  | Serve_proto.Frame s -> (
+    match Bench_json.parse s with
+    | Error e ->
+      Error (net ~endpoint:t.endpoint ("malformed response document: " ^ e))
+    | Ok json -> (
+      match Serve_proto.Response.of_json json with
+      | Error e -> Error (net ~endpoint:t.endpoint ("invalid response: " ^ e))
+      | Ok r -> Ok r))
+
+let result t req =
+  let* resp = request t req in
+  match resp with
+  | Serve_proto.Response.Result doc -> Ok doc
+  | Serve_proto.Response.Failed e -> Error e
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,28 @@
+(** The [flm serve] client: connect to a daemon socket, exchange
+    {!Serve_proto} frames, surface every failure as a typed
+    {!Flm_error.Net} value.  One connection serves any number of
+    sequential requests; concurrency comes from opening more
+    connections (the daemon runs one session per connection). *)
+
+type t
+
+val connect :
+  ?timeout_ms:int -> socket_path:string -> unit -> (t, Flm_error.t) result
+(** Connect to a daemon's Unix socket.  [timeout_ms] (default 30 000)
+    bounds each subsequent socket read and write, so a wedged daemon
+    surfaces as a typed error instead of a hang.  [Error (Net _)] when
+    the socket does not exist, nothing is listening, or the handshake
+    write fails. *)
+
+val request :
+  t -> Serve_proto.Request.t -> (Serve_proto.Response.t, Flm_error.t) result
+(** Send one request frame and read one response frame.  [Error _] only
+    for transport-level failures (the connection is then unusable); a
+    server-side failure arrives as [Ok (Failed _)] on a connection that
+    remains good for the next request. *)
+
+val result : t -> Serve_proto.Request.t -> (Bench_json.t, Flm_error.t) result
+(** {!request}, with server-side failures folded into the error channel:
+    [Ok doc] is the op-specific result document. *)
+
+val close : t -> unit

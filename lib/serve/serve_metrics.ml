@@ -1,0 +1,82 @@
+type snapshot = {
+  requests : int;
+  ok : int;
+  failed : int;
+  malformed : int;
+  rejected_overload : int;
+  latency_count : int;
+  p50_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
+let reservoir_size = 8192
+
+type t = {
+  lock : Mutex.t;
+  mutable requests : int;
+  mutable ok : int;
+  mutable failed : int;
+  mutable malformed : int;
+  mutable rejected_overload : int;
+  latencies : float array;  (* ring buffer, seconds *)
+  mutable next : int;  (* next write slot *)
+  mutable filled : int;  (* samples present, <= reservoir_size *)
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    requests = 0;
+    ok = 0;
+    failed = 0;
+    malformed = 0;
+    rejected_overload = 0;
+    latencies = Array.make reservoir_size 0.0;
+    next = 0;
+    filled = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let record_request t = with_lock t (fun () -> t.requests <- t.requests + 1)
+let record_ok t = with_lock t (fun () -> t.ok <- t.ok + 1)
+let record_failed t = with_lock t (fun () -> t.failed <- t.failed + 1)
+let record_malformed t = with_lock t (fun () -> t.malformed <- t.malformed + 1)
+
+let record_overload t =
+  with_lock t (fun () -> t.rejected_overload <- t.rejected_overload + 1)
+
+let record_latency t ~seconds =
+  with_lock t (fun () ->
+      t.latencies.(t.next) <- seconds;
+      t.next <- (t.next + 1) mod reservoir_size;
+      if t.filled < reservoir_size then t.filled <- t.filled + 1)
+
+(* Nearest-rank percentile over the sorted sample; [q] in [0, 1]. *)
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let rank = int_of_float (ceil (q *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let snapshot t =
+  with_lock t (fun () ->
+      let sample = Array.sub t.latencies 0 t.filled in
+      Array.sort Float.compare sample;
+      let ms s = 1000.0 *. s in
+      {
+        requests = t.requests;
+        ok = t.ok;
+        failed = t.failed;
+        malformed = t.malformed;
+        rejected_overload = t.rejected_overload;
+        latency_count = t.filled;
+        p50_ms = ms (percentile sample 0.50);
+        p99_ms = ms (percentile sample 0.99);
+        max_ms =
+          ms (if t.filled = 0 then 0.0 else sample.(Array.length sample - 1));
+      })

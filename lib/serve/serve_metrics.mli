@@ -1,0 +1,34 @@
+(** Server-side counters for [flm serve]: request totals by outcome,
+    overload rejections, malformed frames/documents, and a bounded
+    latency reservoir from which the [stats] request derives p50/p99.
+
+    All mutators are mutex-protected and callable from session domains. *)
+
+type t
+
+type snapshot = {
+  requests : int;  (** frames that parsed into valid requests *)
+  ok : int;  (** requests answered with a result *)
+  failed : int;  (** requests answered with a typed error *)
+  malformed : int;
+      (** framing violations and documents that failed strict validation *)
+  rejected_overload : int;
+      (** connections refused because the session set was full *)
+  latency_count : int;  (** samples currently in the reservoir *)
+  p50_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
+val create : unit -> t
+val record_request : t -> unit
+val record_ok : t -> unit
+val record_failed : t -> unit
+val record_malformed : t -> unit
+val record_overload : t -> unit
+
+val record_latency : t -> seconds:float -> unit
+(** Adds one sample; the reservoir keeps the most recent 8192 samples
+    (older ones are overwritten), so percentiles track current load. *)
+
+val snapshot : t -> snapshot

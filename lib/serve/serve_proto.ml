@@ -1,0 +1,560 @@
+(* The framing layer and the versioned request/response schemas.  Parsing
+   is strict by construction: every reader checks the protocol version,
+   every required field's presence and type, size bounds, and rejects
+   unknown fields — the wire is a contract, not a suggestion. *)
+
+let protocol_version = 1
+let max_frame_bytes = 1 lsl 20
+
+(* --- strict JSON readers ------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let obj_fields ~what = function
+  | Bench_json.Obj kvs -> Ok kvs
+  | _ -> Error (Printf.sprintf "%s: expected an object" what)
+
+let no_unknown ~what ~allowed kvs =
+  match List.find_opt (fun (k, _) -> not (List.mem k allowed)) kvs with
+  | Some (k, _) -> Error (Printf.sprintf "%s: unknown field %S" what k)
+  | None -> Ok ()
+
+let field ~what kvs k =
+  match List.assoc_opt k kvs with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s: missing field %S" what k)
+
+let int_field ~what kvs k =
+  let* v = field ~what kvs k in
+  match Bench_json.to_int_opt v with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "%s: field %S must be an integer" what k)
+
+let string_field ~what kvs k =
+  let* v = field ~what kvs k in
+  match Bench_json.to_string_opt v with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "%s: field %S must be a string" what k)
+
+let bool_field ~what kvs k =
+  let* v = field ~what kvs k in
+  match v with
+  | Bench_json.Bool b -> Ok b
+  | _ -> Error (Printf.sprintf "%s: field %S must be a boolean" what k)
+
+(* Nullable boolean: the field must be present, [null] meaning [None]. *)
+let bool_opt_field ~what kvs k =
+  let* v = field ~what kvs k in
+  match v with
+  | Bench_json.Bool b -> Ok (Some b)
+  | Bench_json.Null -> Ok None
+  | _ -> Error (Printf.sprintf "%s: field %S must be a boolean or null" what k)
+
+let list_field ~what kvs k =
+  let* v = field ~what kvs k in
+  match Bench_json.to_list_opt v with
+  | Some l -> Ok l
+  | None -> Error (Printf.sprintf "%s: field %S must be a list" what k)
+
+let bounded ~what ~lo ~hi k i =
+  if i < lo || i > hi then
+    Error (Printf.sprintf "%s: field %S must be in [%d, %d]" what k lo hi)
+  else Ok i
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: xs ->
+    let* y = f x in
+    let* ys = map_result f xs in
+    Ok (y :: ys)
+
+let check_version ~what kvs =
+  let* v = int_field ~what kvs "v" in
+  if v <> protocol_version then
+    Error
+      (Printf.sprintf "%s: protocol version %d, this peer speaks %d" what v
+         protocol_version)
+  else Ok ()
+
+let bool_opt_json = function
+  | Some b -> Bench_json.Bool b
+  | None -> Bench_json.Null
+
+(* --- verdicts ------------------------------------------------------------ *)
+
+module Verdict = struct
+  type t =
+    | Cell of Sweep.cell
+    | Conn of (int * bool * bool option * bool option)
+    | Cert of { contradiction : bool; summary : string }
+    | Chaos of Job.chaos_outcome
+
+  let of_job_verdict = function
+    | Job.Cell c -> Cell c
+    | Job.Conn r -> Conn r
+    | Job.Cert o ->
+      Cert { contradiction = o.Job.contradiction; summary = o.Job.summary }
+    | Job.Chaos o -> Chaos o
+
+  let to_json = function
+    | Cell { Sweep.n; f; adequate; survived_attacks; certificate_broke_it } ->
+      Bench_json.Obj
+        [ "kind", Bench_json.String "cell";
+          "n", Bench_json.Int n;
+          "f", Bench_json.Int f;
+          "adequate", Bench_json.Bool adequate;
+          "survived_attacks", bool_opt_json survived_attacks;
+          "certificate_broke_it", bool_opt_json certificate_broke_it;
+        ]
+    | Conn (kappa, adequate, relay_ok, certificate_broke_it) ->
+      Bench_json.Obj
+        [ "kind", Bench_json.String "conn";
+          "kappa", Bench_json.Int kappa;
+          "adequate", Bench_json.Bool adequate;
+          "relay_ok", bool_opt_json relay_ok;
+          "certificate_broke_it", bool_opt_json certificate_broke_it;
+        ]
+    | Cert { contradiction; summary } ->
+      Bench_json.Obj
+        [ "kind", Bench_json.String "cert";
+          "contradiction", Bench_json.Bool contradiction;
+          "summary", Bench_json.String summary;
+        ]
+    | Chaos { Job.trial; strategy; faulty; survived; violations } ->
+      Bench_json.Obj
+        [ "kind", Bench_json.String "chaos";
+          "trial", Bench_json.Int trial;
+          "strategy", Bench_json.String strategy;
+          "faulty", Bench_json.List (List.map (fun u -> Bench_json.Int u) faulty);
+          "survived", Bench_json.Bool survived;
+          "violations",
+          Bench_json.List (List.map (fun v -> Bench_json.String v) violations);
+        ]
+
+  let of_json json =
+    let what = "verdict" in
+    let* kvs = obj_fields ~what json in
+    let* kind = string_field ~what kvs "kind" in
+    match kind with
+    | "cell" ->
+      let* () =
+        no_unknown ~what
+          ~allowed:
+            [ "kind"; "n"; "f"; "adequate"; "survived_attacks";
+              "certificate_broke_it" ]
+          kvs
+      in
+      let* n = int_field ~what kvs "n" in
+      let* f = int_field ~what kvs "f" in
+      let* adequate = bool_field ~what kvs "adequate" in
+      let* survived_attacks = bool_opt_field ~what kvs "survived_attacks" in
+      let* certificate_broke_it =
+        bool_opt_field ~what kvs "certificate_broke_it"
+      in
+      Ok
+        (Cell { Sweep.n; f; adequate; survived_attacks; certificate_broke_it })
+    | "conn" ->
+      let* () =
+        no_unknown ~what
+          ~allowed:[ "kind"; "kappa"; "adequate"; "relay_ok";
+                     "certificate_broke_it" ]
+          kvs
+      in
+      let* kappa = int_field ~what kvs "kappa" in
+      let* adequate = bool_field ~what kvs "adequate" in
+      let* relay_ok = bool_opt_field ~what kvs "relay_ok" in
+      let* broke = bool_opt_field ~what kvs "certificate_broke_it" in
+      Ok (Conn (kappa, adequate, relay_ok, broke))
+    | "cert" ->
+      let* () =
+        no_unknown ~what ~allowed:[ "kind"; "contradiction"; "summary" ] kvs
+      in
+      let* contradiction = bool_field ~what kvs "contradiction" in
+      let* summary = string_field ~what kvs "summary" in
+      Ok (Cert { contradiction; summary })
+    | "chaos" ->
+      let* () =
+        no_unknown ~what
+          ~allowed:
+            [ "kind"; "trial"; "strategy"; "faulty"; "survived"; "violations" ]
+          kvs
+      in
+      let* trial = int_field ~what kvs "trial" in
+      let* strategy = string_field ~what kvs "strategy" in
+      let* faulty_json = list_field ~what kvs "faulty" in
+      let* faulty =
+        map_result
+          (fun v ->
+            match Bench_json.to_int_opt v with
+            | Some i -> Ok i
+            | None -> Error "verdict: faulty entries must be integers")
+          faulty_json
+      in
+      let* survived = bool_field ~what kvs "survived" in
+      let* violations_json = list_field ~what kvs "violations" in
+      let* violations =
+        map_result
+          (fun v ->
+            match Bench_json.to_string_opt v with
+            | Some s -> Ok s
+            | None -> Error "verdict: violations entries must be strings")
+          violations_json
+      in
+      Ok (Chaos { Job.trial; strategy; faulty; survived; violations })
+    | k -> Error (Printf.sprintf "verdict: unknown kind %S" k)
+
+  let equal a b =
+    match a, b with
+    | Cell c, Cell c' -> c = c'
+    | Conn r, Conn r' -> r = r'
+    | Cert c, Cert c' ->
+      c.contradiction = c'.contradiction && String.equal c.summary c'.summary
+    | Chaos o, Chaos o' -> o = o'
+    | (Cell _ | Conn _ | Cert _ | Chaos _), _ -> false
+end
+
+(* --- typed errors on the wire -------------------------------------------- *)
+
+let error_class = function
+  | Flm_error.Invalid_input _ -> "invalid-input"
+  | Flm_error.Job_failed _ -> "job-failed"
+  | Flm_error.Job_timeout _ -> "job-timeout"
+  | Flm_error.Worker_crashed _ -> "worker-crashed"
+  | Flm_error.Axiom_violation _ -> "axiom-violation"
+  | Flm_error.Store_corrupt _ -> "store-corrupt"
+  | Flm_error.Net _ -> "net"
+
+let error_to_json e =
+  let s k v = k, Bench_json.String v in
+  let fields =
+    match e with
+    | Flm_error.Invalid_input { what; detail } ->
+      [ s "what" what; s "detail" detail ]
+    | Flm_error.Job_failed { job; exn } -> [ s "job" job; s "exn" exn ]
+    | Flm_error.Job_timeout { job; timeout_ms } ->
+      [ s "job" job; ("timeout_ms", Bench_json.Int timeout_ms) ]
+    | Flm_error.Worker_crashed { detail } -> [ s "detail" detail ]
+    | Flm_error.Axiom_violation { axiom; detail } ->
+      [ s "axiom" axiom; s "detail" detail ]
+    | Flm_error.Store_corrupt { path; offset; detail } ->
+      [ s "path" path; ("offset", Bench_json.Int offset); s "detail" detail ]
+    | Flm_error.Net { endpoint; detail } ->
+      [ s "endpoint" endpoint; s "detail" detail ]
+  in
+  Bench_json.Obj
+    (("class", Bench_json.String (error_class e))
+    :: ("exit_code", Bench_json.Int (Flm_error.exit_code e))
+    :: fields)
+
+let error_of_json json =
+  let what = "error" in
+  let* kvs = obj_fields ~what json in
+  let* cls = string_field ~what kvs "class" in
+  let* _ = int_field ~what kvs "exit_code" in
+  let str = string_field ~what kvs in
+  let strict allowed k =
+    let* () = no_unknown ~what ~allowed:("class" :: "exit_code" :: allowed) kvs in
+    k ()
+  in
+  match cls with
+  | "invalid-input" ->
+    strict [ "what"; "detail" ] @@ fun () ->
+    let* w = str "what" in
+    let* detail = str "detail" in
+    Ok (Flm_error.Invalid_input { what = w; detail })
+  | "job-failed" ->
+    strict [ "job"; "exn" ] @@ fun () ->
+    let* job = str "job" in
+    let* exn = str "exn" in
+    Ok (Flm_error.Job_failed { job; exn })
+  | "job-timeout" ->
+    strict [ "job"; "timeout_ms" ] @@ fun () ->
+    let* job = str "job" in
+    let* timeout_ms = int_field ~what kvs "timeout_ms" in
+    Ok (Flm_error.Job_timeout { job; timeout_ms })
+  | "worker-crashed" ->
+    strict [ "detail" ] @@ fun () ->
+    let* detail = str "detail" in
+    Ok (Flm_error.Worker_crashed { detail })
+  | "axiom-violation" ->
+    strict [ "axiom"; "detail" ] @@ fun () ->
+    let* axiom = str "axiom" in
+    let* detail = str "detail" in
+    Ok (Flm_error.Axiom_violation { axiom; detail })
+  | "store-corrupt" ->
+    strict [ "path"; "offset"; "detail" ] @@ fun () ->
+    let* path = str "path" in
+    let* offset = int_field ~what kvs "offset" in
+    let* detail = str "detail" in
+    Ok (Flm_error.Store_corrupt { path; offset; detail })
+  | "net" ->
+    strict [ "endpoint"; "detail" ] @@ fun () ->
+    let* endpoint = str "endpoint" in
+    let* detail = str "detail" in
+    Ok (Flm_error.Net { endpoint; detail })
+  | c -> Error (Printf.sprintf "error: unknown class %S" c)
+
+module Slot = struct
+  type t = (Verdict.t, Flm_error.t) result
+
+  let to_json = function
+    | Ok v -> Verdict.to_json v
+    | Error e ->
+      Bench_json.Obj
+        [ "kind", Bench_json.String "error"; "error", error_to_json e ]
+
+  let of_json json =
+    let what = "slot" in
+    let* kvs = obj_fields ~what json in
+    let* kind = string_field ~what kvs "kind" in
+    match kind with
+    | "error" ->
+      let* () = no_unknown ~what ~allowed:[ "kind"; "error" ] kvs in
+      let* ej = field ~what kvs "error" in
+      let* e = error_of_json ej in
+      Ok (Error e)
+    | _ ->
+      let* v = Verdict.of_json json in
+      Ok (Ok v)
+end
+
+(* --- requests ------------------------------------------------------------ *)
+
+module Request = struct
+  type op =
+    | Certify of { problem : Job.cert_problem; n : int; f : int }
+    | Chaos of {
+        family : string;
+        f : int;
+        seed : int;
+        strategy : string;
+        trials : int;
+      }
+    | Sweep of { n_max : int; f_max : int }
+    | Store_stat
+    | Stats
+
+  type t = { op : op; timeout_ms : int option }
+
+  let label t =
+    match t.op with
+    | Certify _ -> "certify"
+    | Chaos _ -> "chaos"
+    | Sweep _ -> "sweep"
+    | Store_stat -> "store-stat"
+    | Stats -> "stats"
+
+  let to_json t =
+    let base =
+      match t.op with
+      | Certify { problem; n; f } ->
+        [ "op", Bench_json.String "certify";
+          "problem", Bench_json.String (Job.cert_problem_name problem);
+          "n", Bench_json.Int n;
+          "f", Bench_json.Int f;
+        ]
+      | Chaos { family; f; seed; strategy; trials } ->
+        [ "op", Bench_json.String "chaos";
+          "family", Bench_json.String family;
+          "f", Bench_json.Int f;
+          "seed", Bench_json.Int seed;
+          "strategy", Bench_json.String strategy;
+          "trials", Bench_json.Int trials;
+        ]
+      | Sweep { n_max; f_max } ->
+        [ "op", Bench_json.String "sweep";
+          "n_max", Bench_json.Int n_max;
+          "f_max", Bench_json.Int f_max;
+        ]
+      | Store_stat -> [ "op", Bench_json.String "store-stat" ]
+      | Stats -> [ "op", Bench_json.String "stats" ]
+    in
+    let timeout =
+      match t.timeout_ms with
+      | Some ms -> [ "timeout_ms", Bench_json.Int ms ]
+      | None -> []
+    in
+    Bench_json.Obj ((("v", Bench_json.Int protocol_version) :: base) @ timeout)
+
+  (* Size bounds: big enough for every workload the batch CLI serves today,
+     small enough that one request cannot wedge the daemon. *)
+  let max_sweep_n = 32
+  let max_sweep_f = 8
+  let max_trials = 10_000
+  let max_timeout_ms = 3_600_000
+  let max_size = 4096
+
+  let of_json json =
+    let what = "request" in
+    let* kvs = obj_fields ~what json in
+    let* () = check_version ~what kvs in
+    let* op = string_field ~what kvs "op" in
+    let* timeout_ms =
+      match List.assoc_opt "timeout_ms" kvs with
+      | None -> Ok None
+      | Some v -> (
+        match Bench_json.to_int_opt v with
+        | Some ms ->
+          let* ms = bounded ~what ~lo:1 ~hi:max_timeout_ms "timeout_ms" ms in
+          Ok (Some ms)
+        | None -> Error "request: field \"timeout_ms\" must be an integer")
+    in
+    let strict allowed k =
+      let* () =
+        no_unknown ~what ~allowed:("v" :: "op" :: "timeout_ms" :: allowed) kvs
+      in
+      k ()
+    in
+    let* op =
+      match op with
+      | "certify" ->
+        strict [ "problem"; "n"; "f" ] @@ fun () ->
+        let* p = string_field ~what kvs "problem" in
+        let* problem =
+          match Job.cert_problem_of_string p with
+          | Some problem -> Ok problem
+          | None ->
+            Error
+              (Printf.sprintf
+                 "request: unknown certify problem %S (servable: ba, \
+                  ba-collapse, ba-conn)"
+                 p)
+        in
+        let* n = int_field ~what kvs "n" in
+        let* n = bounded ~what ~lo:0 ~hi:max_size "n" n in
+        let* f = int_field ~what kvs "f" in
+        let* f = bounded ~what ~lo:0 ~hi:max_size "f" f in
+        Ok (Certify { problem; n; f })
+      | "chaos" ->
+        strict [ "family"; "f"; "seed"; "strategy"; "trials" ] @@ fun () ->
+        let* family = string_field ~what kvs "family" in
+        let* f = int_field ~what kvs "f" in
+        let* f = bounded ~what ~lo:0 ~hi:max_size "f" f in
+        let* seed = int_field ~what kvs "seed" in
+        let* strategy = string_field ~what kvs "strategy" in
+        let* trials = int_field ~what kvs "trials" in
+        let* trials = bounded ~what ~lo:1 ~hi:max_trials "trials" trials in
+        Ok (Chaos { family; f; seed; strategy; trials })
+      | "sweep" ->
+        strict [ "n_max"; "f_max" ] @@ fun () ->
+        let* n_max = int_field ~what kvs "n_max" in
+        let* n_max = bounded ~what ~lo:3 ~hi:max_sweep_n "n_max" n_max in
+        let* f_max = int_field ~what kvs "f_max" in
+        let* f_max = bounded ~what ~lo:1 ~hi:max_sweep_f "f_max" f_max in
+        Ok (Sweep { n_max; f_max })
+      | "store-stat" -> strict [] @@ fun () -> Ok Store_stat
+      | "stats" -> strict [] @@ fun () -> Ok Stats
+      | o -> Error (Printf.sprintf "request: unknown op %S" o)
+    in
+    Ok { op; timeout_ms }
+end
+
+(* --- responses ----------------------------------------------------------- *)
+
+module Response = struct
+  type t = Result of Bench_json.t | Failed of Flm_error.t
+
+  let to_json = function
+    | Result payload ->
+      Bench_json.Obj
+        [ "v", Bench_json.Int protocol_version;
+          "status", Bench_json.String "ok";
+          "result", payload;
+        ]
+    | Failed e ->
+      Bench_json.Obj
+        [ "v", Bench_json.Int protocol_version;
+          "status", Bench_json.String "error";
+          "error", error_to_json e;
+        ]
+
+  let of_json json =
+    let what = "response" in
+    let* kvs = obj_fields ~what json in
+    let* () = check_version ~what kvs in
+    let* status = string_field ~what kvs "status" in
+    match status with
+    | "ok" ->
+      let* () = no_unknown ~what ~allowed:[ "v"; "status"; "result" ] kvs in
+      let* payload = field ~what kvs "result" in
+      Ok (Result payload)
+    | "error" ->
+      let* () = no_unknown ~what ~allowed:[ "v"; "status"; "error" ] kvs in
+      let* ej = field ~what kvs "error" in
+      let* e = error_of_json ej in
+      Ok (Failed e)
+    | s -> Error (Printf.sprintf "response: unknown status %S" s)
+end
+
+(* --- framing over file descriptors --------------------------------------- *)
+
+let net ~endpoint detail = Flm_error.Net { endpoint; detail }
+
+let rec retry_intr f =
+  match f () with
+  | v -> v
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> retry_intr f
+
+let frame payload =
+  let n = String.length payload in
+  let b = Bytes.create (4 + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.unsafe_to_string b
+
+type input = Frame of string | Eof
+
+(* Read exactly [n] bytes, or report how the connection ended instead. *)
+let read_exact ~endpoint fd buf off n =
+  let rec go off remaining =
+    if remaining = 0 then Ok ()
+    else
+      match retry_intr (fun () -> Unix.read fd buf off remaining) with
+      | 0 -> Error (net ~endpoint "connection closed mid-frame")
+      | k -> go (off + k) (remaining - k)
+      | exception Unix.Unix_error (e, _, _) ->
+        Error
+          (net ~endpoint
+             (Printf.sprintf "read failed: %s" (Unix.error_message e)))
+  in
+  go off n
+
+let read_frame ~endpoint fd =
+  let header = Bytes.create 4 in
+  (* The first header byte distinguishes an orderly EOF from a torn frame. *)
+  match retry_intr (fun () -> Unix.read fd header 0 4) with
+  | 0 -> Ok Eof
+  | exception Unix.Unix_error (e, _, _) ->
+    Error
+      (net ~endpoint (Printf.sprintf "read failed: %s" (Unix.error_message e)))
+  | k -> (
+    let* () = read_exact ~endpoint fd header k (4 - k) in
+    let len = Int32.to_int (Bytes.get_int32_be header 0) in
+    if len <= 0 || len > max_frame_bytes then
+      Error
+        (net ~endpoint
+           (Printf.sprintf
+              "invalid frame length %d (frames carry 1..%d payload bytes)" len
+              max_frame_bytes))
+    else
+      let payload = Bytes.create len in
+      let* () = read_exact ~endpoint fd payload 0 len in
+      Ok (Frame (Bytes.unsafe_to_string payload)))
+
+let write_frame ~endpoint fd payload =
+  let bytes = frame payload in
+  let total = String.length bytes in
+  let rec go off =
+    if off = total then Ok ()
+    else
+      match
+        retry_intr (fun () -> Unix.write_substring fd bytes off (total - off))
+      with
+      | 0 -> Error (net ~endpoint "write made no progress")
+      | k -> go (off + k)
+      | exception Unix.Unix_error (e, _, _) ->
+        Error
+          (net ~endpoint
+             (Printf.sprintf "write failed: %s" (Unix.error_message e)))
+  in
+  go 0

@@ -1,0 +1,125 @@
+(** The wire protocol of [flm serve]: length-prefixed frames whose payloads
+    are {!Bench_json} documents, with versioned, strictly-validated request
+    and response schemas.
+
+    {b Framing.}  A frame is a 4-byte big-endian payload length followed by
+    exactly that many payload bytes; payloads are UTF-8 JSON texts.  A
+    length of zero or above {!max_frame_bytes} is a protocol violation —
+    the peer is not speaking this protocol and the connection cannot be
+    re-synchronized, so framing errors are terminal for the connection
+    (typed as {!Flm_error.Net}), while {e document}-level errors (bad JSON,
+    unknown op, wrong version) are answered with an error response on a
+    connection that stays usable.
+
+    {b Versioning.}  Every request and response document carries
+    ["v" : {!protocol_version}]; a reader rejects any other value, so a
+    future incompatible schema bumps the version and old peers fail closed
+    with a typed error instead of misreading fields.
+
+    {b Strictness.}  [of_json] validators reject missing fields, wrong
+    types, out-of-range sizes, {e and unknown fields} — a misspelled
+    optional field is an error, never silently ignored. *)
+
+val protocol_version : int
+(** 1. *)
+
+val max_frame_bytes : int
+(** Upper bound on a frame payload (1 MiB). *)
+
+(** The serveable verdict projection: what crosses the wire.
+
+    [Cell], [Conn], and [Chaos] verdicts are first-order data and project
+    faithfully; a [Cert] verdict carries traces and device closures, so
+    only its data projection (contradiction flag + verdict line) is
+    served — exactly the projection the persistent store keeps
+    ({!Job.verdict_to_value}). *)
+module Verdict : sig
+  type t =
+    | Cell of Sweep.cell
+    | Conn of (int * bool * bool option * bool option)
+    | Cert of { contradiction : bool; summary : string }
+    | Chaos of Job.chaos_outcome
+
+  val of_job_verdict : Job.verdict -> t
+  val to_json : t -> Bench_json.t
+  val of_json : Bench_json.t -> (t, string) result
+  val equal : t -> t -> bool
+end
+
+(** One batch slot: a verdict or the typed error that replaced it, exactly
+    mirroring the engine's supervised result lists. *)
+module Slot : sig
+  type t = (Verdict.t, Flm_error.t) result
+
+  val to_json : t -> Bench_json.t
+  val of_json : Bench_json.t -> (t, string) result
+end
+
+module Request : sig
+  type op =
+    | Certify of { problem : Job.cert_problem; n : int; f : int }
+    | Chaos of {
+        family : string;
+        f : int;
+        seed : int;
+        strategy : string;
+        trials : int;
+      }
+    | Sweep of { n_max : int; f_max : int }
+    | Store_stat
+    | Stats
+
+  type t = {
+    op : op;
+    timeout_ms : int option;
+        (** per-request deadline, nested inside the server's own
+            supervision config (the tighter deadline wins) *)
+  }
+
+  val label : t -> string
+  (** Short op name for logs and latency records. *)
+
+  val to_json : t -> Bench_json.t
+
+  val of_json : Bench_json.t -> (t, string) result
+  (** Strict: version, op, field presence, field types, size bounds
+      (sweeps capped at [n_max] 32 / [f_max] 8, chaos at 10_000 trials,
+      deadlines at 1 h), and no unknown fields.  Family and strategy
+      strings are schema-checked here and {e semantically} validated by
+      the server's engine, which answers [Invalid_input] for a family or
+      strategy that does not parse. *)
+end
+
+module Response : sig
+  type t =
+    | Result of Bench_json.t  (** op-specific result document *)
+    | Failed of Flm_error.t
+
+  val to_json : t -> Bench_json.t
+  val of_json : Bench_json.t -> (t, string) result
+end
+
+val error_to_json : Flm_error.t -> Bench_json.t
+(** Full-fidelity projection (class, every payload field, and the class's
+    stable [exit_code] so shell callers can dispatch without a table). *)
+
+val error_of_json : Bench_json.t -> (Flm_error.t, string) result
+(** Exact inverse of {!error_to_json}. *)
+
+(* --- framing over file descriptors ------------------------------------- *)
+
+val frame : string -> string
+(** [frame payload] is the on-the-wire bytes: length prefix + payload. *)
+
+type input =
+  | Frame of string  (** one complete payload *)
+  | Eof  (** orderly close before any byte of a new frame *)
+
+val read_frame : endpoint:string -> Unix.file_descr -> (input, Flm_error.t) result
+(** Blocking, EINTR-safe.  [Error (Net _)] on a zero/oversized length
+    prefix, a connection that dies mid-frame, or a socket-level read
+    failure (including a receive timeout installed by the caller). *)
+
+val write_frame :
+  endpoint:string -> Unix.file_descr -> string -> (unit, Flm_error.t) result
+(** Blocking, EINTR-safe; [Error (Net _)] on any write failure. *)

@@ -84,6 +84,13 @@ let () =
       "-j"; "1" ];
   expect "store gc succeeds" 0 [ "store"; "gc"; dir ];
   expect "store verify: clean after gc" 0 [ "store"; "verify"; dir ];
+  (* Net (16): no daemon behind the socket path, and a socket path whose
+     parent directory cannot exist. *)
+  expect "Net: query, nothing listening" 16
+    [ "query"; "stats"; "--socket"; Filename.concat dir "no-daemon.sock" ];
+  expect "Net: serve, unbindable socket" 16
+    [ "serve"; "--socket"; Filename.concat dir "missing/dir/s.sock";
+      "--quiet"; "-j"; "1" ];
   Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
   (try Unix.rmdir dir with Unix.Unix_error _ -> ());
   if !failures > 0 then exit 1;

@@ -98,6 +98,31 @@ let hygiene () =
     (Lint_scope.allow_reason ~dir:"lib/graph" Lint_rule.Hygiene_untyped_raise
     <> None)
 
+(* (c') The serve scope: Unix/sockets/domains are the daemon's job, so the
+   locality family stays off in lib/serve (with the exemption on record),
+   while the concurrency family and typed-raise hygiene bind exactly as in
+   the engine.  The same Unix call in a protocol path still fires. *)
+let serve_scope () =
+  let serve = "lib/serve/fixture.ml" in
+  expect_clean ~path:serve
+    "let now () = Unix.gettimeofday ()\n\
+     let sock () = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0\n\
+     let me () = Domain.self ()";
+  expect_one ~path:proto ~rule:Lint_rule.Locality_time ~line:1
+    "let sock () = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0";
+  expect_one ~path:serve ~rule:Lint_rule.Concurrency_lock_pairing ~line:2
+    "let f m g =\n  Mutex.lock m;\n  g ()";
+  expect_one ~path:serve ~rule:Lint_rule.Hygiene_untyped_raise ~line:1
+    "let boom () = failwith \"no\"";
+  List.iter
+    (fun rule ->
+      check Alcotest.bool
+        (Printf.sprintf "serve exemption for %s recorded"
+           (Lint_rule.to_string rule))
+        true
+        (Lint_scope.allow_reason ~dir:"lib/serve" rule <> None))
+    [ Lint_rule.Locality_time; Lint_rule.Locality_domain ]
+
 (* (d) One suppression per family: the finding disappears and is counted. *)
 let suppressions () =
   let suppressed_one ~path src =
@@ -166,6 +191,7 @@ let suite =
     [ Alcotest.test_case "locality rules" `Quick locality;
       Alcotest.test_case "concurrency rules" `Quick concurrency;
       Alcotest.test_case "hygiene rules" `Quick hygiene;
+      Alcotest.test_case "serve scope" `Quick serve_scope;
       Alcotest.test_case "suppressions" `Quick suppressions;
       Alcotest.test_case "meta rules" `Quick meta;
       Alcotest.test_case "clean and json" `Quick clean_and_json;

@@ -22,4 +22,5 @@ let () =
       Test_supervision.suite;
       Test_edge_cases.suite;
       Test_lint.suite;
+      Test_serve.suite;
     ]
