@@ -1,0 +1,127 @@
+(* E20: chaos-campaign throughput (forked shards vs in-process) and the
+   delta-debugging shrinker's yield, measured on the seeded cube the
+   campaign smoke test also exercises — small enough to run per-commit,
+   violating enough that the corpus and shrinker are on the measured
+   path. *)
+
+let ( // ) = Filename.concat
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun f -> rm_rf (path // f)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let spec ~workers ~trials =
+  match
+    Campaign_spec.make ~name:"bench-e20" ~seed:7 ~trials ~workers
+      ~protocols:[ "eig"; "flood-vote" ]
+      ~strategies:[ "equivocate"; "corrupt:1"; "mobile:0.9" ]
+      ~families:[ "complete"; "cycle" ] ~n_max:4 ~f_max:2 ()
+  with
+  | Ok t -> t
+  | Error e -> failwith (Flm_error.to_string e)
+
+(* One campaign level: a fresh directory, shrinking off — the figure is
+   trial throughput, the shrinker is measured separately below. *)
+let level ~trials workers =
+  let dir =
+    Filename.get_temp_dir_name ()
+    // Printf.sprintf "flm_bench_e20_w%d_%d" workers (Unix.getpid ())
+  in
+  rm_rf dir;
+  let config = { Campaign.default_config with Campaign.shrink = false } in
+  let t0 = Unix.gettimeofday () in
+  match Campaign.run ~dir ~config (spec ~workers ~trials) with
+  | Error e -> failwith (Flm_error.to_string e)
+  | Ok summary ->
+    let dt = Unix.gettimeofday () -. t0 in
+    dir, summary, dt
+
+let run ?out ~workers_list ~trials () =
+  (* Sharded levels first: forking is only defined while this process is
+     single-domain, and the workers=1 level spawns engine domains here. *)
+  let workers_list =
+    List.sort_uniq (fun a b -> Int.compare b a) workers_list
+  in
+  let levels = List.map (fun w -> w, level ~trials w) workers_list in
+  let runs =
+    List.map
+      (fun (workers, (_, summary, dt)) ->
+        let cells = summary.Campaign.total in
+        Bench_json.run_record
+          ~label:
+            (if workers = 1 then "in_process"
+             else Printf.sprintf "sharded_%dw" workers)
+          ~jobs:workers ~wall_seconds:dt
+          ~extra:
+            [ "cells", Bench_json.Int cells;
+              "violated", Bench_json.Int summary.Campaign.violated;
+              ( "cells_per_sec",
+                Bench_json.Float
+                  (if dt > 0.0 then float_of_int cells /. dt else 0.0) );
+            ]
+          ())
+      levels
+  in
+  (* The shrinker, on the corpus the widest level mined: per-entry probe
+     counts and the size deltas along all three axes. *)
+  let corpus_dir, _, _ = List.assoc (List.hd workers_list) levels in
+  let entries =
+    match Campaign_corpus.open_dir corpus_dir with
+    | Error e -> failwith (Flm_error.to_string e)
+    | Ok store ->
+      let es = Campaign_corpus.entries store in
+      Store.close store;
+      es
+  in
+  let t0 = Unix.gettimeofday () in
+  let stats =
+    List.filter_map
+      (fun e ->
+        match Campaign_shrink.minimize e with
+        | Ok (_, _, stats) -> Some stats
+        | Error _ -> None)
+      entries
+  in
+  let shrink_dt = Unix.gettimeofday () -. t0 in
+  let sum f = List.fold_left (fun acc s -> acc + f s) 0 stats in
+  let probes = sum (fun s -> s.Campaign_shrink.probes) in
+  let axis name f =
+    let original = sum (fun s -> f s.Campaign_shrink.original) in
+    let shrunk = sum (fun s -> f s.Campaign_shrink.shrunk) in
+    [ name ^ "_original", Bench_json.Int original;
+      name ^ "_shrunk", Bench_json.Int shrunk;
+      ( name ^ "_reduction_pct",
+        Bench_json.Float
+          (if original > 0 then
+             100.0 *. float_of_int (original - shrunk) /. float_of_int original
+           else 0.0) );
+    ]
+  in
+  let derived =
+    [ "corpus_entries", Bench_json.Int (List.length entries);
+      "shrunk_entries", Bench_json.Int (List.length stats);
+      "shrink_probes", Bench_json.Int probes;
+      "shrink_wall_seconds", Bench_json.Float shrink_dt;
+    ]
+    @ axis "rounds" (fun z -> z.Campaign_shrink.rounds)
+    @ axis "nodes" (fun z -> z.Campaign_shrink.nodes)
+    @ axis "actions" (fun z -> z.Campaign_shrink.actions)
+  in
+  List.iter (fun (_, (dir, _, _)) -> rm_rf dir) levels;
+  let json =
+    Bench_json.bench_record ~experiment:"E20"
+      ~config:
+        [ "seed", Bench_json.Int 7;
+          "trials", Bench_json.Int trials;
+          ( "workers_list",
+            Bench_json.List (List.map (fun w -> Bench_json.Int w) workers_list)
+          );
+        ]
+      ~derived ~runs ()
+  in
+  Option.iter (fun path -> Bench_json.write_file ~path json) out;
+  json

@@ -1,0 +1,22 @@
+(** E20: chaos-campaign throughput and shrinker statistics.
+
+    [run] drives the same seeded, known-violating cube (2 protocols x 3
+    fault strategies, Mobile included, over two topology families and the
+    (n, f) grid) through the campaign driver once per entry of
+    [workers_list]: sharded levels fork that many journaled worker
+    processes, level 1 runs in-process.  Each level reports executed cells
+    per second (enumerated minus skipped; shrinking is off so the figure
+    is pure trial throughput).  The corpus mined by the first level then
+    feeds the shrinker, timed per entry, and the record aggregates the
+    delta-debugging yield: probes spent and the rounds/nodes/actions of
+    the original scenarios against their minima.
+
+    Forks processes: call it before anything in the calling process has
+    spawned domains (the in-process level spawns engine domains, so levels
+    run sharded-first and level 1 last).
+
+    Returns the experiment's {!Bench_json} record (written to [out] when
+    given).  Wall-clock figures vary by host; the record's shape does
+    not. *)
+
+val run : ?out:string -> workers_list:int list -> trials:int -> unit -> Bench_json.t

@@ -560,6 +560,41 @@ let e19 () =
   | None -> ());
   Format.printf "wrote BENCH_E19.json@."
 
+(* --- E20: chaos campaigns ------------------------------------------------------------ *)
+
+let e20 () =
+  section "E20"
+    "chaos campaigns: cube throughput over forked shards vs in-process, \
+     and the delta-debugging shrinker's yield on the mined corpus";
+  let json =
+    Bench_e20.run ~out:"BENCH_E20.json" ~workers_list:[ 1; 3 ] ~trials:4 ()
+  in
+  let num field v =
+    Option.value ~default:0.0
+      (Option.bind (Bench_json.member field v) Bench_json.to_float_opt)
+  in
+  Format.printf "%-12s | %5s | %8s | %s@." "level" "cells" "seconds"
+    "cells/sec";
+  List.iter
+    (fun r ->
+      Format.printf "%-12s | %5.0f | %8.3f | %.1f@."
+        (Option.value ~default:"?"
+           (Option.bind (Bench_json.member "label" r) Bench_json.to_string_opt))
+        (num "cells" r) (num "wall_seconds" r) (num "cells_per_sec" r))
+    (Option.value ~default:[]
+       (Option.bind (Bench_json.member "runs" json) Bench_json.to_list_opt));
+  (match Bench_json.member "derived" json with
+  | Some d ->
+    Format.printf
+      "shrinker: %.0f corpus entries, %.0f probes: rounds -%.0f%%, nodes \
+       -%.0f%%, actions -%.0f%%@."
+      (num "corpus_entries" d) (num "shrink_probes" d)
+      (num "rounds_reduction_pct" d)
+      (num "nodes_reduction_pct" d)
+      (num "actions_reduction_pct" d)
+  | None -> ());
+  Format.printf "wrote BENCH_E20.json@."
+
 (* --- Bechamel timing benches -------------------------------------------------------- *)
 
 (* --- E16: supervision overhead ----------------------------------------------------- *)
@@ -801,10 +836,11 @@ let timing () =
 let () =
   Format.printf
     "flm benchmark & experiment harness — Fischer-Lynch-Merritt (PODC 1985)@.";
-  (* E19 first: it forks daemon and client processes, and forking is only
-     defined while this process still has a single domain — every later
-     experiment spawns engine pools. *)
+  (* E19 and E20's sharded levels first: they fork processes, and forking
+     is only defined while this process still has a single domain — E20's
+     in-process level and every later experiment spawn engine pools. *)
   e19 ();
+  e20 ();
   e1 ();
   e2 ();
   e3 ();

@@ -444,8 +444,10 @@ let chaos_cmd =
           incr failed;
           Format.printf "trial %2d: error: %a@." trial Flm_error.pp e)
       outcomes;
-    Format.printf "@.%d survived, %d violated, %d failed@." !survived !violated
-      !failed;
+    (* The seed is the replay handle: print it in the summary so a failing
+       run is reproducible even when the caller left it defaulted. *)
+    Format.printf "@.%d survived, %d violated, %d failed (seed %d)@." !survived
+      !violated !failed seed;
     checkpoint_summary eng;
     finish eng metrics;
     Option.iter Store.close (Engine.store eng);
@@ -478,8 +480,8 @@ let chaos_cmd =
       & info [ "strategy" ] ~docv:"STRATEGY"
           ~doc:
             "Fault strategy: drop[:P] | dup[:P] | corrupt[:P] | equivocate | \
-             replay | crash | delay[:D] | poison | stall[:MS] | chaos \
-             (weighted mix of the in-model strategies).")
+             replay | crash | delay[:D] | mobile[:P] | poison | stall[:MS] | \
+             chaos (weighted mix of the in-model strategies).")
   in
   let trials =
     Arg.(value & opt int 10 & info [ "trials" ] ~docv:"N" ~doc:"Trials to run.")
@@ -769,6 +771,248 @@ let query_cmd =
       query_stats_cmd;
     ]
 
+(* --- flm campaign --------------------------------------------------------- *)
+
+let campaign_dir_arg =
+  let open Cmdliner in
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "dir" ] ~docv:"DIR"
+        ~doc:
+          "Campaign directory (created if missing): the merged store journal \
+           at its root, shard journals under shards/, the failure corpus \
+           under corpus/.")
+
+let pp_scenario ppf (s : Job.scenario) =
+  Format.fprintf ppf "%s on %s (f=%d, seed=%d, trial=%d, rounds=%s): %s"
+    s.Job.protocol s.Job.family s.Job.f s.Job.seed s.Job.trial
+    (match s.Job.rounds with Some r -> string_of_int r | None -> "full")
+    (String.concat "; "
+       (List.map (fun (u, spec) -> Printf.sprintf "%d:%s" u spec) s.Job.faults))
+
+let entry_label (e : Campaign_corpus.entry) =
+  Printf.sprintf "%s/%s/f=%d/%s/trial=%d" e.Campaign_corpus.protocol
+    e.Campaign_corpus.family e.Campaign_corpus.f e.Campaign_corpus.strategy
+    e.Campaign_corpus.trial
+
+let open_corpus dir =
+  match Campaign_corpus.open_dir dir with
+  | Ok c -> c
+  | Error e -> fail_error e
+
+let campaign_run_cmd =
+  let run spec_path dir jobs timeout_ms retries shard_timeout_ms shard_retries
+      no_shrink =
+    match Campaign_spec.load spec_path with
+    | Error e -> fail_error e
+    | Ok spec -> (
+      Format.printf "%a@." Campaign_spec.pp spec;
+      let config =
+        {
+          Campaign.jobs = Some jobs;
+          timeout_ms;
+          retries;
+          shard_timeout_ms;
+          shard_retries;
+          shrink = not no_shrink;
+        }
+      in
+      match Campaign.run ~dir ~config spec with
+      | Error e -> fail_error e
+      | Ok s ->
+        List.iter
+          (fun (r : Campaign.shard_report) ->
+            match r.Campaign.result with
+            | Ok () ->
+              Format.printf "shard %d: ok (%d cells, %d attempt%s)@."
+                r.Campaign.shard r.Campaign.cells r.Campaign.attempts
+                (if r.Campaign.attempts = 1 then "" else "s")
+            | Error e ->
+              Format.printf "shard %d: %a@." r.Campaign.shard Flm_error.pp e)
+          s.Campaign.shards;
+        if s.Campaign.skipped > 0 then
+          Format.printf "%d inapplicable cells skipped@." s.Campaign.skipped;
+        Format.printf "%d cells: %d survived, %d violated, %d failed (seed %d)@."
+          s.Campaign.total s.Campaign.survived s.Campaign.violated
+          s.Campaign.failed spec.Campaign_spec.seed;
+        Format.printf
+          "corpus: %d entries (%d new, %d minimized); merged store: %d records@."
+          s.Campaign.corpus s.Campaign.corpus_new s.Campaign.minimized
+          s.Campaign.merged_records;
+        if s.Campaign.interrupted then begin
+          Format.printf
+            "interrupted — merged journals checkpoint progress; re-run to \
+             resume@.";
+          exit
+            (Flm_error.exit_code
+               (Flm_error.Worker_crashed { detail = "campaign interrupted" }))
+        end;
+        List.iter
+          (fun (r : Campaign.shard_report) ->
+            match r.Campaign.result with
+            | Error e -> exit (Flm_error.exit_code e)
+            | Ok () -> ())
+          s.Campaign.shards)
+  in
+  let open Cmdliner in
+  let spec_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "spec" ] ~docv:"FILE"
+          ~doc:
+            "Campaign spec: a JSON object with name, protocols, strategies, \
+             families (templates instantiated per n), n_max, f_max, and \
+             optional seed, trials, workers.")
+  in
+  let shard_timeout =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shard-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Wall-clock deadline per worker process; an overdue shard is \
+             killed and reported as a typed timeout.")
+  in
+  let shard_retries =
+    Arg.(
+      value & opt int 1
+      & info [ "shard-retries" ] ~docv:"N"
+          ~doc:
+            "Re-forks for a crashed worker; the retried shard resumes from \
+             its own journal.")
+  in
+  let no_shrink =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ]
+          ~doc:"Skip minimizing new corpus failures after the merge.")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run a declarative chaos campaign: shard the protocol x strategy x \
+          topology x (n,f) cube over forked journaled workers, merge the \
+          shard stores, and mine failures into the corpus.")
+    Term.(
+      const run $ spec_arg $ campaign_dir_arg $ jobs_arg $ timeout_arg
+      $ retries_arg $ shard_timeout $ shard_retries $ no_shrink)
+
+let campaign_status_cmd =
+  let run dir =
+    match Campaign.status ~dir with
+    | Error e -> fail_error e
+    | Ok (primary, shards, corpus_entries) ->
+      Format.printf "merged: %d live, %d records, %d bytes (%s)@."
+        primary.Store.live primary.Store.records primary.Store.bytes
+        primary.Store.path;
+      List.iteri
+        (fun i st ->
+          Format.printf "shard %d: %d live, %d records, %d bytes@." i
+            st.Store.live st.Store.records st.Store.bytes)
+        shards;
+      Format.printf "corpus: %d entries@." corpus_entries
+  in
+  let open Cmdliner in
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:"Report merged, shard, and corpus journal state without running.")
+    Term.(const run $ campaign_dir_arg)
+
+let campaign_replay_cmd =
+  let run dir =
+    let corpus = open_corpus dir in
+    let entries = Campaign_corpus.entries corpus in
+    if entries = [] then Format.printf "corpus is empty@.";
+    let first_err = ref None in
+    List.iter
+      (fun e ->
+        match Campaign_corpus.replay e with
+        | Ok outcome ->
+          Format.printf "%s: reproduced from seed %d (%s)@." (entry_label e)
+            e.Campaign_corpus.seed
+            (String.concat " | " outcome.Job.violations)
+        | Error err ->
+          if !first_err = None then first_err := Some err;
+          Format.printf "%s: %a@." (entry_label e) Flm_error.pp err)
+      entries;
+    Store.close corpus;
+    match !first_err with
+    | Some e -> exit (Flm_error.exit_code e)
+    | None -> ()
+  in
+  let open Cmdliner in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-run every corpus failure from its recorded seed and check it \
+          still reproduces the recorded outcome exactly.")
+    Term.(const run $ campaign_dir_arg)
+
+let campaign_shrink_cmd =
+  let run dir force =
+    let corpus = open_corpus dir in
+    let entries = Campaign_corpus.entries corpus in
+    if entries = [] then Format.printf "corpus is empty@.";
+    let first_err = ref None in
+    List.iter
+      (fun e ->
+        match e.Campaign_corpus.minimized with
+        | Some sc when not force ->
+          Format.printf "%s: already minimized: %a@." (entry_label e)
+            pp_scenario sc
+        | _ -> (
+          match Campaign_shrink.minimize e with
+          | Ok (scenario, _, stats) ->
+            Campaign_corpus.record corpus
+              { e with Campaign_corpus.minimized = Some scenario };
+            Format.printf
+              "%s: rounds %d->%d, nodes %d->%d, actions %d->%d (%d probes)@."
+              (entry_label e) stats.Campaign_shrink.original.rounds
+              stats.Campaign_shrink.shrunk.rounds
+              stats.Campaign_shrink.original.nodes
+              stats.Campaign_shrink.shrunk.nodes
+              stats.Campaign_shrink.original.actions
+              stats.Campaign_shrink.shrunk.actions
+              stats.Campaign_shrink.probes;
+            Format.printf "  minimized: %a@." pp_scenario scenario
+          | Error err ->
+            if !first_err = None then first_err := Some err;
+            Format.printf "%s: %a@." (entry_label e) Flm_error.pp err))
+      entries;
+    Store.close corpus;
+    match !first_err with
+    | Some e -> exit (Flm_error.exit_code e)
+    | None -> ()
+  in
+  let open Cmdliner in
+  let force =
+    Arg.(
+      value & flag
+      & info [ "force" ] ~doc:"Re-minimize entries that already carry a scenario.")
+  in
+  Cmd.v
+    (Cmd.info "shrink"
+       ~doc:
+         "Delta-debug each corpus failure to a minimal reproducing scenario \
+          (rounds, then nodes, then fault actions) and persist it.")
+    Term.(const run $ campaign_dir_arg $ force)
+
+let campaign_cmd =
+  let open Cmdliner in
+  Cmd.group
+    (Cmd.info "campaign"
+       ~doc:
+         "Fleet-scale chaos campaigns: declarative cube specs, sharded \
+          journaled workers, a replayable failure corpus, and a \
+          delta-debugging scenario minimizer.")
+    [ campaign_run_cmd;
+      campaign_status_cmd;
+      campaign_replay_cmd;
+      campaign_shrink_cmd;
+    ]
+
 (* --- flm lint ------------------------------------------------------------ *)
 
 let lint_cmd =
@@ -854,6 +1098,7 @@ let () =
             certify_cmd;
             sweep_cmd;
             chaos_cmd;
+            campaign_cmd;
             store_cmd;
             serve_cmd;
             query_cmd;

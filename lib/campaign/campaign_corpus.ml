@@ -1,0 +1,140 @@
+type entry = {
+  protocol : string;
+  family : string;
+  f : int;
+  seed : int;
+  strategy : string;
+  trial : int;
+  outcome : Job.chaos_outcome;
+  minimized : Job.scenario option;
+}
+
+let subdir = "corpus"
+let open_dir dir = Store.open_dir (Filename.concat dir subdir)
+
+let job e =
+  Job.Campaign_trial
+    { protocol = e.protocol; family = e.family; f = e.f; seed = e.seed;
+      strategy = e.strategy; trial = e.trial }
+
+let scenario_of e =
+  { Job.protocol = e.protocol; family = e.family; f = e.f; seed = e.seed;
+    trial = e.trial; rounds = None;
+    faults = List.map (fun u -> u, e.strategy) e.outcome.Job.faulty }
+
+(* --- codec ------------------------------------------------------------------ *)
+
+let scenario_to_value (s : Job.scenario) =
+  Value.tag "scenario"
+    (Value.list
+       [ Value.string s.Job.protocol; Value.string s.family; Value.int s.f;
+         Value.int s.seed; Value.int s.trial;
+         (match s.rounds with
+         | None -> Value.tag "none" Value.unit
+         | Some r -> Value.tag "some" (Value.int r));
+         Value.list
+           (List.map
+              (fun (u, spec) -> Value.pair (Value.int u) (Value.string spec))
+              s.faults);
+       ])
+
+let scenario_of_value v =
+  let ( let* ) = Option.bind in
+  match v with
+  | Value.Tag
+      ( "scenario",
+        Value.List
+          [ Value.String protocol; Value.String family; Value.Int f;
+            Value.Int seed; Value.Int trial; rounds; Value.List faults ] ) ->
+    let* rounds =
+      match rounds with
+      | Value.Tag ("none", Value.Unit) -> Some None
+      | Value.Tag ("some", Value.Int r) -> Some (Some r)
+      | _ -> None
+    in
+    let* faults =
+      List.fold_right
+        (fun v acc ->
+          match v, acc with
+          | Value.Pair (Value.Int u, Value.String spec), Some rest ->
+            Some ((u, spec) :: rest)
+          | _ -> None)
+        faults (Some [])
+    in
+    Some { Job.protocol; family; f; seed; trial; rounds; faults }
+  | _ -> None
+
+let entry_to_value e =
+  let outcome =
+    match Job.verdict_to_value (Job.Chaos e.outcome) with
+    | Some v -> v
+    | None -> assert false (* Chaos verdicts always project *)
+  in
+  Value.tag "corpus-entry"
+    (Value.list
+       [ Value.string e.protocol; Value.string e.family; Value.int e.f;
+         Value.int e.seed; Value.string e.strategy; Value.int e.trial;
+         outcome;
+         (match e.minimized with
+         | None -> Value.tag "none" Value.unit
+         | Some s -> Value.tag "some" (scenario_to_value s));
+       ])
+
+let entry_of_value v =
+  let ( let* ) = Option.bind in
+  match v with
+  | Value.Tag
+      ( "corpus-entry",
+        Value.List
+          [ Value.String protocol; Value.String family; Value.Int f;
+            Value.Int seed; Value.String strategy; Value.Int trial; outcome;
+            minimized ] ) ->
+    let* outcome =
+      match Job.verdict_of_value outcome with
+      | Some (Job.Chaos o) -> Some o
+      | _ -> None
+    in
+    let* minimized =
+      match minimized with
+      | Value.Tag ("none", Value.Unit) -> Some None
+      | Value.Tag ("some", s) ->
+        let* s = scenario_of_value s in
+        Some (Some s)
+      | _ -> None
+    in
+    Some { protocol; family; f; seed; strategy; trial; outcome; minimized }
+  | _ -> None
+
+(* --- store operations ------------------------------------------------------- *)
+
+let record store e = Store.put store ~key:(Job.describe (job e)) (entry_to_value e)
+
+let find store j =
+  match Store.find store (Job.describe j) with
+  | None -> None
+  | Some payload -> entry_of_value payload
+
+let entries store =
+  let acc = ref [] in
+  Store.iter store (fun ~key:_ ~payload ->
+      match entry_of_value payload with
+      | Some e -> acc := e :: !acc
+      | None -> ());
+  List.rev !acc
+
+let replay e =
+  let label = Job.label (job e) in
+  match Job.run (job e) with
+  | Job.Chaos outcome ->
+    if outcome = e.outcome then Ok outcome
+    else
+      Error
+        (Flm_error.Job_failed
+           { job = label;
+             exn =
+               Format.asprintf
+                 "replay diverged from the recorded outcome: got %a"
+                 Job.pp_verdict (Job.Chaos outcome) })
+  | _ -> assert false (* Campaign_trial always yields Chaos *)
+  | exception Flm_error.Error err -> Error err
+  | exception exn -> Error (Flm_error.classify ~job:label exn)

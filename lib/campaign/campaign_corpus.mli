@@ -1,0 +1,52 @@
+(** The persistent failure corpus.
+
+    Every violated campaign trial becomes a corpus entry: the full cube
+    coordinates (protocol, family, f, seed, strategy, trial), the recorded
+    outcome, and — once the shrinker has run — the minimized reproducing
+    scenario.  Entries live in a {!Store} under [<campaign dir>/corpus],
+    content-addressed by the trial's job descriptor ({!Job.describe}), so
+    re-running a campaign re-records the same failure onto the same key
+    (an equal payload is a no-op) and the corpus survives [kill -9] like
+    any other journal.
+
+    Replayability is the contract: an entry carries everything needed to
+    re-run its trial from scratch, and {!replay} checks the re-run against
+    the recorded outcome — a divergence means determinism broke and is
+    reported as a typed error, never papered over. *)
+
+type entry = {
+  protocol : string;
+  family : string;
+  f : int;
+  seed : int;
+  strategy : string;  (** the cube's strategy spec (pre-resolution) *)
+  trial : int;
+  outcome : Job.chaos_outcome;  (** the recorded violation *)
+  minimized : Job.scenario option;  (** set by the shrinker *)
+}
+
+val subdir : string
+(** ["corpus"] — where the corpus store lives under a campaign dir. *)
+
+val open_dir : string -> (Store.t, Flm_error.t) result
+(** Open (creating if needed) the corpus store of a campaign directory. *)
+
+val job : entry -> Job.t
+(** The {!Job.spec.Campaign_trial} the entry's coordinates name. *)
+
+val scenario_of : entry -> Job.scenario
+(** The faithful full-length scenario: [rounds = None] and the recorded
+    faulty set, each node paired with the cube's strategy spec — by the
+    {!Job.campaign_scenario} contract this reproduces the trial exactly. *)
+
+val record : Store.t -> entry -> unit
+(** Durably record (or supersede) the entry under its job descriptor. *)
+
+val find : Store.t -> Job.t -> entry option
+val entries : Store.t -> entry list
+
+val replay : entry -> (Job.chaos_outcome, Flm_error.t) result
+(** Re-run the trial from its recorded coordinates.  [Ok outcome] when the
+    re-run reproduces the recorded outcome exactly; [Error (Job_failed _)]
+    when it diverges (a determinism bug), or the typed error the re-run
+    itself raised. *)

@@ -1,0 +1,170 @@
+type size = {
+  rounds : int;
+  nodes : int;
+  actions : int;
+}
+
+type stats = {
+  probes : int;
+  original : size;
+  shrunk : size;
+}
+
+let spec_weight spec =
+  match Fault_strategy.of_string spec with
+  | Ok (Fault_strategy.Chaos arms) -> List.length arms
+  | Ok _ -> 1
+  | Error _ -> 1
+
+let size_of (s : Job.scenario) =
+  {
+    rounds =
+      (match s.Job.rounds with
+      | Some r -> r
+      | None ->
+        Job.campaign_rounds ~protocol:s.Job.protocol ~family:s.family ~f:s.f);
+    nodes = List.length s.faults;
+    actions = List.fold_left (fun acc (_, spec) -> acc + spec_weight spec) 0 s.faults;
+  }
+
+(* The violation category: the bracketed condition a {!Violation} renders
+   first ("[byzantine-agreement/agreement]", ".../validity", ...), falling
+   back to the prefix before ':'.  A shrink step must preserve at least one
+   category of the recorded outcome, so it cannot trade the original
+   violation for an artifact of the shrinking itself (e.g. shortening
+   rounds until a termination violation appears instead). *)
+let categories violations =
+  List.sort_uniq String.compare
+    (List.map
+       (fun v ->
+         if String.length v > 0 && v.[0] = '[' then
+           match String.index_opt v ']' with
+           | Some i -> String.sub v 0 (i + 1)
+           | None -> v
+         else
+           match String.index_opt v ':' with
+           | Some i -> String.sub v 0 i
+           | None -> v)
+       violations)
+
+let minimize entry =
+  let recorded = categories entry.Campaign_corpus.outcome.Job.violations in
+  let probes = ref 0 in
+  let probe scenario =
+    incr probes;
+    match Job.campaign_scenario scenario with
+    | outcome ->
+      if
+        (not outcome.Job.survived)
+        && List.exists
+             (fun c -> List.mem c recorded)
+             (categories outcome.Job.violations)
+      then Some outcome
+      else None
+    | exception Flm_error.Error _ -> None
+  in
+  let original = Campaign_corpus.scenario_of entry in
+  match Job.campaign_scenario original with
+  | exception Flm_error.Error e -> Error e
+  | full_outcome ->
+    if full_outcome <> entry.Campaign_corpus.outcome then
+      Error
+        (Flm_error.Job_failed
+           { job = Job.label (Campaign_corpus.job entry);
+             exn = "full-length scenario does not reproduce the recorded outcome" })
+    else begin
+      let original_size = size_of original in
+      (* 1. rounds: the smallest reproducing horizon. *)
+      let best = ref { original with Job.rounds = Some original_size.rounds } in
+      let best_outcome = ref full_outcome in
+      (try
+         for r = 1 to original_size.rounds - 1 do
+           let candidate = { original with Job.rounds = Some r } in
+           match probe candidate with
+           | Some outcome ->
+             best := candidate;
+             best_outcome := outcome;
+             raise Exit
+           | None -> ()
+         done
+       with Exit -> ());
+      (* 2. nodes: greedy removal to a fixpoint. *)
+      let rec drop_nodes () =
+        let faults = !best.Job.faults in
+        if List.length faults > 1 then begin
+          let improved =
+            List.exists
+              (fun victim ->
+                let candidate =
+                  { !best with
+                    Job.faults = List.filter (fun x -> x != victim) faults }
+                in
+                match probe candidate with
+                | Some outcome ->
+                  best := candidate;
+                  best_outcome := outcome;
+                  true
+                | None -> false)
+              faults
+          in
+          if improved then drop_nodes ()
+        end
+      in
+      drop_nodes ();
+      (* 3. actions: per node, the weakest spec that still reproduces. *)
+      List.iter
+        (fun (u, spec) ->
+          let candidates =
+            List.filter
+              (fun c -> c <> spec && spec_weight c < spec_weight spec)
+              [ "crash";
+                (* pin the chaos-mix pick to its concrete strategy: the
+                   recorded label "u:crash@3;..." names what actually ran *)
+                (match
+                   List.find_map
+                     (fun part ->
+                       match String.index_opt part ':' with
+                       | Some i
+                         when String.sub part 0 i = string_of_int u ->
+                         let label =
+                           String.sub part (i + 1)
+                             (String.length part - i - 1)
+                         in
+                         Some
+                           (match String.index_opt label '@' with
+                           | Some j -> String.sub label 0 j
+                           | None -> label)
+                       | _ -> None)
+                     (String.split_on_char ';'
+                        entry.Campaign_corpus.outcome.Job.strategy)
+                 with
+                | Some concrete -> concrete
+                | None -> "crash");
+              ]
+          in
+          List.iter
+            (fun candidate_spec ->
+              if List.mem_assoc u !best.Job.faults then
+                let current = List.assoc u !best.Job.faults in
+                if spec_weight candidate_spec < spec_weight current then
+                  let candidate =
+                    { !best with
+                      Job.faults =
+                        List.map
+                          (fun (v, s) ->
+                            if v = u then v, candidate_spec else v, s)
+                          !best.Job.faults }
+                  in
+                  match probe candidate with
+                  | Some outcome ->
+                    best := candidate;
+                    best_outcome := outcome
+                  | None -> ())
+            candidates)
+        original.Job.faults;
+      Ok
+        ( !best,
+          !best_outcome,
+          { probes = !probes; original = original_size; shrunk = size_of !best }
+        )
+    end

@@ -1,0 +1,48 @@
+(** Delta-debugging minimizer for failing campaign trials.
+
+    Given a corpus entry, {!minimize} shrinks its full-length scenario
+    along three axes, in order:
+
+    + {b rounds} — the smallest horizon at which the violation still shows
+      (linear probe from 1 up; horizons are small),
+    + {b nodes} — greedy one-at-a-time removal of faulty nodes to a
+      fixpoint (the per-node install streams depend only on
+      (seed, trial, node), so removing one node does not disturb the
+      others — see {!Job.campaign_scenario}),
+    + {b fault actions} — per remaining node, substitute the weakest
+      strategy spec that still reproduces: first plain [crash], then the
+      concrete strategy the chaos mix resolved to (pinning away the
+      weighted-mix indirection).
+
+    "Still reproduces" means the probe's violations are non-empty and share
+    a violation category (the leading bracketed condition a {!Violation}
+    renders — agreement, validity, termination) with the recorded outcome:
+    a shrink step may not trade the original violation for a different one
+    (e.g. shortening rounds until a termination violation appears).
+
+    Every probe is a deterministic in-process {!Job.campaign_scenario} run;
+    the result is guaranteed no larger than the original in rounds, nodes,
+    and actions (the action weight of a spec is its chaos-mix arm count, 1
+    for a concrete strategy). *)
+
+type size = {
+  rounds : int;
+  nodes : int;
+  actions : int;  (** summed spec weights (chaos mix = arm count) *)
+}
+
+type stats = {
+  probes : int;  (** scenario executions the search spent *)
+  original : size;
+  shrunk : size;
+}
+
+val size_of : Job.scenario -> size
+(** The size metric ([rounds = None] measures the full derived horizon). *)
+
+val minimize :
+  Campaign_corpus.entry ->
+  (Job.scenario * Job.chaos_outcome * stats, Flm_error.t) result
+(** Shrink the entry's scenario.  [Error (Job_failed _)] when the
+    full-length scenario does not reproduce the recorded outcome (a
+    determinism bug), or a typed error from scenario validation. *)

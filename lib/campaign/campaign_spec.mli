@@ -1,0 +1,78 @@
+(** Declarative campaign specifications.
+
+    A campaign spec names the full cube a chaos campaign exercises —
+    protocol x fault-strategy x topology-family x (n, f) — plus the seed,
+    trials-per-cell, and worker-process count.  Specs are plain JSON
+    ({!Bench_json.t}, the same dependency-free ADT the bench harness uses),
+    so campaigns are files that can be versioned next to the experiments
+    they drive:
+
+    {v
+    { "name": "nightly",
+      "seed": 42, "trials": 3, "workers": 4,
+      "protocols": ["eig", "phase-king", "flood-vote"],
+      "strategies": ["chaos", "mobile:0.7", "crash"],
+      "families": ["complete", "cycle"],
+      "n_max": 6, "f_max": 2 }
+    v}
+
+    Families are {e templates}: each is instantiated per grid point as
+    ["<template>:<n>"] (so ["complete"] spans K_3..K_n_max and
+    ["harary:3"] spans H(3, n)).  The (n, f) axis is {!Sweep.nf_grid} — the
+    same enumerator the boundary sweeps use, so the campaign grid can never
+    drift from the sweep grid.
+
+    {!enumerate} expands the cube into {!Job.spec.Campaign_trial} jobs,
+    filtering cells whose protocol is inapplicable
+    ({!Job.campaign_applies}) or whose family does not instantiate at that
+    [n] — every skipped cell is returned with its reason, never silently
+    dropped. *)
+
+type t = {
+  name : string;
+  seed : int;
+  trials : int;  (** trials per cube cell *)
+  workers : int;  (** forked worker processes ([1] = in-process) *)
+  protocols : string list;  (** subset of {!Job.campaign_protocols} *)
+  strategies : string list;  (** {!Fault_strategy.of_string} specs *)
+  families : string list;  (** topology-family templates *)
+  n_max : int;
+  f_max : int;
+}
+
+type cube = {
+  jobs : Job.t list;  (** in canonical enumeration order *)
+  skipped : (string * string) list;  (** (cell label, reason) *)
+}
+
+val make :
+  name:string ->
+  ?seed:int ->
+  ?trials:int ->
+  ?workers:int ->
+  protocols:string list ->
+  strategies:string list ->
+  families:string list ->
+  n_max:int ->
+  f_max:int ->
+  unit ->
+  (t, Flm_error.t) result
+(** Validated construction: non-empty axes, known protocols, parseable
+    strategies, [trials >= 1], [workers >= 1], [seed >= 0], [n_max >= 3],
+    [f_max >= 1].  Every violation is a typed [Invalid_input]. *)
+
+val of_json : Bench_json.t -> (t, Flm_error.t) result
+(** Strict parse: unknown fields are rejected ([seed], [trials], [workers]
+    are optional with defaults 1, 1, 2), then validated as {!make}. *)
+
+val to_json : t -> Bench_json.t
+(** Inverse of {!of_json} (round-trips exactly). *)
+
+val load : string -> (t, Flm_error.t) result
+(** Read and parse a spec file. *)
+
+val enumerate : t -> cube
+(** Expand the cube (see module docs).  Deterministic: families outer, then
+    the {!Sweep.nf_grid} order, protocols, strategies, trials. *)
+
+val pp : Format.formatter -> t -> unit

@@ -11,8 +11,26 @@ type spec =
       strategy : string;
       trial : int;
     }
+  | Campaign_trial of {
+      protocol : string;
+      family : string;
+      f : int;
+      seed : int;
+      strategy : string;
+      trial : int;
+    }
 
 type t = spec
+
+type scenario = {
+  protocol : string;
+  family : string;
+  f : int;
+  seed : int;
+  trial : int;
+  rounds : int option;
+  faults : (int * string) list;
+}
 
 type cert_outcome = {
   contradiction : bool;
@@ -22,6 +40,7 @@ type cert_outcome = {
 
 type chaos_outcome = {
   trial : int;
+  seed : int;
   strategy : string;
   faulty : int list;
   survived : bool;
@@ -71,6 +90,12 @@ let shape = function
        makes two trials distinct cache keys. *)
     ( Printf.sprintf "chaos[seed=%d,trial=%d,strategy=%s]" seed trial strategy,
       family, 0, f, "chaos-target", 0 )
+  | Campaign_trial { protocol; family; f; seed; strategy; trial } ->
+    (* Unlike chaos trials, the protocol is an explicit cube axis, so it is
+       part of the descriptor rather than implied by the topology. *)
+    ( Printf.sprintf "campaign[seed=%d,trial=%d,strategy=%s]" seed trial
+        strategy,
+      family, 0, f, protocol, 0 )
 
 let describe job =
   let problem, topology, n, f, protocol, horizon = shape job in
@@ -91,6 +116,72 @@ let label job =
   let problem, topology, _, f, _, _ = shape job in
   Printf.sprintf "%s(%s,f=%d)" problem topology f
 
+(* --- the seeded-trial core (shared by chaos and campaign trials) ----------- *)
+
+let fail_input what detail =
+  Flm_error.raise_error (Flm_error.Invalid_input { what; detail })
+
+(* The trial PRNG tree.  Key layout (stable — recorded seeds replay against
+   it): trial stream = derive(of_seed seed) trial; per-node inputs under
+   key 1; faulty-count under key 2; faulty-set under key 3; per-node install
+   streams under key 4.  [campaign_scenario] reuses the same keys, which is
+   what lets a corpus entry or a shrunk scenario replay a cube trial
+   bit-for-bit. *)
+let trial_rng ~seed ~trial = Fault_prng.derive (Fault_prng.of_seed seed) trial
+
+let seeded_inputs rng n =
+  Array.init n (fun u ->
+      Value.bool
+        (fst (Fault_prng.flip (Fault_prng.derive (Fault_prng.derive rng 1) u) ~p:0.5)))
+
+(* Install a (node, strategy) list against the trial stream.  The per-node
+   stream depends only on (seed, trial, node), never on which other nodes
+   are faulty — so dropping a node from the set (as the shrinker does)
+   leaves the remaining installs byte-identical. *)
+let install_faults ~rng ~horizon sys faults =
+  List.fold_left
+    (fun (sys, labels) (u, strategy) ->
+      let node_rng = Fault_prng.derive (Fault_prng.derive rng 4) u in
+      let sys, label =
+        Fault_strategy.install ~rng:node_rng ~horizon ~strategy sys u
+      in
+      sys, (u, label) :: labels)
+    (sys, []) faults
+
+let judge_trial ~g ~inputs ~faulty ~labels ~seed ~trial trace =
+  let correct =
+    List.filter (fun u -> not (List.mem u faulty)) (Graph.nodes g)
+  in
+  let violations =
+    Ba_spec.check ~trace ~correct ~inputs:(fun u -> inputs.(u))
+  in
+  {
+    trial;
+    seed;
+    strategy =
+      String.concat ";"
+        (List.rev_map (fun (u, l) -> Printf.sprintf "%d:%s" u l) labels);
+    faulty;
+    survived = violations = [];
+    violations = List.map (Format.asprintf "%a" Violation.pp) violations;
+  }
+
+let parse_family family =
+  match Topology.of_family family with
+  | Ok g -> g
+  | Error d -> fail_input family d
+
+let parse_strategy strategy =
+  match Fault_strategy.of_string strategy with
+  | Ok s -> s
+  | Error d -> fail_input strategy d
+
+let seeded_faulty_set rng ~n ~f =
+  let k =
+    1 + fst (Fault_prng.int (Fault_prng.derive rng 2) (max 1 (min f (n - 1))))
+  in
+  fst (Fault_prng.choose_distinct (Fault_prng.derive rng 3) ~k ~bound:n)
+
 (* One chaos trial: parse the target family, pick a seeded faulty set,
    install the strategy at each faulty node, run the strongest protocol the
    graph supports, and check the Byzantine-agreement conditions over the
@@ -99,26 +190,13 @@ let label job =
    jobs-count independent.  Bad user input surfaces as
    [Flm_error.Error (Invalid_input _)] — never a cached verdict. *)
 let run_chaos ~family ~f ~seed ~strategy ~trial =
-  let fail what detail =
-    Flm_error.raise_error (Flm_error.Invalid_input { what; detail })
-  in
-  let g =
-    match Topology.of_family family with Ok g -> g | Error d -> fail family d
-  in
-  let strategy_t =
-    match Fault_strategy.of_string strategy with
-    | Ok s -> s
-    | Error d -> fail strategy d
-  in
+  let g = parse_family family in
+  let strategy_t = parse_strategy strategy in
   let n = Graph.n g in
-  if f < 1 then fail "f" "f >= 1 required";
-  if n < 2 then fail family "chaos needs at least 2 nodes";
-  let rng = Fault_prng.derive (Fault_prng.of_seed seed) trial in
-  let inputs =
-    Array.init n (fun u ->
-        Value.bool
-          (fst (Fault_prng.flip (Fault_prng.derive (Fault_prng.derive rng 1) u) ~p:0.5)))
-  in
+  if f < 1 then fail_input "f" "f >= 1 required";
+  if n < 2 then fail_input family "chaos needs at least 2 nodes";
+  let rng = trial_rng ~seed ~trial in
+  let inputs = seeded_inputs rng n in
   (* Target the strongest protocol the topology admits: EIG on complete
      graphs, EIG-over-overlay on adequate graphs, the flood-vote strawman
      on anything else (where survival is not expected — that is the point). *)
@@ -135,38 +213,105 @@ let run_chaos ~family ~f ~seed ~strategy ~trial =
             Naive.flood_vote g ~me:u ~rounds:n ~default:bool_default, inputs.(u)),
         n + 2 )
   in
-  let k =
-    1 + fst (Fault_prng.int (Fault_prng.derive rng 2) (max 1 (min f (n - 1))))
-  in
-  let faulty, _ =
-    Fault_prng.choose_distinct (Fault_prng.derive rng 3) ~k ~bound:n
-  in
+  let faulty = seeded_faulty_set rng ~n ~f in
   let faulted, labels =
-    List.fold_left
-      (fun (sys, labels) u ->
-        let node_rng = Fault_prng.derive (Fault_prng.derive rng 4) u in
-        let sys, label =
-          Fault_strategy.install ~rng:node_rng ~horizon ~strategy:strategy_t sys u
-        in
-        sys, (u, label) :: labels)
-      (sys, []) faulty
+    install_faults ~rng ~horizon sys (List.map (fun u -> u, strategy_t) faulty)
   in
-  let trace = Exec.run faulted ~rounds:horizon in
-  let correct =
-    List.filter (fun u -> not (List.mem u faulty)) (Graph.nodes g)
+  judge_trial ~g ~inputs ~faulty ~labels ~seed ~trial
+    (Exec.run faulted ~rounds:horizon)
+
+(* --- the campaign protocol registry ---------------------------------------- *)
+
+(* Campaign trials make the protocol an explicit cube axis instead of
+   deriving it from the topology.  The registry is a closed set of named
+   targets with per-protocol applicability: EIG and Phase King need complete
+   graphs (and their resilience bounds n > 3f / n > 4f), the flood-vote
+   strawman runs anywhere.  Enumerators use [campaign_applies] to skip (and
+   count) inapplicable cells rather than silently folding them into a
+   different protocol. *)
+
+let campaign_protocols = [ "eig"; "phase-king"; "flood-vote" ]
+
+let campaign_horizon ~protocol g ~f =
+  let n = Graph.n g in
+  let complete = Graph.min_degree g = n - 1 in
+  match protocol with
+  | "eig" when complete && n > 3 * f -> Some (Eig.decision_round ~f + 1)
+  | "phase-king" when complete && n > 4 * f ->
+    Some (Phase_king.decision_round ~f + 1)
+  | "flood-vote" -> Some (n + 2)
+  | "eig" | "phase-king" -> None
+  | other -> fail_input other "unknown campaign protocol"
+
+let campaign_applies ~protocol g ~f = campaign_horizon ~protocol g ~f <> None
+
+let campaign_rounds ~protocol ~family ~f =
+  let g = parse_family family in
+  match campaign_horizon ~protocol g ~f with
+  | Some h -> h
+  | None ->
+    fail_input protocol
+      (Printf.sprintf "not applicable on %s with f=%d" family f)
+
+let campaign_system ~protocol g ~f ~inputs =
+  let n = Graph.n g in
+  match campaign_horizon ~protocol g ~f with
+  | None ->
+    fail_input protocol
+      (Printf.sprintf "not applicable on this topology (n=%d, f=%d)" n f)
+  | Some horizon ->
+    let device u =
+      match protocol with
+      | "eig" -> Eig.device ~n ~f ~me:u ~default:bool_default
+      | "phase-king" -> Phase_king.device ~n ~f ~me:u
+      | _ -> Naive.flood_vote g ~me:u ~rounds:n ~default:bool_default
+    in
+    System.make g (fun u -> device u, inputs.(u)), horizon
+
+let run_campaign ~protocol ~family ~f ~seed ~strategy ~trial =
+  let g = parse_family family in
+  let strategy_t = parse_strategy strategy in
+  let n = Graph.n g in
+  if f < 1 then fail_input "f" "f >= 1 required";
+  if n < 2 then fail_input family "campaign needs at least 2 nodes";
+  let rng = trial_rng ~seed ~trial in
+  let inputs = seeded_inputs rng n in
+  let sys, horizon = campaign_system ~protocol g ~f ~inputs in
+  let faulty = seeded_faulty_set rng ~n ~f in
+  let faulted, labels =
+    install_faults ~rng ~horizon sys (List.map (fun u -> u, strategy_t) faulty)
   in
-  let violations =
-    Ba_spec.check ~trace ~correct ~inputs:(fun u -> inputs.(u))
+  judge_trial ~g ~inputs ~faulty ~labels ~seed ~trial
+    (Exec.run faulted ~rounds:horizon)
+
+(* --- explicit-control scenario replay (the shrinker's runner) -------------- *)
+
+let campaign_scenario { protocol; family; f; seed; trial; rounds; faults } =
+  let g = parse_family family in
+  let n = Graph.n g in
+  if f < 1 then fail_input "f" "f >= 1 required";
+  let faults =
+    List.map
+      (fun (u, spec) ->
+        if u < 0 || u >= n then
+          fail_input "scenario"
+            (Printf.sprintf "faulty node %d out of range [0,%d)" u n);
+        u, parse_strategy spec)
+      faults
   in
-  {
-    trial;
-    strategy =
-      String.concat ";"
-        (List.rev_map (fun (u, l) -> Printf.sprintf "%d:%s" u l) labels);
-    faulty;
-    survived = violations = [];
-    violations = List.map (Format.asprintf "%a" Violation.pp) violations;
-  }
+  let rng = trial_rng ~seed ~trial in
+  let inputs = seeded_inputs rng n in
+  let sys, full_horizon = campaign_system ~protocol g ~f ~inputs in
+  let horizon =
+    match rounds with
+    | None -> full_horizon
+    | Some r when r >= 1 -> min r full_horizon
+    | Some _ -> fail_input "scenario" "rounds must be >= 1"
+  in
+  let faulty = List.map fst faults in
+  let faulted, labels = install_faults ~rng ~horizon sys faults in
+  judge_trial ~g ~inputs ~faulty ~labels ~seed ~trial
+    (Exec.run faulted ~rounds:horizon)
 
 let run ?memo job =
   match job with
@@ -206,6 +351,8 @@ let run ?memo job =
       }
   | Chaos_trial { family; f; seed; strategy; trial } ->
     Chaos (run_chaos ~family ~f ~seed ~strategy ~trial)
+  | Campaign_trial { protocol; family; f; seed; strategy; trial } ->
+    Chaos (run_campaign ~protocol ~family ~f ~seed ~strategy ~trial)
 
 (* --- the persistent-store projection --------------------------------------- *)
 
@@ -237,12 +384,12 @@ let verdict_to_value = function
          (Value.list
             [ Value.int kappa; Value.bool adequate; opt_bool relay_ok;
               opt_bool cert_broke ]))
-  | Chaos { trial; strategy; faulty; survived; violations } ->
+  | Chaos { trial; seed; strategy; faulty; survived; violations } ->
     Some
       (Value.tag "verdict:chaos"
          (Value.list
-            [ Value.int trial; Value.string strategy; Value.int_list faulty;
-              Value.bool survived;
+            [ Value.int trial; Value.int seed; Value.string strategy;
+              Value.int_list faulty; Value.bool survived;
               Value.list (List.map Value.string violations) ]))
   | Cert _ -> None
 
@@ -267,7 +414,7 @@ let verdict_of_value v =
   | Value.Tag
       ( "verdict:chaos",
         Value.List
-          [ Value.Int trial; Value.String strategy; faulty;
+          [ Value.Int trial; Value.Int seed; Value.String strategy; faulty;
             Value.Bool survived; Value.List violations ] ) ->
     let* faulty =
       match faulty with
@@ -282,7 +429,7 @@ let verdict_of_value v =
           | _ -> None)
         violations (Some [])
     in
-    Some (Chaos { trial; strategy; faulty; survived; violations })
+    Some (Chaos { trial; seed; strategy; faulty; survived; violations })
   | _ -> None
 
 (* Certificates carry traces and device closures; compare their data
@@ -310,7 +457,7 @@ let pp_verdict ppf = function
       (match cert with Some b -> string_of_bool b | None -> "-")
   | Cert c -> Format.fprintf ppf "cert(%s)" c.summary
   | Chaos c ->
-    Format.fprintf ppf "chaos(trial=%d,faulty=[%s],%s%s)" c.trial
+    Format.fprintf ppf "chaos(trial=%d,seed=%d,faulty=[%s],%s%s)" c.trial c.seed
       (String.concat "," (List.map string_of_int c.faulty))
       (if c.survived then "survived" else "violated")
       (if c.survived then ""

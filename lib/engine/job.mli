@@ -30,8 +30,42 @@ type spec =
           EIG-over-overlay, or the flood-vote strawman), judged by
           {!Ba_spec.check} over the correct nodes.  Malformed [family] or
           [strategy] raise [Flm_error.Error (Invalid_input _)] from [run]. *)
+  | Campaign_trial of {
+      protocol : string;  (** one of {!campaign_protocols} *)
+      family : string;
+      f : int;
+      seed : int;
+      strategy : string;
+      trial : int;
+    }
+      (** One cell of a campaign cube: like [Chaos_trial] but the protocol
+          is an explicit axis rather than implied by the topology, so the
+          same (family, f) cell can be exercised under every applicable
+          protocol.  [run] raises [Invalid_input] when the protocol is
+          unknown or inapplicable (enumerate with {!campaign_applies}). *)
 
 type t = spec
+
+type scenario = {
+  protocol : string;
+  family : string;
+  f : int;
+  seed : int;
+  trial : int;
+  rounds : int option;
+      (** horizon override — clamped to the protocol's derived horizon, so
+          a scenario can only shorten the run, never extend it *)
+  faults : (int * string) list;
+      (** explicit (node, strategy-spec) pairs, replacing the seeded faulty
+          set; specs parse with {!Fault_strategy.of_string} *)
+}
+(** An explicit-control replay of one campaign trial.  A scenario with
+    [rounds = None] and [faults] equal to the trial's seeded faulty set
+    (each node paired with the campaign's strategy spec) reproduces the
+    trial exactly: per-node install streams depend only on
+    (seed, trial, node), so the shrinker can drop nodes, shorten rounds, or
+    substitute simpler strategy specs and re-judge without disturbing the
+    remaining installs. *)
 
 type cert_outcome = {
   contradiction : bool;
@@ -41,6 +75,10 @@ type cert_outcome = {
 
 type chaos_outcome = {
   trial : int;
+  seed : int;
+      (** the effective fault seed — recorded in the verdict (and hence in
+          the store and on the wire) so any failing trial is exactly
+          replayable without out-of-band bookkeeping *)
   strategy : string;  (** resolved per-node labels, e.g. ["2:crash@3"] *)
   faulty : int list;
   survived : bool;  (** no BA condition violated among correct nodes *)
@@ -55,6 +93,26 @@ type verdict =
 
 val cert_problem_name : cert_problem -> string
 val cert_problem_of_string : string -> cert_problem option
+
+val campaign_protocols : string list
+(** The closed protocol registry campaign cubes enumerate: ["eig"],
+    ["phase-king"], ["flood-vote"]. *)
+
+val campaign_applies : protocol:string -> Graph.t -> f:int -> bool
+(** Whether the protocol's preconditions hold on this cell: EIG needs a
+    complete graph and [n > 3f], Phase King a complete graph and [n > 4f],
+    flood-vote runs anywhere.  Raises [Invalid_input] on a protocol outside
+    {!campaign_protocols}. *)
+
+val campaign_rounds : protocol:string -> family:string -> f:int -> int
+(** The protocol's derived horizon on this cell — the round count a
+    full-length trial runs, and the upper bound {!campaign_scenario} clamps
+    [rounds] to.  Raises [Invalid_input] when inapplicable. *)
+
+val campaign_scenario : scenario -> chaos_outcome
+(** Run one explicit-control scenario (see {!type:scenario}).  Raises
+    [Invalid_input] on malformed families, strategy specs, out-of-range
+    nodes, or inapplicable protocols. *)
 
 val describe : t -> Value.t
 (** The canonical descriptor: problem, topology, n, f, protocol, horizon.

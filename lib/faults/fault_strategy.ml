@@ -6,6 +6,7 @@ type t =
   | Replay
   | Crash_midway
   | Delay of int
+  | Mobile of float
   | Poison
   | Stall of int
   | Chaos of (int * t) list
@@ -19,6 +20,7 @@ let default_chaos =
       3, Replay;
       2, Crash_midway;
       2, Delay 1;
+      3, Mobile 0.5;
     ]
 
 let rec to_string = function
@@ -29,6 +31,7 @@ let rec to_string = function
   | Replay -> "replay"
   | Crash_midway -> "crash"
   | Delay d -> Printf.sprintf "delay:%d" d
+  | Mobile p -> Printf.sprintf "mobile:%g" p
   | Poison -> "poison"
   | Stall ms -> Printf.sprintf "stall:%d" ms
   | Chaos weighted ->
@@ -38,11 +41,11 @@ let rec to_string = function
 
 let grammar =
   "expected drop[:P] | dup[:P] | corrupt[:P] | equivocate | replay | crash | \
-   delay[:D] | poison | stall[:MS] | chaos"
+   delay[:D] | mobile[:P] | poison | stall[:MS] | chaos"
 
 let of_string spec =
-  let prob what = function
-    | None -> Ok 0.25
+  let prob ?(default = 0.25) what = function
+    | None -> Ok default
     | Some s -> (
       match float_of_string_opt s with
       | Some p when p >= 0.0 && p <= 1.0 -> Ok p
@@ -80,6 +83,9 @@ let of_string spec =
   | "delay", arg ->
     let* d = nat "delay:D" ~default:1 ~min_v:1 arg in
     Ok (Delay d)
+  | "mobile", arg ->
+    let* p = prob ~default:0.5 "mobile:P" arg in
+    Ok (Mobile p)
   | "poison", None -> Ok Poison
   | "stall", arg ->
     let* ms = nat "stall:MS" ~default:200 ~min_v:1 arg in
@@ -174,6 +180,28 @@ let delay ~d honest =
         | [] -> assert false
       else Value.list buffered, Array.make (Array.length sends) None)
 
+(* The Gafni–Losa "time is not a healer" shape: the fault is a property of
+   the round, not the node.  Each round the node is either honest or
+   actively faulty, by a seeded per-round coin; an active round applies one
+   seeded misbehavior — silence or corruption — uniformly across the
+   node's outedges.  Installed at a faulty set, the per-node streams make
+   the *active* subset vary round to round, so the observable fault
+   migrates across nodes over time.  A deterministic wrapper of the honest
+   device, hence closed under the Fault axiom like every other strategy
+   here (the harness checks the replay closure on it via the chaos mix). *)
+let mobile rng ~p honest =
+  Adversary.mutate honest ~rewrite:(fun ~port ~round m ->
+      let round_rng = Fault_prng.derive (Fault_prng.derive rng 54323) round in
+      if not (fst (Fault_prng.flip round_rng ~p)) then m
+      else
+        match fst (Fault_prng.int (Fault_prng.derive round_rng 1) 2) with
+        | 0 -> None (* silent this round *)
+        | _ -> (
+          (* mangle this round: wrong shape, port-dependent payload *)
+          match m with
+          | None -> Some (Value.int ((17 * round) + port))
+          | Some m -> Some (Value.tag "mobile" m)))
+
 let equivocate rng honest =
   let arity = honest.Device.arity in
   Adversary.split_brain honest
@@ -248,5 +276,6 @@ let rec install ~rng ~horizon ~strategy sys u =
     ( System.substitute sys u (Adversary.crash ~after honest),
       Printf.sprintf "crash@%d" after )
   | Delay d -> System.substitute sys u (delay ~d honest), to_string strategy
+  | Mobile p -> System.substitute sys u (mobile rng ~p honest), to_string strategy
   | Poison -> System.substitute sys u (poison ~arity), to_string strategy
   | Stall ms -> System.substitute sys u (stall ~ms honest), to_string strategy

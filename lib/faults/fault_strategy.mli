@@ -29,6 +29,14 @@ type t =
           port *)
   | Crash_midway  (** honest until a seed-chosen round, then silent *)
   | Delay of int  (** honest, but all sends lag by [d] rounds *)
+  | Mobile of float
+      (** mobile/time-varying faults (Gafni–Losa, {e Time is not a
+          Healer}): each round the node is honest or actively faulty by a
+          seeded coin with activity probability [p]; an active round
+          applies one seeded misbehavior (silence or corruption) across
+          every outedge.  Over a faulty set, the active subset migrates
+          between nodes round to round.  Deterministic, in-model, closed
+          under the Fault axiom. *)
   | Poison  (** every step raises — must surface as [Job_failed] *)
   | Stall of int
       (** every step burns [ms] of wall-clock (checking the job deadline)
@@ -38,14 +46,16 @@ type t =
       (** weighted mix: installation picks one strategy by weight *)
 
 val default_chaos : t
-(** The weighted mix of the seven in-model strategies. *)
+(** The weighted mix of the eight in-model strategies (including
+    [Mobile]). *)
 
 val to_string : t -> string
 
 val of_string : string -> (t, string) result
 (** Parse a strategy spec: [drop\[:P\]], [dup\[:P\]], [corrupt\[:P\]],
-    [equivocate], [replay], [crash], [delay\[:D\]], [poison],
-    [stall\[:MS\]], [chaos].  Malformed numbers come back as [Error]. *)
+    [equivocate], [replay], [crash], [delay\[:D\]], [mobile\[:P\]],
+    [poison], [stall\[:MS\]], [chaos].  Malformed numbers come back as
+    [Error]. *)
 
 val grammar : string
 (** One-line summary of accepted specs. *)

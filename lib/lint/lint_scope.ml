@@ -11,6 +11,7 @@ type dirclass =
   | Engine
   | Store
   | Serve
+  | Campaign
   | Graph
   | Lint
   | Other_lib
@@ -29,6 +30,7 @@ let classify path =
       | "engine" -> Engine
       | "store" -> Store
       | "serve" -> Serve
+      | "campaign" -> Campaign
       | "graph" -> Graph
       | "lint" -> Lint
       | _ -> Other_lib)
@@ -51,7 +53,7 @@ let rules_for path =
   match classify path with
   | Protocols | Clocks | Problems ->
     locality @ [ Lint_rule.Hygiene_obj_magic; Hygiene_poly_compare ]
-  | Engine | Store | Serve ->
+  | Engine | Store | Serve | Campaign ->
     concurrency
     @ [ Lint_rule.Hygiene_obj_magic; Hygiene_poly_compare;
         Hygiene_untyped_raise ]
@@ -85,7 +87,21 @@ let allow_listed =
       Lint_rule.Locality_domain,
       "sessions are domains and the registry/metrics are lock-protected \
        shared state; the concurrency rules (lock pairing, condvar \
-       discipline, no nested locks) bind instead" ) ]
+       discipline, no nested locks) bind instead" );
+    (* lib/campaign is the fleet boundary, not model code: it forks worker
+       processes, forwards signals, and measures shard deadlines against
+       the wall clock.  Locality stays off by design; the concurrency
+       family and typed-raise hygiene bind in full. *)
+    ( "lib/campaign",
+      Lint_rule.Locality_time,
+      "the campaign driver supervises worker processes against wall-clock \
+       shard deadlines and timestamps forks; simulated rounds inside the \
+       trials it launches never read the clock" );
+    ( "lib/campaign",
+      Lint_rule.Locality_domain,
+      "workers are forked processes, each owning its own engine domains; \
+       the driver itself only forks while single-domain and never touches \
+       Domain — the concurrency rules bind instead" ) ]
 
 let allow_reason ~dir rule =
   List.find_map

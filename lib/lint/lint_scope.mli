@@ -7,11 +7,12 @@
     - [lib/protocols], [lib/clocks], [lib/problems] — the Locality family
       (plus hygiene): step functions must be deterministic, local functions
       of their inputs, or the engine's memo/resume tiers are unsound.
-    - [lib/engine], [lib/store], [lib/serve] — the concurrency family plus
-      full hygiene (typed raises included).  [lib/serve] is additionally the
-      one library layer where Unix (sockets, signals, wall-clock) is fair
-      game: it is the process boundary, not model code, and the allow-list
-      records that exemption with its reasons.
+    - [lib/engine], [lib/store], [lib/serve], [lib/campaign] — the
+      concurrency family plus full hygiene (typed raises included).
+      [lib/serve] and [lib/campaign] are additionally the library layers
+      where Unix (sockets, signals, forks, wall-clock) is fair game: one is
+      the process boundary, the other the fleet boundary — neither is model
+      code, and the allow-list records both exemptions with their reasons.
     - everywhere else — [hygiene/obj-magic] (and, inside [lib/],
       [hygiene/poly-compare]). *)
 
@@ -22,6 +23,7 @@ type dirclass =
   | Engine
   | Store
   | Serve
+  | Campaign
   | Graph
   | Lint
   | Other_lib

@@ -120,10 +120,11 @@ module Verdict = struct
           "contradiction", Bench_json.Bool contradiction;
           "summary", Bench_json.String summary;
         ]
-    | Chaos { Job.trial; strategy; faulty; survived; violations } ->
+    | Chaos { Job.trial; seed; strategy; faulty; survived; violations } ->
       Bench_json.Obj
         [ "kind", Bench_json.String "chaos";
           "trial", Bench_json.Int trial;
+          "seed", Bench_json.Int seed;
           "strategy", Bench_json.String strategy;
           "faulty", Bench_json.List (List.map (fun u -> Bench_json.Int u) faulty);
           "survived", Bench_json.Bool survived;
@@ -176,10 +177,12 @@ module Verdict = struct
       let* () =
         no_unknown ~what
           ~allowed:
-            [ "kind"; "trial"; "strategy"; "faulty"; "survived"; "violations" ]
+            [ "kind"; "trial"; "seed"; "strategy"; "faulty"; "survived";
+              "violations" ]
           kvs
       in
       let* trial = int_field ~what kvs "trial" in
+      let* seed = int_field ~what kvs "seed" in
       let* strategy = string_field ~what kvs "strategy" in
       let* faulty_json = list_field ~what kvs "faulty" in
       let* faulty =
@@ -200,7 +203,7 @@ module Verdict = struct
             | None -> Error "verdict: violations entries must be strings")
           violations_json
       in
-      Ok (Chaos { Job.trial; strategy; faulty; survived; violations })
+      Ok (Chaos { Job.trial; seed; strategy; faulty; survived; violations })
     | k -> Error (Printf.sprintf "verdict: unknown kind %S" k)
 
   let equal a b =

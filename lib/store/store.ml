@@ -147,21 +147,68 @@ let stat t =
           | exception Unix.Unix_error _ -> 0);
       })
 
-let gc t =
+let gc ?(canonical = false) t =
   with_lock t (fun () ->
       (* The writer's fd would keep pointing at the replaced inode. *)
       Option.iter Journal.close t.writer;
       t.writer <- None;
-      let live = live_in_order t in
+      let keys = List.rev t.order in
+      (* Canonical order: sorted by encoded key bytes.  Insertion order is
+         an artifact of scheduling (which domain or shard finished first);
+         sorting erases it, so two stores holding the same records compact
+         to byte-identical journals. *)
+      let keys = if canonical then List.sort String.compare keys else keys in
+      let live =
+        List.map
+          (fun k ->
+            match Hashtbl.find_opt t.index k with
+            | Some entry -> entry
+            | None -> assert false)
+          keys
+      in
       Journal.rewrite t.path
         (List.map
            (fun (key, payload) -> Store_codec.encode_record ~key ~payload)
            live);
+      if canonical then t.order <- List.rev keys;
       let dropped = t.frames - List.length live in
       t.frames <- List.length live;
       t.corruptions <- [];
       t.truncate_at <- None;
       dropped)
+
+(* Fold a foreign shard journal into this store.  The foreign journal is
+   collapsed last-writer-wins first (mirroring [open_dir]'s scan), then its
+   live records are [put] in foreign first-insertion order — so across the
+   merge, the foreign shard is "later" than anything already present and
+   wins conflicting keys, while equal payloads stay no-ops.  Corrupt
+   foreign records are skipped and their typed reports appended to
+   {!corruptions} (they name the foreign path). *)
+let merge_from t dir =
+  let path = Filename.concat dir journal_name in
+  match Journal.scan path with
+  | Error _ as e -> e
+  | Ok { Journal.records = frames; corruptions = foreign_bad; _ } ->
+    let index = Hashtbl.create 64 and order = ref [] and bad = ref foreign_bad in
+    List.iter
+      (fun frame ->
+        match decode_frame path frame with
+        | Ok (key, payload) ->
+          let k = Store_codec.encode key in
+          if not (Hashtbl.mem index k) then order := k :: !order;
+          Hashtbl.replace index k (key, payload)
+        | Error e -> bad := !bad @ [ e ])
+      frames;
+    (* [put] takes the lock per record; never call it while holding it. *)
+    let folded = ref 0 in
+    List.iter
+      (fun k ->
+        let key, payload = Hashtbl.find index k in
+        put t ~key payload;
+        incr folded)
+      (List.rev !order);
+    with_lock t (fun () -> t.corruptions <- t.corruptions @ !bad);
+    Ok !folded
 
 let close t =
   with_lock t (fun () ->

@@ -58,11 +58,31 @@ val iter : t -> (key:Value.t -> payload:Value.t -> unit) -> unit
 
 val stat : t -> stats
 
-val gc : t -> int
+val gc : ?canonical:bool -> t -> int
 (** Compact: atomically rewrite the journal with exactly the live records
     (temp + fsync + rename, see {!Journal.rewrite}), dropping superseded and
     corrupt regions.  Returns the number of frames dropped.  Clears
-    {!corruptions}. *)
+    {!corruptions}.
+
+    With [~canonical:true], live records are rewritten sorted by canonical
+    encoded key bytes instead of first-insertion order.  Insertion order is
+    a scheduling artifact (which worker finished first); canonical order
+    erases it, so two stores holding the same records — e.g. a sharded
+    campaign's merged store and a single-process run — compact to
+    byte-identical journals.  Subsequent {!iter} follows the new order. *)
+
+val merge_from : t -> string -> (int, Flm_error.t) result
+(** [merge_from t dir] folds the journal of the foreign store directory
+    [dir] into [t] with last-writer-wins semantics: the foreign journal is
+    collapsed LWW on its own (exactly as {!open_dir} would), then each live
+    foreign record is {!put} in foreign first-insertion order — foreign
+    records supersede conflicting keys already in [t], and equal payloads
+    are no-ops (no journal growth).  Returns the number of live foreign
+    records folded.  Corrupt foreign records are skipped, their typed
+    reports appended to {!corruptions}; [Error _] only when [dir]'s journal
+    cannot be trusted at all (bad magic / unreadable), in which case [t] is
+    untouched.  Merging is crash-safe: every fold step is a durable {!put},
+    so a merge killed midway leaves [t] a valid prefix of the merge. *)
 
 val close : t -> unit
 

@@ -1,0 +1,179 @@
+(* End-to-end smoke of the campaign driver, forking a real worker fleet:
+
+   - a tiny cube (2 protocols x 3 strategies, Mobile included, over the
+     (n, f) grid on two families) sharded across 3 forked workers runs to
+     completion with every shard Ok;
+   - determinism: the merged, canonically-compacted journal is
+     byte-identical to the same cube run in a single process (workers=1);
+   - failure mining: the seeded cube is known to violate, so the corpus
+     must hold entries, every entry must replay from its recorded seed to
+     the recorded outcome, and every minimized scenario must be no larger
+     than the original on any axis while still reproducing a violation;
+   - idempotence: re-running the campaign resumes from the journals —
+     no new corpus entries, journal bytes unchanged.
+
+   Forked mode must run while this process is single-domain, so the two
+   sharded runs come first and the in-process reference run (which spawns
+   engine domains) last.
+
+   Run via the @campaign-smoke alias (wired into @runtest). *)
+
+let fail fmt =
+  Printf.ksprintf
+    (fun m ->
+      Printf.eprintf "campaign_smoke: FAIL: %s\n%!" m;
+      exit 1)
+    fmt
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let fresh_dir name =
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "flm_campaign_smoke_%s_%d" name (Unix.getpid ()))
+  in
+  rm_rf d;
+  d
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let journal dir = read_file (Filename.concat dir "journal.flm")
+
+let spec ~workers =
+  match
+    Campaign_spec.make ~name:"smoke" ~seed:7 ~trials:4 ~workers
+      ~protocols:[ "eig"; "flood-vote" ]
+      ~strategies:[ "equivocate"; "corrupt:1"; "mobile:0.9" ]
+      ~families:[ "complete"; "cycle" ] ~n_max:4 ~f_max:2 ()
+  with
+  | Ok t -> t
+  | Error e -> fail "spec: %s" (Flm_error.to_string e)
+
+let run_campaign ~dir spec =
+  match Campaign.run ~dir spec with
+  | Ok summary -> summary
+  | Error e -> fail "campaign run: %s" (Flm_error.to_string e)
+
+let () =
+  let sharded = spec ~workers:3 in
+  let dir_sharded = fresh_dir "sharded" in
+  let dir_solo = fresh_dir "solo" in
+
+  (* (a) The sharded run: every shard finishes Ok, the cube's trials all
+     land in the merged store, and the known-violating cube yields a
+     mined, minimized corpus. *)
+  let s = run_campaign ~dir:dir_sharded sharded in
+  if s.Campaign.interrupted then fail "sharded run reports interrupted";
+  if List.length s.Campaign.shards <> 3 then
+    fail "expected 3 shard reports, got %d" (List.length s.Campaign.shards);
+  List.iter
+    (fun r ->
+      match r.Campaign.result with
+      | Ok () -> ()
+      | Error e ->
+        fail "shard %d failed: %s" r.Campaign.shard (Flm_error.to_string e))
+    s.Campaign.shards;
+  if s.Campaign.failed <> 0 then fail "%d cells failed" s.Campaign.failed;
+  if s.Campaign.skipped = 0 then
+    fail "the cube should skip inapplicable eig cells";
+  if s.Campaign.survived + s.Campaign.violated <> s.Campaign.total then
+    fail "%d survived + %d violated <> %d cells" s.Campaign.survived
+      s.Campaign.violated s.Campaign.total;
+  if s.Campaign.violated = 0 then fail "the seeded cube should violate";
+  if s.Campaign.corpus_new <> s.Campaign.violated then
+    fail "every violated cell should mint a corpus entry (%d of %d)"
+      s.Campaign.corpus_new s.Campaign.violated;
+  if s.Campaign.minimized <> s.Campaign.corpus then
+    fail "every corpus entry should carry a minimized scenario (%d of %d)"
+      s.Campaign.minimized s.Campaign.corpus;
+  Printf.printf
+    "campaign_smoke: sharded: %d cells (%d skipped) over 3 workers, %d \
+     violated, %d corpus entries minimized\n%!"
+    s.Campaign.total s.Campaign.skipped s.Campaign.violated s.Campaign.corpus;
+
+  (* (b) Idempotence: a re-run resumes from the shard journals — nothing
+     recomputed differently, no new corpus entries, journal untouched. *)
+  let before = journal dir_sharded in
+  let s2 = run_campaign ~dir:dir_sharded sharded in
+  if s2.Campaign.corpus_new <> 0 then
+    fail "re-run minted %d new corpus entries" s2.Campaign.corpus_new;
+  if journal dir_sharded <> before then fail "re-run changed the journal";
+  Printf.printf "campaign_smoke: re-run resumed: 0 new entries, journal \
+                 byte-stable\n%!";
+
+  (* (c) The corpus contract: every entry replays from its recorded seed,
+     and every minimized scenario is monotone and still violating. *)
+  let corpus =
+    match Campaign_corpus.open_dir dir_sharded with
+    | Ok c -> c
+    | Error e -> fail "open corpus: %s" (Flm_error.to_string e)
+  in
+  let entries = Campaign_corpus.entries corpus in
+  if List.length entries <> s.Campaign.corpus then
+    fail "corpus store holds %d entries, summary says %d"
+      (List.length entries) s.Campaign.corpus;
+  let mobile_seen = ref false in
+  List.iter
+    (fun e ->
+      if e.Campaign_corpus.strategy = "mobile:0.9" then mobile_seen := true;
+      (match Campaign_corpus.replay e with
+      | Ok outcome ->
+        if outcome <> e.Campaign_corpus.outcome then
+          fail "replay diverged for trial %d" e.Campaign_corpus.trial
+      | Error err ->
+        fail "replay failed for trial %d: %s" e.Campaign_corpus.trial
+          (Flm_error.to_string err));
+      match e.Campaign_corpus.minimized with
+      | None -> fail "entry for trial %d lacks a minimized scenario"
+                  e.Campaign_corpus.trial
+      | Some scenario ->
+        let original =
+          Campaign_shrink.size_of (Campaign_corpus.scenario_of e)
+        in
+        let shrunk = Campaign_shrink.size_of scenario in
+        if
+          shrunk.Campaign_shrink.rounds > original.Campaign_shrink.rounds
+          || shrunk.Campaign_shrink.nodes > original.Campaign_shrink.nodes
+          || shrunk.Campaign_shrink.actions > original.Campaign_shrink.actions
+        then fail "minimized scenario grew for trial %d" e.Campaign_corpus.trial;
+        let outcome = Job.campaign_scenario scenario in
+        if outcome.Job.survived then
+          fail "minimized scenario no longer violates for trial %d"
+            e.Campaign_corpus.trial)
+    entries;
+  Store.close corpus;
+  if not !mobile_seen then
+    fail "the seeded cube should mine a mobile-strategy failure";
+  Printf.printf
+    "campaign_smoke: corpus: %d entries (mobile among them) replayed from \
+     their seeds, all minimized scenarios monotone and violating\n%!"
+    (List.length entries);
+
+  (* (d) Byte-identity: the same cube in a single process (no forks, the
+     engine in this very process) compacts to the identical journal. *)
+  let solo = run_campaign ~dir:dir_solo (spec ~workers:1) in
+  if solo.Campaign.shards <> [] then fail "solo run should not fork shards";
+  if solo.Campaign.violated <> s.Campaign.violated then
+    fail "solo run violated %d, sharded %d" solo.Campaign.violated
+      s.Campaign.violated;
+  if journal dir_solo <> journal dir_sharded then
+    fail "sharded and single-process journals are not byte-identical";
+  Printf.printf
+    "campaign_smoke: sharded (3 workers) and single-process journals \
+     byte-identical (%d bytes)\n%!"
+    (String.length (journal dir_solo));
+
+  rm_rf dir_sharded;
+  rm_rf dir_solo;
+  print_endline "campaign_smoke: OK"

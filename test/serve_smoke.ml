@@ -136,6 +136,59 @@ let () =
   | _ -> check "connection survives a malformed document" false);
   Unix.close fd;
 
+  (* (b') Version mismatch: a well-formed document speaking tomorrow's
+     protocol is answered with a typed Net error naming both versions, and
+     the connection stays usable — a skewed client gets told, not cut. *)
+  let fd = raw_connect () in
+  (match
+     Serve_proto.write_frame ~endpoint:"smoke" fd
+       (Bench_json.to_string
+          (Bench_json.Obj
+             [ "v", Bench_json.Int (Serve_proto.protocol_version + 1);
+               "op", Bench_json.String "stats";
+             ]))
+   with
+  | Ok () -> ()
+  | Error e -> check ("write version-mismatch doc: " ^ Flm_error.to_string e) false);
+  (match read_response fd with
+  | Ok (Serve_proto.Response.Failed (Flm_error.Net { detail; _ })) ->
+    check "version mismatch answered with Net naming the version"
+      (let needle = Printf.sprintf "version %d" (Serve_proto.protocol_version + 1) in
+       let rec has i =
+         i + String.length needle <= String.length detail
+         && (String.sub detail i (String.length needle) = needle || has (i + 1))
+       in
+       has 0)
+  | _ -> check "version mismatch answered with Net naming the version" false);
+  (match
+     Serve_proto.write_frame ~endpoint:"smoke" fd
+       (Bench_json.to_string
+          (Serve_proto.Request.to_json (req Serve_proto.Request.Stats)))
+   with
+  | Ok () -> ()
+  | Error _ -> check "stats after version mismatch" false);
+  (match read_response fd with
+  | Ok (Serve_proto.Response.Result _) ->
+    check "connection survives a version mismatch" true
+  | _ -> check "connection survives a version mismatch" false);
+  Unix.close fd;
+
+  (* (a') Oversized frame: a length prefix past max_frame_bytes is refused
+     with a typed Net error and the connection is closed — the daemon will
+     not allocate on an attacker's say-so, and cannot resynchronize. *)
+  let fd = raw_connect () in
+  let header = Bytes.create 4 in
+  Bytes.set_int32_be header 0 (Int32.of_int (Serve_proto.max_frame_bytes + 1));
+  ignore (Unix.write fd header 0 4);
+  (match read_response fd with
+  | Ok (Serve_proto.Response.Failed (Flm_error.Net _)) ->
+    check "oversized frame refused with Net" true
+  | _ -> check "oversized frame refused with Net" false);
+  (match Serve_proto.read_frame ~endpoint:"smoke" fd with
+  | Ok Serve_proto.Eof -> check "connection closed after oversized frame" true
+  | _ -> check "connection closed after oversized frame" false);
+  Unix.close fd;
+
   (* (c) Byte-identical verdicts vs batch mode. *)
   let c = connect () in
   (match

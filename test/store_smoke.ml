@@ -162,6 +162,125 @@ let corruption_round ~reference ~total dir =
     "store_smoke: corruption: bit flip and torn tail both detected, \
      recomputed, verdicts byte-identical\n%!"
 
+(* --- cross-journal merge ------------------------------------------------- *)
+
+(* Seed a source store with [keys], every key carrying the payload a
+   deterministic recomputation would produce — overlapping shards agree on
+   shared keys, which is what makes merge order erasable. *)
+let seed_source dir keys =
+  let store = open_store dir in
+  List.iter
+    (fun k ->
+      Store.put store ~key:(Value.int k)
+        (Value.tag "cell" (Value.pair (Value.int k) (Value.int (k * k)))))
+    keys;
+  Store.close store
+
+let journal_bytes dir = read_file (Filename.concat dir "journal.flm")
+
+(* Merge child mode: fold SRC into DST until killed. *)
+let run_merge_child dst src =
+  let store = open_store dst in
+  (match Store.merge_from store src with
+  | Ok _ -> ()
+  | Error e -> fail "merge child: %s" (Flm_error.to_string e));
+  Store.close store;
+  exit 0
+
+(* (1) Order independence: three overlapping shard journals merged in two
+   different orders compact (canonically) to byte-identical journals.
+   (2) LWW: a foreign record with a different payload supersedes the local
+   one.  (3) SIGKILL mid-merge: the destination reopens as a valid prefix
+   of the merge, and re-merging completes to the byte-identical result. *)
+let merge_round () =
+  let pid = Unix.getpid () in
+  let dir name = fresh_dir (Printf.sprintf "flm_merge_%s_%d" name pid) in
+  let s1 = dir "s1" and s2 = dir "s2" and s3 = dir "s3" in
+  seed_source s1 (List.init 10 (fun i -> i));
+  seed_source s2 (List.init 10 (fun i -> i + 5));
+  seed_source s3 (List.init 8 (fun i -> i + 12));
+  let merge_all dst srcs =
+    let store = open_store dst in
+    let folded =
+      List.map
+        (fun src ->
+          match Store.merge_from store src with
+          | Ok n -> n
+          | Error e -> fail "merge_from %s: %s" src (Flm_error.to_string e))
+        srcs
+    in
+    let (_ : int) = Store.gc ~canonical:true store in
+    let live = Store.length store in
+    Store.close store;
+    folded, live
+  in
+  let m1 = dir "m1" and m2 = dir "m2" in
+  let folded1, live1 = merge_all m1 [ s1; s2; s3 ] in
+  let _folded2, live2 = merge_all m2 [ s3; s1; s2 ] in
+  if folded1 <> [ 10; 10; 8 ] then fail "merge: fold counts off";
+  if live1 <> 20 || live2 <> 20 then
+    fail "merge: expected 20 live keys, got %d and %d" live1 live2;
+  if journal_bytes m1 <> journal_bytes m2 then
+    fail "merge: journals differ across merge orders after canonical gc";
+  (* LWW: the foreign payload for key 0 wins, durably. *)
+  let s4 = dir "s4" in
+  let store = open_store s4 in
+  Store.put store ~key:(Value.int 0) (Value.string "superseder");
+  Store.close store;
+  let store = open_store m1 in
+  (match Store.merge_from store s4 with
+  | Ok 1 -> ()
+  | Ok n -> fail "lww: folded %d records, expected 1" n
+  | Error e -> fail "lww: %s" (Flm_error.to_string e));
+  Store.close store;
+  let store = open_store m1 in
+  (match Store.find store (Value.int 0) with
+  | Some v when Value.equal v (Value.string "superseder") -> ()
+  | _ -> fail "lww: foreign record did not supersede the local one");
+  if Store.length store <> 20 then fail "lww: key count changed";
+  Store.close store;
+  (* SIGKILL mid-merge: a large source makes the fsync'd fold slow enough
+     to kill partway.  Whatever survives must be a valid store, and a
+     re-merge must complete to the byte-identical clean result. *)
+  let big = dir "big" in
+  seed_source big (List.init 400 (fun i -> i + 1000));
+  let clean = dir "clean" in
+  let (_ : int list * int) = merge_all clean [ big ] in
+  let torn = dir "torn" in
+  let child =
+    Unix.create_process Sys.executable_name
+      [| Sys.executable_name; "--merge-child"; torn; big |]
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  Unix.sleepf 0.05;
+  (try Unix.kill child Sys.sigkill
+   with Unix.Unix_error (Unix.ESRCH, _, _) -> ());
+  let _, status = Unix.waitpid [] child in
+  let killed =
+    match status with
+    | Unix.WSIGNALED s when s = Sys.sigkill -> true
+    | Unix.WEXITED 0 -> false
+    | _ -> fail "merge child ended unexpectedly"
+  in
+  let store = open_store torn in
+  let partial = Store.length store in
+  if partial > 400 then fail "mid-merge kill: %d keys from 400" partial;
+  (match Store.merge_from store big with
+  | Ok _ -> ()
+  | Error e -> fail "re-merge: %s" (Flm_error.to_string e));
+  let (_ : int) = Store.gc ~canonical:true store in
+  if Store.length store <> 400 then
+    fail "re-merge: expected 400 keys, got %d" (Store.length store);
+  Store.close store;
+  if journal_bytes torn <> journal_bytes clean then
+    fail "re-merge after kill is not byte-identical to the clean merge";
+  Printf.printf
+    "store_smoke: merge: order-independent (byte-identical), LWW holds, %s \
+     at %d/400 keys resumed to byte-identical\n%!"
+    (if killed then "killed mid-merge" else "finished before the kill")
+    partial;
+  List.iter cleanup [ s1; s2; s3; s4; m1; m2; big; clean; torn ]
+
 let run_parent () =
   let t0 = Unix.gettimeofday () in
   let cells, _ = sweep () in
@@ -176,9 +295,11 @@ let run_parent () =
   in
   corruption_round ~reference ~total (List.hd dirs);
   List.iter cleanup dirs;
+  merge_round ();
   print_endline "store_smoke: OK"
 
 let () =
   match Sys.argv with
   | [| _; "--child"; dir |] -> run_child dir
+  | [| _; "--merge-child"; dst; src |] -> run_merge_child dst src
   | _ -> run_parent ()

@@ -56,6 +56,8 @@ let strategy_specs () =
   check tstring "delay" "delay:2" (ok "delay:2");
   check tstring "poison" "poison" (ok "poison");
   check tstring "stall" "stall:50" (ok "stall:50");
+  check tstring "mobile default" "mobile:0.5" (ok "mobile");
+  check tstring "mobile with p" "mobile:0.9" (ok "mobile:0.9");
   check tbool "chaos parses to the default mix" true
     (Fault_strategy.of_string "chaos" = Ok Fault_strategy.default_chaos);
   let bad s =
@@ -64,6 +66,7 @@ let strategy_specs () =
   check tbool "unknown name rejected" true (bad "gremlin");
   check tbool "non-numeric probability rejected" true (bad "drop:xyz");
   check tbool "probability > 1 rejected" true (bad "drop:1.5");
+  check tbool "mobile probability > 1 rejected" true (bad "mobile:2");
   check tbool "negative delay rejected" true (bad "delay:-1");
   check tbool "trailing junk rejected" true (bad "replay:1")
 

@@ -123,6 +123,27 @@ let serve_scope () =
         (Lint_scope.allow_reason ~dir:"lib/serve" rule <> None))
     [ Lint_rule.Locality_time; Lint_rule.Locality_domain ]
 
+(* (c'') The campaign scope mirrors serve: the driver forks workers and
+   reads the wall clock (the fleet boundary), so the locality family stays
+   off with the exemption on record, while concurrency and typed-raise
+   hygiene bind in full. *)
+let campaign_scope () =
+  let campaign = "lib/campaign/fixture.ml" in
+  expect_clean ~path:campaign
+    "let now () = Unix.gettimeofday ()\nlet spawn () = Unix.fork ()";
+  expect_one ~path:campaign ~rule:Lint_rule.Concurrency_lock_pairing ~line:2
+    "let f m g =\n  Mutex.lock m;\n  g ()";
+  expect_one ~path:campaign ~rule:Lint_rule.Hygiene_untyped_raise ~line:1
+    "let boom () = failwith \"no\"";
+  List.iter
+    (fun rule ->
+      check Alcotest.bool
+        (Printf.sprintf "campaign exemption for %s recorded"
+           (Lint_rule.to_string rule))
+        true
+        (Lint_scope.allow_reason ~dir:"lib/campaign" rule <> None))
+    [ Lint_rule.Locality_time; Lint_rule.Locality_domain ]
+
 (* (d) One suppression per family: the finding disappears and is counted. *)
 let suppressions () =
   let suppressed_one ~path src =
@@ -192,6 +213,7 @@ let suite =
       Alcotest.test_case "concurrency rules" `Quick concurrency;
       Alcotest.test_case "hygiene rules" `Quick hygiene;
       Alcotest.test_case "serve scope" `Quick serve_scope;
+      Alcotest.test_case "campaign scope" `Quick campaign_scope;
       Alcotest.test_case "suppressions" `Quick suppressions;
       Alcotest.test_case "meta rules" `Quick meta;
       Alcotest.test_case "clean and json" `Quick clean_and_json;

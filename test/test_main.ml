@@ -23,4 +23,5 @@ let () =
       Test_edge_cases.suite;
       Test_lint.suite;
       Test_serve.suite;
+      Test_campaign.suite;
     ]

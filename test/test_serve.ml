@@ -123,6 +123,7 @@ let verdicts () =
     (Serve_proto.Verdict.Chaos
        {
          Job.trial = 2;
+         seed = 42;
          strategy = "2:crash@3";
          faulty = [ 2 ];
          survived = false;
