@@ -184,7 +184,9 @@ let batch_reference ops =
         ignore (Engine.chaos eng ~family ~f ~seed ~strategy ~trials)
       | Serve_proto.Request.Sweep { n_max; f_max } ->
         ignore (Engine.nf_boundary eng ~n_max ~f_max)
-      | Serve_proto.Request.Store_stat | Serve_proto.Request.Stats -> ());
+      | Serve_proto.Request.Store_stat | Serve_proto.Request.Stats
+      | Serve_proto.Request.Ping ->
+        ());
       Engine.shutdown eng)
     ops;
   (Unix.gettimeofday () -. t0) /. float_of_int (Array.length ops)

@@ -1,0 +1,256 @@
+(* E21: goodput through a faulty wire, resilient vs bare clients.
+
+   Process architecture (everything forks before any domain exists):
+
+     bench parent ── fork ──> daemon (Serve.run; SIGTERM'd at the end)
+            │
+            ├────── fork ──> chaos proxy (per pass; same seed/strategy)
+            │
+            └────── fork ──> client x N  (loop queries for the window)
+
+   Clients write "successes failures" to files; the parent reduces them
+   to goodput (successes per second over the fixed wall-clock window). *)
+
+let ( // ) = Filename.concat
+
+let ops =
+  [| Serve_proto.Request.Ping;
+     Serve_proto.Request.Certify { problem = Job.Ba; n = 3; f = 1 };
+     Serve_proto.Request.Stats;
+     Serve_proto.Request.Certify { problem = Job.Ba_conn; n = 8; f = 1 };
+  |]
+
+(* Every connection suffers the same per-frame fault rate (unlike a Chaos
+   mix, which would let a lucky bare connection draw a harmless member). *)
+let fault_strategy = Fault_strategy.Mobile 0.25
+let fault_seed = 4242
+
+(* --- forked processes ----------------------------------------------------- *)
+
+let start_daemon ~socket_path ~jobs =
+  match Unix.fork () with
+  | 0 ->
+    let cfg =
+      {
+        Serve.socket_path;
+        jobs;
+        store_dir = None;
+        resume = false;
+        max_sessions = 32;
+        engine_config = Engine.default_config;
+      }
+    in
+    Unix._exit (match Serve.run cfg with Ok _ -> 0 | Error _ -> 1)
+  | pid -> pid
+
+let start_proxy ~socket_path ~upstream =
+  match Unix.fork () with
+  | 0 ->
+    let cfg =
+      {
+        Chaos_proxy.socket_path;
+        upstream;
+        seed = fault_seed;
+        strategy = fault_strategy;
+        delay_unit_ms = Chaos_proxy.default_delay_unit_ms;
+      }
+    in
+    Unix._exit (match Chaos_proxy.run cfg with Ok _ -> 0 | Error _ -> 1)
+  | pid -> pid
+
+let wait_connectable socket_path =
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec go () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+    | () ->
+      Unix.close fd;
+      true
+    | exception Unix.Unix_error (_, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if Unix.gettimeofday () > deadline then false
+      else begin
+        Unix.sleepf 0.02;
+        go ()
+      end
+  in
+  go ()
+
+let stop_process pid =
+  (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+  ignore (Unix.waitpid [] pid)
+
+(* --- the two client shapes ------------------------------------------------ *)
+
+let write_counts file ~ok ~failed =
+  let oc = open_out file in
+  Printf.fprintf oc "%d %d\n" ok failed;
+  close_out oc
+
+(* One bare client process: a single connection, no retries, no
+   reconnect.  A transport fault poisons the handle, after which every
+   call fails fast (the small sleep models a caller that at least does
+   not spin at 100% CPU on a dead handle). *)
+let run_bare_client ~socket_path ~window ~offset ~counts_file : 'a =
+  let deadline = Unix.gettimeofday () +. window in
+  let ok = ref 0 and failed = ref 0 in
+  (match Serve_client.connect ~timeout_ms:500 ~socket_path () with
+  | Error _ -> ()
+  | Ok c ->
+    let k = ref offset in
+    while Unix.gettimeofday () < deadline do
+      let op = ops.(!k mod Array.length ops) in
+      incr k;
+      (match Serve_client.result c { Serve_proto.Request.op; timeout_ms = None } with
+      | Ok _ -> incr ok
+      | Error _ -> incr failed);
+      if Serve_client.poisoned c <> None then Unix.sleepf 0.005
+    done;
+    Serve_client.close c);
+  write_counts counts_file ~ok:!ok ~failed:!failed;
+  Unix._exit 0
+
+(* One resilient client process: same window, same query mix, but with
+   bounded retries, seeded jitter, reconnect-on-poison, and a per-call
+   deadline. *)
+let run_resilient_client ~socket_path ~window ~offset ~counts_file : 'a =
+  let deadline = Unix.gettimeofday () +. window in
+  let ok = ref 0 and failed = ref 0 in
+  let policy =
+    {
+      Resil_policy.retries = 5;
+      base_backoff_ms = 10;
+      max_backoff_ms = 200;
+      io_timeout_ms = 300;
+      deadline_ms = Some 2_000;
+    }
+  in
+  (match Resil_client.create ~policy ~seed:offset ~socket_path () with
+  | Error _ -> ()
+  | Ok c ->
+    let k = ref offset in
+    while Unix.gettimeofday () < deadline do
+      let op = ops.(!k mod Array.length ops) in
+      incr k;
+      match Resil_client.result c { Serve_proto.Request.op; timeout_ms = None } with
+      | Ok _ -> incr ok
+      | Error _ -> incr failed
+    done;
+    Resil_client.close c);
+  write_counts counts_file ~ok:!ok ~failed:!failed;
+  Unix._exit 0
+
+let read_counts file =
+  match open_in file with
+  | exception Sys_error _ -> (0, 0)
+  | ic -> (
+    match input_line ic with
+    | line -> (
+      close_in ic;
+      match String.split_on_char ' ' (String.trim line) with
+      | [ a; b ] -> (
+        match (int_of_string_opt a, int_of_string_opt b) with
+        | Some ok, Some failed -> (ok, failed)
+        | _ -> (0, 0))
+      | _ -> (0, 0))
+    | exception End_of_file ->
+      close_in ic;
+      (0, 0))
+
+(* --- one pass ------------------------------------------------------------- *)
+
+let run_pass ~tmp ~upstream ~label ~window ~clients ~run_client =
+  let proxy_sock = tmp // (label ^ "_proxy.sock") in
+  let proxy = start_proxy ~socket_path:proxy_sock ~upstream in
+  if not (wait_connectable proxy_sock) then begin
+    stop_process proxy;
+    failwith ("E21: proxy for pass " ^ label ^ " never came up")
+  end;
+  let files =
+    List.init clients (fun i -> tmp // Printf.sprintf "%s_client_%d.counts" label i)
+  in
+  let pids =
+    List.mapi
+      (fun i file ->
+        match Unix.fork () with
+        | 0 -> run_client ~socket_path:proxy_sock ~window ~offset:i ~counts_file:file
+        | pid -> pid)
+      files
+  in
+  List.iter (fun pid -> ignore (Unix.waitpid [] pid)) pids;
+  stop_process proxy;
+  let ok, failed =
+    List.fold_left
+      (fun (o, f) file ->
+        let o', f' = read_counts file in
+        (o + o', f + f'))
+      (0, 0) files
+  in
+  (ok, failed)
+
+(* --- the experiment ------------------------------------------------------- *)
+
+let run ?out ~window_seconds ~clients ~jobs () =
+  let tmp =
+    Filename.get_temp_dir_name ()
+    // Printf.sprintf "flm_e21_%d" (Unix.getpid ())
+  in
+  (try Unix.mkdir tmp 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let upstream = tmp // "daemon.sock" in
+  let daemon = start_daemon ~socket_path:upstream ~jobs in
+  if not (wait_connectable upstream) then begin
+    stop_process daemon;
+    failwith "E21: daemon never came up"
+  end;
+  let finally () =
+    Array.iter
+      (fun f -> try Sys.remove (tmp // f) with Sys_error _ -> ())
+      (try Sys.readdir tmp with Sys_error _ -> [||]);
+    try Unix.rmdir tmp with Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally (fun () ->
+      let bare_ok, bare_failed =
+        run_pass ~tmp ~upstream ~label:"bare" ~window:window_seconds ~clients
+          ~run_client:run_bare_client
+      in
+      let res_ok, res_failed =
+        run_pass ~tmp ~upstream ~label:"resilient" ~window:window_seconds
+          ~clients ~run_client:run_resilient_client
+      in
+      stop_process daemon;
+      let goodput ok = float_of_int ok /. window_seconds in
+      let pass_record label ok failed =
+        Bench_json.run_record ~label ~jobs ~wall_seconds:window_seconds
+          ~extra:
+            [ "clients", Bench_json.Int clients;
+              "successes", Bench_json.Int ok;
+              "failures", Bench_json.Int failed;
+              "goodput_rps", Bench_json.Float (goodput ok);
+            ]
+          ()
+      in
+      let ratio =
+        goodput res_ok /. Float.max (goodput bare_ok) (1.0 /. window_seconds)
+      in
+      let json =
+        Bench_json.bench_record ~experiment:"E21"
+          ~config:
+            [ "window_seconds", Bench_json.Float window_seconds;
+              "clients", Bench_json.Int clients;
+              "jobs", Bench_json.Int jobs;
+              "strategy", Bench_json.String (Fault_strategy.to_string fault_strategy);
+              "fault_seed", Bench_json.Int fault_seed;
+            ]
+          ~derived:
+            [ "bare_goodput_rps", Bench_json.Float (goodput bare_ok);
+              "resilient_goodput_rps", Bench_json.Float (goodput res_ok);
+              "goodput_ratio", Bench_json.Float ratio;
+            ]
+          ~runs:
+            [ pass_record "bare" bare_ok bare_failed;
+              pass_record "resilient" res_ok res_failed;
+            ]
+          ()
+      in
+      (match out with Some path -> Bench_json.write_file ~path json | None -> ());
+      json)

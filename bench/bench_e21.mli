@@ -1,0 +1,35 @@
+(** E21: goodput through a faulty wire — resilient client vs bare client.
+
+    [run] starts a real [Serve] daemon (forked), then runs two passes,
+    each behind its own freshly forked {!Chaos_proxy} with the {e same}
+    seed and strategy ([Mobile 0.25]: every connection suffers a ~25%
+    per-frame seeded drop-or-corrupt mix).  Each pass forks [clients]
+    client processes that loop a fixed query mix for [window_seconds] of
+    wall clock:
+
+    - {e bare} — one [Serve_client] connection per process, no retries:
+      the first dropped frame times out, poisons the handle, and every
+      later call fails fast — the naive client's fate on a faulty wire;
+    - {e resilient} — one [Resil_client] per process: bounded retries
+      with seeded decorrelated jitter, reconnect-on-poison, per-call
+      deadline.
+
+    Goodput is successful requests per second over the fixed window, so
+    failing fast buys the bare client nothing.  The derived figure is the
+    resilient/bare goodput ratio at the same fault rate.
+
+    Forks processes: call it before anything in the calling process has
+    spawned domains (the proxy children spawn their relay domains safely
+    after the fork).
+
+    Returns the experiment's {!Bench_json} record (written to [out] when
+    given).  Wall-clock figures vary by host; the record's shape does
+    not. *)
+
+val run :
+  ?out:string ->
+  window_seconds:float ->
+  clients:int ->
+  jobs:int ->
+  unit ->
+  Bench_json.t

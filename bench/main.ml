@@ -595,6 +595,29 @@ let e20 () =
   | None -> ());
   Format.printf "wrote BENCH_E20.json@."
 
+(* --- E21: goodput through a faulty wire ---------------------------------------------- *)
+
+let e21 () =
+  section "E21"
+    "goodput through a 25% per-frame drop/corrupt wire: resilient client \
+     (retries + breaker + reconnect) vs bare client, same seed, same window";
+  let json =
+    Bench_e21.run ~out:"BENCH_E21.json" ~window_seconds:6.0 ~clients:3 ~jobs:2 ()
+  in
+  (match Bench_json.member "derived" json with
+  | Some d ->
+    let num field =
+      Option.value ~default:0.0
+        (Option.bind (Bench_json.member field d) Bench_json.to_float_opt)
+    in
+    Format.printf
+      "bare %.1f req/s vs resilient %.1f req/s at the same fault rate: %.1fx@."
+      (num "bare_goodput_rps")
+      (num "resilient_goodput_rps")
+      (num "goodput_ratio")
+  | None -> ());
+  Format.printf "wrote BENCH_E21.json@."
+
 (* --- Bechamel timing benches -------------------------------------------------------- *)
 
 (* --- E16: supervision overhead ----------------------------------------------------- *)
@@ -841,6 +864,7 @@ let () =
      in-process level and every later experiment spawn engine pools. *)
   e19 ();
   e20 ();
+  e21 ();
   e1 ();
   e2 ();
   e3 ();

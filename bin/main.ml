@@ -643,24 +643,68 @@ let serve_cmd =
 
 (* One request per invocation: connect, send, print the result document as
    JSON, exit with the class code of any typed failure — the daemon's
-   errors keep their batch-mode exit codes end to end. *)
-let query_run socket timeout_ms op =
-  let client_timeout =
+   errors keep their batch-mode exit codes end to end.  Requests go
+   through the resilient client, so --retries/--backoff-ms/--deadline-ms
+   buy bounded retries with seeded jitter; the default (0 retries) is a
+   single attempt, exactly the bare client's behavior. *)
+let query_run socket timeout_ms (retries, backoff_ms, deadline_ms) op =
+  let io_timeout_ms =
     match timeout_ms with
     | Some ms -> max 600_000 (2 * ms)
     | None -> 600_000
   in
-  match Serve_client.connect ~timeout_ms:client_timeout ~socket_path:socket ()
-  with
+  let policy =
+    {
+      Resil_policy.retries;
+      base_backoff_ms = backoff_ms;
+      max_backoff_ms = max backoff_ms Resil_policy.default.max_backoff_ms;
+      io_timeout_ms;
+      deadline_ms;
+    }
+  in
+  match Resil_client.create ~policy ~socket_path:socket () with
   | Error e -> fail_error e
   | Ok client ->
-    let outcome =
-      Serve_client.result client { Serve_proto.Request.op; timeout_ms }
-    in
-    Serve_client.close client;
+    let outcome = Resil_client.result client { Serve_proto.Request.op; timeout_ms } in
+    Resil_client.close client;
     (match outcome with
     | Ok doc -> print_string (Bench_json.to_string doc)
     | Error e -> fail_error e)
+
+let retry_args =
+  let open Cmdliner in
+  let retries =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Extra attempts after the first on transient failures \
+             (transport errors, overload and drain refusals, worker \
+             crashes).  Safe for every query op: all are idempotent pure \
+             queries.  0 = fail on the first error.")
+  in
+  let backoff =
+    Arg.(
+      value
+      & opt int Resil_policy.default.Resil_policy.base_backoff_ms
+      & info [ "backoff-ms" ] ~docv:"MS"
+          ~doc:
+            "Base backoff between attempts; actual sleeps use seeded \
+             decorrelated jitter growing up to a 2 s cap.")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Total budget for the call across every attempt and backoff \
+             sleep; unset = bounded only by attempts.")
+  in
+  Term.(
+    const (fun retries backoff deadline -> (retries, backoff, deadline))
+    $ retries $ backoff $ deadline)
 
 let query_timeout_arg =
   let open Cmdliner in
@@ -673,10 +717,11 @@ let query_timeout_arg =
            daemon's own per-job deadline; the tighter wins).")
 
 let query_certify_cmd =
-  let run socket timeout_ms problem n f =
+  let run socket timeout_ms retry problem n f =
     match Job.cert_problem_of_string problem with
     | Some problem ->
-      query_run socket timeout_ms (Serve_proto.Request.Certify { problem; n; f })
+      query_run socket timeout_ms retry
+        (Serve_proto.Request.Certify { problem; n; f })
     (* The argument parser is an enum over exactly the servable names. *)
     | None -> assert false
   in
@@ -691,22 +736,26 @@ let query_certify_cmd =
   let n = Arg.(value & opt int 3 & info [ "n" ] ~doc:"Nodes.") in
   Cmd.v
     (Cmd.info "certify" ~doc:"Ask the daemon for one covering certificate.")
-    Term.(const run $ socket_arg $ query_timeout_arg $ problem $ n $ f_arg)
+    Term.(
+      const run $ socket_arg $ query_timeout_arg $ retry_args $ problem $ n
+      $ f_arg)
 
 let query_sweep_cmd =
-  let run socket timeout_ms n_max f_max =
-    query_run socket timeout_ms (Serve_proto.Request.Sweep { n_max; f_max })
+  let run socket timeout_ms retry n_max f_max =
+    query_run socket timeout_ms retry
+      (Serve_proto.Request.Sweep { n_max; f_max })
   in
   let open Cmdliner in
   let n_max = Arg.(value & opt int 8 & info [ "n-max" ] ~doc:"Largest n.") in
   let f_max = Arg.(value & opt int 2 & info [ "f-max" ] ~doc:"Largest f.") in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Ask the daemon for a 3f+1 boundary sweep.")
-    Term.(const run $ socket_arg $ query_timeout_arg $ n_max $ f_max)
+    Term.(
+      const run $ socket_arg $ query_timeout_arg $ retry_args $ n_max $ f_max)
 
 let query_chaos_cmd =
-  let run socket timeout_ms family f seed strategy trials =
-    query_run socket timeout_ms
+  let run socket timeout_ms retry family f seed strategy trials =
+    query_run socket timeout_ms retry
       (Serve_proto.Request.Chaos { family; f; seed; strategy; trials })
   in
   let open Cmdliner in
@@ -732,20 +781,20 @@ let query_chaos_cmd =
   Cmd.v
     (Cmd.info "chaos" ~doc:"Ask the daemon for seeded fault-injection trials.")
     Term.(
-      const run $ socket_arg $ query_timeout_arg $ family $ f_arg $ seed
-      $ strategy $ trials)
+      const run $ socket_arg $ query_timeout_arg $ retry_args $ family $ f_arg
+      $ seed $ strategy $ trials)
 
 let query_store_stat_cmd =
-  let run socket =
-    query_run socket None Serve_proto.Request.Store_stat
+  let run socket retry =
+    query_run socket None retry Serve_proto.Request.Store_stat
   in
   let open Cmdliner in
   Cmd.v
     (Cmd.info "store-stat" ~doc:"Summarize the daemon's store journal.")
-    Term.(const run $ socket_arg)
+    Term.(const run $ socket_arg $ retry_args)
 
 let query_stats_cmd =
-  let run socket = query_run socket None Serve_proto.Request.Stats in
+  let run socket retry = query_run socket None retry Serve_proto.Request.Stats in
   let open Cmdliner in
   Cmd.v
     (Cmd.info "stats"
@@ -753,7 +802,19 @@ let query_stats_cmd =
          "Fetch the daemon's counters: requests by outcome, overload \
           refusals, p50/p99 latency, and the engine's cache and coalescing \
           figures.")
-    Term.(const run $ socket_arg)
+    Term.(const run $ socket_arg $ retry_args)
+
+let query_ping_cmd =
+  let run socket retry = query_run socket None retry Serve_proto.Request.Ping in
+  let open Cmdliner in
+  Cmd.v
+    (Cmd.info "ping"
+       ~doc:
+         "Health/readiness probe: answered straight off the daemon's \
+          counters, never enqueued behind engine work — and still answered \
+          (with draining=true) while a SIGTERM drain is refusing every \
+          other op.")
+    Term.(const run $ socket_arg $ retry_args)
 
 let query_cmd =
   let open Cmdliner in
@@ -769,6 +830,7 @@ let query_cmd =
       query_chaos_cmd;
       query_store_stat_cmd;
       query_stats_cmd;
+      query_ping_cmd;
     ]
 
 (* --- flm campaign --------------------------------------------------------- *)

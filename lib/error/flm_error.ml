@@ -42,6 +42,7 @@ let exit_code = function
   | Store_corrupt _ -> 15
   | Net _ -> 16
 
+let net ~endpoint detail = Net { endpoint; detail }
 let pp ppf e = Format.pp_print_string ppf (to_string e)
 let equal (a : t) (b : t) = a = b
 let raise_error e = raise (Error e)

@@ -58,6 +58,11 @@ val exit_code : t -> int
     exits with the code of the failure it reports, so callers can dispatch
     on the class without parsing output. *)
 
+val net : endpoint:string -> string -> t
+(** [net ~endpoint detail] is [Net { endpoint; detail }] — the constructor
+    every networking layer (serve, serve client, resilience) shares instead
+    of redefining locally. *)
+
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit
 

@@ -11,6 +11,7 @@ type dirclass =
   | Engine
   | Store
   | Serve
+  | Resilience
   | Campaign
   | Graph
   | Lint
@@ -30,6 +31,7 @@ let classify path =
       | "engine" -> Engine
       | "store" -> Store
       | "serve" -> Serve
+      | "resilience" -> Resilience
       | "campaign" -> Campaign
       | "graph" -> Graph
       | "lint" -> Lint
@@ -53,7 +55,7 @@ let rules_for path =
   match classify path with
   | Protocols | Clocks | Problems ->
     locality @ [ Lint_rule.Hygiene_obj_magic; Hygiene_poly_compare ]
-  | Engine | Store | Serve | Campaign ->
+  | Engine | Store | Serve | Resilience | Campaign ->
     concurrency
     @ [ Lint_rule.Hygiene_obj_magic; Hygiene_poly_compare;
         Hygiene_untyped_raise ]
@@ -88,6 +90,19 @@ let allow_listed =
       "sessions are domains and the registry/metrics are lock-protected \
        shared state; the concurrency rules (lock pairing, condvar \
        discipline, no nested locks) bind instead" );
+    (* lib/resilience is client-side process-boundary code: retry clocks,
+       backoff sleeps, and the chaos proxy's frame pump live on the wall
+       clock and in session domains, exactly like lib/serve. *)
+    ( "lib/resilience",
+      Lint_rule.Locality_time,
+      "retry deadlines, backoff sleeps, breaker cooldowns, and proxy frame \
+       delays are wall-clock by definition; simulated rounds inside the \
+       jobs whose queries are being retried never read them" );
+    ( "lib/resilience",
+      Lint_rule.Locality_domain,
+      "the chaos proxy runs one domain per relayed connection and the \
+       breaker is lock-protected shared state; the concurrency rules (lock \
+       pairing, condvar discipline, no nested locks) bind instead" );
     (* lib/campaign is the fleet boundary, not model code: it forks worker
        processes, forwards signals, and measures shard deadlines against
        the wall clock.  Locality stays off by design; the concurrency

@@ -7,12 +7,13 @@
     - [lib/protocols], [lib/clocks], [lib/problems] — the Locality family
       (plus hygiene): step functions must be deterministic, local functions
       of their inputs, or the engine's memo/resume tiers are unsound.
-    - [lib/engine], [lib/store], [lib/serve], [lib/campaign] — the
-      concurrency family plus full hygiene (typed raises included).
-      [lib/serve] and [lib/campaign] are additionally the library layers
-      where Unix (sockets, signals, forks, wall-clock) is fair game: one is
-      the process boundary, the other the fleet boundary — neither is model
-      code, and the allow-list records both exemptions with their reasons.
+    - [lib/engine], [lib/store], [lib/serve], [lib/resilience],
+      [lib/campaign] — the concurrency family plus full hygiene (typed
+      raises included).  [lib/serve], [lib/resilience], and [lib/campaign]
+      are additionally the library layers where Unix (sockets, signals,
+      forks, wall-clock) is fair game: the process boundary, its
+      client-side mirror, and the fleet boundary — none is model code, and
+      the allow-list records each exemption with its reason.
     - everywhere else — [hygiene/obj-magic] (and, inside [lib/],
       [hygiene/poly-compare]). *)
 
@@ -23,6 +24,7 @@ type dirclass =
   | Engine
   | Store
   | Serve
+  | Resilience
   | Campaign
   | Graph
   | Lint

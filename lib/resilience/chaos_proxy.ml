@@ -1,0 +1,352 @@
+let net = Flm_error.net
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+let poll_interval = 0.25
+
+(* Sessions that wedge mid-frame (a stalled peer) must still notice stop:
+   socket I/O is bounded, so a pump blocks at most this long. *)
+let io_timeout = 5.0
+
+type config = {
+  socket_path : string;
+  upstream : string;
+  seed : int;
+  strategy : Fault_strategy.t;
+  delay_unit_ms : int;
+}
+
+let default_delay_unit_ms = 25
+
+type counters = {
+  connections : int;
+  forwarded : int;
+  dropped : int;
+  duplicated : int;
+  corrupted : int;
+  delayed : int;
+  truncated : int;
+  swallowed : int;
+}
+
+let counters_to_json c =
+  Bench_json.Obj
+    [
+      ("connections", Bench_json.Int c.connections);
+      ("forwarded", Bench_json.Int c.forwarded);
+      ("dropped", Bench_json.Int c.dropped);
+      ("duplicated", Bench_json.Int c.duplicated);
+      ("corrupted", Bench_json.Int c.corrupted);
+      ("delayed", Bench_json.Int c.delayed);
+      ("truncated", Bench_json.Int c.truncated);
+      ("swallowed", Bench_json.Int c.swallowed);
+    ]
+
+let rec wire_strategy (s : Fault_strategy.t) =
+  match s with
+  | Fault_strategy.Drop _ | Fault_strategy.Duplicate _ | Fault_strategy.Corrupt _
+  | Fault_strategy.Crash_midway | Fault_strategy.Delay _ | Fault_strategy.Mobile _
+    ->
+    Ok ()
+  | Fault_strategy.Equivocate | Fault_strategy.Replay ->
+    Error
+      (Printf.sprintf
+         "%s is a device-level strategy with no wire meaning"
+         (Fault_strategy.to_string s))
+  | Fault_strategy.Poison | Fault_strategy.Stall _ ->
+    Error
+      (Printf.sprintf "%s attacks the engine, not the wire"
+         (Fault_strategy.to_string s))
+  | Fault_strategy.Chaos [] -> Error "empty chaos mix"
+  | Fault_strategy.Chaos members ->
+    List.fold_left
+      (fun acc (_, m) -> Result.bind acc (fun () -> wire_strategy m))
+      (Ok ()) members
+
+(* Per-connection resolve, mirroring [Fault_strategy.install]: a [Chaos]
+   mix picks one member per connection by weight. *)
+let rec resolve rng (s : Fault_strategy.t) =
+  match s with
+  | Fault_strategy.Chaos members ->
+    let m, rng = Fault_prng.weighted rng members in
+    resolve rng m
+  | s -> (s, rng)
+
+(* --- shared tallies ------------------------------------------------------- *)
+
+type tally = {
+  lock : Mutex.t;
+  mutable c : counters;
+}
+
+let tally_create () =
+  {
+    lock = Mutex.create ();
+    c =
+      {
+        connections = 0;
+        forwarded = 0;
+        dropped = 0;
+        duplicated = 0;
+        corrupted = 0;
+        delayed = 0;
+        truncated = 0;
+        swallowed = 0;
+      };
+  }
+
+let bump tally f =
+  Mutex.lock tally.lock;
+  tally.c <- f tally.c;
+  Mutex.unlock tally.lock
+
+let snapshot tally =
+  Mutex.lock tally.lock;
+  let c = tally.c in
+  Mutex.unlock tally.lock;
+  c
+
+(* --- per-frame faults ----------------------------------------------------- *)
+
+type action =
+  | Forward
+  | Drop_frame
+  | Duplicate_frame
+  | Corrupt_frame
+  | Delay_frame of int  (** ms *)
+  | Truncate_and_crash
+
+(* Pure in (strategy, frng, frame index): the fault applied to one frame. *)
+let decide strategy frng ~frame_idx ~crash_at =
+  match (strategy : Fault_strategy.t) with
+  | Fault_strategy.Drop p ->
+    let hit, _ = Fault_prng.flip frng ~p in
+    if hit then Drop_frame else Forward
+  | Fault_strategy.Duplicate p ->
+    let hit, _ = Fault_prng.flip frng ~p in
+    if hit then Duplicate_frame else Forward
+  | Fault_strategy.Corrupt p ->
+    let hit, _ = Fault_prng.flip frng ~p in
+    if hit then Corrupt_frame else Forward
+  | Fault_strategy.Delay d -> Delay_frame (max 0 d)
+  | Fault_strategy.Crash_midway ->
+    if frame_idx >= crash_at then Truncate_and_crash else Forward
+  | Fault_strategy.Mobile p ->
+    let active, frng = Fault_prng.flip frng ~p in
+    if not active then Forward
+    else
+      let k, _ = Fault_prng.int frng 2 in
+      if k = 0 then Drop_frame else Corrupt_frame
+  | Fault_strategy.Equivocate | Fault_strategy.Replay | Fault_strategy.Poison
+  | Fault_strategy.Stall _ | Fault_strategy.Chaos _ ->
+    (* Rejected by [wire_strategy] / resolved before the pump. *)
+    Forward
+
+let corrupt_payload frng payload =
+  if String.length payload = 0 then payload
+  else
+    let i, _ = Fault_prng.int frng (String.length payload) in
+    let b = Bytes.of_string payload in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xFF));
+    Bytes.to_string b
+
+(* --- the pump ------------------------------------------------------------- *)
+
+(* Relay frames between [client] and a fresh upstream connection, applying
+   the per-connection strategy to each.  Returns when either side closes,
+   errors, a crash fault fires, or [stop] flips. *)
+let session ~tally ~cfg ~stop ~log ~id client =
+  let endpoint = Printf.sprintf "%s#%d" cfg.socket_path id in
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) ->
+    log (Printf.sprintf "conn %d: socket failed: %s" id (Unix.error_message e));
+    close_quietly client
+  | up -> (
+    match Unix.connect up (Unix.ADDR_UNIX cfg.upstream) with
+    | exception Unix.Unix_error (e, _, _) ->
+      (* No upstream: drop the client, who sees EOF and types it. *)
+      log
+        (Printf.sprintf "conn %d: upstream %s unreachable: %s" id cfg.upstream
+           (Unix.error_message e));
+      close_quietly up;
+      close_quietly client
+    | () ->
+      List.iter
+        (fun fd ->
+          Unix.setsockopt_float fd Unix.SO_RCVTIMEO io_timeout;
+          Unix.setsockopt_float fd Unix.SO_SNDTIMEO io_timeout)
+        [ client; up ];
+      let rng = Fault_prng.derive (Fault_prng.of_seed cfg.seed) id in
+      let strategy, rng = resolve rng cfg.strategy in
+      let crash_at =
+        let k, _ = Fault_prng.int (Fault_prng.derive rng (-1)) 8 in
+        1 + k
+      in
+      (* Responses owed to the client: requests read from it minus
+         responses consumed toward it.  Surplus responses (answers to
+         duplicated requests) are swallowed so the client's one-in
+         one-out framing holds. *)
+      let owed = ref 0 in
+      let frame_idx = ref 0 in
+      let running = ref true in
+      let write_payload dest payload =
+        match Serve_proto.write_frame ~endpoint dest payload with
+        | Ok () -> true
+        | Error _ ->
+          running := false;
+          false
+      in
+      let apply dir payload =
+        incr frame_idx;
+        let dir_key = match dir with `To_server -> 0 | `To_client -> 1 in
+        let frng = Fault_prng.derive (Fault_prng.derive rng dir_key) !frame_idx in
+        let dest = match dir with `To_server -> up | `To_client -> client in
+        if dir = `To_server then incr owed;
+        if dir = `To_client && !owed <= 0 then
+          bump tally (fun c -> { c with swallowed = c.swallowed + 1 })
+        else begin
+          if dir = `To_client then decr owed;
+          match decide strategy frng ~frame_idx:!frame_idx ~crash_at with
+          | Forward ->
+            if write_payload dest payload then
+              bump tally (fun c -> { c with forwarded = c.forwarded + 1 })
+          | Drop_frame -> bump tally (fun c -> { c with dropped = c.dropped + 1 })
+          | Corrupt_frame ->
+            if write_payload dest (corrupt_payload frng payload) then
+              bump tally (fun c -> { c with corrupted = c.corrupted + 1 })
+          | Delay_frame d ->
+            Unix.sleepf (float_of_int (d * cfg.delay_unit_ms) /. 1000.0);
+            if write_payload dest payload then
+              bump tally (fun c -> { c with delayed = c.delayed + 1 })
+          | Duplicate_frame ->
+            if write_payload dest payload then begin
+              bump tally (fun c -> { c with forwarded = c.forwarded + 1 });
+              (* The extra copy only toward the server: a duplicate
+                 toward the client would break one-in one-out. *)
+              if dir = `To_server && write_payload dest payload then
+                bump tally (fun c -> { c with duplicated = c.duplicated + 1 })
+            end
+          | Truncate_and_crash ->
+            let raw = Serve_proto.frame payload in
+            let cut = max 1 (String.length raw / 2) in
+            (try ignore (Unix.write_substring dest raw 0 cut)
+             with Unix.Unix_error _ -> ());
+            bump tally (fun c -> { c with truncated = c.truncated + 1 });
+            running := false
+        end
+      in
+      let pump_one fd dir =
+        match Serve_proto.read_frame ~endpoint fd with
+        | Ok (Serve_proto.Frame payload) -> apply dir payload
+        | Ok Serve_proto.Eof | Error _ -> running := false
+      in
+      while !running && not (Atomic.get stop) do
+        match Unix.select [ client; up ] [] [] poll_interval with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | ready, _, _ ->
+          List.iter
+            (fun fd ->
+              if !running then
+                pump_one fd (if fd == client then `To_server else `To_client))
+            ready
+      done;
+      close_quietly client;
+      close_quietly up)
+
+(* --- accept loop ---------------------------------------------------------- *)
+
+let validate cfg =
+  let ( let* ) = Result.bind in
+  let* () = Serve_proto.validate_socket_path cfg.socket_path in
+  let* () = Serve_proto.validate_socket_path cfg.upstream in
+  if cfg.delay_unit_ms < 1 then
+    Error
+      (Flm_error.Invalid_input
+         {
+           what = "chaos proxy";
+           detail =
+             Printf.sprintf "delay_unit_ms must be >= 1, got %d"
+               cfg.delay_unit_ms;
+         })
+  else
+    match wire_strategy cfg.strategy with
+    | Ok () -> Ok ()
+    | Error detail ->
+      Error (Flm_error.Invalid_input { what = "chaos proxy strategy"; detail })
+
+let install_signals stop =
+  let on_stop = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+  let prev_term = Sys.signal Sys.sigterm on_stop in
+  let prev_int = Sys.signal Sys.sigint on_stop in
+  let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  fun () ->
+    Sys.set_signal Sys.sigterm prev_term;
+    Sys.set_signal Sys.sigint prev_int;
+    Sys.set_signal Sys.sigpipe prev_pipe
+
+let run ?(on_ready = fun () -> ()) ?(log = fun _ -> ()) cfg =
+  let ( let* ) = Result.bind in
+  let* () = validate cfg in
+  let* () = Serve.claim_socket_path cfg.socket_path in
+  let* listen_fd =
+    match
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match
+        Unix.bind fd (Unix.ADDR_UNIX cfg.socket_path);
+        Unix.listen fd 64
+      with
+      | () -> fd
+      | exception e ->
+        close_quietly fd;
+        raise e
+    with
+    | fd -> Ok fd
+    | exception Unix.Unix_error (e, _, _) ->
+      Error
+        (net ~endpoint:cfg.socket_path
+           (Printf.sprintf "cannot listen: %s" (Unix.error_message e)))
+  in
+  let stop = Atomic.make false in
+  let tally = tally_create () in
+  let handles = ref [] in
+  let next_id = ref 0 in
+  let restore_signals = install_signals stop in
+  Fun.protect ~finally:restore_signals (fun () ->
+      log
+        (Printf.sprintf "chaos proxy on %s -> %s (strategy %s, seed %d)"
+           cfg.socket_path cfg.upstream
+           (Fault_strategy.to_string cfg.strategy)
+           cfg.seed);
+      on_ready ();
+      while not (Atomic.get stop) do
+        match Unix.select [ listen_fd ] [] [] poll_interval with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | [], _, _ -> ()
+        | _ :: _, _, _ -> (
+          match Unix.accept listen_fd with
+          | exception
+              Unix.Unix_error
+                ( (Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED),
+                  _,
+                  _ ) ->
+            ()
+          | fd, _peer ->
+            let id = !next_id in
+            incr next_id;
+            bump tally (fun c -> { c with connections = c.connections + 1 });
+            let h =
+              Domain.spawn (fun () ->
+                  match session ~tally ~cfg ~stop ~log ~id fd with
+                  | () -> ()
+                  | exception e ->
+                    (* A connection must never take the proxy down. *)
+                    log
+                      (Printf.sprintf "conn %d died: %s" id
+                         (Printexc.to_string e));
+                    close_quietly fd)
+            in
+            handles := h :: !handles)
+      done;
+      close_quietly listen_fd;
+      (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+      (* Sessions poll [stop] between bounded reads; join them all. *)
+      List.iter Domain.join !handles;
+      Ok (snapshot tally))

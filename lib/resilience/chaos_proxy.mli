@@ -1,0 +1,76 @@
+(** A wire-level chaos proxy for [flm serve]: sits on a second Unix socket
+    in front of a live daemon and injects seeded faults into the byte
+    stream, reusing the {!Fault_strategy} catalog — the same vocabulary
+    that attacks the {e model's} message graph, reinterpreted one layer
+    down at the frame level.
+
+    {b Wire meaning of the catalog.}  [Drop p] — each frame independently
+    vanishes.  [Duplicate p] — the frame is forwarded twice.  [Corrupt p]
+    — one seeded payload byte is flipped (the length prefix stays honest,
+    so framing survives and the peer sees a malformed {e document}).
+    [Delay d] — every frame is forwarded [d * delay_unit_ms] late.
+    [Crash_midway] — at a seeded frame index the proxy writes half a
+    frame and closes both sides.  [Mobile p] — each frame, a seeded coin
+    decides honest or actively faulty; an active frame is dropped or
+    corrupted.  [Chaos mix] — one member is resolved {e per connection}
+    (mirroring [Fault_strategy.install]'s per-node resolve).
+    [Equivocate], [Replay], [Poison], and [Stall] have no wire meaning
+    and are rejected by {!wire_strategy}.
+
+    {b Framing discipline.}  The proxy is protocol-aware: it forwards
+    whole frames, never split bytes (except the deliberate
+    [Crash_midway] truncation).  Because the protocol has no request
+    ids, a duplicated request would desynchronize the client's
+    request/response pairing — so the proxy tracks how many responses
+    each connection is {e owed} (requests read from the client minus
+    responses consumed toward it) and swallows surplus responses.
+    Duplicates still exercise the daemon; the client's framing invariant
+    holds.
+
+    Deterministic: every decision is a pure function of
+    [(seed, connection id, direction, frame index)]. *)
+
+type config = {
+  socket_path : string;  (** where the proxy listens *)
+  upstream : string;  (** the live daemon's socket *)
+  seed : int;
+  strategy : Fault_strategy.t;
+  delay_unit_ms : int;  (** wire meaning of [Delay 1] *)
+}
+
+val default_delay_unit_ms : int
+(** 25. *)
+
+type counters = {
+  connections : int;
+  forwarded : int;  (** frames delivered unmodified (and duplicate copies) *)
+  dropped : int;
+  duplicated : int;  (** extra copies written *)
+  corrupted : int;
+  delayed : int;
+  truncated : int;  (** mid-frame crash cuts *)
+  swallowed : int;  (** surplus responses absorbed to protect framing *)
+}
+
+val counters_to_json : counters -> Bench_json.t
+(** Flat object, one [Int] per field — for smoke tests and bench records
+    written by a forked proxy process. *)
+
+val wire_strategy : Fault_strategy.t -> (unit, string) result
+(** Reject strategies with no frame-level meaning ([Equivocate], [Replay],
+    [Poison], [Stall]), recursively through [Chaos] mixes. *)
+
+val run :
+  ?on_ready:(unit -> unit) ->
+  ?log:(string -> unit) ->
+  config ->
+  (counters, Flm_error.t) result
+(** Validate, claim and bind [socket_path], install SIGTERM/SIGINT
+    handlers (restored on exit), and pump connections until stopped;
+    blocks the calling domain.  Each accepted connection runs in its own
+    domain: it opens a fresh upstream connection and relays frames both
+    ways, applying the per-connection resolved strategy to every frame.
+    A transport failure on either side (including the daemon dying)
+    closes both sides of that connection — the client sees EOF, which
+    {!Serve_client} types and poisons on.  Returns the final fault
+    tallies on clean shutdown. *)

@@ -1,0 +1,103 @@
+type config = {
+  failure_threshold : int;
+  cooldown_ms : int;
+  half_open_probes : int;
+}
+
+let default_config =
+  { failure_threshold = 5; cooldown_ms = 1_000; half_open_probes = 1 }
+
+let validate c =
+  let invalid detail =
+    Error (Flm_error.Invalid_input { what = "circuit breaker"; detail })
+  in
+  if c.failure_threshold < 1 then
+    invalid
+      (Printf.sprintf "failure_threshold must be >= 1, got %d"
+         c.failure_threshold)
+  else if c.cooldown_ms < 1 then
+    invalid (Printf.sprintf "cooldown_ms must be >= 1, got %d" c.cooldown_ms)
+  else if c.half_open_probes < 1 then
+    invalid
+      (Printf.sprintf "half_open_probes must be >= 1, got %d"
+         c.half_open_probes)
+  else Ok ()
+
+type state = Closed | Open | Half_open
+
+type t = {
+  lock : Mutex.t;
+  config : config;
+  now : unit -> float;
+  mutable state : state;
+  mutable consecutive : int;
+  mutable opened_at : float;
+  mutable probes : int;  (* in-flight probes while half-open *)
+}
+
+let create ?(now = Unix.gettimeofday) config =
+  {
+    lock = Mutex.create ();
+    config;
+    now;
+    state = Closed;
+    consecutive = 0;
+    opened_at = 0.0;
+    probes = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let state t = with_lock t (fun () -> t.state)
+let failures t = with_lock t (fun () -> t.consecutive)
+
+let acquire t =
+  with_lock t @@ fun () ->
+  match t.state with
+  | Closed -> Ok ()
+  | Open ->
+    let elapsed_ms =
+      int_of_float ((t.now () -. t.opened_at) *. 1000.0)
+    in
+    if elapsed_ms >= t.config.cooldown_ms then begin
+      t.state <- Half_open;
+      t.probes <- 1;
+      Ok ()
+    end
+    else Error (max 1 (t.config.cooldown_ms - elapsed_ms))
+  | Half_open ->
+    if t.probes < t.config.half_open_probes then begin
+      t.probes <- t.probes + 1;
+      Ok ()
+    end
+    else
+      (* All probes in flight; their outcomes decide the state.  A probe
+         round-trip is bounded by the caller's I/O timeout, so "soon". *)
+      Error (max 1 t.config.cooldown_ms)
+
+let succeed t =
+  with_lock t @@ fun () ->
+  t.state <- Closed;
+  t.consecutive <- 0;
+  t.probes <- 0
+
+let fail t =
+  with_lock t @@ fun () ->
+  t.consecutive <- t.consecutive + 1;
+  match t.state with
+  | Closed ->
+    if t.consecutive >= t.config.failure_threshold then begin
+      t.state <- Open;
+      t.opened_at <- t.now ()
+    end
+  | Half_open ->
+    (* A probe failed: the service is still down.  Fresh cooldown. *)
+    t.state <- Open;
+    t.opened_at <- t.now ();
+    t.probes <- 0
+  | Open ->
+    (* A stale in-flight attempt admitted before the trip; the cooldown
+       clock is not restarted by it. *)
+    ()

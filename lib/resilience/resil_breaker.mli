@@ -1,0 +1,55 @@
+(** A circuit breaker: stop hammering a service that is demonstrably down.
+
+    Classic three-state machine.  {e Closed}: requests flow; consecutive
+    retryable failures are counted and [failure_threshold] of them trip the
+    breaker.  {e Open}: every {!acquire} is refused instantly (the caller
+    surfaces a typed error without touching the socket) until [cooldown_ms]
+    has elapsed.  {e Half-open}: after the cooldown, up to
+    [half_open_probes] requests are let through as probes — one success
+    closes the breaker, one failure re-opens it with a fresh cooldown.
+
+    The breaker is mutex-protected so one instance can be shared by every
+    connection a process holds toward the same daemon (a fleet sharing a
+    breaker stops {e collectively}, which is the point).  The clock is
+    injectable for deterministic tests. *)
+
+type config = {
+  failure_threshold : int;  (** consecutive failures that trip the breaker *)
+  cooldown_ms : int;  (** open dwell before probing *)
+  half_open_probes : int;  (** concurrent probes admitted while half-open *)
+}
+
+val default_config : config
+(** threshold 5, cooldown 1000 ms, 1 probe. *)
+
+val validate : config -> (unit, Flm_error.t) result
+(** All three fields must be [>= 1]. *)
+
+type state = Closed | Open | Half_open
+
+type t
+
+val create : ?now:(unit -> float) -> config -> t
+(** [now] (default [Unix.gettimeofday]) is the clock used for cooldowns —
+    inject a fake for deterministic tests.  Raises nothing; validate the
+    config first. *)
+
+val state : t -> state
+val failures : t -> int
+(** Current consecutive-failure count. *)
+
+val acquire : t -> (unit, int) result
+(** Permission to attempt a request.  [Ok ()] — go (and report the outcome
+    via {!succeed} or {!fail}).  [Error retry_after_ms] — the circuit is
+    open (or half-open with all probes in flight); fail fast and come back
+    in roughly [retry_after_ms]. *)
+
+val succeed : t -> unit
+(** The attempt reached the service and got an answer (including a
+    deterministic typed failure — the service is {e up}).  Closes the
+    breaker and resets the failure count. *)
+
+val fail : t -> unit
+(** The attempt failed in a way that indicts the service (transport error,
+    overload refusal, crash).  Counts toward tripping when closed,
+    re-opens with a fresh cooldown when half-open. *)

@@ -1,0 +1,186 @@
+let net = Flm_error.net
+let ( let* ) = Result.bind
+
+type stats = {
+  attempts : int;
+  retries : int;
+  reconnects : int;
+  breaker_rejections : int;
+}
+
+type t = {
+  socket_path : string;
+  policy : Resil_policy.t;
+  breaker : Resil_breaker.t;
+  sleep : float -> unit;
+  mutable rng : Fault_prng.t;
+  mutable conn : Serve_client.t option;
+  mutable ever_connected : bool;
+  mutable attempts : int;
+  mutable retries : int;
+  mutable reconnects : int;
+  mutable breaker_rejections : int;
+}
+
+let create ?(policy = Resil_policy.default)
+    ?(breaker_config = Resil_breaker.default_config) ?breaker ?(seed = 0)
+    ?(sleep = Unix.sleepf) ~socket_path () =
+  let* () = Resil_policy.validate policy in
+  let* () = Resil_breaker.validate breaker_config in
+  let* () = Serve_proto.validate_socket_path socket_path in
+  let breaker =
+    match breaker with
+    | Some b -> b
+    | None -> Resil_breaker.create breaker_config
+  in
+  Ok
+    {
+      socket_path;
+      policy;
+      breaker;
+      sleep;
+      rng = Fault_prng.of_seed seed;
+      conn = None;
+      ever_connected = false;
+      attempts = 0;
+      retries = 0;
+      reconnects = 0;
+      breaker_rejections = 0;
+    }
+
+let stats t =
+  {
+    attempts = t.attempts;
+    retries = t.retries;
+    reconnects = t.reconnects;
+    breaker_rejections = t.breaker_rejections;
+  }
+
+let breaker t = t.breaker
+
+let drop_conn t =
+  match t.conn with
+  | None -> ()
+  | Some c ->
+    Serve_client.close c;
+    t.conn <- None
+
+let close = drop_conn
+
+(* A usable connection: the cached one if it is not poisoned, else a fresh
+   connect (counted as a reconnect after the first ever). *)
+let ensure_conn t ~timeout_ms =
+  let fresh () =
+    match Serve_client.connect ~timeout_ms ~socket_path:t.socket_path () with
+    | Error e -> Error e
+    | Ok c ->
+      if t.ever_connected then t.reconnects <- t.reconnects + 1;
+      t.ever_connected <- true;
+      t.conn <- Some c;
+      Ok c
+  in
+  match t.conn with
+  | Some c when Serve_client.poisoned c = None -> Ok c
+  | Some _ ->
+    drop_conn t;
+    fresh ()
+  | None -> fresh ()
+
+let request t req =
+  let deadline =
+    Option.map
+      (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.0))
+      t.policy.Resil_policy.deadline_ms
+  in
+  let remaining_ms () =
+    Option.map
+      (fun d -> int_of_float ((d -. Unix.gettimeofday ()) *. 1000.0))
+      deadline
+  in
+  let attempt_timeout_ms () =
+    match remaining_ms () with
+    | None -> t.policy.Resil_policy.io_timeout_ms
+    | Some r -> max 1 (min t.policy.Resil_policy.io_timeout_ms r)
+  in
+  let out_of_budget () =
+    match remaining_ms () with Some r -> r <= 0 | None -> false
+  in
+  (* [finish] renders the last failure in the channel it arrived on:
+     server answers stay [Ok (Failed _)], transport errors stay [Error _]. *)
+  let finish = function
+    | `Server e -> Ok (Serve_proto.Response.Failed e)
+    | `Transport e -> Error e
+  in
+  let rec go ~attempt ~prev_ms =
+    match Resil_breaker.acquire t.breaker with
+    | Error retry_after_ms ->
+      t.breaker_rejections <- t.breaker_rejections + 1;
+      Error
+        (net ~endpoint:t.socket_path
+           (Printf.sprintf
+              "circuit open after %d consecutive failures; retry in ~%d ms"
+              (Resil_breaker.failures t.breaker)
+              retry_after_ms))
+    | Ok () -> (
+      t.attempts <- t.attempts + 1;
+      let outcome =
+        match ensure_conn t ~timeout_ms:(attempt_timeout_ms ()) with
+        | Error e -> `Transport e
+        | Ok conn -> (
+          (* Shrink this attempt's I/O bound to the remaining budget. *)
+          match
+            Serve_client.set_io_timeout conn ~timeout_ms:(attempt_timeout_ms ())
+          with
+          | Error e ->
+            drop_conn t;
+            `Transport e
+          | Ok () -> (
+            match Serve_client.request conn req with
+            | Ok (Serve_proto.Response.Failed e) -> `Server e
+            | Ok resp -> `Ok resp
+            | Error e ->
+              (* The handle poisoned itself; next attempt reconnects. *)
+              drop_conn t;
+              `Transport e))
+      in
+      match outcome with
+      | `Ok resp ->
+        Resil_breaker.succeed t.breaker;
+        Ok resp
+      | `Server e when Resil_policy.classify `Server e = Resil_policy.Fail ->
+        (* A deterministic answer means the service is up. *)
+        Resil_breaker.succeed t.breaker;
+        Ok (Serve_proto.Response.Failed e)
+      | (`Server _ | `Transport _) as failure ->
+        Resil_breaker.fail t.breaker;
+        if attempt > t.policy.Resil_policy.retries || out_of_budget () then
+          finish failure
+        else begin
+          t.retries <- t.retries + 1;
+          let d, rng = Resil_policy.backoff_ms t.policy ~rng:t.rng ~prev_ms in
+          t.rng <- rng;
+          let d =
+            match remaining_ms () with
+            | None -> d
+            | Some r -> min d (max 0 r)
+          in
+          if d > 0 then t.sleep (float_of_int d /. 1000.0);
+          go ~attempt:(attempt + 1) ~prev_ms:d
+        end)
+  in
+  go ~attempt:1 ~prev_ms:t.policy.Resil_policy.base_backoff_ms
+
+let result t req =
+  let* resp = request t req in
+  match resp with
+  | Serve_proto.Response.Result doc -> Ok doc
+  | Serve_proto.Response.Failed e -> Error e
+
+let ping t =
+  let* doc =
+    result t { Serve_proto.Request.op = Serve_proto.Request.Ping; timeout_ms = None }
+  in
+  match Serve_proto.Ping.of_json doc with
+  | Ok p -> Ok p
+  | Error e ->
+    Error (net ~endpoint:t.socket_path ("invalid ping document: " ^ e))

@@ -1,0 +1,65 @@
+(** A resilient serve client: {!Serve_client} wrapped in bounded retries
+    with deterministic decorrelated-jitter backoff, reconnect-on-poison,
+    a per-call deadline budget, and a shared circuit breaker.
+
+    {b Semantics.}  {!request} mirrors [Serve_client.request]: a
+    deterministic server-side failure still arrives as [Ok (Failed e)] —
+    resilience never rewrites the daemon's answer, it only hides
+    {e transient} trouble (transport faults, overload and drain refusals,
+    worker crashes) behind retries.  Every serve request is an idempotent
+    pure query, so re-sending after an ambiguous failure is always safe
+    (see {!Resil_policy}).
+
+    {b Termination.}  Every call terminates: attempts are bounded by
+    [policy.retries], each attempt's I/O by [policy.io_timeout_ms], the
+    whole call by [policy.deadline_ms] when set (backoff sleeps are
+    clamped to the remaining budget), and an open breaker refuses
+    instantly.  No configuration hangs.
+
+    A handle is single-domain (like [Serve_client.t]); share the
+    {e breaker} across handles, not the handle. *)
+
+type t
+
+type stats = {
+  attempts : int;  (** wire attempts, including firsts *)
+  retries : int;  (** attempts after the first, per call *)
+  reconnects : int;  (** fresh connections after a poisoned one *)
+  breaker_rejections : int;  (** calls refused without touching the wire *)
+}
+
+val create :
+  ?policy:Resil_policy.t ->
+  ?breaker_config:Resil_breaker.config ->
+  ?breaker:Resil_breaker.t ->
+  ?seed:int ->
+  ?sleep:(float -> unit) ->
+  socket_path:string ->
+  unit ->
+  (t, Flm_error.t) result
+(** Validate policy, breaker config, and socket path; no connection is
+    opened until the first call (the daemon may not be up yet — that is
+    the point).  [breaker] overrides [breaker_config] with a shared
+    instance.  [seed] (default 0) makes the backoff schedule
+    deterministic.  [sleep] (default [Unix.sleepf]) is injectable so unit
+    tests can count backoffs instead of waiting them out. *)
+
+val request :
+  t -> Serve_proto.Request.t -> (Serve_proto.Response.t, Flm_error.t) result
+(** One logical request.  Retries transient failures per
+    {!Resil_policy.classify}, reconnecting when the underlying handle is
+    poisoned; returns the last typed error once attempts, deadline, or
+    the breaker say stop. *)
+
+val result : t -> Serve_proto.Request.t -> (Bench_json.t, Flm_error.t) result
+(** {!request} with server-side failures folded into the error channel. *)
+
+val ping : t -> (Serve_proto.Ping.t, Flm_error.t) result
+(** Health probe: send [Ping], decode the {!Serve_proto.Ping} document.
+    Answered even by a draining daemon (with [draining = true]). *)
+
+val stats : t -> stats
+val breaker : t -> Resil_breaker.t
+(** The breaker instance, for sharing with other handles. *)
+
+val close : t -> unit

@@ -1,0 +1,60 @@
+type t = {
+  retries : int;
+  base_backoff_ms : int;
+  max_backoff_ms : int;
+  io_timeout_ms : int;
+  deadline_ms : int option;
+}
+
+let default =
+  {
+    retries = 3;
+    base_backoff_ms = 25;
+    max_backoff_ms = 2_000;
+    io_timeout_ms = 10_000;
+    deadline_ms = None;
+  }
+
+let invalid detail =
+  Error (Flm_error.Invalid_input { what = "retry policy"; detail })
+
+let validate p =
+  if p.retries < 0 then
+    invalid (Printf.sprintf "retries must be >= 0, got %d" p.retries)
+  else if p.base_backoff_ms < 1 then
+    invalid
+      (Printf.sprintf "base_backoff_ms must be >= 1, got %d" p.base_backoff_ms)
+  else if p.max_backoff_ms < p.base_backoff_ms then
+    invalid
+      (Printf.sprintf "max_backoff_ms (%d) must be >= base_backoff_ms (%d)"
+         p.max_backoff_ms p.base_backoff_ms)
+  else if p.io_timeout_ms < 1 then
+    invalid (Printf.sprintf "io_timeout_ms must be >= 1, got %d" p.io_timeout_ms)
+  else
+    match p.deadline_ms with
+    | Some d when d < 1 ->
+      invalid (Printf.sprintf "deadline_ms must be >= 1, got %d" d)
+    | _ -> Ok ()
+
+(* Decorrelated jitter: next = uniform [base, min (cap, 3 * prev)].  The
+   upper bound grows geometrically like exponential backoff, but each draw
+   ranges all the way down to [base], so a fleet of clients retrying after
+   the same outage spreads out instead of hammering in lockstep. *)
+let backoff_ms p ~rng ~prev_ms =
+  let lo = p.base_backoff_ms in
+  let hi = max (lo + 1) (min p.max_backoff_ms (prev_ms * 3)) in
+  let d, rng = Fault_prng.int rng (hi - lo + 1) in
+  (lo + d, rng)
+
+type verdict = Retry | Fail
+
+let classify source (e : Flm_error.t) =
+  match source with
+  | `Transport -> Retry
+  | `Server -> (
+    match e with
+    | Flm_error.Worker_crashed _ | Flm_error.Net _ -> Retry
+    | Flm_error.Invalid_input _ | Flm_error.Job_failed _
+    | Flm_error.Job_timeout _ | Flm_error.Axiom_violation _
+    | Flm_error.Store_corrupt _ ->
+      Fail)

@@ -1,0 +1,55 @@
+(** Retry policy for resilient serve clients: how many attempts, how long
+    to wait between them, how much total time one call may consume, and
+    which failures are worth retrying at all.
+
+    {b Determinism.}  Backoff jitter draws from a {!Fault_prng} stream, so
+    a client seeded for test replays the exact same sleep schedule run
+    after run — retry behavior is as reproducible as the fault injection
+    it is tested against.
+
+    {b Idempotence.}  Every serve request is a pure query (certify, sweep,
+    chaos, stats, ping): re-sending one after an ambiguous transport
+    failure re-reads a cached or recomputed verdict, never duplicates an
+    effect.  That is what licenses retrying writes-looking failures
+    ("the request may have reached the server") without an idempotency
+    token. *)
+
+type t = {
+  retries : int;  (** extra attempts after the first (0 = no retry) *)
+  base_backoff_ms : int;  (** first sleep, and the jitter floor *)
+  max_backoff_ms : int;  (** backoff cap *)
+  io_timeout_ms : int;  (** per-attempt socket read/write bound *)
+  deadline_ms : int option;
+      (** total per-call budget across every attempt and backoff sleep;
+          [None] = bounded only by [retries * io_timeout_ms + sleeps] *)
+}
+
+val default : t
+(** 3 retries, 25 ms base, 2 s cap, 10 s per-attempt I/O bound, no
+    overall deadline. *)
+
+val validate : t -> (unit, Flm_error.t) result
+(** [retries >= 0], [1 <= base_backoff_ms <= max_backoff_ms],
+    [io_timeout_ms >= 1], [deadline_ms >= 1] when given. *)
+
+val backoff_ms : t -> rng:Fault_prng.t -> prev_ms:int -> int * Fault_prng.t
+(** Decorrelated jitter (Brooker): uniform in
+    [\[base, min (max, 3 * prev)\]].  Feed the drawn value back as the
+    next [prev_ms]; start with [prev_ms = base_backoff_ms].  Spreads
+    retry storms instead of synchronizing them the way plain exponential
+    backoff does. *)
+
+type verdict =
+  | Retry  (** the failure can plausibly clear on a re-send *)
+  | Fail  (** deterministic; re-sending wastes the budget *)
+
+val classify : [ `Transport | `Server ] -> Flm_error.t -> verdict
+(** [`Transport]: the request died on the wire (connect refused, frame
+    timeout, EOF, reset) — always [Retry], because serve requests are
+    idempotent queries.  [`Server]: the daemon answered with a typed
+    failure — [Retry] exactly for [Worker_crashed] (transient by the
+    taxonomy) and [Net] (the only server-authored [Net] failures are
+    overload and drain refusals, both of which clear when load drops or
+    the restarted daemon comes back); everything else ([Invalid_input],
+    [Job_failed], [Job_timeout], [Axiom_violation], [Store_corrupt]) is
+    deterministic and [Fail]s immediately. *)

@@ -30,7 +30,14 @@ let poll_interval = 0.25
    connection: the kernel read times out and the session closes. *)
 let io_timeout = 10.0
 
-let net ~endpoint detail = Flm_error.Net { endpoint; detail }
+(* After stop is requested, each session keeps its connection open for one
+   more window: a health probe arriving in it is answered (with
+   [draining = true]), any other op gets a typed refusal, and then the
+   session closes — so a drain is visible to clients as state, not as a
+   silent hangup, while staying bounded at one answer per connection. *)
+let drain_grace = poll_interval
+
+let net = Flm_error.net
 let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
 (* --- session registry ----------------------------------------------------
@@ -120,6 +127,7 @@ type server = {
   engine : Engine.t;
   metrics : Serve_metrics.t;
   stop : bool Atomic.t;
+  sessions : unit -> int;  (** live session count, for health answers *)
   log : string -> unit;
 }
 
@@ -191,6 +199,23 @@ let store_stat_response server =
            "bytes", Bench_json.Int s.Store.bytes;
          ])
 
+(* Health answers read counters only — never engine queues — so they stay
+   cheap while every session is busy, and truthful while draining. *)
+let ping_response server ~draining =
+  let s : Serve_metrics.snapshot = Serve_metrics.snapshot server.metrics in
+  Serve_proto.Response.Result
+    (Serve_proto.Ping.to_json
+       {
+         Serve_proto.Ping.draining;
+         sessions = server.sessions ();
+         max_sessions = server.cfg.max_sessions;
+         requests = s.requests;
+         ok = s.ok;
+         failed = s.failed;
+         jobs = Engine.jobs server.engine;
+         store_attached = Engine.store server.engine <> None;
+       })
+
 let handle_op server (req : Serve_proto.Request.t) =
   match req.Serve_proto.Request.op with
   | Serve_proto.Request.Certify { problem; n; f } -> (
@@ -231,6 +256,8 @@ let handle_op server (req : Serve_proto.Request.t) =
   | Serve_proto.Request.Store_stat -> store_stat_response server
   | Serve_proto.Request.Stats ->
     Serve_proto.Response.Result (stats_json server)
+  | Serve_proto.Request.Ping ->
+    ping_response server ~draining:(Atomic.get server.stop)
 
 (* --- sessions ------------------------------------------------------------- *)
 
@@ -241,46 +268,71 @@ let handle_connection server fd id =
       (Bench_json.to_string (Serve_proto.Response.to_json resp))
   in
   (* Framing errors close the connection (the peer is not speaking the
-     protocol); document errors are answered and the connection lives. *)
+     protocol); document errors are answered and the connection lives.
+     [answer_frame] consumes one readable frame; [~draining] routes every
+     op except a health probe to a typed refusal. *)
+  let answer_frame ~draining =
+    match Serve_proto.read_frame ~endpoint fd with
+    | Ok Serve_proto.Eof -> `Close
+    | Error e ->
+      Serve_metrics.record_malformed server.metrics;
+      let (_ : (unit, Flm_error.t) result) =
+        respond (Serve_proto.Response.Failed e)
+      in
+      `Close
+    | Ok (Serve_proto.Frame payload) -> (
+      let t0 = Metrics.wall_now () in
+      let parsed =
+        match Bench_json.parse payload with
+        | Error e -> Error ("malformed request document: " ^ e)
+        | Ok doc -> Serve_proto.Request.of_json doc
+      in
+      match parsed with
+      | Error detail -> (
+        Serve_metrics.record_malformed server.metrics;
+        match respond (Serve_proto.Response.Failed (net ~endpoint detail)) with
+        | Ok () -> if draining then `Close else `Continue
+        | Error _ -> `Close)
+      | Ok req -> (
+        Serve_metrics.record_request server.metrics;
+        let resp =
+          match req.Serve_proto.Request.op with
+          | Serve_proto.Request.Ping -> ping_response server ~draining
+          | _ when draining ->
+            Serve_proto.Response.Failed
+              (net ~endpoint
+                 (Printf.sprintf
+                    "server draining; %s refused — reconnect after restart"
+                    (Serve_proto.Request.label req)))
+          | _ -> handle_op server req
+        in
+        (match resp with
+        | Serve_proto.Response.Result _ -> Serve_metrics.record_ok server.metrics
+        | Serve_proto.Response.Failed _ ->
+          Serve_metrics.record_failed server.metrics);
+        Serve_metrics.record_latency server.metrics
+          ~seconds:(Metrics.wall_now () -. t0);
+        match respond resp with
+        | Ok () -> if draining then `Close else `Continue
+        | Error _ -> `Close))
+  in
   let rec loop () =
     if not (Atomic.get server.stop) then
       match Unix.select [ fd ] [] [] poll_interval with
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
       | [], _, _ -> loop ()
       | _ :: _, _, _ -> (
-        match Serve_proto.read_frame ~endpoint fd with
-        | Ok Serve_proto.Eof -> ()
-        | Error e ->
-          Serve_metrics.record_malformed server.metrics;
-          let (_ : (unit, Flm_error.t) result) =
-            respond (Serve_proto.Response.Failed e)
-          in
-          ()
-        | Ok (Serve_proto.Frame payload) -> (
-          let t0 = Metrics.wall_now () in
-          let parsed =
-            match Bench_json.parse payload with
-            | Error e -> Error ("malformed request document: " ^ e)
-            | Ok doc -> Serve_proto.Request.of_json doc
-          in
-          match parsed with
-          | Error detail -> (
-            Serve_metrics.record_malformed server.metrics;
-            match respond (Serve_proto.Response.Failed (net ~endpoint detail))
-            with
-            | Ok () -> loop ()
-            | Error _ -> ())
-          | Ok req -> (
-            Serve_metrics.record_request server.metrics;
-            let resp = handle_op server req in
-            (match resp with
-            | Serve_proto.Response.Result _ ->
-              Serve_metrics.record_ok server.metrics
-            | Serve_proto.Response.Failed _ ->
-              Serve_metrics.record_failed server.metrics);
-            Serve_metrics.record_latency server.metrics
-              ~seconds:(Metrics.wall_now () -. t0);
-            match respond resp with Ok () -> loop () | Error _ -> ())))
+        match answer_frame ~draining:(Atomic.get server.stop) with
+        | `Continue -> loop ()
+        | `Close -> ())
+    else
+      (* Stop noticed between requests: grant one grace window so a
+         health probe is answered [draining = true] instead of the
+         connection silently vanishing, then close. *)
+      match Unix.select [ fd ] [] [] drain_grace with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> ignore (answer_frame ~draining:true)
   in
   Fun.protect
     ~finally:(fun () -> close_quietly fd)
@@ -411,7 +463,7 @@ let validate cfg =
            detail =
              Printf.sprintf "need at least 1 session, got %d" cfg.max_sessions;
          })
-  else Ok ()
+  else Serve_proto.validate_socket_path cfg.socket_path
 
 let run ?(on_ready = fun () -> ()) ?(log = fun _ -> ()) cfg =
   let ( let* ) = Result.bind in
@@ -437,8 +489,16 @@ let run ?(on_ready = fun () -> ()) ?(log = fun _ -> ()) cfg =
       close_store ();
       Error e
   in
+  let reg = registry_create () in
   let server =
-    { cfg; engine; metrics = Serve_metrics.create (); stop = Atomic.make false; log }
+    {
+      cfg;
+      engine;
+      metrics = Serve_metrics.create ();
+      stop = Atomic.make false;
+      sessions = (fun () -> live_sessions reg);
+      log;
+    }
   in
   let teardown_engine () =
     Engine.shutdown engine;
@@ -463,7 +523,6 @@ let run ?(on_ready = fun () -> ()) ?(log = fun _ -> ()) cfg =
         (net ~endpoint
            (Printf.sprintf "cannot listen: %s" (Unix.error_message e)))
   in
-  let reg = registry_create () in
   let restore_signals = install_signals server.stop in
   Fun.protect ~finally:restore_signals (fun () ->
       log

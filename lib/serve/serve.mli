@@ -44,6 +44,13 @@ type config = {
 val default_max_sessions : int
 (** 16. *)
 
+val claim_socket_path : string -> (unit, Flm_error.t) result
+(** Make a socket path bindable: a live daemon behind it is refused
+    (typed [Net]), a leftover socket from a dead process (the kernel
+    refuses connections to it) is unlinked, and a non-socket file is
+    refused.  Shared with the chaos proxy, which fronts a daemon on a
+    second socket with the same lifecycle. *)
+
 val run :
   ?on_ready:(unit -> unit) ->
   ?log:(string -> unit) ->

@@ -1,10 +1,44 @@
-type t = { fd : Unix.file_descr; endpoint : string }
+type t = {
+  fd : Unix.file_descr;
+  endpoint : string;
+  (* A transport error leaves the stream in an undefined framing state (a
+     frame may be half-written or half-read); the handle is poisoned so
+     every later call fails fast with a typed error instead of reading
+     desynchronized bytes as frames. *)
+  mutable poisoned : Flm_error.t option;
+}
 
 let ( let* ) = Result.bind
-let net ~endpoint detail = Flm_error.Net { endpoint; detail }
+let net = Flm_error.net
+
+(* Writing to a server that died mid-connection raises SIGPIPE, which kills
+   the process before the EPIPE can be typed.  Client paths must ignore it;
+   done once, lazily, so merely linking this module changes nothing.  (The
+   daemon installs its own ignore in [Serve.run].) *)
+let sigpipe_ignored = lazy (Sys.set_signal Sys.sigpipe Sys.Signal_ignore)
+
+let set_io_timeout t ~timeout_ms =
+  if timeout_ms < 1 then
+    Error
+      (net ~endpoint:t.endpoint
+         (Printf.sprintf "timeout_ms must be positive, got %d" timeout_ms))
+  else
+    let s = float_of_int timeout_ms /. 1000.0 in
+    match
+      Unix.setsockopt_float t.fd Unix.SO_RCVTIMEO s;
+      Unix.setsockopt_float t.fd Unix.SO_SNDTIMEO s
+    with
+    | () -> Ok ()
+    | exception Unix.Unix_error (e, _, _) ->
+      Error
+        (net ~endpoint:t.endpoint
+           (Printf.sprintf "cannot set socket timeout: %s"
+              (Unix.error_message e)))
 
 let connect ?(timeout_ms = 30_000) ~socket_path () =
+  Lazy.force sigpipe_ignored;
   let endpoint = socket_path in
+  let* () = Serve_proto.validate_socket_path socket_path in
   if timeout_ms < 1 then
     Error
       (net ~endpoint
@@ -22,28 +56,45 @@ let connect ?(timeout_ms = 30_000) ~socket_path () =
         Unix.setsockopt_float fd Unix.SO_RCVTIMEO s;
         Unix.setsockopt_float fd Unix.SO_SNDTIMEO s
       with
-      | () -> Ok { fd; endpoint }
+      | () -> Ok { fd; endpoint; poisoned = None }
       | exception Unix.Unix_error (e, _, _) ->
         (try Unix.close fd with Unix.Unix_error _ -> ());
         Error
           (net ~endpoint
              (Printf.sprintf "connect failed: %s" (Unix.error_message e))))
 
+let poison t e =
+  (match t.poisoned with None -> t.poisoned <- Some e | Some _ -> ());
+  Error e
+
 let request t req =
-  let payload = Bench_json.to_string (Serve_proto.Request.to_json req) in
-  let* () = Serve_proto.write_frame ~endpoint:t.endpoint t.fd payload in
-  let* input = Serve_proto.read_frame ~endpoint:t.endpoint t.fd in
-  match input with
-  | Serve_proto.Eof ->
-    Error (net ~endpoint:t.endpoint "server closed the connection unanswered")
-  | Serve_proto.Frame s -> (
-    match Bench_json.parse s with
-    | Error e ->
-      Error (net ~endpoint:t.endpoint ("malformed response document: " ^ e))
-    | Ok json -> (
-      match Serve_proto.Response.of_json json with
-      | Error e -> Error (net ~endpoint:t.endpoint ("invalid response: " ^ e))
-      | Ok r -> Ok r))
+  match t.poisoned with
+  | Some e ->
+    Error
+      (net ~endpoint:t.endpoint
+         ("connection unusable after an earlier transport error: "
+         ^ Flm_error.to_string e))
+  | None -> (
+    let payload = Bench_json.to_string (Serve_proto.Request.to_json req) in
+    match Serve_proto.write_frame ~endpoint:t.endpoint t.fd payload with
+    | Error e -> poison t e
+    | Ok () -> (
+      match Serve_proto.read_frame ~endpoint:t.endpoint t.fd with
+      | Error e -> poison t e
+      | Ok Serve_proto.Eof ->
+        poison t
+          (net ~endpoint:t.endpoint "server closed the connection unanswered")
+      | Ok (Serve_proto.Frame s) -> (
+        (* Document-level failures leave the framing layer in sync: the
+           frame was read whole, so the connection stays usable. *)
+        match Bench_json.parse s with
+        | Error e ->
+          Error (net ~endpoint:t.endpoint ("malformed response document: " ^ e))
+        | Ok json -> (
+          match Serve_proto.Response.of_json json with
+          | Error e ->
+            Error (net ~endpoint:t.endpoint ("invalid response: " ^ e))
+          | Ok r -> Ok r))))
 
 let result t req =
   let* resp = request t req in
@@ -51,4 +102,5 @@ let result t req =
   | Serve_proto.Response.Result doc -> Ok doc
   | Serve_proto.Response.Failed e -> Error e
 
+let poisoned t = t.poisoned
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

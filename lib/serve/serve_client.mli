@@ -11,15 +11,31 @@ val connect :
 (** Connect to a daemon's Unix socket.  [timeout_ms] (default 30 000)
     bounds each subsequent socket read and write, so a wedged daemon
     surfaces as a typed error instead of a hang.  [Error (Net _)] when
-    the socket does not exist, nothing is listening, or the handshake
-    write fails. *)
+    the path is over-long ({!Serve_proto.validate_socket_path}), the
+    socket does not exist, nothing is listening, or the handshake write
+    fails.  The first connect in a process sets [SIGPIPE] to ignore, so
+    writing to a dead server surfaces as a typed [EPIPE] error instead of
+    killing the process. *)
+
+val set_io_timeout : t -> timeout_ms:int -> (unit, Flm_error.t) result
+(** Re-bound this connection's socket reads and writes (e.g. to fit the
+    remainder of a caller's per-call deadline budget). *)
 
 val request :
   t -> Serve_proto.Request.t -> (Serve_proto.Response.t, Flm_error.t) result
 (** Send one request frame and read one response frame.  [Error _] only
-    for transport-level failures (the connection is then unusable); a
-    server-side failure arrives as [Ok (Failed _)] on a connection that
-    remains good for the next request. *)
+    for transport-level failures; a server-side failure arrives as
+    [Ok (Failed _)] on a connection that remains good for the next
+    request.  A transport failure (short read or write, timeout mid-frame,
+    EOF, reset) leaves the stream in an undefined framing state, so it
+    {e poisons} the handle: every later [request] fails fast with a typed
+    [Net] error naming the original failure, and never reads
+    desynchronized bytes as frames.  Document-level failures (malformed or
+    invalid response JSON in a complete frame) do not poison. *)
+
+val poisoned : t -> Flm_error.t option
+(** The transport error that poisoned this handle, if any — the caller's
+    cue to reconnect. *)
 
 val result : t -> Serve_proto.Request.t -> (Bench_json.t, Flm_error.t) result
 (** {!request}, with server-side failures folded into the error channel:

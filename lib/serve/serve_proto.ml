@@ -321,6 +321,59 @@ module Slot = struct
       Ok (Ok v)
 end
 
+(* --- health -------------------------------------------------------------- *)
+
+(* The health/readiness document answered to a [Ping] request.  Served
+   straight off the daemon's counters — never touches the engine's work
+   queues — so it stays answerable while every session is busy, and keeps
+   being answered (with [draining = true]) during a SIGTERM drain, when
+   every other op would be refused. *)
+module Ping = struct
+  type t = {
+    draining : bool;
+    sessions : int;  (** live session domains *)
+    max_sessions : int;
+    requests : int;  (** total requests answered so far *)
+    ok : int;
+    failed : int;
+    jobs : int;  (** engine worker domains *)
+    store_attached : bool;
+  }
+
+  let to_json t =
+    Bench_json.Obj
+      [ "draining", Bench_json.Bool t.draining;
+        "sessions", Bench_json.Int t.sessions;
+        "max_sessions", Bench_json.Int t.max_sessions;
+        "requests", Bench_json.Int t.requests;
+        "ok", Bench_json.Int t.ok;
+        "failed", Bench_json.Int t.failed;
+        "jobs", Bench_json.Int t.jobs;
+        "store_attached", Bench_json.Bool t.store_attached;
+      ]
+
+  let of_json json =
+    let what = "ping" in
+    let* kvs = obj_fields ~what json in
+    let* () =
+      no_unknown ~what
+        ~allowed:
+          [ "draining"; "sessions"; "max_sessions"; "requests"; "ok";
+            "failed"; "jobs"; "store_attached" ]
+        kvs
+    in
+    let* draining = bool_field ~what kvs "draining" in
+    let* sessions = int_field ~what kvs "sessions" in
+    let* max_sessions = int_field ~what kvs "max_sessions" in
+    let* requests = int_field ~what kvs "requests" in
+    let* ok = int_field ~what kvs "ok" in
+    let* failed = int_field ~what kvs "failed" in
+    let* jobs = int_field ~what kvs "jobs" in
+    let* store_attached = bool_field ~what kvs "store_attached" in
+    Ok { draining; sessions; max_sessions; requests; ok; failed; jobs;
+         store_attached }
+end
+
 (* --- requests ------------------------------------------------------------ *)
 
 module Request = struct
@@ -336,6 +389,7 @@ module Request = struct
     | Sweep of { n_max : int; f_max : int }
     | Store_stat
     | Stats
+    | Ping
 
   type t = { op : op; timeout_ms : int option }
 
@@ -346,6 +400,7 @@ module Request = struct
     | Sweep _ -> "sweep"
     | Store_stat -> "store-stat"
     | Stats -> "stats"
+    | Ping -> "ping"
 
   let to_json t =
     let base =
@@ -371,6 +426,7 @@ module Request = struct
         ]
       | Store_stat -> [ "op", Bench_json.String "store-stat" ]
       | Stats -> [ "op", Bench_json.String "stats" ]
+      | Ping -> [ "op", Bench_json.String "ping" ]
     in
     let timeout =
       match t.timeout_ms with
@@ -447,6 +503,7 @@ module Request = struct
         Ok (Sweep { n_max; f_max })
       | "store-stat" -> strict [] @@ fun () -> Ok Store_stat
       | "stats" -> strict [] @@ fun () -> Ok Stats
+      | "ping" -> strict [] @@ fun () -> Ok Ping
       | o -> Error (Printf.sprintf "request: unknown op %S" o)
     in
     Ok { op; timeout_ms }
@@ -489,9 +546,29 @@ module Response = struct
     | s -> Error (Printf.sprintf "response: unknown status %S" s)
 end
 
-(* --- framing over file descriptors --------------------------------------- *)
+(* --- socket addresses ----------------------------------------------------- *)
 
-let net ~endpoint detail = Flm_error.Net { endpoint; detail }
+let net = Flm_error.net
+
+(* [sun_path] is a fixed ~108-byte kernel buffer (104 on some BSDs); a
+   longer path would be truncated or refused with a bare EINVAL deep inside
+   [bind]/[connect].  Both ends validate up front instead, with the limit
+   and the offending length in the message. *)
+let max_socket_path = 103
+
+let validate_socket_path path =
+  let n = String.length path in
+  if n = 0 then Error (net ~endpoint:path "socket path is empty")
+  else if n > max_socket_path then
+    Error
+      (net ~endpoint:path
+         (Printf.sprintf
+            "socket path is %d bytes; unix sun_path holds at most %d — use a \
+             shorter path (e.g. under /tmp)"
+            n max_socket_path))
+  else Ok ()
+
+(* --- framing over file descriptors --------------------------------------- *)
 
 let rec retry_intr f =
   match f () with

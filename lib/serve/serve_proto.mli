@@ -55,6 +55,27 @@ module Slot : sig
   val of_json : Bench_json.t -> (t, string) result
 end
 
+(** The health/readiness document answered to a [Ping] request: served
+    straight off the daemon's counters (never enqueued behind engine
+    work), and still answered — with [draining = true] — while a SIGTERM
+    drain is refusing every other op.  A resilient client uses it to tell
+    "server draining, back off and reconnect" from "server dead". *)
+module Ping : sig
+  type t = {
+    draining : bool;
+    sessions : int;
+    max_sessions : int;
+    requests : int;
+    ok : int;
+    failed : int;
+    jobs : int;
+    store_attached : bool;
+  }
+
+  val to_json : t -> Bench_json.t
+  val of_json : Bench_json.t -> (t, string) result
+end
+
 module Request : sig
   type op =
     | Certify of { problem : Job.cert_problem; n : int; f : int }
@@ -68,6 +89,7 @@ module Request : sig
     | Sweep of { n_max : int; f_max : int }
     | Store_stat
     | Stats
+    | Ping  (** health/readiness probe; see {!Ping} for the answer *)
 
   type t = {
     op : op;
@@ -105,6 +127,18 @@ val error_to_json : Flm_error.t -> Bench_json.t
 
 val error_of_json : Bench_json.t -> (Flm_error.t, string) result
 (** Exact inverse of {!error_to_json}. *)
+
+(* --- socket addresses ---------------------------------------------------- *)
+
+val max_socket_path : int
+(** Longest Unix socket path either end will accept (103 bytes — the
+    portable [sun_path] floor, leaving room for the terminating NUL). *)
+
+val validate_socket_path : string -> (unit, Flm_error.t) result
+(** Reject empty or over-long socket paths with a descriptive
+    {!Flm_error.Net} before the kernel can answer a bare [EINVAL] (or
+    silently truncate).  Called by both [Serve.run] and
+    [Serve_client.connect]. *)
 
 (* --- framing over file descriptors ------------------------------------- *)
 

@@ -91,6 +91,18 @@ let () =
   expect "Net: serve, unbindable socket" 16
     [ "serve"; "--socket"; Filename.concat dir "missing/dir/s.sock";
       "--quiet"; "-j"; "1" ];
+  (* Net (16) after the retry budget: the resilience flags retry the
+     connect, then surface the same typed class and code. *)
+  expect "Net: ping with retries" 16
+    [ "query"; "ping"; "--socket"; Filename.concat dir "no-daemon.sock";
+      "--retries"; "2"; "--backoff-ms"; "1"; "--deadline-ms"; "2000" ];
+  (* An over-long socket path is refused client-side with the same code,
+     in both query and serve. *)
+  let long_path = "/tmp/" ^ String.make 120 'x' ^ ".sock" in
+  expect "Net: query, over-long socket path" 16
+    [ "query"; "ping"; "--socket"; long_path ];
+  expect "Net: serve, over-long socket path" 16
+    [ "serve"; "--socket"; long_path; "--quiet"; "-j"; "1" ];
   Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
   (try Unix.rmdir dir with Unix.Unix_error _ -> ());
   if !failures > 0 then exit 1;

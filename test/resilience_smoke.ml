@@ -1,0 +1,321 @@
+(* End-to-end resilience: a real daemon behind a real wire-level chaos
+   proxy, attacked by the seeded fault catalog, driven by resilient
+   clients.  Three phases:
+
+   (a) Fault mix — every request through a >=20% drop/corrupt/delay/dup
+       mix terminates (success or typed error, never a hang), some
+       succeed, and the proxy's fault counters prove faults actually
+       fired.
+   (b) Breaker — consecutive connect failures trip the breaker open
+       (fast-fail with a typed "circuit open" error), and once a daemon
+       appears and the cooldown elapses, a half-open probe closes it.
+   (c) Kill and restart — SIGKILL the daemon mid-run; a restarted daemon
+       reclaims the socket, the resilient client reconnects on its own,
+       and the resumed verdict is byte-identical to the pre-kill one.
+
+   Process architecture mirrors bench_e19/campaign: the daemon and the
+   proxy are forked processes (forking is only safe while single-domain,
+   and the parent stays single-domain throughout), so the parent can
+   SIGKILL the daemon at any phase.
+
+   Run via the @resilience-smoke alias (wired into @runtest). *)
+
+let ( // ) = Filename.concat
+
+let failures = ref 0
+
+let checkf ok fmt =
+  Printf.ksprintf
+    (fun what ->
+      if ok then Printf.printf "resilience_smoke: ok: %s\n%!" what
+      else begin
+        incr failures;
+        Printf.eprintf "resilience_smoke: FAIL: %s\n%!" what
+      end)
+    fmt
+
+(* --- forked processes ----------------------------------------------------- *)
+
+let start_daemon ~socket_path ~jobs =
+  match Unix.fork () with
+  | 0 ->
+    let cfg =
+      {
+        Serve.socket_path;
+        jobs;
+        store_dir = None;
+        resume = false;
+        max_sessions = 16;
+        engine_config = Engine.default_config;
+      }
+    in
+    let code = match Serve.run cfg with Ok _ -> 0 | Error _ -> 1 in
+    Unix._exit code
+  | pid -> pid
+
+(* The proxy process writes its final fault counters as JSON on clean
+   shutdown, so the parent can assert faults actually fired. *)
+let start_proxy ~cfg ~counters_file =
+  match Unix.fork () with
+  | 0 ->
+    let code =
+      match Chaos_proxy.run cfg with
+      | Ok counters ->
+        Bench_json.write_file ~path:counters_file
+          (Chaos_proxy.counters_to_json counters);
+        0
+      | Error _ -> 1
+    in
+    Unix._exit code
+  | pid -> pid
+
+let wait_connectable socket_path =
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec go () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+    | () ->
+      Unix.close fd;
+      true
+    | exception Unix.Unix_error (_, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if Unix.gettimeofday () > deadline then false
+      else begin
+        Unix.sleepf 0.02;
+        go ()
+      end
+  in
+  go ()
+
+let stop_process pid =
+  (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+  ignore (Unix.waitpid [] pid)
+
+(* --- phase a: the fault mix ----------------------------------------------- *)
+
+(* Cheap, deterministic ops: the smoke exercises the wire, not the engine. *)
+let ops =
+  [| Serve_proto.Request.Ping;
+     Serve_proto.Request.Stats;
+     Serve_proto.Request.Certify { problem = Job.Ba; n = 3; f = 1 };
+     Serve_proto.Request.Certify { problem = Job.Ba_conn; n = 8; f = 1 };
+  |]
+
+let fault_mix =
+  Fault_strategy.Chaos
+    [ (1, Fault_strategy.Drop 0.25);
+      (1, Fault_strategy.Corrupt 0.25);
+      (1, Fault_strategy.Delay 1);
+      (1, Fault_strategy.Duplicate 0.25);
+    ]
+
+let phase_fault_mix tmp =
+  let up = tmp // "up_a.sock" in
+  let px = tmp // "px_a.sock" in
+  let counters_file = tmp // "proxy_counters.json" in
+  let daemon = start_daemon ~socket_path:up ~jobs:2 in
+  checkf (wait_connectable up) "daemon up for the fault mix";
+  let proxy =
+    start_proxy
+      ~cfg:
+        {
+          Chaos_proxy.socket_path = px;
+          upstream = up;
+          seed = 1337;
+          strategy = fault_mix;
+          delay_unit_ms = 25;
+        }
+      ~counters_file
+  in
+  checkf (wait_connectable px) "proxy up in front of it";
+  let policy =
+    {
+      Resil_policy.retries = 6;
+      base_backoff_ms = 10;
+      max_backoff_ms = 200;
+      io_timeout_ms = 500;
+      deadline_ms = Some 10_000;
+    }
+  in
+  (* A small fleet sharing one breaker, like one process's worth of
+     clients.  High threshold: this phase watches retries, not trips. *)
+  let breaker =
+    Resil_breaker.create
+      { Resil_breaker.failure_threshold = 1_000; cooldown_ms = 500; half_open_probes = 1 }
+  in
+  let clients =
+    List.filter_map
+      (fun seed ->
+        match Resil_client.create ~policy ~breaker ~seed ~socket_path:px () with
+        | Ok c -> Some c
+        | Error _ -> None)
+      [ 1; 2; 3 ]
+  in
+  checkf (List.length clients = 3) "three resilient clients created";
+  let total = ref 0 and succeeded = ref 0 and typed = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  List.iteri
+    (fun ci c ->
+      for k = 0 to 9 do
+        incr total;
+        let op = ops.((ci + k) mod Array.length ops) in
+        match Resil_client.request c { Serve_proto.Request.op; timeout_ms = None } with
+        | Ok (Serve_proto.Response.Result _) -> incr succeeded
+        | Ok (Serve_proto.Response.Failed _) | Error _ -> incr typed
+      done)
+    clients;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (* Termination: every call came back, inside its deadline budget. *)
+  checkf (!succeeded + !typed = !total) "all %d requests terminated" !total;
+  checkf (!succeeded > !total / 2)
+    "majority succeeded under the mix (%d/%d, %.1fs)" !succeeded !total elapsed;
+  let retried =
+    List.fold_left
+      (fun acc c -> acc + (Resil_client.stats c).Resil_client.retries)
+      0 clients
+  in
+  checkf (retried > 0) "retries actually happened (%d)" retried;
+  List.iter Resil_client.close clients;
+  stop_process proxy;
+  stop_process daemon;
+  (* The proxy's own tallies prove the mix fired on the wire. *)
+  let counter name =
+    match Bench_json.parse (In_channel.with_open_bin counters_file In_channel.input_all) with
+    | Ok doc -> Option.bind (Bench_json.member name doc) Bench_json.to_int_opt
+    | Error _ -> None
+  in
+  let count name = Option.value ~default:0 (counter name) in
+  checkf (count "connections" > 0) "proxy saw connections (%d)" (count "connections");
+  checkf
+    (count "dropped" + count "corrupted" + count "delayed" + count "duplicated" > 0)
+    "faults fired on the wire (drop %d, corrupt %d, delay %d, dup %d, swallowed %d)"
+    (count "dropped") (count "corrupted") (count "delayed") (count "duplicated")
+    (count "swallowed")
+
+(* --- phase b: the breaker opens and recovers ------------------------------- *)
+
+let phase_breaker tmp =
+  let sock = tmp // "up_b.sock" in
+  let policy =
+    {
+      Resil_policy.retries = 0;
+      base_backoff_ms = 5;
+      max_backoff_ms = 20;
+      io_timeout_ms = 2_000;
+      deadline_ms = Some 5_000;
+    }
+  in
+  let client =
+    match
+      Resil_client.create ~policy
+        ~breaker_config:
+          { Resil_breaker.failure_threshold = 3; cooldown_ms = 300; half_open_probes = 1 }
+        ~seed:7 ~socket_path:sock ()
+    with
+    | Ok c -> c
+    | Error e ->
+      checkf false "client create: %s" (Flm_error.to_string e);
+      exit 1
+  in
+  let req = { Serve_proto.Request.op = Serve_proto.Request.Ping; timeout_ms = None } in
+  (* Nothing listens: three consecutive failures trip the breaker. *)
+  for _ = 1 to 3 do
+    ignore (Resil_client.request client req)
+  done;
+  let b = Resil_client.breaker client in
+  checkf (Resil_breaker.state b = Resil_breaker.Open) "breaker opened after 3 failures";
+  (match Resil_client.request client req with
+  | Error (Flm_error.Net { detail; _ })
+    when String.length detail >= 12 && String.sub detail 0 12 = "circuit open" ->
+    checkf true "open breaker fast-fails with a typed error"
+  | _ -> checkf false "open breaker fast-fails with a typed error");
+  checkf
+    ((Resil_client.stats client).Resil_client.breaker_rejections >= 1)
+    "rejection counted without touching the wire";
+  (* The service comes back; after the cooldown a probe closes the circuit. *)
+  let daemon = start_daemon ~socket_path:sock ~jobs:1 in
+  checkf (wait_connectable sock) "daemon started behind the tripped breaker";
+  Unix.sleepf 0.4;
+  (match Resil_client.ping client with
+  | Ok p ->
+    checkf (not p.Serve_proto.Ping.draining) "probe succeeded; daemon healthy"
+  | Error e -> checkf false "probe after cooldown: %s" (Flm_error.to_string e));
+  checkf (Resil_breaker.state b = Resil_breaker.Closed) "breaker closed again";
+  Resil_client.close client;
+  stop_process daemon
+
+(* --- phase c: kill -9, restart, byte-identical resume ---------------------- *)
+
+let phase_kill_restart tmp =
+  let sock = tmp // "up_c.sock" in
+  let policy =
+    {
+      Resil_policy.retries = 10;
+      base_backoff_ms = 25;
+      max_backoff_ms = 400;
+      io_timeout_ms = 2_000;
+      deadline_ms = Some 15_000;
+    }
+  in
+  let client =
+    match Resil_client.create ~policy ~seed:9 ~socket_path:sock () with
+    | Ok c -> c
+    | Error e ->
+      checkf false "client create: %s" (Flm_error.to_string e);
+      exit 1
+  in
+  let req =
+    {
+      Serve_proto.Request.op =
+        Serve_proto.Request.Certify { problem = Job.Ba; n = 3; f = 1 };
+      timeout_ms = None;
+    }
+  in
+  let daemon = start_daemon ~socket_path:sock ~jobs:1 in
+  checkf (wait_connectable sock) "daemon up for the kill phase";
+  let before =
+    match Resil_client.result client req with
+    | Ok doc -> Bench_json.to_string doc
+    | Error e ->
+      checkf false "pre-kill verdict: %s" (Flm_error.to_string e);
+      ""
+  in
+  (* SIGKILL: no drain, no unlink — the worst crash.  The restarted daemon
+     must reclaim the stale socket; the client must reconnect by itself. *)
+  Unix.kill daemon Sys.sigkill;
+  ignore (Unix.waitpid [] daemon);
+  let daemon2 = start_daemon ~socket_path:sock ~jobs:1 in
+  let after =
+    match Resil_client.result client req with
+    | Ok doc -> Bench_json.to_string doc
+    | Error e ->
+      checkf false "post-restart verdict: %s" (Flm_error.to_string e);
+      "?"
+  in
+  checkf (before <> "" && before = after)
+    "resumed verdict is byte-identical after SIGKILL + restart";
+  checkf
+    ((Resil_client.stats client).Resil_client.reconnects >= 1)
+    "client reconnected on its own (%d reconnects)"
+    (Resil_client.stats client).Resil_client.reconnects;
+  Resil_client.close client;
+  stop_process daemon2
+
+let () =
+  let tmp =
+    Filename.get_temp_dir_name ()
+    // Printf.sprintf "flm_resil_smoke_%d" (Unix.getpid ())
+  in
+  (try Unix.mkdir tmp 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> try Sys.remove (tmp // f) with Sys_error _ -> ())
+        (try Sys.readdir tmp with Sys_error _ -> [||]);
+      try Unix.rmdir tmp with Unix.Unix_error _ -> ())
+    (fun () ->
+      phase_fault_mix tmp;
+      phase_breaker tmp;
+      phase_kill_restart tmp;
+      if !failures > 0 then exit 1;
+      print_endline "resilience_smoke: OK")

@@ -123,6 +123,29 @@ let serve_scope () =
         (Lint_scope.allow_reason ~dir:"lib/serve" rule <> None))
     [ Lint_rule.Locality_time; Lint_rule.Locality_domain ]
 
+(* (c''') The resilience scope mirrors serve: retry clocks, backoff
+   sleeps, and per-connection proxy domains are wall-clock, process-boundary
+   code, so locality stays off with the exemption on record, while
+   concurrency and typed-raise hygiene bind in full. *)
+let resilience_scope () =
+  let resilience = "lib/resilience/fixture.ml" in
+  expect_clean ~path:resilience
+    "let now () = Unix.gettimeofday ()\n\
+     let sock () = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0\n\
+     let me () = Domain.self ()";
+  expect_one ~path:resilience ~rule:Lint_rule.Concurrency_lock_pairing ~line:2
+    "let f m g =\n  Mutex.lock m;\n  g ()";
+  expect_one ~path:resilience ~rule:Lint_rule.Hygiene_untyped_raise ~line:1
+    "let boom () = failwith \"no\"";
+  List.iter
+    (fun rule ->
+      check Alcotest.bool
+        (Printf.sprintf "resilience exemption for %s recorded"
+           (Lint_rule.to_string rule))
+        true
+        (Lint_scope.allow_reason ~dir:"lib/resilience" rule <> None))
+    [ Lint_rule.Locality_time; Lint_rule.Locality_domain ]
+
 (* (c'') The campaign scope mirrors serve: the driver forks workers and
    reads the wall clock (the fleet boundary), so the locality family stays
    off with the exemption on record, while concurrency and typed-raise
@@ -213,6 +236,7 @@ let suite =
       Alcotest.test_case "concurrency rules" `Quick concurrency;
       Alcotest.test_case "hygiene rules" `Quick hygiene;
       Alcotest.test_case "serve scope" `Quick serve_scope;
+      Alcotest.test_case "resilience scope" `Quick resilience_scope;
       Alcotest.test_case "campaign scope" `Quick campaign_scope;
       Alcotest.test_case "suppressions" `Quick suppressions;
       Alcotest.test_case "meta rules" `Quick meta;

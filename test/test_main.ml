@@ -23,5 +23,6 @@ let () =
       Test_edge_cases.suite;
       Test_lint.suite;
       Test_serve.suite;
+      Test_resilience.suite;
       Test_campaign.suite;
     ]

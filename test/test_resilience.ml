@@ -1,0 +1,268 @@
+(* The resilience layer, without a daemon: policy validation and the
+   deterministic backoff schedule, the retryable-vs-terminal
+   classification, the breaker state machine under a fake clock, the
+   retry loop's accounting against a dead socket (with a fake sleep), and
+   the chaos proxy's strategy validation. *)
+
+let check = Alcotest.check
+
+let policy_validation () =
+  let ok p =
+    match Resil_policy.validate p with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "policy rejected: %s" (Flm_error.to_string e)
+  in
+  let rejected p =
+    match Resil_policy.validate p with
+    | Error (Flm_error.Invalid_input _) -> ()
+    | _ -> Alcotest.fail "expected Invalid_input"
+  in
+  ok Resil_policy.default;
+  rejected { Resil_policy.default with Resil_policy.retries = -1 };
+  rejected { Resil_policy.default with Resil_policy.base_backoff_ms = 0 };
+  rejected
+    { Resil_policy.default with Resil_policy.base_backoff_ms = 100; max_backoff_ms = 50 };
+  rejected { Resil_policy.default with Resil_policy.io_timeout_ms = 0 };
+  rejected { Resil_policy.default with Resil_policy.deadline_ms = Some 0 };
+  ok { Resil_policy.default with Resil_policy.deadline_ms = Some 1 }
+
+let backoff () =
+  let p =
+    { Resil_policy.default with Resil_policy.base_backoff_ms = 10; max_backoff_ms = 200 }
+  in
+  (* Deterministic: the same stream yields the same schedule. *)
+  let schedule seed =
+    let rec go rng prev n acc =
+      if n = 0 then List.rev acc
+      else
+        let d, rng = Resil_policy.backoff_ms p ~rng ~prev_ms:prev in
+        go rng d (n - 1) (d :: acc)
+    in
+    go (Fault_prng.of_seed seed) p.Resil_policy.base_backoff_ms 20 []
+  in
+  check Alcotest.(list int) "same seed, same schedule" (schedule 7) (schedule 7);
+  check Alcotest.bool "different seeds diverge" true (schedule 7 <> schedule 8);
+  (* Every draw lies in [base, cap]. *)
+  List.iter
+    (fun d ->
+      check Alcotest.bool "within bounds" true (d >= 10 && d <= 200))
+    (schedule 7)
+
+let classification () =
+  let t = Alcotest.bool in
+  let is_retry src e = Resil_policy.classify src e = Resil_policy.Retry in
+  (* Transport failures always retry: requests are idempotent queries. *)
+  check t "transport net retries" true
+    (is_retry `Transport (Flm_error.net ~endpoint:"s" "refused"));
+  (* Server answers: transient classes retry... *)
+  check t "worker crash retries" true
+    (is_retry `Server (Flm_error.Worker_crashed { detail = "lost domain" }));
+  check t "overload refusal retries" true
+    (is_retry `Server (Flm_error.net ~endpoint:"s" "server at capacity"));
+  (* ...deterministic classes do not. *)
+  check t "invalid input fails" false
+    (is_retry `Server (Flm_error.Invalid_input { what = "n"; detail = "neg" }));
+  check t "job failure fails" false
+    (is_retry `Server (Flm_error.Job_failed { job = "c"; exn = "Boom" }));
+  check t "timeout fails" false
+    (is_retry `Server (Flm_error.Job_timeout { job = "c"; timeout_ms = 5 }));
+  check t "axiom violation fails" false
+    (is_retry `Server (Flm_error.Axiom_violation { axiom = "l"; detail = "d" }));
+  check t "store corruption fails" false
+    (is_retry `Server (Flm_error.Store_corrupt { path = "p"; offset = 0; detail = "crc" }))
+
+(* The breaker under a hand-cranked clock: trip, refuse, cool down,
+   half-open probe, close on success / re-open on failure. *)
+let breaker () =
+  let clock = ref 0.0 in
+  let cfg =
+    { Resil_breaker.failure_threshold = 3; cooldown_ms = 1_000; half_open_probes = 1 }
+  in
+  (match Resil_breaker.validate cfg with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "config rejected: %s" (Flm_error.to_string e));
+  (match Resil_breaker.validate { cfg with Resil_breaker.failure_threshold = 0 } with
+  | Error (Flm_error.Invalid_input _) -> ()
+  | _ -> Alcotest.fail "zero threshold should be rejected");
+  let b = Resil_breaker.create ~now:(fun () -> !clock) cfg in
+  let st = Alcotest.bool in
+  check st "starts closed" true (Resil_breaker.state b = Resil_breaker.Closed);
+  (* Failures below the threshold keep it closed; a success resets. *)
+  Resil_breaker.fail b;
+  Resil_breaker.fail b;
+  Resil_breaker.succeed b;
+  check Alcotest.int "success resets the count" 0 (Resil_breaker.failures b);
+  Resil_breaker.fail b;
+  Resil_breaker.fail b;
+  check st "still closed below threshold" true
+    (Resil_breaker.state b = Resil_breaker.Closed);
+  Resil_breaker.fail b;
+  check st "trips at threshold" true (Resil_breaker.state b = Resil_breaker.Open);
+  (* Open: acquire refuses with the remaining cooldown. *)
+  (match Resil_breaker.acquire b with
+  | Error ms -> check Alcotest.bool "retry hint within cooldown" true (ms > 0 && ms <= 1_000)
+  | Ok () -> Alcotest.fail "open breaker should refuse");
+  (* After the cooldown, one probe is admitted (half-open)... *)
+  clock := !clock +. 1.2;
+  (match Resil_breaker.acquire b with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "cooldown elapsed; a probe should be admitted");
+  check st "half-open while probing" true
+    (Resil_breaker.state b = Resil_breaker.Half_open);
+  (* ...and a second concurrent caller is not. *)
+  (match Resil_breaker.acquire b with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "probe quota is 1");
+  (* Probe failure re-opens with a fresh cooldown. *)
+  Resil_breaker.fail b;
+  check st "probe failure re-opens" true (Resil_breaker.state b = Resil_breaker.Open);
+  (match Resil_breaker.acquire b with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "fresh cooldown should refuse");
+  (* Next cooldown, probe succeeds: closed and counting from zero. *)
+  clock := !clock +. 1.2;
+  (match Resil_breaker.acquire b with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "second probe should be admitted");
+  Resil_breaker.succeed b;
+  check st "probe success closes" true (Resil_breaker.state b = Resil_breaker.Closed);
+  check Alcotest.int "count cleared" 0 (Resil_breaker.failures b)
+
+(* The retry loop against a socket nobody listens on: bounded attempts,
+   counted sleeps (injected, so the test is instant), a typed terminal
+   error, and — with a shared tripped breaker — instant rejection. *)
+let client_retries () =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "flm_resil_none_%d.sock" (Unix.getpid ()))
+  in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sleeps = ref [] in
+  let policy =
+    {
+      Resil_policy.retries = 3;
+      base_backoff_ms = 10;
+      max_backoff_ms = 100;
+      io_timeout_ms = 1_000;
+      deadline_ms = None;
+    }
+  in
+  let breaker_cfg =
+    (* High threshold: this test watches the retry loop, not the trip. *)
+    { Resil_breaker.failure_threshold = 100; cooldown_ms = 1_000; half_open_probes = 1 }
+  in
+  let client =
+    match
+      Resil_client.create ~policy ~breaker_config:breaker_cfg ~seed:42
+        ~sleep:(fun s -> sleeps := s :: !sleeps)
+        ~socket_path:path ()
+    with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "create: %s" (Flm_error.to_string e)
+  in
+  let req = { Serve_proto.Request.op = Serve_proto.Request.Stats; timeout_ms = None } in
+  (match Resil_client.request client req with
+  | Error (Flm_error.Net _) -> ()
+  | Ok _ -> Alcotest.fail "no listener: the call must fail"
+  | Error e -> Alcotest.failf "expected Net, got %s" (Flm_error.to_string e));
+  let s = Resil_client.stats client in
+  check Alcotest.int "attempts = retries + 1" 4 s.Resil_client.attempts;
+  check Alcotest.int "retries counted" 3 s.Resil_client.retries;
+  check Alcotest.int "one backoff per retry" 3 (List.length !sleeps);
+  List.iter
+    (fun s ->
+      check Alcotest.bool "sleep within policy bounds" true
+        (s >= 0.01 && s <= 0.1))
+    !sleeps;
+  (* Same seed, same socket: the schedule replays exactly. *)
+  let sleeps2 = ref [] in
+  let client2 =
+    match
+      Resil_client.create ~policy ~breaker_config:breaker_cfg ~seed:42
+        ~sleep:(fun s -> sleeps2 := s :: !sleeps2)
+        ~socket_path:path ()
+    with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "create: %s" (Flm_error.to_string e)
+  in
+  ignore (Resil_client.request client2 req);
+  check Alcotest.(list (float 1e-9)) "deterministic backoff schedule" !sleeps
+    !sleeps2;
+  Resil_client.close client2;
+  (* A tripped shared breaker rejects without touching the wire. *)
+  let tripped =
+    Resil_breaker.create
+      { Resil_breaker.failure_threshold = 1; cooldown_ms = 60_000; half_open_probes = 1 }
+  in
+  Resil_breaker.fail tripped;
+  let client3 =
+    match
+      Resil_client.create ~policy ~breaker:tripped ~seed:0
+        ~sleep:(fun _ -> Alcotest.fail "an open breaker must not back off")
+        ~socket_path:path ()
+    with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "create: %s" (Flm_error.to_string e)
+  in
+  (match Resil_client.request client3 req with
+  | Error (Flm_error.Net { detail; _ }) ->
+    check Alcotest.bool "error names the open circuit" true
+      (String.length detail >= 12 && String.sub detail 0 12 = "circuit open")
+  | _ -> Alcotest.fail "open breaker should yield a typed Net error");
+  let s3 = Resil_client.stats client3 in
+  check Alcotest.int "no wire attempts" 0 s3.Resil_client.attempts;
+  check Alcotest.int "rejection counted" 1 s3.Resil_client.breaker_rejections;
+  Resil_client.close client3;
+  Resil_client.close client
+
+let proxy_strategies () =
+  let ok s =
+    match Chaos_proxy.wire_strategy s with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "wire strategy rejected: %s" e
+  in
+  let rejected s =
+    match Chaos_proxy.wire_strategy s with
+    | Error _ -> ()
+    | Ok () ->
+      Alcotest.failf "%s should have no wire meaning"
+        (Fault_strategy.to_string s)
+  in
+  ok (Fault_strategy.Drop 0.2);
+  ok (Fault_strategy.Duplicate 0.1);
+  ok (Fault_strategy.Corrupt 0.3);
+  ok Fault_strategy.Crash_midway;
+  ok (Fault_strategy.Delay 2);
+  ok (Fault_strategy.Mobile 0.25);
+  ok (Fault_strategy.Chaos [ (3, Fault_strategy.Drop 0.2); (1, Fault_strategy.Delay 1) ]);
+  rejected Fault_strategy.Equivocate;
+  rejected Fault_strategy.Replay;
+  rejected Fault_strategy.Poison;
+  rejected (Fault_strategy.Stall 5);
+  rejected (Fault_strategy.Chaos []);
+  (* Rejection recurses through a mix. *)
+  rejected (Fault_strategy.Chaos [ (1, Fault_strategy.Drop 0.1); (1, Fault_strategy.Poison) ]);
+  (* A proxy config with an out-of-model strategy is refused up front. *)
+  match
+    Chaos_proxy.run
+      {
+        Chaos_proxy.socket_path = "/tmp/flm_never.sock";
+        upstream = "/tmp/flm_never_up.sock";
+        seed = 1;
+        strategy = Fault_strategy.Poison;
+        delay_unit_ms = Chaos_proxy.default_delay_unit_ms;
+      }
+  with
+  | Error (Flm_error.Invalid_input _) -> ()
+  | _ -> Alcotest.fail "proxy must refuse a non-wire strategy"
+
+let suite =
+  ( "resilience",
+    [ Alcotest.test_case "policy validation" `Quick policy_validation;
+      Alcotest.test_case "backoff schedule" `Quick backoff;
+      Alcotest.test_case "classification" `Quick classification;
+      Alcotest.test_case "breaker" `Quick breaker;
+      Alcotest.test_case "client retries" `Quick client_retries;
+      Alcotest.test_case "proxy strategies" `Quick proxy_strategies;
+    ] )

@@ -49,7 +49,60 @@ let requests () =
       };
       { Serve_proto.Request.op = Serve_proto.Request.Store_stat; timeout_ms = None };
       { Serve_proto.Request.op = Serve_proto.Request.Stats; timeout_ms = None };
+      { Serve_proto.Request.op = Serve_proto.Request.Ping; timeout_ms = None };
     ]
+
+let ping_payload () =
+  let p =
+    {
+      Serve_proto.Ping.draining = true;
+      sessions = 3;
+      max_sessions = 16;
+      requests = 101;
+      ok = 99;
+      failed = 2;
+      jobs = 4;
+      store_attached = false;
+    }
+  in
+  (match Serve_proto.Ping.of_json (Serve_proto.Ping.to_json p) with
+  | Ok p' ->
+    check Alcotest.bool "ping round-trips" true (p = p')
+  | Error e -> Alcotest.failf "ping failed to round-trip: %s" e);
+  (* Strict like every other document: unknown fields rejected. *)
+  match
+    Serve_proto.Ping.of_json
+      (match Serve_proto.Ping.to_json p with
+      | Bench_json.Obj fields ->
+        Bench_json.Obj (("extra", Bench_json.Int 1) :: fields)
+      | j -> j)
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown ping field should be rejected"
+
+let socket_paths () =
+  (match Serve_proto.validate_socket_path "/tmp/ok.sock" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "short path rejected: %s" (Flm_error.to_string e));
+  (match Serve_proto.validate_socket_path "" with
+  | Error (Flm_error.Net _) -> ()
+  | _ -> Alcotest.fail "empty path should be a typed Net error");
+  let long = "/tmp/" ^ String.make (Serve_proto.max_socket_path + 1) 'x' in
+  (match Serve_proto.validate_socket_path long with
+  | Error (Flm_error.Net { detail; _ }) ->
+    check Alcotest.bool "over-long detail names the limit" true
+      (let needle = string_of_int Serve_proto.max_socket_path in
+       let rec find i =
+         i + String.length needle <= String.length detail
+         && (String.sub detail i (String.length needle) = needle || find (i + 1))
+       in
+       find 0)
+  | _ -> Alcotest.fail "over-long path should be a typed Net error");
+  (* The boundary value passes. *)
+  match Serve_proto.validate_socket_path (String.make Serve_proto.max_socket_path 'y') with
+  | Ok () -> ()
+  | Error e ->
+    Alcotest.failf "boundary-length path rejected: %s" (Flm_error.to_string e)
 
 let expect_reject what json =
   match Serve_proto.Request.of_json json with
@@ -227,7 +280,63 @@ let framing () =
       (match Serve_proto.read_frame ~endpoint:"pipe" rd2 with
       | Ok Serve_proto.Eof -> ()
       | _ -> Alcotest.fail "clean close should be Eof");
-      Unix.close rd2)
+      Unix.close rd2;
+      (* A close mid-header (2 of 4 length bytes) is a Net error too. *)
+      let rd3, wr3 = Unix.pipe () in
+      ignore (Unix.write_substring wr3 (Serve_proto.frame "x") 0 2);
+      Unix.close wr3;
+      (match Serve_proto.read_frame ~endpoint:"pipe" rd3 with
+      | Error (Flm_error.Net _) -> ()
+      | _ -> Alcotest.fail "mid-header death should be a Net error");
+      Unix.close rd3)
+
+(* A transport failure mid-response leaves the stream in an undefined
+   framing state; the client handle must poison itself and fail fast from
+   then on, never reading desynchronized bytes as frames.  Served by a
+   minimal in-process accept: Unix streams buffer a whole small frame, so
+   no concurrency is needed. *)
+let client_poisoning () =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "flm_poison_%d.sock" (Unix.getpid ()))
+  in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind listen_fd (Unix.ADDR_UNIX path);
+      Unix.listen listen_fd 1;
+      let client =
+        match Serve_client.connect ~timeout_ms:2_000 ~socket_path:path () with
+        | Ok c -> c
+        | Error e -> Alcotest.failf "connect: %s" (Flm_error.to_string e)
+      in
+      let server_fd, _ = Unix.accept listen_fd in
+      check Alcotest.bool "fresh handle is unpoisoned" true
+        (Serve_client.poisoned client = None);
+      (* The server dies mid-frame: half a response, then close. *)
+      ignore (Unix.write_substring server_fd (Serve_proto.frame "{\"v\":1}") 0 6);
+      Unix.close server_fd;
+      let req = { Serve_proto.Request.op = Serve_proto.Request.Stats; timeout_ms = None } in
+      (match Serve_client.request client req with
+      | Error (Flm_error.Net _) -> ()
+      | Ok _ -> Alcotest.fail "mid-frame death should fail the request"
+      | Error e ->
+        Alcotest.failf "expected a Net error, got %s" (Flm_error.to_string e));
+      check Alcotest.bool "handle is poisoned" true
+        (Serve_client.poisoned client <> None);
+      (* Every later request fails fast with a typed error naming the
+         original failure — no socket I/O is attempted. *)
+      (match Serve_client.request client req with
+      | Error (Flm_error.Net { detail; _ }) ->
+        check Alcotest.bool "poisoned detail names the earlier error" true
+          (String.length detail > 0)
+      | _ -> Alcotest.fail "poisoned handle should fail fast with Net");
+      Serve_client.close client)
 
 let suite =
   ( "serve-proto",
@@ -236,5 +345,8 @@ let suite =
       Alcotest.test_case "verdict round-trips" `Quick verdicts;
       Alcotest.test_case "error round-trips" `Quick errors;
       Alcotest.test_case "response round-trips" `Quick responses;
+      Alcotest.test_case "ping payload" `Quick ping_payload;
+      Alcotest.test_case "socket paths" `Quick socket_paths;
       Alcotest.test_case "framing" `Quick framing;
+      Alcotest.test_case "client poisoning" `Quick client_poisoning;
     ] )
