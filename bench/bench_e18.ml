@@ -54,7 +54,7 @@ let pool_overhead ~jobs ~batches ~n_max ~f_max =
     ]
   in
   let persistent_dt =
-    let pool = Pool.create ~jobs () in
+    let pool = Pool.create ~jobs ~oversubscribe:true () in
     let t0 = wall () in
     for _ = 1 to batches do
       ignore (Pool.map pool lookup grid)
@@ -66,7 +66,7 @@ let pool_overhead ~jobs ~batches ~n_max ~f_max =
   let fresh_dt =
     let t0 = wall () in
     for _ = 1 to batches do
-      let pool = Pool.create ~jobs () in
+      let pool = Pool.create ~jobs ~oversubscribe:true () in
       ignore (Pool.map pool lookup grid);
       Pool.shutdown pool
     done;

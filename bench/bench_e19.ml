@@ -297,6 +297,7 @@ let run ?out ~clients_list ~requests_per_client ~jobs () =
           "requests_per_client", Bench_json.Int requests_per_client;
           "jobs", Bench_json.Int jobs;
           "query_set", Bench_json.Int (Array.length ops);
+          "cores", Bench_json.Int (Domain.recommended_domain_count ());
         ]
       ~derived ~runs ()
   in

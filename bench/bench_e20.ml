@@ -120,6 +120,7 @@ let run ?out ~workers_list ~trials () =
           ( "workers_list",
             Bench_json.List (List.map (fun w -> Bench_json.Int w) workers_list)
           );
+          "cores", Bench_json.Int (Domain.recommended_domain_count ());
         ]
       ~derived ~runs ()
   in

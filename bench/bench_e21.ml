@@ -240,6 +240,7 @@ let run ?out ~window_seconds ~clients ~jobs () =
               "jobs", Bench_json.Int jobs;
               "strategy", Bench_json.String (Fault_strategy.to_string fault_strategy);
               "fault_seed", Bench_json.Int fault_seed;
+              "cores", Bench_json.Int (Domain.recommended_domain_count ());
             ]
           ~derived:
             [ "bare_goodput_rps", Bench_json.Float (goodput bare_ok);

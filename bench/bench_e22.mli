@@ -1,0 +1,31 @@
+(** E22: the flat execution core — boxed-vs-flat differential throughput
+    and jobs scaling of the cold boundary sweep.
+
+    [run] executes the experiment and returns its {!Bench_json} record
+    (writing it to [out] when given): a [sweep_cold_boxed_j1] /
+    [sweep_cold_flat_j1] pair measured with {!Exec.with_boxed_for_testing}
+    (the verdicts of the two sweeps must be equal — [run] fails otherwise),
+    then one [sweep_cold_jN] run per entry of [jobs_list] on the flat path.
+    Derived figures: executions/sec each way, the flat-vs-boxed speedup,
+    whether wall time is monotone non-increasing in jobs (within
+    [tolerance], default 0.15), and the multicore criterion
+    [best speedup >= cores x 0.6] — auto-relaxed to a printed warning when
+    [Domain.recommended_domain_count () = 1], where it cannot hold.
+
+    [baseline_execs_per_sec], when given, is the cold j1 throughput of the
+    pre-flat-core binary measured offline (see EXPERIMENTS.md E22 for the
+    method and provenance); it is recorded verbatim together with the
+    resulting [flat_vs_baseline_speedup].
+
+    Deterministic modulo wall-clock.  Shared by [bench/main.exe] (full
+    config) and the [@bench-smoke] test (tiny config). *)
+
+val run :
+  ?out:string ->
+  ?baseline_execs_per_sec:float ->
+  ?tolerance:float ->
+  n_max:int ->
+  f_max:int ->
+  jobs_list:int list ->
+  unit ->
+  Bench_json.t

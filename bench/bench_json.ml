@@ -25,10 +25,23 @@ let escape s =
     s;
   Buffer.contents buf
 
+(* Quantize to microsecond fixed-point.  Timings quantized at construction
+   print as short fixed-point literals below instead of 17-significant-digit
+   artifacts of the measurement's binary representation. *)
+let quantize_us f =
+  if Float.is_nan f || Float.abs f >= 1e9 then f
+  else Float.round (f *. 1e6) /. 1e6
+
 let float_literal f =
-  (* %.17g round-trips every float; integral values still need a marker so
+  (* Prefer microsecond fixed-point when it reads back as exactly this
+     float (true for values quantized with [quantize_us]); otherwise %.17g,
+     which round-trips every float.  Integral values still need a marker so
      they read back as JSON numbers with the same type. *)
-  let s = Printf.sprintf "%.17g" f in
+  let s =
+    let fixed = Printf.sprintf "%.6f" f in
+    if Float.abs f < 1e9 && float_of_string fixed = f then fixed
+    else Printf.sprintf "%.17g" f
+  in
   if String.exists (fun c -> c = '.' || c = 'e' || c = 'n' || c = 'i') s then s
   else s ^ ".0"
 

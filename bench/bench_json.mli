@@ -24,6 +24,13 @@ type t =
   | List of t list
   | Obj of (string * t) list
 
+val quantize_us : float -> float
+(** Round to microsecond fixed-point (6 decimal places).  Timings quantized
+    at construction serialize as short fixed-point literals instead of
+    17-significant-digit dumps of the raw measurement; NaN and magnitudes
+    at or above 1e9 pass through unchanged.  Quantized or not, every float
+    round-trips exactly through {!to_string} and {!parse}. *)
+
 val to_string : t -> string
 (** Pretty-printed JSON, newline-terminated. *)
 

@@ -534,7 +534,10 @@ let e15 () =
     && List.for_all2 Job.equal_verdict par warm);
   Bench_json.write_file ~path:"BENCH_E15.json"
     (Bench_json.bench_record ~experiment:"E15"
-       ~config:[ "grid_jobs", Bench_json.Int (List.length grid) ]
+       ~config:
+         [ "grid_jobs", Bench_json.Int (List.length grid);
+           "cores", Bench_json.Int (Domain.recommended_domain_count ());
+         ]
        ~runs:(List.rev !records) ())
 
 (* --- E19: the serve daemon under load ------------------------------------------------ *)
@@ -668,7 +671,10 @@ let e16 () =
        raw sup);
   Bench_json.write_file ~path:"BENCH_E16.json"
     (Bench_json.bench_record ~experiment:"E16"
-       ~config:[ "grid_jobs", Bench_json.Int (List.length grid) ]
+       ~config:
+         [ "grid_jobs", Bench_json.Int (List.length grid);
+           "cores", Bench_json.Int (Domain.recommended_domain_count ());
+         ]
        ~derived:[ "supervision_overhead_pct", Bench_json.Float overhead ]
        ~runs:
          [ Bench_json.run_record ~label:"raw" ~jobs:1 ~wall_seconds:raw_dt ();
@@ -727,7 +733,10 @@ let e17 () =
     (List.for_all2 Job.equal_verdict cold warm);
   Bench_json.write_file ~path:"BENCH_E17.json"
     (Bench_json.bench_record ~experiment:"E17"
-       ~config:[ "grid_jobs", Bench_json.Int (List.length grid) ]
+       ~config:
+         [ "grid_jobs", Bench_json.Int (List.length grid);
+           "cores", Bench_json.Int (Domain.recommended_domain_count ());
+         ]
        ~derived:
          [ ( "warm_start_speedup",
              Bench_json.Float
@@ -771,6 +780,45 @@ let e18 () =
       (num "pool_reuse_speedup" d)
   | None -> ());
   Format.printf "wrote BENCH_E18.json@."
+
+(* --- E22: the flat execution core ------------------------------------------------- *)
+
+let e22 () =
+  section "E22"
+    "flat execution core: boxed-vs-flat differential throughput at jobs=1 \
+     and jobs scaling of the cold boundary sweep";
+  (* The pre-flat-core baseline: bin/main.exe at commit d62ea01 (the revision
+     before the arena executor landed), rebuilt in a git worktree and run as
+     `flm sweep --n-max 12 --f-max 2 --jobs 1 --metrics` — 500 executions in
+     12.906 s.  Method and provenance in EXPERIMENTS.md E22. *)
+  let json =
+    Bench_e22.run ~out:"BENCH_E22.json" ~baseline_execs_per_sec:38.7 ~n_max:12
+      ~f_max:2 ~jobs_list:[ 1; 2; 4; 8 ] ()
+  in
+  let num field v = Option.value ~default:0.0 (Option.bind (Bench_json.member field v) Bench_json.to_float_opt) in
+  let str field v d = Option.value ~default:d (Option.bind (Bench_json.member field v) Bench_json.to_string_opt) in
+  Format.printf "%-22s | %4s | %8s | %s@." "run" "jobs" "seconds" "executions";
+  List.iter
+    (fun r ->
+      Format.printf "%-22s | %4.0f | %8.3f | %10.0f@." (str "label" r "?")
+        (num "jobs" r) (num "wall_seconds" r) (num "executions" r))
+    (Option.value ~default:[]
+       (Option.bind (Bench_json.member "runs" json) Bench_json.to_list_opt));
+  (match Bench_json.member "derived" json with
+  | Some d ->
+    Format.printf
+      "flat %.0f execs/s vs boxed %.0f execs/s (%.2fx); vs pre-flat baseline \
+       %.0f execs/s (%.1fx, expected >= 2x); wall monotone in jobs: %b@."
+      (num "flat_execs_per_sec" d)
+      (num "boxed_execs_per_sec" d)
+      (num "flat_vs_boxed_speedup" d)
+      (num "baseline_pre_flat_execs_per_sec" d)
+      (num "flat_vs_baseline_speedup" d)
+      (match Bench_json.member "wall_monotone_in_jobs" d with
+      | Some (Bench_json.Bool b) -> b
+      | _ -> false)
+  | None -> ());
+  Format.printf "wrote BENCH_E22.json@."
 
 let timing () =
   section "TIMING" "Bechamel micro-benchmarks of the hot paths";
@@ -883,5 +931,6 @@ let () =
   e16 ();
   e17 ();
   e18 ();
+  e22 ();
   timing ();
   Format.printf "@.done.@."

@@ -148,6 +148,65 @@ let open_store dir =
       List.iter (fun e -> Format.printf "  %a@." Flm_error.pp e) cs);
     s
 
+(* --- --profile: per-phase timing/allocation breakdown --------------------- *)
+
+let profile_arg =
+  let open Cmdliner in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile" ] ~docv:"FILE"
+        ~doc:
+          "Write a per-phase wall-clock and allocation breakdown of this run \
+           to $(docv) as a Bench_json document (same schema as the BENCH_* \
+           artifacts, one run record per phase).")
+
+(* Each phase appends (label, wall seconds, allocated bytes on this domain).
+   Worker-domain allocation is not visible to [Gc.allocated_bytes]; the
+   breakdown attributes phases of the driving domain, which is where setup
+   and rendering cost live. *)
+let profiled acc label f =
+  match acc with
+  | None -> f ()
+  | Some phases ->
+    let t0 = Unix.gettimeofday () in
+    let a0 = Gc.allocated_bytes () in
+    let result = f () in
+    phases :=
+      (label, Unix.gettimeofday () -. t0, Gc.allocated_bytes () -. a0)
+      :: !phases;
+    result
+
+let write_profile ~command ~config eng path phases =
+  let snap = Metrics.snapshot (Engine.metrics eng) in
+  let runs =
+    List.rev_map
+      (fun (label, wall, bytes) ->
+        Bench_json.run_record ~label ~jobs:(Engine.jobs eng)
+          ~wall_seconds:(Bench_json.quantize_us wall)
+          ~extra:[ "allocated_bytes", Bench_json.Float bytes ]
+          ())
+      !phases
+  in
+  let doc =
+    Bench_json.bench_record ~experiment:(command ^ "-profile")
+      ~config:
+        (config
+        @ [ "jobs", Bench_json.Int (Engine.jobs eng);
+            "cores", Bench_json.Int (Domain.recommended_domain_count ());
+          ])
+      ~derived:
+        [ "executions_run", Bench_json.Int snap.Metrics.executions_run;
+          "scheduling_efficiency",
+          Bench_json.Float
+            (Bench_json.quantize_us (Metrics.scheduling_efficiency snap));
+          "sched_batches", Bench_json.Int snap.Metrics.sched_batches;
+        ]
+      ~runs ()
+  in
+  Bench_json.write_file ~path doc;
+  Format.printf "profile: wrote %s@." path
+
 let checkpoint_summary eng =
   match Engine.store eng with
   | None -> ()
@@ -362,11 +421,20 @@ let certify_cmd =
 (* --- flm sweep ------------------------------------------------------------ *)
 
 let sweep_cmd =
-  let run n_max f_max timeout_ms retries jobs metrics store_dir resume =
-    let store = Option.map open_store store_dir in
-    let eng =
-      Engine.create ~jobs ~config:(engine_config timeout_ms retries) ?store
-        ~resume ()
+  let run n_max f_max timeout_ms retries jobs metrics store_dir resume profile
+      =
+    let phases = Option.map (fun _ -> ref []) profile in
+    let eng, specs =
+      profiled phases "build" @@ fun () ->
+      let store = Option.map open_store store_dir in
+      let eng =
+        Engine.create ~jobs ~config:(engine_config timeout_ms retries) ?store
+          ~resume ()
+      in
+      ( eng,
+        List.map
+          (fun (n, f) -> Job.Nf_cell { n; f })
+          (Sweep.nf_grid ~n_max ~f_max) )
     in
     Format.printf
       "EIG on K_n: adequate cells must survive the adversary zoo; inadequate \
@@ -376,22 +444,29 @@ let sweep_cmd =
       (if Engine.jobs eng = 1 then "" else "s");
     (* The supervised batch path: a cell that blows the deadline reports a
        typed error in place while every other cell still lands. *)
-    let specs =
-      List.map (fun (n, f) -> Job.Nf_cell { n; f }) (Sweep.nf_grid ~n_max ~f_max)
+    let outcomes =
+      profiled phases "execute" @@ fun () -> Engine.run_all_results eng specs
     in
-    let outcomes = Engine.run_all_results eng specs in
-    List.iter2
-      (fun spec -> function
-        | Error e -> Format.printf "%s: %a@." (Job.label spec) Flm_error.pp e
-        | Ok _ -> ())
-      specs outcomes;
-    let cells =
-      List.filter_map
-        (function Ok (Job.Cell c) -> Some c | Ok _ | Error _ -> None)
-        outcomes
-    in
-    Format.printf "%a@." Sweep.pp_nf cells;
-    checkpoint_summary eng;
+    profiled phases "render" (fun () ->
+        List.iter2
+          (fun spec -> function
+            | Error e -> Format.printf "%s: %a@." (Job.label spec) Flm_error.pp e
+            | Ok _ -> ())
+          specs outcomes;
+        let cells =
+          List.filter_map
+            (function Ok (Job.Cell c) -> Some c | Ok _ | Error _ -> None)
+            outcomes
+        in
+        Format.printf "%a@." Sweep.pp_nf cells;
+        checkpoint_summary eng);
+    (match profile, phases with
+    | Some path, Some phases ->
+      write_profile ~command:"sweep"
+        ~config:
+          [ "n_max", Bench_json.Int n_max; "f_max", Bench_json.Int f_max ]
+        eng path phases
+    | _ -> ());
     finish eng metrics;
     Option.iter Store.close (Engine.store eng);
     (* A partial sweep exits with the first failure's class code, so a
@@ -401,21 +476,23 @@ let sweep_cmd =
       outcomes
   in
   let open Cmdliner in
-  let n_max = Arg.(value & opt int 8 & info [ "n-max" ] ~doc:"Largest n.") in
+  let n_max = Arg.(value & opt int 12 & info [ "n-max" ] ~doc:"Largest n.") in
   let f_max = Arg.(value & opt int 2 & info [ "f-max" ] ~doc:"Largest f.") in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Trace the 3f+1 boundary empirically.")
     Term.(
       const run $ n_max $ f_max $ timeout_arg $ retries_arg $ jobs_arg
-      $ metrics_arg $ store_arg $ resume_arg)
+      $ metrics_arg $ store_arg $ resume_arg $ profile_arg)
 
 (* --- flm chaos ------------------------------------------------------------ *)
 
 let chaos_cmd =
   let run family f seed strategy trials timeout_ms retries jobs metrics
-      store_dir resume =
-    let store = Option.map open_store store_dir in
+      store_dir resume profile =
+    let phases = Option.map (fun _ -> ref []) profile in
     let eng =
+      profiled phases "build" @@ fun () ->
+      let store = Option.map open_store store_dir in
       Engine.create ~jobs ~config:(engine_config timeout_ms retries) ?store
         ~resume ()
     in
@@ -429,26 +506,45 @@ let chaos_cmd =
       (match timeout_ms with
       | Some ms -> Printf.sprintf ", %d ms/job deadline" ms
       | None -> "");
-    let outcomes = Engine.chaos eng ~family ~f ~seed ~strategy ~trials in
-    let survived = ref 0 and violated = ref 0 and failed = ref 0 in
-    List.iteri
-      (fun trial -> function
-        | Ok c ->
-          if c.Job.survived then incr survived else incr violated;
-          Format.printf "trial %2d: faulty=[%s] %-9s %s@." trial
-            (String.concat "," (List.map string_of_int c.Job.faulty))
-            (if c.Job.survived then "survived" else "VIOLATED")
-            c.Job.strategy;
-          List.iter (fun v -> Format.printf "          %s@." v) c.Job.violations
-        | Error e ->
-          incr failed;
-          Format.printf "trial %2d: error: %a@." trial Flm_error.pp e)
-      outcomes;
-    (* The seed is the replay handle: print it in the summary so a failing
-       run is reproducible even when the caller left it defaulted. *)
-    Format.printf "@.%d survived, %d violated, %d failed (seed %d)@." !survived
-      !violated !failed seed;
-    checkpoint_summary eng;
+    let outcomes =
+      profiled phases "execute" @@ fun () ->
+      Engine.chaos eng ~family ~f ~seed ~strategy ~trials
+    in
+    profiled phases "render" (fun () ->
+        let survived = ref 0 and violated = ref 0 and failed = ref 0 in
+        List.iteri
+          (fun trial -> function
+            | Ok c ->
+              if c.Job.survived then incr survived else incr violated;
+              Format.printf "trial %2d: faulty=[%s] %-9s %s@." trial
+                (String.concat "," (List.map string_of_int c.Job.faulty))
+                (if c.Job.survived then "survived" else "VIOLATED")
+                c.Job.strategy;
+              List.iter
+                (fun v -> Format.printf "          %s@." v)
+                c.Job.violations
+            | Error e ->
+              incr failed;
+              Format.printf "trial %2d: error: %a@." trial Flm_error.pp e)
+          outcomes;
+        (* The seed is the replay handle: print it in the summary so a
+           failing run is reproducible even when the caller left it
+           defaulted. *)
+        Format.printf "@.%d survived, %d violated, %d failed (seed %d)@."
+          !survived !violated !failed seed;
+        checkpoint_summary eng);
+    (match profile, phases with
+    | Some path, Some phases ->
+      write_profile ~command:"chaos"
+        ~config:
+          [ "family", Bench_json.String family;
+            "f", Bench_json.Int f;
+            "seed", Bench_json.Int seed;
+            "strategy", Bench_json.String strategy;
+            "trials", Bench_json.Int trials;
+          ]
+        eng path phases
+    | _ -> ());
     finish eng metrics;
     Option.iter Store.close (Engine.store eng);
     (* Failed trials must be visible to scripts: exit with the first
@@ -493,7 +589,8 @@ let chaos_cmd =
           violations, and supervised failures.")
     Term.(
       const run $ family $ f_arg $ seed $ strategy $ trials $ timeout_arg
-      $ retries_arg $ jobs_arg $ metrics_arg $ store_arg $ resume_arg)
+      $ retries_arg $ jobs_arg $ metrics_arg $ store_arg $ resume_arg
+      $ profile_arg)
 
 (* --- flm store ------------------------------------------------------------ *)
 

@@ -144,12 +144,25 @@ let run_job_result t job =
   in
   attempt 0
 
-let run_all t jobs = Pool.map_list t.pool (run_job t) jobs
+(* Batches dispatch largest-first ([Job.cost]) and report per-batch
+   busy/span into the metrics, from which the scheduling-efficiency figure
+   is derived.  Neither affects results: the pool lands outcomes by input
+   index whatever the dispatch order. *)
+let batch_costs jobs = Array.of_list (List.map Job.cost jobs)
+
+let batch_stats t { Pool.participants; busy_seconds; span_seconds } =
+  Metrics.record_schedule t.metrics ~participants ~busy_seconds ~span_seconds
+
+let run_all t jobs =
+  Pool.map_list ~costs:(batch_costs jobs) ~on_stats:(batch_stats t) t.pool
+    (run_job t) jobs
 
 (* Worker closures return [result] and never raise, so one hostile job
    cannot take down the batch or perturb its ordering: outcomes land by
    input index exactly as in {!run_all}. *)
-let run_all_results t jobs = Pool.map_list t.pool (run_job_result t) jobs
+let run_all_results t jobs =
+  Pool.map_list ~costs:(batch_costs jobs) ~on_stats:(batch_stats t) t.pool
+    (run_job_result t) jobs
 
 let nf_jobs ~n_max ~f_max =
   List.map (fun (n, f) -> Job.Nf_cell { n; f }) (Sweep.nf_grid ~n_max ~f_max)

@@ -116,6 +116,34 @@ let label job =
   let problem, topology, _, f, _, _ = shape job in
   Printf.sprintf "%s(%s,f=%d)" problem topology f
 
+(* Relative work estimate, used by the engine to dispatch batches
+   largest-first.  The proxy is executions x n^2 x horizon: every execution
+   moves O(n^2) messages per round, and the per-kind multiplier counts how
+   many executions the job triggers (the nf-cell zoo replays patterns x
+   faulty sets x adversaries; certificates build scenario chains).  Units
+   are meaningless — only the ordering matters — and the estimate never
+   raises: an unparseable chaos family costs 1 and fails inside [run]. *)
+let cost job =
+  let exec_work ~n ~horizon = n * n * (horizon + 1) in
+  let family_work family =
+    match Topology.of_family family with
+    | Ok g ->
+      let n = Graph.n g in
+      exec_work ~n ~horizon:(n + 2)
+    | Error _ -> 1
+  in
+  let work =
+    match job with
+    | Nf_cell { n; f } ->
+      32 * exec_work ~n ~horizon:(Eig.decision_round ~f + 1)
+    | Conn_cell { n; f; _ } -> 8 * (f + 1) * exec_work ~n ~horizon:((n / 2) + 3)
+    | Certify { n; f; _ } ->
+      8 * (f + 1) * exec_work ~n ~horizon:(Eig.decision_round ~f + 1)
+    | Chaos_trial { family; _ } | Campaign_trial { family; _ } ->
+      family_work family
+  in
+  max 1 work
+
 (* --- the seeded-trial core (shared by chaos and campaign trials) ----------- *)
 
 let fail_input what detail =

@@ -122,6 +122,12 @@ val fingerprint : t -> Fingerprint.t
 val key : t -> Fingerprint.key
 val label : t -> string
 
+val cost : t -> int
+(** Relative work estimate ([>= 1], unitless): executions x n^2 x horizon.
+    The engine hands these to {!Pool.map} so batches dispatch largest-first;
+    only the ordering between jobs matters.  Never raises — a malformed
+    spec costs [1] and fails in {!run}. *)
+
 val run : ?memo:Sweep.memo -> t -> verdict
 (** Execute the job sequentially in the calling domain.  [memo] is threaded
     to the sweep's scenario-level executions ({!Sweep.memo}); omitting it

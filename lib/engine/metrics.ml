@@ -15,6 +15,9 @@ type snapshot = {
   total_job_seconds : float;
   max_job_seconds : float;
   elapsed_seconds : float;
+  sched_batches : int;
+  sched_busy_seconds : float;
+  sched_capacity_seconds : float;
 }
 
 type t = {
@@ -33,6 +36,9 @@ type t = {
   mutable store_writes : int;
   mutable total_job_seconds : float;
   mutable max_job_seconds : float;
+  mutable sched_batches : int;
+  mutable sched_busy_seconds : float;
+  mutable sched_capacity_seconds : float;
   mutable created_at : float;
   mutable exec_baseline : int;
 }
@@ -56,6 +62,9 @@ let create () =
     store_writes = 0;
     total_job_seconds = 0.0;
     max_job_seconds = 0.0;
+    sched_batches = 0;
+    sched_busy_seconds = 0.0;
+    sched_capacity_seconds = 0.0;
     created_at = wall_now ();
     exec_baseline = Exec.total_runs ();
   }
@@ -80,6 +89,9 @@ let reset t =
       t.store_writes <- 0;
       t.total_job_seconds <- 0.0;
       t.max_job_seconds <- 0.0;
+      t.sched_batches <- 0;
+      t.sched_busy_seconds <- 0.0;
+      t.sched_capacity_seconds <- 0.0;
       t.created_at <- wall_now ();
       t.exec_baseline <- Exec.total_runs ())
 
@@ -107,6 +119,13 @@ let record_failure t ~timeout =
       if timeout then t.jobs_timed_out <- t.jobs_timed_out + 1)
 
 let record_retry t = with_lock t (fun () -> t.retries <- t.retries + 1)
+
+let record_schedule t ~participants ~busy_seconds ~span_seconds =
+  with_lock t (fun () ->
+      t.sched_batches <- t.sched_batches + 1;
+      t.sched_busy_seconds <- t.sched_busy_seconds +. busy_seconds;
+      t.sched_capacity_seconds <-
+        t.sched_capacity_seconds +. (span_seconds *. float_of_int participants))
 let record_degraded t = with_lock t (fun () -> t.degraded <- t.degraded + 1)
 
 let snapshot t =
@@ -128,11 +147,18 @@ let snapshot t =
         total_job_seconds = t.total_job_seconds;
         max_job_seconds = t.max_job_seconds;
         elapsed_seconds = wall_now () -. t.created_at;
+        sched_batches = t.sched_batches;
+        sched_busy_seconds = t.sched_busy_seconds;
+        sched_capacity_seconds = t.sched_capacity_seconds;
       })
 
 let hit_rate (s : snapshot) =
   let total = s.cache_hits + s.cache_misses in
   if total = 0 then 0.0 else float_of_int s.cache_hits /. float_of_int total
+
+let scheduling_efficiency (s : snapshot) =
+  if s.sched_capacity_seconds <= 0.0 then 1.0
+  else min 1.0 (s.sched_busy_seconds /. s.sched_capacity_seconds)
 
 let jobs_per_second (s : snapshot) =
   if s.elapsed_seconds <= 0.0 then 0.0
@@ -145,7 +171,8 @@ let pp_snapshot ppf (s : snapshot) =
      degradations@   executions run:   %d@   cache:            %d hits / %d \
      misses / %d evictions / %d deduped (hit rate %.1f%%)@   store:            \
      %d resumed, %d recomputed, %d journal writes@   job wall-clock:   %.3f \
-     s total, %.3f s max, %.3f s mean@]"
+     s total, %.3f s max, %.3f s mean@   scheduling:       %d batches, %.3f \
+     s busy / %.3f s capacity (efficiency %.1f%%)@]"
     s.jobs_completed (jobs_per_second s) s.elapsed_seconds s.jobs_failed
     s.jobs_timed_out s.retries s.degraded s.executions_run s.cache_hits
     s.cache_misses s.evictions s.dedups
@@ -154,6 +181,8 @@ let pp_snapshot ppf (s : snapshot) =
     s.total_job_seconds s.max_job_seconds
     (if s.jobs_completed = 0 then 0.0
      else s.total_job_seconds /. float_of_int s.jobs_completed)
+    s.sched_batches s.sched_busy_seconds s.sched_capacity_seconds
+    (100.0 *. scheduling_efficiency s)
 
 let pp_report ppf t = pp_snapshot ppf (snapshot t)
 let report t = Format.asprintf "%a" pp_report t

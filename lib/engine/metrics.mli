@@ -30,6 +30,12 @@ type snapshot = {
   total_job_seconds : float;
   max_job_seconds : float;
   elapsed_seconds : float;
+  sched_batches : int;  (** pool batches whose scheduling stats were recorded *)
+  sched_busy_seconds : float;
+      (** summed participant compute time across those batches *)
+  sched_capacity_seconds : float;
+      (** summed span x participants — what perfect load balance would have
+          needed to keep everyone busy *)
 }
 
 val create : unit -> t
@@ -66,9 +72,19 @@ val record_failure : t -> timeout:bool -> unit
 val record_retry : t -> unit
 val record_degraded : t -> unit
 
+val record_schedule :
+  t -> participants:int -> busy_seconds:float -> span_seconds:float -> unit
+(** One pool batch drained; [span_seconds x participants] is accumulated as
+    scheduling capacity.  Fed by {!Pool.map}'s [on_stats] hook. *)
+
 val snapshot : t -> snapshot
 val hit_rate : snapshot -> float
 val jobs_per_second : snapshot -> float
+
+val scheduling_efficiency : snapshot -> float
+(** [busy / capacity] over the recorded batches, in [0, 1]: how close the
+    pool came to keeping every participant busy for every batch's whole
+    span.  [1.0] when no batch was recorded (nothing to misschedule). *)
 
 val wall_now : unit -> float
 (** Wall-clock seconds (gettimeofday); the clock used for job timing. *)

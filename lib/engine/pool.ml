@@ -6,13 +6,24 @@ type batch = {
   run : int -> unit;
   len : int;
   chunk : int;
+  order : int array;
+      (* claim position -> item index; identity without costs, a
+         largest-first permutation with them *)
   cursor : int Atomic.t;
   mutable joined : int;  (* workers that entered this batch *)
   mutable left : int;  (* workers that exited it (completing or dying) *)
+  mutable busy : float;  (* summed participant compute time, under t.lock *)
+}
+
+type stats = {
+  participants : int;
+  busy_seconds : float;
+  span_seconds : float;
 }
 
 type t = {
-  jobs : int;
+  jobs : int;  (* requested parallelism, as configured *)
+  workers : int;  (* worker domains to spawn: effective parallelism - 1 *)
   chunk_hint : int option;
   on_degrade : (string -> unit) option;
   lock : Mutex.t;
@@ -32,13 +43,27 @@ type t = {
 let reject detail =
   Flm_error.raise_error (Flm_error.Invalid_input { what = "pool config"; detail })
 
-let create ?chunk ?on_degrade ~jobs () =
+let create ?chunk ?(oversubscribe = false) ?on_degrade ~jobs () =
   if jobs < 1 then reject "Pool.create: jobs >= 1 required";
   (match chunk with
   | Some c when c < 1 -> reject "Pool.create: chunk >= 1 required"
   | Some _ | None -> ());
+  (* Domains beyond the hardware's recommendation never help: on an
+     oversubscribed box every minor collection is a synchronization across
+     domains the OS is time-slicing onto the same cores (E22 measured 2-4x
+     cold-sweep slowdowns at jobs > cores).  So the effective parallelism is
+     capped at [recommended_domain_count] — on a single-core box every pool
+     runs on the calling domain, and wall time is flat in [jobs] instead of
+     growing with it.  [oversubscribe] lifts the cap for callers that need
+     literal worker domains (the pool's own worker-loss tests, the E18
+     spawn-cost measurement). *)
+  let effective =
+    if oversubscribe then jobs
+    else min jobs (max 1 (Domain.recommended_domain_count ()))
+  in
   {
     jobs;
+    workers = effective - 1;
     chunk_hint = chunk;
     on_degrade;
     lock = Mutex.create ();
@@ -72,7 +97,7 @@ let claim_chunks ?(worker = false) t b =
       if worker && t.sabotage then raise Sabotaged;
       let stop = min b.len (start + b.chunk) in
       for i = start to stop - 1 do
-        b.run i
+        b.run b.order.(i)
       done;
       go ()
     end
@@ -103,12 +128,15 @@ let worker_loop t =
            departure so the feeder's join can never hang, then die.  The
            items this worker claimed but never finished are drained by the
            feeder after the join. *)
+        let t0 = Unix.gettimeofday () in
         let crashed =
           match claim_chunks ~worker:true t b with
           | () -> false
           | exception _ -> true
         in
+        let spent = Unix.gettimeofday () -. t0 in
         Mutex.lock t.lock;
+        b.busy <- b.busy +. spent;
         b.left <- b.left + 1;
         Condition.broadcast t.batch_done;
         Mutex.unlock t.lock;
@@ -130,9 +158,9 @@ let worker t () =
    however many domains came up — zero degrades every batch to the calling
    domain. *)
 let ensure_spawned t =
-  if (not t.spawned) && t.jobs > 1 && not t.shut then begin
+  if (not t.spawned) && t.workers > 0 && not t.shut then begin
     t.spawned <- true;
-    let want = t.jobs - 1 in
+    let want = t.workers in
     let ds =
       List.filter_map
         (fun _ ->
@@ -155,10 +183,14 @@ let ensure_spawned t =
            (List.length ds) want)
   end
 
-let map t f arr =
+let map ?costs ?on_stats t f arr =
   let len = Array.length arr in
   if len = 0 then [||]
   else begin
+    (match costs with
+    | Some c when Array.length c <> len ->
+      reject "Pool.map: costs length must match the batch"
+    | Some _ | None -> ());
     Mutex.lock t.submit;
     Fun.protect ~finally:(fun () -> Mutex.unlock t.submit) @@ fun () ->
     let results = Array.make len None in
@@ -168,12 +200,21 @@ let map t f arr =
       | v -> results.(i) <- Some v
       | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ())
     in
+    let report ~participants ~busy ~span =
+      match on_stats with
+      | None -> ()
+      | Some notify ->
+        notify { participants; busy_seconds = busy; span_seconds = span }
+    in
     let sequential () =
+      let t0 = Unix.gettimeofday () in
       for i = 0 to len - 1 do
         run i
-      done
+      done;
+      let spent = Unix.gettimeofday () -. t0 in
+      report ~participants:1 ~busy:spent ~span:spent
     in
-    if t.jobs = 1 || len <= 1 then sequential ()
+    if t.workers = 0 || len <= 1 then sequential ()
     else begin
       ensure_spawned t;
       (* flm-lint: allow concurrency/nested-lock — intentional two-level
@@ -192,13 +233,40 @@ let map t f arr =
         sequential ()
       end
       else begin
-        let chunk =
-          let even = max 1 (len / (t.jobs * 4)) in
-          match t.chunk_hint with Some c -> min c even | None -> even
+        (* Dispatch order.  Without costs: index order, chunked to amortize
+           cursor traffic over many small items.  With costs: largest-first
+           (a classic LPT-style greedy), one item per claim — the point is
+           to keep a straggler from landing last on an otherwise-drained
+           batch, so the biggest jobs must go out first and singly. *)
+        let order, chunk =
+          match costs with
+          | None ->
+            let even = max 1 (len / ((t.workers + 1) * 4)) in
+            let chunk =
+              match t.chunk_hint with Some c -> min c even | None -> even
+            in
+            Array.init len Fun.id, chunk
+          | Some c ->
+            let ord = Array.init len Fun.id in
+            Array.sort
+              (fun i j ->
+                match compare c.(j) c.(i) with 0 -> compare i j | d -> d)
+              ord;
+            ord, 1
         in
         let b =
-          { run; len; chunk; cursor = Atomic.make 0; joined = 0; left = 0 }
+          {
+            run;
+            len;
+            chunk;
+            order;
+            cursor = Atomic.make 0;
+            joined = 0;
+            left = 0;
+            busy = 0.0;
+          }
         in
+        let published = Unix.gettimeofday () in
         (* flm-lint: allow concurrency/nested-lock — same submit > lock
            order as above: publish the batch under the worker lock. *)
         Mutex.lock t.lock;
@@ -208,7 +276,9 @@ let map t f arr =
         Mutex.unlock t.lock;
         (* The feeder is a full participant, so the cursor always drains
            even with zero healthy workers; [run] never raises. *)
+        let t0 = Unix.gettimeofday () in
         claim_chunks t b;
+        let feeder_busy = ref (Unix.gettimeofday () -. t0) in
         (* Join: wait until every worker that entered the batch has left it.
            A dying worker still counts itself out (see [worker_loop]), so
            this cannot hang; a straggler waking after the batch is retired
@@ -221,11 +291,13 @@ let map t f arr =
           Condition.wait t.batch_done t.lock
         done;
         t.batch <- None;
+        let participants = b.joined + 1 and workers_busy = b.busy in
         Mutex.unlock t.lock;
         (* Post-join drain: anything a dead worker claimed but never
            finished is completed here, in index order, preserving per-item
            exception capture. *)
         let stranded = ref 0 in
+        let t0 = Unix.gettimeofday () in
         for i = 0 to len - 1 do
           match results.(i), errors.(i) with
           | None, None ->
@@ -233,6 +305,9 @@ let map t f arr =
             run i
           | _ -> ()
         done;
+        feeder_busy := !feeder_busy +. (Unix.gettimeofday () -. t0);
+        report ~participants ~busy:(workers_busy +. !feeder_busy)
+          ~span:(Unix.gettimeofday () -. published);
         if !stranded > 0 then
           degrade t
             (Printf.sprintf
@@ -252,7 +327,8 @@ let map t f arr =
     Array.map (function Some v -> v | None -> assert false) results
   end
 
-let map_list t f xs = Array.to_list (map t f (Array.of_list xs))
+let map_list ?costs ?on_stats t f xs =
+  Array.to_list (map ?costs ?on_stats t f (Array.of_list xs))
 
 let shutdown t =
   Mutex.lock t.submit;

@@ -5,6 +5,14 @@
     calling domain plus [jobs - 1] persistent worker domains, spawned once
     (lazily, on the first parallel [map]) and reused across every subsequent
     batch — a batch no longer pays domain spawn/join, only a condvar wake.
+    Effective parallelism is capped at [Domain.recommended_domain_count ()]:
+    domains beyond the hardware only add GC-synchronization overhead (E22
+    measured 2-4x cold-sweep slowdowns when oversubscribed), so extra
+    requested [jobs] silently run on the calling domain instead — on a
+    single-core box every pool is sequential and wall time is flat in
+    [jobs].  [create ~oversubscribe:true] lifts the cap for callers that
+    need literal worker domains (worker-machinery tests, spawn-cost
+    measurements).
 
     [map] publishes an index-addressed batch; every participant (workers
     {e and} the calling domain) claims index ranges off a single
@@ -14,9 +22,9 @@
     outlives the call, and the mutex hand-off on batch exit makes the result
     array safely visible to the caller.
 
-    With [jobs = 1] (or a batch of at most one element) [map] degenerates to
-    a sequential in-order loop in the calling domain — the reference path
-    used for differential testing.
+    With an effective parallelism of 1 (or a batch of at most one element)
+    [map] degenerates to a sequential in-order loop in the calling domain —
+    the reference path used for differential testing.
 
     If tasks raise, the exception of the {e lowest failing index} is
     re-raised (deterministically), after the batch fully drains.  [map] is
@@ -40,19 +48,55 @@
 
 type t
 
-val create : ?chunk:int -> ?on_degrade:(string -> unit) -> jobs:int -> unit -> t
+type stats = {
+  participants : int;
+      (** domains that took part in the batch: the caller plus every worker
+          that entered it *)
+  busy_seconds : float;
+      (** summed wall-clock the participants spent computing items *)
+  span_seconds : float;
+      (** publish-to-drain wall-clock of the whole batch; perfect scheduling
+          would give [busy = span * participants] *)
+}
+
+val create :
+  ?chunk:int ->
+  ?oversubscribe:bool ->
+  ?on_degrade:(string -> unit) ->
+  jobs:int ->
+  unit ->
+  t
 (** [chunk] caps the number of indices handed out per cursor claim (default:
-    [len / (jobs * 4)], at least 1) — lower it to stress interleaving in
-    tests.  [on_degrade] is called (from the submitting domain) with a
-    reason each time the pool has to fall back toward the sequential path.
-    Raises [Flm_error.Error (Invalid_input _)] when [jobs] or [chunk] is
-    below 1.  No domain
-    is spawned until the first parallel [map]. *)
+    [len / (effective jobs * 4)], at least 1) — lower it to stress
+    interleaving in tests.  [oversubscribe] (default [false]) lifts the
+    hardware cap on worker domains described above.  [on_degrade] is called
+    (from the submitting domain) with a reason each time the pool has to
+    fall back toward the sequential path; the hardware cap itself is policy,
+    not degradation, and is never reported.  Raises
+    [Flm_error.Error (Invalid_input _)] when [jobs] or [chunk] is below 1.
+    No domain is spawned until the first parallel [map]. *)
 
 val jobs : t -> int
+(** The {e requested} parallelism, as configured — not reduced by the
+    hardware cap ({!stats}[.participants] reports who actually ran). *)
 
-val map : t -> ('a -> 'b) -> 'a array -> 'b array
-val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+val map :
+  ?costs:int array -> ?on_stats:(stats -> unit) -> t -> ('a -> 'b) ->
+  'a array -> 'b array
+(** [costs] (same length as the batch, validated) switches dispatch from
+    uniform chunking to cost-aware self-scheduling: participants claim items
+    {e largest cost first}, one per cursor claim, so the most expensive item
+    starts as early as possible and cannot become the lone straggler of an
+    otherwise-drained batch.  Costs are relative — only their order matters.
+    Results still land in input order and error propagation is unchanged.
+
+    [on_stats] receives one {!stats} record per batch (from the calling
+    domain, after the batch drains), including on the sequential paths
+    (where busy = span and participants = 1). *)
+
+val map_list :
+  ?costs:int array -> ?on_stats:(stats -> unit) -> t -> ('a -> 'b) ->
+  'a list -> 'b list
 
 val shutdown : t -> unit
 (** Stop and join the persistent workers.  Idempotent; must not be called

@@ -8,6 +8,7 @@ type dirclass =
   | Protocols
   | Clocks
   | Problems
+  | System
   | Engine
   | Store
   | Serve
@@ -28,6 +29,7 @@ let classify path =
       | "protocols" -> Protocols
       | "clocks" -> Clocks
       | "problems" -> Problems
+      | "system" -> System
       | "engine" -> Engine
       | "store" -> Store
       | "serve" -> Serve
@@ -55,6 +57,14 @@ let rules_for path =
   match classify path with
   | Protocols | Clocks | Problems ->
     locality @ [ Lint_rule.Hygiene_obj_magic; Hygiene_poly_compare ]
+  | System ->
+    (* The executor hosts the simulation; the model-layer Locality axiom
+       binds it too (a nondeterministic executor would unsound every memo
+       and resume tier) — except [locality/domain], allow-listed below: the
+       flat core's per-domain scratch arenas are Domain.DLS caches by
+       design. *)
+    [ Lint_rule.Locality_random; Locality_time; Locality_hash;
+      Locality_mutable_state; Hygiene_obj_magic; Hygiene_poly_compare ]
   | Engine | Store | Serve | Resilience | Campaign ->
     concurrency
     @ [ Lint_rule.Hygiene_obj_magic; Hygiene_poly_compare;
@@ -68,7 +78,17 @@ let rules_for path =
    the coarse-grained sibling of inline suppressions — use it when a whole
    directory's idiom is the exception, not a single site. *)
 let allow_listed =
-  [ ( "lib/graph",
+  [ (* lib/system is the executor, not a device: runs are deterministic
+       functions of the system description, but the machinery that makes
+       them fast is per-domain by construction. *)
+    ( "lib/system",
+      Lint_rule.Locality_domain,
+      "the flat execution core keeps per-domain scratch (Domain.DLS inbox \
+       buffers over Bigarray arenas, the boxed-path test flag) and one \
+       atomic run counter; these are deterministic caches owned by the \
+       executor — devices never see them, and the remaining Locality rules \
+       bind lib/system in full" );
+    ( "lib/graph",
       Lint_rule.Hygiene_untyped_raise,
       "graph constructors document Invalid_argument as their precondition \
        contract; engine-facing callers route them through Flm_error.guard \

@@ -7,6 +7,10 @@
     - [lib/protocols], [lib/clocks], [lib/problems] — the Locality family
       (plus hygiene): step functions must be deterministic, local functions
       of their inputs, or the engine's memo/resume tiers are unsound.
+    - [lib/system] — the executor: the Locality family minus
+      [locality/domain], which is allow-listed with its reason (the flat
+      core's per-domain Domain.DLS scratch arenas and run accounting are
+      deterministic executor machinery, not model state).
     - [lib/engine], [lib/store], [lib/serve], [lib/resilience],
       [lib/campaign] — the concurrency family plus full hygiene (typed
       raises included).  [lib/serve], [lib/resilience], and [lib/campaign]
@@ -21,6 +25,7 @@ type dirclass =
   | Protocols
   | Clocks
   | Problems
+  | System
   | Engine
   | Store
   | Serve

@@ -11,16 +11,29 @@ let device ~n ~f ~me ~general ~default =
   let others = List.filter (fun j -> j <> me) (List.init n Fun.id) in
   let id_of_port = Array.of_list others in
   let arity = n - 1 in
+  let parsed = ref None in
   let pack step decided tree =
-    Value.triple (Value.int step)
-      (match decided with None -> Value.unit | Some v -> Value.tag "d" v)
-      (Eig_tree.to_value tree)
+    let state =
+      Value.triple (Value.int step)
+        (match decided with None -> Value.unit | Some v -> Value.tag "d" v)
+        (Eig_tree.to_value tree)
+    in
+    (* One-slot parse cache, keyed on physical equality (see Eig): the
+       executor hands back the packed value unchanged, so steady-state
+       rounds skip [Eig_tree.of_value]. *)
+    parsed := Some (state, tree);
+    state
   in
   let unpack state =
-    let step, decided, tree = Value.get_triple state in
+    let step, decided, tree_v = Value.get_triple state in
+    let tree =
+      match !parsed with
+      | Some (key, tree) when key == state -> tree
+      | Some _ | None -> Eig_tree.of_value tree_v
+    in
     ( Value.get_int step,
       (if Value.is_tag "d" decided then Some (Value.untag "d" decided) else None),
-      Eig_tree.of_value tree )
+      tree )
   in
   (* A label is admissible when it is rooted at the general: the empty label
      only from the general's own mouth. *)
@@ -32,8 +45,9 @@ let device ~n ~f ~me ~general ~default =
     arity;
     init =
       (fun ~input ->
-        if me = general then pack 0 (Some input) [ [], input ]
-        else pack 0 None []);
+        if me = general then
+          pack 0 (Some input) (Eig_tree.add Eig_tree.empty [] input)
+        else pack 0 None Eig_tree.empty);
     step =
       (fun ~state ~round:_ ~inbox ->
         let step, decided, tree = unpack state in
@@ -73,11 +87,12 @@ let device ~n ~f ~me ~general ~default =
           if step = 0 || step > f + 1 then tree
           else
             List.fold_left
-              (fun tree (label, v) ->
-                if List.length label = step - 1 && not (List.mem me label)
-                then Eig_tree.add tree (label @ [ me ]) v
-                else tree)
-              tree tree
+              (fun acc (label, v) ->
+                if not (List.mem me label) then
+                  Eig_tree.add acc (label @ [ me ]) v
+                else acc)
+              tree
+              (Eig_tree.level tree (step - 1))
         in
         let decided =
           if step = f + 1 && decided = None then
@@ -101,8 +116,9 @@ let device ~n ~f ~me ~general ~default =
         pack (step + 1) decided tree, sends);
     output =
       (fun state ->
-        let _, decided, _ = unpack state in
-        decided);
+        let _, decided, _ = Value.get_triple state in
+        if Value.is_tag "d" decided then Some (Value.untag "d" decided)
+        else None);
   }
 
 let system g ~f ~general ~value ~default =

@@ -1,18 +1,43 @@
-type t = (Graph.node list * Value.t) list
+(* The tree is a map keyed by label, ordered lexicographically — the same
+   order the old sorted-assoc encoding used — so [to_value] reads the
+   bindings off without a sort and [add] is a logarithmic insert instead of
+   a linear [mem_assoc] scan.  At n in the tens a round absorbs hundreds of
+   labels into a tree of thousands of entries, which made the old list
+   representation quadratic per round; the state's [Value] encoding is
+   unchanged, so traces are byte-identical to the assoc-backed version. *)
 
+module Label_map = Map.Make (struct
+  type t = Graph.node list
+
+  (* Lexicographic with shorter-prefix-first: exactly the order
+     [Stdlib.compare] gave the old sorted-assoc encoding, so [to_value]
+     emits identical state values. *)
+  let compare = List.compare Int.compare
+end)
+
+type t = Value.t Label_map.t
+
+let empty = Label_map.empty
+let size = Label_map.cardinal
 let label_key label = Value.int_list label
 
+(* First write wins; later claims for the same label are ignored — the
+   relay discipline depends on this. *)
+let add tree label v =
+  if Label_map.mem label tree then tree else Label_map.add label v tree
+
+let find tree label = Label_map.find_opt label tree
+
+(* [Value.assoc] lookups took the first occurrence of a key, so a malformed
+   encoding with duplicate labels resolves the same way here. *)
 let of_value v =
-  List.map (fun (k, value) -> Value.get_int_list k, value) (Value.assoc v)
+  List.fold_left
+    (fun tree (k, value) -> add tree (Value.get_int_list k) value)
+    empty (Value.assoc v)
 
 let to_value tree =
-  let sorted = List.sort (fun (a, _) (b, _) -> Stdlib.compare a b) tree in
-  Value.of_assoc (List.map (fun (k, value) -> label_key k, value) sorted)
-
-let find tree label = List.assoc_opt label tree
-
-let add tree label v =
-  if List.mem_assoc label tree then tree else (label, v) :: tree
+  Value.of_assoc
+    (List.map (fun (k, value) -> label_key k, value) (Label_map.bindings tree))
 
 let valid_label ~n ~level label =
   List.length label = level
@@ -20,7 +45,9 @@ let valid_label ~n ~level label =
   && List.for_all (fun j -> j >= 0 && j < n) label
 
 let level tree len =
-  List.filter (fun (label, _) -> List.length label = len) tree
+  List.filter
+    (fun (label, _) -> List.length label = len)
+    (Label_map.bindings tree)
 
 let majority ~default votes =
   let distinct = List.sort_uniq Value.compare votes in

@@ -3,13 +3,26 @@
 
     Labels are sequences of distinct node ids; the value at label
     [j1; …; jr] is "jr told me that j(r-1) told jr that … j1's value is v".
-    Trees are stored in device state as sorted [Value] assocs. *)
+    Trees are stored in device state as sorted [Value] assocs; in memory
+    they are label-keyed maps, so absorbing a round of relays is
+    [O(entries log tree)] instead of the quadratic scan an assoc list
+    costs once n reaches the tens.  The [Value] encoding is unchanged. *)
 
-type t = (Graph.node list * Value.t) list
+type t
+
+val empty : t
+
+val size : t -> int
 
 val label_key : Graph.node list -> Value.t
+
 val of_value : Value.t -> t
+(** Duplicate labels in a (malformed) encoding resolve first-wins, matching
+    assoc lookup on the old list representation. *)
+
 val to_value : t -> Value.t
+(** Sorted assoc encoding, byte-identical to the historical format. *)
+
 val find : t -> Graph.node list -> Value.t option
 
 val add : t -> Graph.node list -> Value.t -> t
@@ -18,8 +31,8 @@ val add : t -> Graph.node list -> Value.t -> t
 val valid_label : n:int -> level:int -> Graph.node list -> bool
 (** Exactly [level] long, distinct ids, all in range. *)
 
-val level : t -> int -> t
-(** Entries whose label has the given length. *)
+val level : t -> int -> (Graph.node list * Value.t) list
+(** Entries whose label has the given length, in label order. *)
 
 val resolve : n:int -> f:int -> default:Value.t -> t -> Graph.node list -> Value.t
 (** Bottom-up majority resolution ("newval"): labels longer than [f] are

@@ -1,11 +1,23 @@
+(* flm-lint: allow locality/mutable-state — [runs_started] is a monotone
+   telemetry counter behind [total_runs]; no execution ever reads it, so it
+   cannot feed nondeterminism back into a run *)
 let runs_started = Atomic.make 0
 
 let total_runs () = Atomic.get runs_started
 
-let run ?(signed = false) ?(delay = 1) sys ~rounds =
-  if rounds < 0 then invalid_arg "Exec.run: negative horizon";
-  Atomic.incr runs_started;
-  if delay < 1 then invalid_arg "Exec.run: delay >= 1 required";
+(* The boxed executor is the differential baseline: [with_boxed_for_testing]
+   flips a domain-local flag and the dispatcher below routes to it, so the
+   perf-smoke suite can run the same job on both representations and compare
+   certificates byte for byte.  Same save/restore idiom as
+   [Flm_error.Deadline]. *)
+let boxed_key : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let with_boxed_for_testing f =
+  let saved = Domain.DLS.get boxed_key in
+  Domain.DLS.set boxed_key true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set boxed_key saved) f
+
+let run_boxed ~signed ~delay sys ~rounds =
   let graph = System.graph sys in
   let n = Graph.n graph in
   let ledger = if signed then Some (Signature.ledger_create ~nodes:n) else None in
@@ -22,11 +34,6 @@ let run ?(signed = false) ?(delay = 1) sys ~rounds =
   (* back_port.(u).(j): the port on which wiring(u).(j) reaches back to u —
      precomputed once on the system (wiring never changes). *)
   let back_port = System.back_ports sys in
-  (* One inbox scratch array per node, refilled every round: the executor's
-     hottest allocation used to be a fresh n-deep array-of-arrays per round.
-     Reuse is safe because devices are pure step functions — they read the
-     inbox during [step] and never retain it (their state is an immutable
-     [Value.t]). *)
   let inboxes =
     Array.init n (fun u -> Array.make (Array.length (System.wiring sys u)) None)
   in
@@ -74,6 +81,75 @@ let run ?(signed = false) ?(delay = 1) sys ~rounds =
     done
   done;
   Trace.make ~system:sys ~rounds ~states ~sent
+
+(* The flat executor: same round loop, but states and sends land in a
+   per-execution arena as intern ids, and the inbox rows are per-domain
+   scratch reused across runs.  Devices still exchange ordinary values —
+   interning happens at the arena boundary, and because the intern table
+   hands back the first structurally-equal value it saw, a decoded trace is
+   byte-identical to what the boxed path records. *)
+let run_flat ~signed ~delay sys ~rounds =
+  let graph = System.graph sys in
+  let n = Graph.n graph in
+  let ledger = if signed then Some (Signature.ledger_create ~nodes:n) else None in
+  let arity u = Array.length (System.wiring sys u) in
+  let arena = Arena.create ~n ~rounds ~arity in
+  for u = 0 to n - 1 do
+    Arena.set_state arena u 0
+      ((System.device sys u).Device.init ~input:(System.input sys u))
+  done;
+  let back_port = System.back_ports sys in
+  let arities = Array.init n arity in
+  Exec_scratch.with_inboxes ~arities (fun inboxes ->
+      for r = 0 to rounds - 1 do
+        Flm_error.Deadline.check ();
+        for u = 0 to n - 1 do
+          let wiring = System.wiring sys u in
+          let inbox = inboxes.(u) in
+          for j = 0 to Array.length wiring - 1 do
+            inbox.(j) <-
+              (if r < delay then None
+               else
+                 Arena.sent arena wiring.(j) ~port:back_port.(u).(j)
+                   ~round:(r - delay))
+          done
+        done;
+        (match ledger with
+        | None -> ()
+        | Some ledger ->
+          Array.iteri
+            (fun u inbox ->
+              Array.iter
+                (function
+                  | Some m -> Signature.absorb ledger ~node:u m
+                  | None -> ())
+                inbox)
+            inboxes);
+        for u = 0 to n - 1 do
+          let state', sends =
+            Device.step_checked (System.device sys u)
+              ~state:(Arena.state arena u r) ~round:r ~inbox:inboxes.(u)
+          in
+          let sends =
+            match ledger with
+            | None -> sends
+            | Some ledger ->
+              Array.map (Option.map (Signature.sanitize ledger ~node:u)) sends
+          in
+          Arena.set_state arena u (r + 1) state';
+          Array.iteri
+            (fun port v -> Arena.set_sent arena u ~port ~round:r v)
+            sends
+        done
+      done);
+  Trace.of_arena ~system:sys ~rounds arena
+
+let run ?(signed = false) ?(delay = 1) sys ~rounds =
+  if rounds < 0 then invalid_arg "Exec.run: negative horizon";
+  if delay < 1 then invalid_arg "Exec.run: delay >= 1 required";
+  Atomic.incr runs_started;
+  if Domain.DLS.get boxed_key then run_boxed ~signed ~delay sys ~rounds
+  else run_flat ~signed ~delay sys ~rounds
 
 let run_until_decided ?signed ?delay sys ~max_rounds =
   if max_rounds < 1 then invalid_arg "Exec.run_until_decided: horizon >= 1";

@@ -1,0 +1,12 @@
+(** Per-domain inbox scratch reused across executions.
+
+    [with_inboxes ~arities f] passes [f] an array of per-node inbox rows
+    ([rows.(u)] has length [arities.(u)]), borrowed from a domain-local
+    cache when the arity profile matches the previous run on this domain
+    (the common case in sweeps) and freshly allocated otherwise.  The
+    cache is marked in-use for the extent of [f], so re-entrant
+    executions degrade to fresh arrays rather than aliasing; rows are
+    cleared on release.  Callers must not retain the rows past [f]. *)
+
+val with_inboxes :
+  arities:int array -> (Value.t option array array -> 'a) -> 'a

@@ -1,6 +1,6 @@
 (* The machine-readable bench contract, wired into @runtest via the
-   @bench-smoke alias: run E18 at a tiny configuration, then check that the
-   emitted BENCH_E18.json parses and satisfies the schema the README
+   @bench-smoke alias: run E18 and E22 at tiny configurations, then check
+   that the emitted records parse and satisfy the schema the README
    documents (experiment id, config, runs with label/jobs/wall_seconds).
    Also exercises the JSON round-trip on a synthetic record so a printer or
    parser regression fails here, not in a long bench run. *)
@@ -35,7 +35,30 @@ let roundtrip () =
     (Bench_json.validate (Bench_json.Obj [ "experiment", Bench_json.String "x" ])
     <> Ok ());
   check "parse rejects trailing garbage"
-    (match Bench_json.parse "{} junk" with Ok _ -> false | Error _ -> true)
+    (match Bench_json.parse "{} junk" with Ok _ -> false | Error _ -> true);
+  (* Timings quantized with [quantize_us] print as fixed-point literals;
+     unquantized floats still print in scientific %.17g form.  The strict
+     parser must accept both spellings and read back the same float. *)
+  let float_of src =
+    match Bench_json.parse src with
+    | Ok (Bench_json.Obj [ ("x", v) ]) -> Bench_json.to_float_opt v
+    | _ -> None
+  in
+  check "parser accepts fixed-point float literals"
+    (float_of "{\"x\": 0.123457}" = Some 0.123457);
+  check "parser accepts scientific float literals"
+    (float_of "{\"x\": 1.2345699999999999e-1}" = Some 0.12345699999999999);
+  check "both spellings of the same float read back equal"
+    (float_of "{\"x\": 0.250000}" = float_of "{\"x\": 2.5e-1}");
+  check "quantized timings serialize as microsecond fixed-point"
+    (Bench_json.to_string (Bench_json.Float (Bench_json.quantize_us 0.123456789))
+    = "0.123457\n");
+  check "unquantizable magnitudes pass through quantize_us"
+    (Bench_json.quantize_us 2.5e12 = 2.5e12);
+  check "quantized round-trip is exact"
+    (let f = Bench_json.quantize_us 1.6180339887 in
+     float_of (Printf.sprintf "{\"x\": %s}" (String.trim (Bench_json.to_string (Bench_json.Float f))))
+     = Some f)
 
 (* `flm lint --format json` speaks the same dialect: the report built on
    Bench_json must survive print-then-parse with its fields intact. *)
@@ -119,12 +142,37 @@ let e18_tiny () =
                  Bench_json.to_float_opt)
           <> None))
 
+let e22_tiny () =
+  let json =
+    Bench_e22.run ~baseline_execs_per_sec:38.7 ~n_max:4 ~f_max:1
+      ~jobs_list:[ 1; 2 ] ()
+  in
+  (match Bench_json.validate json with
+  | Ok () -> ()
+  | Error m -> check (Printf.sprintf "E22 record validates (%s)" m) false);
+  let derived_bool field =
+    match
+      Option.bind (Bench_json.member "derived" json) (Bench_json.member field)
+    with
+    | Some (Bench_json.Bool b) -> Some b
+    | _ -> None
+  in
+  check "E22: flat and boxed verdicts agree on the tiny grid"
+    (derived_bool "verdicts_equal" = Some true);
+  check "E22: the speedup criterion is met or relaxed on a single core"
+    (derived_bool "jobs_speedup_ok" = Some true);
+  check "E22: cores recorded in config"
+    (Option.bind (Bench_json.member "config" json) (fun c ->
+         Option.bind (Bench_json.member "cores" c) Bench_json.to_int_opt)
+    = Some (Domain.recommended_domain_count ()))
+
 let () =
   roundtrip ();
   lint_report_roundtrip ();
   e18_tiny ();
+  e22_tiny ();
   if !failures > 0 then begin
     Printf.eprintf "bench-smoke: %d failure(s)\n" !failures;
     exit 1
   end;
-  print_endline "bench-smoke ok: JSON round-trip + tiny E18 contract"
+  print_endline "bench-smoke ok: JSON round-trip + tiny E18/E22 contracts"

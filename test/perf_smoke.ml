@@ -1,0 +1,204 @@
+(* The flat execution core's differential gates, wired into @runtest via the
+   @perf-smoke alias:
+
+   - trace differential: the flat arena executor and the legacy boxed
+     executor ([Exec.with_boxed_for_testing]) must render byte-identical
+     traces — same pretty-printed form, same per-node behaviors, decisions,
+     and message statistics — across representative systems;
+   - verdict differential: every job kind (boundary cell, connectivity
+     cell, covering certificate, chaos trial, campaign trial) must produce
+     equal verdicts on both paths, and certificates must summarize to the
+     very same line;
+   - journal differential: a checkpointed sweep must write byte-identical
+     store journals whichever path executed it — the flat core cannot leak
+     into the persistence format;
+   - allocation budget: the flat path must not allocate meaningfully more
+     than the boxed path it replaced, and a fixed workload must stay under
+     an absolute per-run byte budget so an allocation regression in the
+     executor fails here, loudly, not in a slow sweep.
+
+   Deterministic: fixed systems, fixed seeds, and the executor itself is
+   deterministic. *)
+
+let failures = ref 0
+
+let check what ok =
+  if not ok then begin
+    incr failures;
+    Printf.eprintf "perf-smoke FAILED: %s\n" what
+  end
+
+(* A full textual dump of everything a trace can answer, so byte-equality
+   of dumps is behavioral equality of representations. *)
+let dump t =
+  let buf = Buffer.create 4096 in
+  let n = Graph.n (System.graph (Trace.system t)) in
+  Buffer.add_string buf (Format.asprintf "%a@." Trace.pp t);
+  for u = 0 to n - 1 do
+    Array.iter
+      (fun v -> Buffer.add_string buf (Format.asprintf "%a;" Value.pp v))
+      (Trace.node_behavior t u);
+    Buffer.add_string buf
+      (Format.asprintf "decision %a at %s@."
+         (Format.pp_print_option Value.pp)
+         (Trace.decision t u)
+         (match Trace.decision_round t u with
+         | Some r -> string_of_int r
+         | None -> "-"));
+    for w = 0 to n - 1 do
+      if w <> u then
+        Array.iter
+          (fun m ->
+            Buffer.add_string buf
+              (Format.asprintf "%a;" (Format.pp_print_option Value.pp) m))
+          (Trace.edge_behavior t ~src:u ~dst:w)
+    done
+  done;
+  Buffer.add_string buf
+    (Printf.sprintf "messages %d volume %d by-node %s\n"
+       (Trace.message_count t) (Trace.message_volume t)
+       (String.concat ","
+          (Array.to_list (Array.map string_of_int (Trace.messages_by_node t)))));
+  Buffer.contents buf
+
+let eig_sys n f =
+  Eig.system (Topology.complete n) ~f
+    ~inputs:(Array.init n (fun i -> Value.bool (i mod 2 = 0)))
+    ~default:(Value.bool false)
+
+let trace_differential () =
+  List.iter
+    (fun (label, sys, rounds) ->
+      let flat = Exec.run sys ~rounds in
+      let boxed =
+        Exec.with_boxed_for_testing (fun () -> Exec.run sys ~rounds)
+      in
+      check
+        (Printf.sprintf "%s: flat and boxed traces dump identically" label)
+        (dump flat = dump boxed))
+    [ "eig K4 f=1", eig_sys 4 1, Eig.decision_round ~f:1 + 1;
+      "eig K7 f=2", eig_sys 7 2, Eig.decision_round ~f:2 + 1;
+      "eig K5 f=1 long horizon", eig_sys 5 1, 6;
+    ]
+
+(* --- every job kind, both paths --------------------------------------------- *)
+
+let verdict_differential () =
+  let jobs =
+    [ Job.Nf_cell { n = 4; f = 1 };
+      Job.Nf_cell { n = 7; f = 2 };
+      Job.Conn_cell { kappa = 2; n = 5; f = 1 };
+      Job.Certify { problem = Job.Ba; n = 3; f = 1 };
+      Job.Chaos_trial
+        { family = "complete:4"; f = 1; seed = 5; strategy = "chaos";
+          trial = 0 };
+      Job.Campaign_trial
+        { protocol = "eig"; family = "complete:4"; f = 1; seed = 2;
+          strategy = "chaos"; trial = 1 };
+    ]
+  in
+  List.iter
+    (fun job ->
+      let flat = Job.run job in
+      let boxed = Exec.with_boxed_for_testing (fun () -> Job.run job) in
+      check
+        (Printf.sprintf "%s: equal verdicts on both paths" (Job.label job))
+        (Job.equal_verdict flat boxed);
+      match flat, boxed with
+      | Job.Cert a, Job.Cert b ->
+        check
+          (Printf.sprintf "%s: certificate summaries are byte-identical"
+             (Job.label job))
+          (a.Job.summary = b.Job.summary)
+      | _ -> ())
+    jobs
+
+(* --- the persistence format is representation-blind -------------------------- *)
+
+let journal_bytes dir run =
+  let store =
+    match Store.open_dir dir with
+    | Ok s -> s
+    | Error _ -> failwith "perf-smoke: store open failed"
+  in
+  let eng = Engine.create ~jobs:1 ~store () in
+  run eng;
+  Engine.shutdown eng;
+  Store.close store;
+  let path = Filename.concat dir "journal.flm" in
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let journal_differential () =
+  let tmp suffix =
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "flm_perf_smoke_%d_%s" (Unix.getpid ()) suffix)
+    in
+    (try Unix.mkdir dir 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    dir
+  in
+  let cleanup dir =
+    (try Sys.remove (Filename.concat dir "journal.flm")
+     with Sys_error _ -> ());
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  in
+  let sweep eng = ignore (Engine.nf_boundary eng ~n_max:5 ~f_max:1) in
+  let flat_dir = tmp "flat" and boxed_dir = tmp "boxed" in
+  Fun.protect
+    ~finally:(fun () ->
+      cleanup flat_dir;
+      cleanup boxed_dir)
+    (fun () ->
+      let flat = journal_bytes flat_dir sweep in
+      let boxed =
+        Exec.with_boxed_for_testing (fun () -> journal_bytes boxed_dir sweep)
+      in
+      check "checkpointed sweeps journal byte-identically on both paths"
+        (String.length flat > 0 && flat = boxed))
+
+(* --- the allocation budget ---------------------------------------------------- *)
+
+let allocation_budget () =
+  let sys = eig_sys 5 1 in
+  let rounds = Eig.decision_round ~f:1 + 1 in
+  let reps = 20 in
+  let measure () =
+    (* Warm up first so one-time costs (scratch buffers, minor heap shape)
+       don't land inside the measured window. *)
+    ignore (Exec.run sys ~rounds);
+    let before = Gc.allocated_bytes () in
+    for _ = 1 to reps do
+      ignore (Exec.run sys ~rounds)
+    done;
+    (Gc.allocated_bytes () -. before) /. float_of_int reps
+  in
+  let flat = measure () in
+  let boxed = Exec.with_boxed_for_testing measure in
+  check
+    (Printf.sprintf
+       "flat path allocates no more than 1.25x the boxed path (%.0f vs %.0f \
+        bytes/run)"
+       flat boxed)
+    (flat <= (boxed *. 1.25) +. 65536.0);
+  (* The absolute ceiling: an eig K5 f=1 run allocates ~0.9 MB today; 2 MB
+     of headroom means a 2x executor allocation regression fails here. *)
+  let budget = 2_000_000.0 in
+  check
+    (Printf.sprintf "eig K5 f=1 stays under the %.0f-byte budget (%.0f)"
+       budget flat)
+    (flat <= budget)
+
+let () =
+  trace_differential ();
+  verdict_differential ();
+  journal_differential ();
+  allocation_budget ();
+  if !failures > 0 then begin
+    Printf.eprintf "perf-smoke: %d failure(s)\n" !failures;
+    exit 1
+  end;
+  print_endline
+    "perf-smoke ok: trace/verdict/journal differentials + allocation budget"

@@ -32,7 +32,7 @@ let differential () =
   List.iter
     (fun jobs ->
       let chunk = 1 + Random.State.int rng 4 in
-      let pool = Pool.create ~jobs ~chunk () in
+      let pool = Pool.create ~jobs ~chunk ~oversubscribe:true () in
       (* Many batches through the same pool: sizes around the chunking edge
          cases (0, 1, chunk, jobs*chunk, and well past them). *)
       for trial = 1 to 25 do
@@ -77,7 +77,8 @@ let differential () =
 let reuse () =
   let degradations = ref 0 in
   let pool =
-    Pool.create ~jobs:4 ~on_degrade:(fun _ -> incr degradations) ()
+    Pool.create ~jobs:4 ~oversubscribe:true
+      ~on_degrade:(fun _ -> incr degradations) ()
   in
   let a = Array.init 64 Fun.id in
   let first = Pool.map pool succ a in
@@ -100,7 +101,7 @@ let worker_loss () =
   let rec attempt k =
     let degradations = ref [] in
     let pool =
-      Pool.create ~jobs:4 ~chunk:2
+      Pool.create ~jobs:4 ~chunk:2 ~oversubscribe:true
         ~on_degrade:(fun r -> degradations := r :: !degradations)
         ()
     in
@@ -129,7 +130,7 @@ let worker_loss () =
 (* --- shutdown ----------------------------------------------------------------- *)
 
 let shutdown () =
-  let pool = Pool.create ~jobs:4 () in
+  let pool = Pool.create ~jobs:4 ~oversubscribe:true () in
   let a = Array.init 32 Fun.id in
   check "batch before shutdown" (Pool.map pool succ a = Array.map succ a);
   Pool.shutdown pool;
@@ -139,7 +140,7 @@ let shutdown () =
     (Pool.map pool succ a = Array.map succ a);
   Pool.shutdown pool;
   (* Shutdown before any parallel map: nothing was spawned, nothing hangs. *)
-  let fresh = Pool.create ~jobs:8 () in
+  let fresh = Pool.create ~jobs:8 ~oversubscribe:true () in
   Pool.shutdown fresh;
   check "shutdown of a never-used pool"
     (Pool.map fresh succ [| 1; 2; 3 |] = [| 2; 3; 4 |])

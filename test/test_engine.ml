@@ -247,7 +247,7 @@ let intern_bound () =
   Fingerprint.set_capacity original
 
 let pool_ordering () =
-  let pool = Pool.create ~jobs:4 ~chunk:3 () in
+  let pool = Pool.create ~jobs:4 ~chunk:3 ~oversubscribe:true () in
   let arr = Array.init 100 Fun.id in
   check tbool "map preserves input order" true
     (Pool.map pool (fun x -> x * x) arr = Array.map (fun x -> x * x) arr);
@@ -255,7 +255,7 @@ let pool_ordering () =
     (Pool.map_list pool string_of_int [ 3; 1; 2 ] = [ "3"; "1"; "2" ])
 
 let pool_exception () =
-  let pool = Pool.create ~jobs:3 () in
+  let pool = Pool.create ~jobs:3 ~oversubscribe:true () in
   match
     Pool.map pool
       (fun x -> if x >= 5 then failwith (string_of_int x) else x)

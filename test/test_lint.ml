@@ -167,6 +167,28 @@ let campaign_scope () =
         (Lint_scope.allow_reason ~dir:"lib/campaign" rule <> None))
     [ Lint_rule.Locality_time; Lint_rule.Locality_domain ]
 
+(* (c'''') The system scope: the executor is bound by the locality family
+   like the model layer — a nondeterministic executor would unsound every
+   memo and resume tier — except locality/domain, allow-listed with its
+   reason: the flat core's per-domain Domain.DLS scratch arenas and its
+   atomic run counter are deterministic executor machinery. *)
+let system_scope () =
+  let system = "lib/system/fixture.ml" in
+  expect_clean ~path:system
+    "let key = Domain.DLS.new_key (fun () -> Bytes.create 64)\n\
+     let me () = Domain.self ()";
+  expect_one ~path:system ~rule:Lint_rule.Locality_random ~line:1
+    "let coin () = Random.int 2";
+  expect_one ~path:system ~rule:Lint_rule.Locality_time ~line:1
+    "let now () = Unix.gettimeofday ()";
+  expect_one ~path:system ~rule:Lint_rule.Locality_hash ~line:1
+    "let h x = Hashtbl.hash x";
+  expect_one ~path:system ~rule:Lint_rule.Locality_mutable_state ~line:1
+    "let calls = ref 0";
+  check Alcotest.bool "system exemption for locality/domain recorded" true
+    (Lint_scope.allow_reason ~dir:"lib/system" Lint_rule.Locality_domain
+    <> None)
+
 (* (d) One suppression per family: the finding disappears and is counted. *)
 let suppressions () =
   let suppressed_one ~path src =
@@ -238,6 +260,7 @@ let suite =
       Alcotest.test_case "serve scope" `Quick serve_scope;
       Alcotest.test_case "resilience scope" `Quick resilience_scope;
       Alcotest.test_case "campaign scope" `Quick campaign_scope;
+      Alcotest.test_case "system scope" `Quick system_scope;
       Alcotest.test_case "suppressions" `Quick suppressions;
       Alcotest.test_case "meta rules" `Quick meta;
       Alcotest.test_case "clean and json" `Quick clean_and_json;

@@ -72,7 +72,7 @@ let deadlines () =
 (* (c) The pool under hostile tasks: per-item exception capture, lowest
    failing index re-raised, healthy items all complete, order stress. *)
 let hostile_pool () =
-  let pool = Pool.create ~jobs:4 ~chunk:2 () in
+  let pool = Pool.create ~jobs:4 ~chunk:2 ~oversubscribe:true () in
   let done_ = Array.make 12 false in
   (match
      Pool.map pool
@@ -90,7 +90,7 @@ let hostile_pool () =
   (* Order stress: a parallel map equals the sequential reference. *)
   let big = Array.init 100 (fun i -> i) in
   check tbool "deterministic ordering at width 8" true
-    (Pool.map (Pool.create ~jobs:8 ()) (fun i -> i * i) big
+    (Pool.map (Pool.create ~jobs:8 ~oversubscribe:true ()) (fun i -> i * i) big
     = Array.map (fun i -> i * i) big)
 
 let equal_outcome a b =
