@@ -1,0 +1,20 @@
+(** E23: the deep-lint summary cache — cold vs warm interprocedural
+    runs over the same tree.
+
+    [run] executes {!Flm_lint.run_deep} twice against a private
+    temporary cache directory (removed afterwards): the first pass is
+    cold (every file parsed and summarized), the second warm (every
+    unchanged file served from the content-addressed cache; only the
+    whole-repo graph analysis repeats).  The derived figures are
+    [warm_speedup] (cold/warm wall-clock, expected >= 5x on the real
+    tree), [warm_hit_rate] (expected 1.0), and [findings_equal] — the
+    cache must be observationally invisible.
+
+    [paths] defaults to the repo's own [lib bin bench test], so call it
+    from the repository root (as [bench/main.exe] does).
+
+    Returns the experiment's {!Bench_json} record (written to [out]
+    when given).  Wall-clock figures vary by host; the record's shape
+    does not. *)
+
+val run : ?out:string -> ?paths:string list -> unit -> Bench_json.t

@@ -621,6 +621,41 @@ let e21 () =
   | None -> ());
   Format.printf "wrote BENCH_E21.json@."
 
+(* --- E23: the deep-lint summary cache ------------------------------------------------ *)
+
+let e23 () =
+  section "E23"
+    "deep lint (interprocedural effects + lock order) over the repo: cold \
+     parse-and-summarize vs warm content-addressed cache";
+  let json = Bench_e23.run ~out:"BENCH_E23.json" () in
+  let num field v =
+    Option.value ~default:0.0
+      (Option.bind (Bench_json.member field v) Bench_json.to_float_opt)
+  in
+  let str field v d =
+    Option.value ~default:d
+      (Option.bind (Bench_json.member field v) Bench_json.to_string_opt)
+  in
+  Format.printf "%-6s | %8s | %6s | %6s | %s@." "pass" "seconds" "hits"
+    "misses" "findings";
+  List.iter
+    (fun r ->
+      Format.printf "%-6s | %8.3f | %6.0f | %6.0f | %.0f@." (str "label" r "?")
+        (num "wall_seconds" r) (num "cache_hits" r) (num "cache_misses" r)
+        (num "findings" r))
+    (Option.value ~default:[]
+       (Option.bind (Bench_json.member "runs" json) Bench_json.to_list_opt));
+  (match Bench_json.member "derived" json with
+  | Some d ->
+    Format.printf
+      "warm speedup %.1fx (expected >= 5x); reports identical: %b@."
+      (num "warm_speedup" d)
+      (match Bench_json.member "findings_equal" d with
+      | Some (Bench_json.Bool b) -> b
+      | _ -> false)
+  | None -> ());
+  Format.printf "wrote BENCH_E23.json@."
+
 (* --- Bechamel timing benches -------------------------------------------------------- *)
 
 (* --- E16: supervision overhead ----------------------------------------------------- *)
@@ -904,33 +939,32 @@ let timing () =
   in
   List.iter benchmark tests
 
+(* E19/E20/E21 first in the default order: they fork processes, and
+   forking is only defined while this process still has a single domain —
+   E20's in-process level and every later experiment spawn engine pools.
+   Selecting experiments on the command line keeps whatever order the
+   caller asked for; the same caveat then falls on them. *)
+let experiments =
+  [ "E19", e19; "E20", e20; "E21", e21; "E1", e1; "E2", e2; "E3", e3;
+    "E4", e4; "E5", e5; "E6", e6; "E7", e7; "E8", e8; "E9", e9; "E10", e10;
+    "E11", e11; "E12", e12; "E13", e13; "E14", e14; "E15", e15; "E16", e16;
+    "E17", e17; "E18", e18; "E22", e22; "E23", e23; "TIMING", timing ]
+
 let () =
   Format.printf
     "flm benchmark & experiment harness — Fischer-Lynch-Merritt (PODC 1985)@.";
-  (* E19 and E20's sharded levels first: they fork processes, and forking
-     is only defined while this process still has a single domain — E20's
-     in-process level and every later experiment spawn engine pools. *)
-  e19 ();
-  e20 ();
-  e21 ();
-  e1 ();
-  e2 ();
-  e3 ();
-  e4 ();
-  e5 ();
-  e6 ();
-  e7 ();
-  e8 ();
-  e9 ();
-  e10 ();
-  e11 ();
-  e12 ();
-  e13 ();
-  e14 ();
-  e15 ();
-  e16 ();
-  e17 ();
-  e18 ();
-  e22 ();
-  timing ();
-  Format.printf "@.done.@."
+  match List.tl (Array.to_list Sys.argv) with
+  | [] ->
+    List.iter (fun (_, f) -> f ()) experiments;
+    Format.printf "@.done.@."
+  | ids ->
+    List.iter
+      (fun id ->
+        match List.assoc_opt (String.uppercase_ascii id) experiments with
+        | Some f -> f ()
+        | None ->
+          Format.eprintf "unknown experiment %S (known: %s)@." id
+            (String.concat " " (List.map fst experiments));
+          exit 2)
+      ids;
+    Format.printf "@.done.@."

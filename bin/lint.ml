@@ -1,13 +1,25 @@
-(* The standalone lint runner behind `dune build @lint` (the CLI's `flm
-   lint` subcommand wraps the same library).  Kept free of cmdliner so the
-   alias links fast: `lint.exe [--format text|json] [--rules] PATH...`. *)
+(* The standalone lint runner behind `dune build @lint` and `@lint-deep`
+   (the CLI's `flm lint` subcommand wraps the same library).  Kept free of
+   cmdliner so the aliases link fast:
+
+     lint.exe [--format text|json] [--rules] [--deep] [--baseline FILE]
+              [--write-baseline FILE] [--no-cache] [--cache-dir DIR]
+              PATH... *)
 
 let usage () =
-  prerr_endline "usage: lint [--format text|json] [--rules] PATH...";
+  prerr_endline
+    "usage: lint [--format text|json] [--rules] [--deep] [--baseline FILE]\n\
+    \            [--write-baseline FILE] [--no-cache] [--cache-dir DIR] \
+     PATH...";
   exit 2
 
 let () =
   let json = ref false in
+  let deep = ref false in
+  let use_cache = ref true in
+  let cache_dir = ref None in
+  let baseline = ref None in
+  let write_baseline = ref None in
   let paths = ref [] in
   let rec parse = function
     | [] -> ()
@@ -19,6 +31,21 @@ let () =
       parse rest
     | "--format" :: "text" :: rest -> parse rest
     | "--format" :: _ -> usage ()
+    | "--deep" :: rest ->
+      deep := true;
+      parse rest
+    | "--no-cache" :: rest ->
+      use_cache := false;
+      parse rest
+    | "--cache-dir" :: dir :: rest ->
+      cache_dir := Some dir;
+      parse rest
+    | "--baseline" :: file :: rest ->
+      baseline := Some file;
+      parse rest
+    | "--write-baseline" :: file :: rest ->
+      write_baseline := Some file;
+      parse rest
     | arg :: _ when String.length arg > 0 && arg.[0] = '-' -> usage ()
     | path :: rest ->
       paths := path :: !paths;
@@ -26,7 +53,21 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   if !paths = [] then usage ();
-  let report = Flm_lint.run ~paths:(List.rev !paths) in
+  let paths = List.rev !paths in
+  let report =
+    if !deep then
+      match
+        Flm_lint.run_deep ~use_cache:!use_cache ?cache_dir:!cache_dir
+          ?baseline:!baseline ?write_baseline:!write_baseline ~paths ()
+      with
+      | Ok (report, _) -> report
+      | Error detail ->
+        prerr_endline ("lint: baseline: " ^ detail);
+        exit
+          (Flm_error.exit_code
+             (Flm_error.Invalid_input { what = "baseline"; detail }))
+    else Flm_lint.run ~paths
+  in
   if !json then print_string (Lint_report.json_string report)
   else Format.printf "%a" Lint_report.pp_text report;
   exit (Lint_report.exit_code report)

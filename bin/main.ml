@@ -1175,11 +1175,24 @@ let campaign_cmd =
 (* --- flm lint ------------------------------------------------------------ *)
 
 let lint_cmd =
-  let run paths json rules =
+  let run paths json rules deep no_cache cache_dir baseline write_baseline =
     if rules then Format.printf "%a" Lint_report.pp_rules ()
     else begin
       let paths = if paths = [] then [ "." ] else paths in
-      let report = Flm_lint.run ~paths in
+      let report =
+        if deep then
+          match
+            Flm_lint.run_deep ~use_cache:(not no_cache) ?cache_dir ?baseline
+              ?write_baseline ~paths ()
+          with
+          | Ok (report, _) -> report
+          | Error detail ->
+            prerr_endline ("flm lint: baseline: " ^ detail);
+            exit
+              (Flm_error.exit_code
+                 (Flm_error.Invalid_input { what = "baseline"; detail }))
+        else Flm_lint.run ~paths
+      in
       if json then print_string (Lint_report.json_string report)
       else Format.printf "%a" Lint_report.pp_text report;
       exit (Lint_report.exit_code report)
@@ -1208,6 +1221,50 @@ let lint_cmd =
       & info [ "rules" ]
           ~doc:"Print the rule catalog and directory allow-list, then exit.")
   in
+  let deep =
+    Arg.(
+      value & flag
+      & info [ "deep" ]
+          ~doc:
+            "Interprocedural pass: build the whole-repo call graph, infer \
+             transitive effect summaries per function (fixpoint over SCCs), \
+             re-check the Locality scope table against them with a witness \
+             path per finding, and detect cycles in the global lock-order \
+             graph.")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:"Disable the content-addressed summary cache for this run.")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Where deep-lint summaries live (default: \
+             $(b,_build/flm-lint-cache)).")
+  in
+  let baseline =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Subtract the findings recorded in this baseline; only new \
+             findings fail the run.")
+  in
+  let write_baseline =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "write-baseline" ] ~docv:"FILE"
+          ~doc:
+            "Record the current findings as the new baseline and exit \
+             clean.")
+  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
@@ -1227,8 +1284,18 @@ let lint_cmd =
            `P
              "Suppress a finding with a justified inline comment: (* \
               flm-lint: allow <rule> -- reason *).";
+           `P
+             "$(b,--deep) adds the interprocedural tier: transitive effect \
+              inference over the call graph (a protocol step that reaches \
+              Random.int through three helpers is flagged with the full \
+              witness path) and global lock-order deadlock detection.  \
+              Summaries are content-addressed by source digest, so warm \
+              runs only re-analyze changed files; a committed baseline \
+              ($(b,--baseline)) keeps CI failing only on new findings.";
          ])
-    Term.(const run $ paths $ format $ rules)
+    Term.(
+      const run $ paths $ format $ rules $ deep $ no_cache $ cache_dir
+      $ baseline $ write_baseline)
 
 let () =
   let open Cmdliner in

@@ -84,6 +84,9 @@ module Deadline = struct
     match Domain.DLS.get key with
     | None -> ()
     | Some { job; timeout_ms; expires } ->
+      (* flm-lint: allow locality/transitive-time — the deadline guard reads
+         the wall clock only to enforce a budget: expiry raises Job_timeout
+         instead of returning, so no verdict ever depends on the reading *)
       if Unix.gettimeofday () > expires then
         raise (Error (Job_timeout { job; timeout_ms }))
 

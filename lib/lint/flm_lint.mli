@@ -24,3 +24,33 @@ val check_file : string -> Lint_rule.finding list * int
 val run : paths:string list -> Lint_report.t
 (** Walk files and directories (recursively; [_build], [.git] and other
     dot-directories skipped), linting every [.ml]. *)
+
+type deep_stats = { hits : int; misses : int }
+(** Summary-cache accounting for one deep run. *)
+
+val run_deep :
+  ?use_cache:bool ->
+  ?cache_dir:string ->
+  ?baseline:string ->
+  ?write_baseline:string ->
+  paths:string list ->
+  unit ->
+  (Lint_report.t * deep_stats, string) result
+(** The interprocedural pass: per-file shallow lint plus the
+    transitive-effect re-check ({!Lint_effects}) and the global lock-order
+    cycle check ({!Lint_lockorder}) over one whole-repo call graph
+    ({!Lint_callgraph}).  Summaries are content-addressed and cached
+    ({!Lint_cache}; [use_cache] defaults to [true], [cache_dir] to
+    {!Lint_cache.default_dir}).  [baseline] subtracts a committed
+    baseline's findings (an unreadable baseline is the [Error]);
+    [write_baseline] records the current findings and holds them all
+    back, so the run that writes a baseline exits clean. *)
+
+val summarize : path:string -> string -> Lint_cache.entry
+(** One parse, both tiers: the shallow verdict plus the deep summary, in
+    the exact shape the cache stores. *)
+
+val check_sources_deep :
+  sources:(string * string) list -> Lint_report.t
+(** The deep pass over in-memory (path, source) pairs — fixture testing
+    without touching the filesystem or the cache. *)

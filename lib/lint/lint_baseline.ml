@@ -1,0 +1,73 @@
+(* A committed findings baseline: CI fails only on *new* findings.  The
+   matching key is (rule, file, line) — message text and witness paths may
+   legitimately drift as the analysis sharpens, but a finding that moves
+   to a different line has been edited and deserves a fresh look. *)
+
+type key = string * string * int  (* rule id, file, line *)
+
+let key_of (f : Lint_rule.finding) =
+  (Lint_rule.to_string f.rule, f.file, f.line)
+
+let schema_version = 1
+
+open Bench_json
+
+let to_json findings =
+  Obj
+    [ ("tool", String "flm-lint-baseline");
+      ("schema_version", Int schema_version);
+      ( "findings",
+        List
+          (List.map
+             (fun (f : Lint_rule.finding) ->
+               Obj
+                 [ ("rule", String (Lint_rule.to_string f.rule));
+                   ("file", String f.file); ("line", Int f.line) ])
+             findings) ) ]
+
+let write ~path findings = write_file ~path (to_json findings)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Unlike the cache, a baseline that fails to load is an error, not a cold
+   start: silently ignoring it would resurface every baselined finding and
+   fail CI for the wrong reason. *)
+let load path =
+  match read_file path with
+  | exception Sys_error detail -> Error detail
+  | raw -> (
+    match parse raw with
+    | Error e -> Error (Printf.sprintf "%s: %s" path e)
+    | Ok j -> (
+      match Option.bind (member "schema_version" j) to_int_opt with
+      | Some v when v = schema_version -> (
+        match Option.bind (member "findings" j) to_list_opt with
+        | None -> Error (path ^ ": missing findings list")
+        | Some items ->
+          let keys =
+            List.filter_map
+              (fun item ->
+                match
+                  ( Option.bind (member "rule" item) to_string_opt,
+                    Option.bind (member "file" item) to_string_opt,
+                    Option.bind (member "line" item) to_int_opt )
+                with
+                | Some r, Some f, Some l -> Some ((r, f, l) : key)
+                | _ -> None)
+              items
+          in
+          Ok keys)
+      | Some v ->
+        Error (Printf.sprintf "%s: schema_version %d, expected %d" path v
+                 schema_version)
+      | None -> Error (path ^ ": missing schema_version")))
+
+let filter ~baseline findings =
+  let kept, matched =
+    List.partition (fun f -> not (List.mem (key_of f) baseline)) findings
+  in
+  kept, List.length matched

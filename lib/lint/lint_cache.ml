@@ -1,0 +1,232 @@
+(* The deep pass parses every source in the repo, and almost none of them
+   change between runs — so summaries are content-addressed: one JSON file
+   keyed by (path, MD5 of the source), holding everything the global
+   passes need (shallow findings, suppressions, definitions with their
+   candidate callees, intrinsics, and lock events).  A warm run reads
+   sources, hashes them, and skips the compiler front end entirely for
+   every hit; only the cheap global fixpoints rerun.  The cache is pure
+   optimization: any read problem, schema drift, or digest mismatch just
+   means cold. *)
+
+type entry = {
+  digest : string;
+  summary : Lint_callgraph.summary;
+  shallow : Lint_rule.finding list;
+  supp_count : int;
+  supps : Lint_suppress.t list;
+}
+
+let schema_version = 1
+
+let digest source = Digest.to_hex (Digest.string source)
+
+(* Build products belong next to build products; fall back to a dot-dir
+   when the repo has never been built. *)
+let default_dir () =
+  if Sys.file_exists "_build" && Sys.is_directory "_build" then
+    Filename.concat "_build" "flm-lint-cache"
+  else ".flm-lint-cache"
+
+let cache_file dir = Filename.concat dir "summaries.json"
+
+(* --- encoding ---------------------------------------------------------------- *)
+
+open Bench_json
+
+let finding_to_json (f : Lint_rule.finding) =
+  Obj
+    [ ("rule", String (Lint_rule.to_string f.rule)); ("file", String f.file);
+      ("line", Int f.line); ("col", Int f.col);
+      ("message", String f.message);
+      ("witness", List (List.map (fun w -> String w) f.witness)) ]
+
+let supp_to_json s =
+  let first, last = Lint_suppress.lines s in
+  Obj
+    [ ("rule", String (Lint_rule.to_string (Lint_suppress.rule s)));
+      ("first", Int first); ("last", Int last);
+      ("reason", String (Lint_suppress.reason s)) ]
+
+let intrinsic_to_json (i : Lint_effects.intrinsic) =
+  Obj
+    [ ("eff", String (Lint_effects.effect_to_string i.eff));
+      ("what", String i.what); ("line", Int i.iline); ("col", Int i.icol) ]
+
+let event_to_json (ev : Lint_callgraph.event) =
+  let okind, o =
+    match ev.outer with
+    | Lint_callgraph.Hmutex m -> "mutex", m
+    | Hcall r -> "call", r
+  in
+  let ikind, i =
+    match ev.inner with
+    | Lint_callgraph.Ilock m -> "lock", m
+    | Icall r -> "call", r
+  in
+  Obj
+    [ ("ok", String okind); ("o", String o); ("oline", Int ev.oline);
+      ("ik", String ikind); ("i", String i); ("iline", Int ev.iline) ]
+
+let def_to_json (d : Lint_callgraph.def) =
+  Obj
+    [ ("name", String d.name); ("ctx", String d.ctx); ("line", Int d.line);
+      ("col", Int d.col);
+      ("refs", List (List.map (fun (r, l) -> List [ String r; Int l ]) d.refs));
+      ("intrinsics", List (List.map intrinsic_to_json d.intrinsics));
+      ( "locks",
+        List (List.map (fun (m, l) -> List [ String m; Int l ]) d.locks) );
+      ("events", List (List.map event_to_json d.events)) ]
+
+let entry_to_json (e : entry) =
+  Obj
+    [ ("path", String e.summary.path); ("digest", String e.digest);
+      ("modname", String e.summary.modname);
+      ("shallow", List (List.map finding_to_json e.shallow));
+      ("suppressed", Int e.supp_count);
+      ("supps", List (List.map supp_to_json e.supps));
+      ("defs", List (List.map def_to_json e.summary.defs)) ]
+
+(* --- decoding ---------------------------------------------------------------- *)
+
+let ( let* ) = Option.bind
+
+let mem_str k j = Option.bind (member k j) to_string_opt
+let mem_int k j = Option.bind (member k j) to_int_opt
+let mem_list k j = Option.bind (member k j) to_list_opt
+
+let all_some xs =
+  List.fold_right
+    (fun x acc -> match x, acc with Some x, Some acc -> Some (x :: acc) | _ -> None)
+    xs (Some [])
+
+let finding_of_json j =
+  let* rule_s = mem_str "rule" j in
+  let* rule = Lint_rule.of_string rule_s in
+  let* file = mem_str "file" j in
+  let* line = mem_int "line" j in
+  let* col = mem_int "col" j in
+  let* message = mem_str "message" j in
+  let* ws = mem_list "witness" j in
+  let* witness = all_some (List.map to_string_opt ws) in
+  Some (Lint_rule.finding ~witness ~rule ~file ~line ~col message)
+
+let supp_of_json j =
+  let* rule_s = mem_str "rule" j in
+  let* rule = Lint_rule.of_string rule_s in
+  let* first = mem_int "first" j in
+  let* last = mem_int "last" j in
+  let* reason = mem_str "reason" j in
+  Some (Lint_suppress.make ~rule ~first ~last ~reason)
+
+let intrinsic_of_json j =
+  let* eff_s = mem_str "eff" j in
+  let* eff = Lint_effects.effect_of_string eff_s in
+  let* what = mem_str "what" j in
+  let* iline = mem_int "line" j in
+  let* icol = mem_int "col" j in
+  Some { Lint_effects.eff; what; iline; icol }
+
+let pair_of_json = function
+  | List [ String s; Int l ] -> Some (s, l)
+  | _ -> None
+
+let event_of_json j =
+  let* ok = mem_str "ok" j in
+  let* o = mem_str "o" j in
+  let* oline = mem_int "oline" j in
+  let* ik = mem_str "ik" j in
+  let* i = mem_str "i" j in
+  let* iline = mem_int "iline" j in
+  let* outer =
+    match ok with
+    | "mutex" -> Some (Lint_callgraph.Hmutex o)
+    | "call" -> Some (Lint_callgraph.Hcall o)
+    | _ -> None
+  in
+  let* inner =
+    match ik with
+    | "lock" -> Some (Lint_callgraph.Ilock i)
+    | "call" -> Some (Lint_callgraph.Icall i)
+    | _ -> None
+  in
+  Some { Lint_callgraph.outer; oline; inner; iline }
+
+let def_of_json j =
+  let* name = mem_str "name" j in
+  let* ctx = mem_str "ctx" j in
+  let* line = mem_int "line" j in
+  let* col = mem_int "col" j in
+  let* refs = mem_list "refs" j in
+  let* refs = all_some (List.map pair_of_json refs) in
+  let* intr = mem_list "intrinsics" j in
+  let* intrinsics = all_some (List.map intrinsic_of_json intr) in
+  let* locks = mem_list "locks" j in
+  let* locks = all_some (List.map pair_of_json locks) in
+  let* events = mem_list "events" j in
+  let* events = all_some (List.map event_of_json events) in
+  Some { Lint_callgraph.name; ctx; line; col; refs; intrinsics; locks; events }
+
+let entry_of_json j =
+  let* path = mem_str "path" j in
+  let* digest = mem_str "digest" j in
+  let* modname = mem_str "modname" j in
+  let* shallow = mem_list "shallow" j in
+  let* shallow = all_some (List.map finding_of_json shallow) in
+  let* supp_count = mem_int "suppressed" j in
+  let* supps = mem_list "supps" j in
+  let* supps = all_some (List.map supp_of_json supps) in
+  let* defs = mem_list "defs" j in
+  let* defs = all_some (List.map def_of_json defs) in
+  Some
+    { digest;
+      summary = { Lint_callgraph.path; modname; defs };
+      shallow;
+      supp_count;
+      supps }
+
+(* --- load/save --------------------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load ~dir =
+  let table : (string, entry) Hashtbl.t = Hashtbl.create 64 in
+  (match read_file (cache_file dir) with
+  | exception Sys_error _ -> ()
+  | raw -> (
+    match parse raw with
+    | Error _ -> ()
+    | Ok j ->
+      if mem_int "schema_version" j = Some schema_version then
+        match mem_list "entries" j with
+        | None -> ()
+        | Some entries ->
+          List.iter
+            (fun ej ->
+              match entry_of_json ej with
+              | Some e -> Hashtbl.replace table e.summary.path e
+              | None -> ())
+            entries));
+  table
+
+let save ~dir entries =
+  (* Best-effort and atomic: a torn write must never poison the next run. *)
+  match
+    (if not (Sys.file_exists dir) then Unix.mkdir dir 0o755);
+    let j =
+      Obj
+        [ ("tool", String "flm-lint-cache");
+          ("schema_version", Int schema_version);
+          ("entries", List (List.map entry_to_json entries)) ]
+    in
+    let tmp =
+      Filename.concat dir (Printf.sprintf "summaries.%d.tmp" (Unix.getpid ()))
+    in
+    write_file ~path:tmp j;
+    Sys.rename tmp (cache_file dir)
+  with
+  | () -> ()
+  | exception (Unix.Unix_error _ | Sys_error _) -> ()

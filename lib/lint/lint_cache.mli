@@ -1,0 +1,33 @@
+(** Content-addressed summary cache for the deep pass.
+
+    One JSON file ([<dir>/summaries.json], {!Bench_json} encoding) keyed
+    by (path, MD5 of the source), holding everything the global passes
+    need: the per-file shallow findings, suppressions, and the extracted
+    call-graph summary.  A warm run hashes sources and skips the compiler
+    front end for every hit; only the global fixpoints rerun.  Purely an
+    optimization — any read problem, schema drift, or digest mismatch
+    means cold, never wrong. *)
+
+type entry = {
+  digest : string;  (** MD5 hex of the source the summary was built from *)
+  summary : Lint_callgraph.summary;
+  shallow : Lint_rule.finding list;  (** post-suppression, sorted *)
+  supp_count : int;
+  supps : Lint_suppress.t list;
+}
+
+val schema_version : int
+
+val digest : string -> string
+(** MD5 hex of a source string. *)
+
+val default_dir : unit -> string
+(** [_build/flm-lint-cache] when [_build] exists, [.flm-lint-cache]
+    otherwise. *)
+
+val load : dir:string -> (string, entry) Hashtbl.t
+(** Path-keyed entries; empty on any problem. *)
+
+val save : dir:string -> entry list -> unit
+(** Atomic (temp file + rename) and best-effort: failures are silent — a
+    cache that cannot be written only costs the next run time. *)

@@ -1,0 +1,59 @@
+(** Whole-repo call-graph extraction for the deep pass.
+
+    Every library in the repo is [(wrapped false)], so module names are
+    global and derived from filenames; that makes syntactic, module-
+    qualified resolution honest.  Anything unresolvable — stdlib members,
+    first-class function values, functor bodies, module aliases — is
+    bottom: assumed effect-free and lock-free (the soundness caveats are
+    in DESIGN.md §17). *)
+
+(** What is held when an inner acquisition is observed: a mutex by name,
+    or a [with_*] helper whose own acquisitions are resolved through the
+    graph. *)
+type holder = Hmutex of string | Hcall of string
+
+type inner_op = Ilock of string | Icall of string
+
+(** One observed "held [outer], then acquired/called [inner]" fact. *)
+type event = { outer : holder; oline : int; inner : inner_op; iline : int }
+
+type def = {
+  name : string;  (** short name *)
+  ctx : string;  (** enclosing module path, e.g. ["Pool"] or ["Pool.Sub"] *)
+  line : int;
+  col : int;
+  refs : (string * int) list;  (** candidate callees with reference line *)
+  intrinsics : Lint_effects.intrinsic list;
+  locks : (string * int) list;  (** direct [Mutex.lock] sites *)
+  events : event list;
+}
+
+type summary = { path : string; modname : string; defs : def list }
+
+val fqn : def -> string
+(** [ctx ^ "." ^ name] — the global name under [(wrapped false)]. *)
+
+val modname_of : string -> string
+(** Module name from a path, as dune derives it. *)
+
+val extract : path:string -> Parsetree.structure -> summary
+(** One parse, one summary: value bindings (including nested [module
+    M = struct ... end] structures) with their candidate callees, effect
+    intrinsics, direct lock sites, and lock-order events.  Top-level
+    mutable bindings carry a synthesized [Mutates] intrinsic. *)
+
+type graph = {
+  files : summary array;  (** sorted by path *)
+  owner : int array;  (** definition index -> file index *)
+  defs : def array;  (** files in order, definitions in source order *)
+  adj : int list array;  (** resolved callees per definition *)
+  sccs : int list list;  (** strongly connected components, callees first *)
+  resolve : ctx:string -> string -> int option;
+      (** resolve a reference as extraction recorded it *)
+}
+
+val build : summary list -> graph
+
+val sccs_of : int -> (int -> int list) -> int list list
+(** Tarjan on an arbitrary integer graph, components emitted callees
+    (successors) first — shared with the lock-order cycle check. *)

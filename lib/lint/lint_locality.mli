@@ -10,3 +10,9 @@
 val check :
   active:Lint_rule.id list -> Parsetree.structure -> Lint_rule.finding list
 (** Only rules listed in [active] fire. *)
+
+val mutable_alloc : string list -> string option
+(** Allocators whose result is mutable ([ref], [Array.make],
+    [Hashtbl.create], ...): binding one at structure level is shared
+    mutable module state.  Shared with the deep pass, which treats such
+    bindings as [Mutates] origins for transitive-state inference. *)

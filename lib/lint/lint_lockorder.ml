@@ -1,0 +1,217 @@
+(* The global lock-order graph.  The shallow pass proves each function
+   releases what it acquires; it cannot see that [Pool] takes its queue
+   lock and then calls into [Exec_cache], which takes a slot lock — while
+   some other path takes them in the opposite order.  This pass lifts
+   acquisitions to graph form: nodes are named mutexes qualified by their
+   module, an edge A -> B records "A observed held while B was acquired"
+   (directly, or through a resolved call whose transitive acquisition set
+   contains B), and any cycle in that graph is a schedule on which two
+   threads deadlock.  One finding per cycle, carrying every acquisition
+   site on it. *)
+
+open Lint_callgraph
+
+let node g d m = g.files.(g.owner.(d)).modname ^ ":" ^ m
+let path_of g d = g.files.(g.owner.(d)).path
+
+(* Transitive acquisition sets, per definition: which qualified mutexes a
+   call can take, each with its original [Mutex.lock] site.  Same SCC
+   fixpoint shape as the effect inference. *)
+let acquires g =
+  let n = Array.length g.defs in
+  let acq = Array.make n [] in
+  let add d nd site =
+    if List.mem_assoc nd acq.(d) then false
+    else begin
+      acq.(d) <- acq.(d) @ [ (nd, site) ];
+      true
+    end
+  in
+  List.iter
+    (fun scc ->
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        List.iter
+          (fun d ->
+            List.iter
+              (fun (m, line) ->
+                if add d (node g d m) (path_of g d, line) then changed := true)
+              g.defs.(d).locks;
+            List.iter
+              (fun c ->
+                List.iter
+                  (fun (nd, site) -> if add d nd site then changed := true)
+                  acq.(c))
+              g.adj.(d))
+          scc
+      done)
+    g.sccs;
+  acq
+
+type edge = {
+  src : string;
+  dst : string;
+  ofile : string;
+  oline : int;  (* where src was taken/held *)
+  note : string;  (* how dst is reached from inside the region *)
+}
+
+let edges_of g =
+  let acq = acquires g in
+  let out = ref [] in
+  let have = Hashtbl.create 32 in
+  let add e =
+    if not (Hashtbl.mem have (e.src, e.dst)) then begin
+      Hashtbl.add have (e.src, e.dst) ();
+      out := e :: !out
+    end
+  in
+  Array.iteri
+    (fun d (def : def) ->
+      let file = path_of g d in
+      let resolve r = g.resolve ~ctx:def.ctx r in
+      List.iter
+        (fun ev ->
+          let outers =
+            match ev.outer with
+            | Hmutex m -> [ node g d m ]
+            | Hcall r -> (
+              match resolve r with
+              | Some c -> List.map fst acq.(c)
+              | None -> [])
+          in
+          let inners =
+            match ev.inner with
+            | Ilock m ->
+              [ (node g d m, Printf.sprintf "locked at %s:%d" file ev.iline) ]
+            | Icall r -> (
+              match resolve r with
+              | Some c ->
+                List.map
+                  (fun (nd, (sfile, sline)) ->
+                    ( nd,
+                      Printf.sprintf "via %s (lock at %s:%d)" r sfile sline ))
+                  acq.(c)
+              | None -> [])
+          in
+          List.iter
+            (fun src ->
+              List.iter
+                (fun (dst, note) ->
+                  if src <> dst then
+                    add { src; dst; ofile = file; oline = ev.oline; note })
+                inners)
+            outers)
+        def.events)
+    g.defs;
+  List.rev !out
+
+let check g ~supps =
+  let edges = edges_of g in
+  let nodes =
+    List.sort_uniq String.compare
+      (List.concat_map (fun e -> [ e.src; e.dst ]) edges)
+  in
+  let nodes = Array.of_list nodes in
+  let id_of = Hashtbl.create 16 in
+  Array.iteri (fun i nd -> Hashtbl.replace id_of nd i) nodes;
+  let n = Array.length nodes in
+  let adj = Array.make n [] in
+  List.iter
+    (fun e ->
+      let s = Hashtbl.find id_of e.src and t = Hashtbl.find id_of e.dst in
+      if not (List.mem t adj.(s)) then adj.(s) <- adj.(s) @ [ t ])
+    edges;
+  let edge_of a b =
+    List.find (fun e -> e.src = nodes.(a) && e.dst = nodes.(b)) edges
+  in
+  (* Shortest cycle through the least node of the component: BFS back to
+     the start over component-internal edges. *)
+  let cycle_nodes comp =
+    let n0 = List.fold_left min (List.hd comp) comp in
+    let parent = Hashtbl.create 8 in
+    let q = Queue.create () in
+    Queue.push n0 q;
+    let last = ref None in
+    while !last = None && not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun v ->
+          if !last = None && List.mem v comp then
+            if v = n0 then last := Some u
+            else if not (Hashtbl.mem parent v) then begin
+              Hashtbl.add parent v u;
+              Queue.push v q
+            end)
+        adj.(u)
+    done;
+    match !last with
+    | None -> None
+    | Some u ->
+      let rec back v acc =
+        if v = n0 then v :: acc else back (Hashtbl.find parent v) (v :: acc)
+      in
+      Some (back u [ n0 ])  (* n0; ...; u; n0 *)
+  in
+  let findings = ref [] in
+  let suppressed = ref 0 in
+  List.iter
+    (fun comp ->
+      if List.length comp >= 2 then
+        match cycle_nodes comp with
+        | None -> ()
+        | Some cyc ->
+          let rec pairs = function
+            | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+            | _ -> []
+          in
+          let es = List.map (fun (a, b) -> edge_of a b) (pairs cyc) in
+          (* The report site is the first on-scope acquisition: rotate the
+             cycle so an edge whose holding file is bound by the rule comes
+             first; a cycle entirely outside scope is not reported. *)
+          let in_scope e =
+            List.mem Lint_rule.Concurrency_lock_order
+              (Lint_scope.deep_rules_for e.ofile)
+          in
+          let rec rotate k es =
+            if k = 0 then None
+            else
+              match es with
+              | e :: rest when in_scope e -> Some (e :: rest)
+              | e :: rest -> rotate (k - 1) (rest @ [ e ])
+              | [] -> None
+          in
+          (match rotate (List.length es) es with
+          | None -> ()
+          | Some es ->
+            if
+              List.exists
+                (fun e ->
+                  Lint_suppress.covers (supps e.ofile)
+                    Lint_rule.Concurrency_lock_order ~line:e.oline)
+                es
+            then incr suppressed
+            else
+              let first = List.hd es in
+              let ring =
+                List.map (fun e -> e.src) es @ [ (List.hd es).src ]
+              in
+              let witness =
+                List.map
+                  (fun e ->
+                    Printf.sprintf "%s held at %s:%d, then %s (%s)" e.src
+                      e.ofile e.oline e.dst e.note)
+                  es
+              in
+              findings :=
+                Lint_rule.finding ~witness
+                  ~rule:Lint_rule.Concurrency_lock_order ~file:first.ofile
+                  ~line:first.oline ~col:0
+                  (Printf.sprintf
+                     "lock-order cycle: %s — two threads taking these in \
+                      opposite order deadlock"
+                     (String.concat " -> " ring))
+                :: !findings))
+    (sccs_of n (fun v -> adj.(v)));
+  List.rev !findings, !suppressed

@@ -1,0 +1,17 @@
+(** Global lock-order deadlock detection.
+
+    Lifts the per-function lock discipline to graph form: nodes are named
+    mutexes qualified by module ([Pool:t.m]), an edge [A -> B] records "A
+    observed held while B was acquired" — directly, or through a resolved
+    call whose transitive acquisition set contains [B] — and every cycle
+    is reported once as [concurrency/lock-order-cycle], with each
+    acquisition site on the cycle in the witness. *)
+
+val check :
+  Lint_callgraph.graph ->
+  supps:(string -> Lint_suppress.t list) ->
+  Lint_rule.finding list * int
+(** Findings plus the count of cycles silenced by an inline suppression on
+    one of their acquisition sites.  A cycle none of whose holding sites
+    is in a directory bound by lock pairing is out of scope and not
+    reported. *)

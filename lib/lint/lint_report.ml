@@ -2,20 +2,37 @@ type t = {
   findings : Lint_rule.finding list;
   suppressed : int;
   files : int;
+  baselined : int;
 }
 
 let schema_version = 1
+
+(* Deterministic rendering: sorted by (file, line, rule id) and deduped —
+   overlapping rules (or a shallow and a deep pass over the same tree)
+   reporting the identical diagnostic collapse to one line. *)
+let normalize findings =
+  let sorted = List.sort Lint_rule.compare_finding findings in
+  let rec dedupe = function
+    | a :: (b :: _ as rest) when Lint_rule.equal_finding a b -> dedupe rest
+    | a :: rest -> a :: dedupe rest
+    | [] -> []
+  in
+  dedupe sorted
+
+let make ?(baselined = 0) ~findings ~suppressed ~files () =
+  { findings = normalize findings; suppressed; files; baselined }
 
 let pp_text ppf t =
   List.iter
     (fun f -> Format.fprintf ppf "%a@." Lint_rule.pp_finding f)
     t.findings;
-  Format.fprintf ppf "flm-lint: %d file%s, %d finding%s, %d suppressed@."
-    t.files
+  Format.fprintf ppf "flm-lint: %d file%s, %d finding%s, %d suppressed" t.files
     (if t.files = 1 then "" else "s")
     (List.length t.findings)
     (if List.length t.findings = 1 then "" else "s")
-    t.suppressed
+    t.suppressed;
+  if t.baselined > 0 then Format.fprintf ppf ", %d baselined" t.baselined;
+  Format.fprintf ppf "@."
 
 (* The JSON tree reuses Bench_json — the same dependency-free ADT, printer
    and strict parser the benchmark harness emits and CI round-trips. *)
@@ -25,16 +42,25 @@ let to_json t =
       "schema_version", Bench_json.Int schema_version;
       "files", Bench_json.Int t.files;
       "suppressed", Bench_json.Int t.suppressed;
+      "baselined", Bench_json.Int t.baselined;
       ( "findings",
         Bench_json.List
           (List.map
              (fun (f : Lint_rule.finding) ->
                Bench_json.Obj
-                 [ "rule", Bench_json.String (Lint_rule.to_string f.rule);
-                   "file", Bench_json.String f.file;
-                   "line", Bench_json.Int f.line;
-                   "col", Bench_json.Int f.col;
-                   "message", Bench_json.String f.message ])
+                 ([ "rule", Bench_json.String (Lint_rule.to_string f.rule);
+                    "file", Bench_json.String f.file;
+                    "line", Bench_json.Int f.line;
+                    "col", Bench_json.Int f.col;
+                    "message", Bench_json.String f.message ]
+                 @
+                 if f.witness = [] then []
+                 else
+                   [ ( "witness",
+                       Bench_json.List
+                         (List.map
+                            (fun w -> Bench_json.String w)
+                            f.witness) ) ]))
              t.findings) ) ]
 
 let json_string t = Bench_json.to_string (to_json t)

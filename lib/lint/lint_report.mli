@@ -4,9 +4,23 @@ type t = {
   findings : Lint_rule.finding list;  (** active (unsuppressed) findings *)
   suppressed : int;
   files : int;
+  baselined : int;  (** findings held back by [--baseline] *)
 }
 
 val schema_version : int
+
+val normalize : Lint_rule.finding list -> Lint_rule.finding list
+(** Sort by (file, line, rule id) and drop exact duplicates — the
+    deterministic rendering order of both output formats. *)
+
+val make :
+  ?baselined:int ->
+  findings:Lint_rule.finding list ->
+  suppressed:int ->
+  files:int ->
+  unit ->
+  t
+(** Build a report with {!normalize} applied. *)
 
 val pp_text : Format.formatter -> t -> unit
 (** One [file:line:col: [rule] message] line per finding, then a summary. *)

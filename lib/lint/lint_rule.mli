@@ -16,6 +16,12 @@ type id =
   | Hygiene_untyped_raise  (** bare [failwith]/[invalid_arg] in library paths *)
   | Lint_suppression  (** a malformed suppression comment *)
   | Lint_parse  (** the file does not parse *)
+  | Deep_random  (** transitive [Random.*] through the call chain *)
+  | Deep_time  (** transitive ambient time/environment through the chain *)
+  | Deep_io  (** transitive ambient I/O through the chain *)
+  | Deep_domain  (** transitive shared-memory primitives through the chain *)
+  | Deep_state  (** transitive touch of another module's top-level state *)
+  | Concurrency_lock_order  (** a cycle in the global lock-order graph *)
 
 type family = Locality | Concurrency | Hygiene | Meta
 
@@ -29,20 +35,36 @@ val all : id list
 val describe : id -> string
 (** One-line rationale, printed by [flm lint --rules]. *)
 
-(** A single diagnostic: where, which rule, and why. *)
+(** A single diagnostic: where, which rule, and why.  Deep findings carry a
+    witness path — the call chain from the flagged definition down to the
+    effect's origin — rendered in both the text and JSON report formats. *)
 type finding = {
   rule : id;
   file : string;
   line : int;  (** 1-based *)
   col : int;  (** 0-based, matching compiler diagnostics *)
   message : string;
+  witness : string list;  (** call-chain frames, outermost first; [] if n/a *)
 }
 
 val finding :
-  rule:id -> file:string -> line:int -> col:int -> string -> finding
+  ?witness:string list ->
+  rule:id ->
+  file:string ->
+  line:int ->
+  col:int ->
+  string ->
+  finding
 
-val of_location : rule:id -> message:string -> Location.t -> finding
+val of_location :
+  ?witness:string list -> rule:id -> message:string -> Location.t -> finding
+
 val pp_finding : Format.formatter -> finding -> unit
 
 val compare_finding : finding -> finding -> int
-(** Order by file, then line, then column. *)
+(** Order by file, then line, then rule id, then column, then message —
+    the deterministic rendering order of every report. *)
+
+val equal_finding : finding -> finding -> bool
+(** Positional identity (rule, file, line, col, message) — the dedupe key
+    used when overlapping rules report the same diagnostic. *)

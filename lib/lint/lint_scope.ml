@@ -73,6 +73,35 @@ let rules_for path =
     [ Lint_rule.Hygiene_obj_magic; Hygiene_poly_compare ]
   | Outside -> [ Lint_rule.Hygiene_obj_magic ]
 
+(* The deep (interprocedural) catalog derives from the shallow one: a file
+   bound by a Locality rule is also bound by its transitive counterpart,
+   and the lock-order cycle check fires wherever lock pairing does.  I/O
+   rides with the time rule — both are ambient-world reads the model layer
+   must not reach, and neither has a per-directory story of its own. *)
+let deep_rules_for path =
+  let shallow = rules_for path in
+  let has r = List.mem r shallow in
+  List.concat
+    [ (if has Lint_rule.Locality_random then [ Lint_rule.Deep_random ] else []);
+      (if has Lint_rule.Locality_time then [ Lint_rule.Deep_time; Deep_io ]
+       else []);
+      (if has Lint_rule.Locality_domain then [ Lint_rule.Deep_domain ] else []);
+      (if has Lint_rule.Locality_mutable_state then [ Lint_rule.Deep_state ]
+       else []);
+      (if has Lint_rule.Concurrency_lock_pairing then
+         [ Lint_rule.Concurrency_lock_order ]
+       else []) ]
+
+(* "lib/<dir>" for allow-list lookups, from any path spelling. *)
+let dir_of path =
+  let parts = String.split_on_char '/' path in
+  let rec find = function
+    | "lib" :: dir :: _ :: _ -> Some ("lib/" ^ dir)
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find parts
+
 (* Directory-level allow-list: rules that would fire in a directory but are
    deliberately not applied there, each with the reason on record.  This is
    the coarse-grained sibling of inline suppressions — use it when a whole

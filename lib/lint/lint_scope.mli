@@ -42,6 +42,17 @@ val classify : string -> dirclass
 val rules_for : string -> Lint_rule.id list
 (** The rules in force for a file at this path. *)
 
+val deep_rules_for : string -> Lint_rule.id list
+(** The interprocedural rules in force for a file at this path, derived
+    from {!rules_for}: each active Locality rule enables its transitive
+    counterpart ([locality/transitive-io] rides with [locality/time]), and
+    [concurrency/lock-pairing] enables [concurrency/lock-order-cycle].
+    Only [flm lint --deep] consults this table. *)
+
+val dir_of : string -> string option
+(** ["lib/<dir>"] for a path under [lib/], in the spelling the allow-list
+    uses; [None] outside [lib/]. *)
+
 val allow_listed : (string * Lint_rule.id * string) list
 (** Directory-level exemptions [(dir, rule, reason)] — rules that would
     otherwise apply but are deliberately off for a whole directory.  Each

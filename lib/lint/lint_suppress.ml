@@ -69,6 +69,25 @@ let comments source =
   while !i < n do
     match source.[!i] with
     | '"' -> skip_string ()
+    | '\'' -> (
+      (* A char literal — '"', '\n', '\xFF', '\u{1F600}'.  Without this
+         case, the literal '"' would open a phantom string and swallow
+         every comment up to the next real quote.  A lone quote (type
+         variable, primed identifier) falls through untouched. *)
+      match peek 1 with
+      | Some '\\' ->
+        (* Escaped form: the closing quote is within a short window
+           (longest is '\u{10FFFF}'); anything else is not a literal. *)
+        let j = ref (!i + 2) in
+        let stop = min n (!i + 12) in
+        while !j < stop && source.[!j] <> '\'' do
+          incr j
+        done;
+        if !j < stop then i := !j + 1 else incr i
+      | Some c when peek 2 = Some '\'' ->
+        bump c;
+        i := !i + 3
+      | _ -> incr i)
     | '{' -> if not (skip_quoted ()) then incr i
     | '(' when peek 1 = Some '*' ->
       let first = !line in
@@ -176,3 +195,8 @@ let covers supps rule ~line =
     supps
 
 let reason s = s.reason
+let rule s = s.rule
+let lines s = s.start_line, s.end_line
+
+let make ~rule ~first ~last ~reason =
+  { rule; start_line = first; end_line = last; reason }

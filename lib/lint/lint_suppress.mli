@@ -19,3 +19,12 @@ val scan : file:string -> string -> t list * Lint_rule.finding list
 
 val covers : t list -> Lint_rule.id -> line:int -> bool
 val reason : t -> string
+
+val rule : t -> Lint_rule.id
+
+val lines : t -> int * int
+(** [(first, last)] comment lines, for serialization. *)
+
+val make : rule:Lint_rule.id -> first:int -> last:int -> reason:string -> t
+(** Rebuild a suppression from its serialized fields — the deep-lint cache
+    stores scan results so a warm run never re-lexes unchanged sources. *)

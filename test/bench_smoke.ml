@@ -67,7 +67,7 @@ let lint_report_roundtrip () =
     Flm_lint.check_source ~path:"lib/protocols/fixture.ml"
       "let coin () = Random.int 2"
   in
-  let report = { Lint_report.findings; suppressed = 2; files = 7 } in
+  let report = Lint_report.make ~findings ~suppressed:2 ~files:7 () in
   match Bench_json.parse (Lint_report.json_string report) with
   | Error m -> check (Printf.sprintf "lint JSON parses (%s)" m) false
   | Ok json ->
@@ -166,13 +166,70 @@ let e22_tiny () =
          Option.bind (Bench_json.member "cores" c) Bench_json.to_int_opt)
     = Some (Domain.recommended_domain_count ()))
 
+let e23_tiny () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "flm_bench_smoke_e23_%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let write name contents =
+    let oc = open_out_bin (Filename.concat dir name) in
+    output_string oc contents;
+    close_out oc
+  in
+  write "caller.ml" "let go v = Callee.mix v\n";
+  write "callee.ml" "let mix v = v + 1\n";
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () ->
+      let json = Bench_e23.run ~paths:[ dir ] () in
+      (match Bench_json.validate json with
+      | Ok () -> ()
+      | Error m -> check (Printf.sprintf "E23 record validates (%s)" m) false);
+      check "E23: experiment id"
+        (Option.bind (Bench_json.member "experiment" json)
+           Bench_json.to_string_opt
+        = Some "E23");
+      let runs =
+        Option.value ~default:[]
+          (Option.bind (Bench_json.member "runs" json) Bench_json.to_list_opt)
+      in
+      check "E23: one cold and one warm pass"
+        (List.map
+           (fun r ->
+             Option.bind (Bench_json.member "label" r) Bench_json.to_string_opt)
+           runs
+        = [ Some "cold"; Some "warm" ]);
+      check "E23: the warm pass is all cache hits"
+        (match runs with
+        | [ _; warm ] ->
+          Option.bind (Bench_json.member "cache_misses" warm)
+            Bench_json.to_int_opt
+          = Some 0
+          && Option.bind (Bench_json.member "cache_hits" warm)
+               Bench_json.to_int_opt
+             = Some 2
+        | _ -> false);
+      let derived field =
+        Option.bind (Bench_json.member "derived" json) (Bench_json.member field)
+      in
+      check "E23: the cache is observationally invisible"
+        (derived "findings_equal" = Some (Bench_json.Bool true));
+      check "E23: warm hit rate is 1"
+        (derived "warm_hit_rate" = Some (Bench_json.Float 1.0)))
+
 let () =
   roundtrip ();
   lint_report_roundtrip ();
   e18_tiny ();
   e22_tiny ();
+  e23_tiny ();
   if !failures > 0 then begin
     Printf.eprintf "bench-smoke: %d failure(s)\n" !failures;
     exit 1
   end;
-  print_endline "bench-smoke ok: JSON round-trip + tiny E18/E22 contracts"
+  print_endline "bench-smoke ok: JSON round-trip + tiny E18/E22/E23 contracts"

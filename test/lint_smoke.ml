@@ -99,16 +99,17 @@ let () =
       (Printf.sprintf "flm_lint_smoke_%d" (Unix.getpid ()))
   in
   rm_rf root;
-  let expect what ~code ~grep tree =
+  let expect ?(args = []) what ~code ~grep tree =
     rm_rf root;
     List.iter (fun (rel, src) -> write_file (Filename.concat root rel) src) tree;
-    let got, out = run_exe exe [ root ] in
+    let got, out = run_exe exe (args @ [ root ]) in
     if got <> code then
       fail "%s: expected exit %d, got %d\noutput:\n%s" what code got out
     else if not (List.for_all (fun n -> contains ~needle:n out) grep) then
       fail "%s: output missing %s:\n%s" what (String.concat ", " grep) out
     else ok "%-34s -> %d" what got
   in
+  let deep = [ "--deep"; "--no-cache" ] in
   (* Mutation: ambient randomness in a protocol module. *)
   expect "Random.int in lib/protocols" ~code:violation_code
     ~grep:[ "locality/random"; "mutant.ml:2" ]
@@ -129,6 +130,41 @@ let () =
   (* A file that does not parse is Invalid_input, not a rule violation. *)
   expect "parse failure is Invalid_input" ~code:10 ~grep:[ "lint/parse" ]
     [ "lib/protocols/mutant.ml", "let let\n" ];
+  (* Deep mutation: a protocol step that launders Random.int through a
+     helper module.  Per-file the sources are clean — the escape only
+     exists interprocedurally — so the shallow gate passes and --deep
+     fails with the full witness path. *)
+  let escape_tree =
+    [ "lib/protocols/proto.ml", "let step view = Helper.mix view\n";
+      "lib/core/helper.ml", "let mix v = List.nth v (Random.int 2)\n" ]
+  in
+  expect "cross-module escape, shallow" ~code:0 ~grep:[ "0 findings" ]
+    escape_tree;
+  expect ~args:deep "cross-module escape, --deep" ~code:violation_code
+    ~grep:
+      [ "locality/transitive-random"; "proto.ml:1";
+        "witness: Proto.step -> Helper.mix -> Random.int" ]
+    escape_tree;
+  (* Deep mutation: the ISSUE's seeded deadlock — two engine modules,
+     each protect-pairing its own mutex (shallow-clean), acquiring the
+     two locks in opposite orders. *)
+  let deadlock_tree =
+    [ ( "lib/engine/locka.ml",
+        "let m = Mutex.create ()\n\
+         let with_a f = Mutex.lock m; Fun.protect ~finally:(fun () -> \
+         Mutex.unlock m) f\n\
+         let a_then_b f = with_a (fun () -> Lockb.with_b f)\n" );
+      ( "lib/engine/lockb.ml",
+        "let m = Mutex.create ()\n\
+         let with_b f = Mutex.lock m; Fun.protect ~finally:(fun () -> \
+         Mutex.unlock m) f\n\
+         let b_then_a f = with_b (fun () -> Locka.with_a f)\n" ) ]
+  in
+  expect "seeded deadlock, shallow" ~code:0 ~grep:[ "0 findings" ]
+    deadlock_tree;
+  expect ~args:deep "seeded deadlock, --deep" ~code:violation_code
+    ~grep:[ "concurrency/lock-order-cycle"; "Locka:m"; "Lockb:m" ]
+    deadlock_tree;
   (* --format json round-trips through Bench_json.parse. *)
   rm_rf root;
   write_file
